@@ -1,0 +1,76 @@
+// Experiment E9 (DESIGN.md §4, added beyond the paper's demo claims):
+// ablation of HyPE's two run-management optimizations.
+//
+//  * dead-run pruning — skip a subtree once every (state, guard) pair has
+//    died (the paper: HyPE "often prunes a large number of nodes that do
+//    not contribute to the answer of the query");
+//  * guard dominance — a run whose pending-predicate set is a superset of
+//    another's is redundant (weaker guards dominate).
+//
+// Both are semantics-preserving (differential-tested in
+// eval_ablation_test.cc); the rows here show what each buys.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/eval/hype_dom.h"
+
+namespace smoqe {
+namespace {
+
+using bench::Corpus;
+
+const std::vector<workload::BenchQuery>& Queries() {
+  static const std::vector<workload::BenchQuery> queries =
+      workload::HospitalQueries();
+  return queries;
+}
+
+void Run(benchmark::State& state, bool dead_run_pruning,
+         bool guard_dominance) {
+  const auto& bq = Queries()[static_cast<size_t>(state.range(0))];
+  const xml::Document& doc =
+      Corpus::Get().Hospital(static_cast<size_t>(state.range(1)));
+  const automata::Mfa& mfa = Corpus::Get().Mfa(bq.text);
+  EvalStats stats;
+  for (auto _ : state) {
+    eval::DomEvalOptions opts;
+    opts.engine.dead_run_pruning = dead_run_pruning;
+    opts.engine.guard_dominance = guard_dominance;
+    auto r = eval::EvalHypeDom(mfa, doc, opts);
+    Corpus::Check(r.ok(), "eval");
+    stats = r->stats;
+    benchmark::DoNotOptimize(r->answers);
+  }
+  state.SetLabel(bq.id);
+  state.counters["visited"] = static_cast<double>(stats.nodes_visited);
+  state.counters["max_active_pairs"] =
+      static_cast<double>(stats.max_active_pairs);
+}
+
+void Full(benchmark::State& s) { Run(s, true, true); }
+void NoDeadRunPruning(benchmark::State& s) { Run(s, false, true); }
+void NoDominance(benchmark::State& s) { Run(s, true, false); }
+void Neither(benchmark::State& s) { Run(s, false, false); }
+
+void RegisterAll() {
+  const auto& queries = Queries();
+  const long size = 10000;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto reg = [&](const char* variant, void (*fn)(benchmark::State&)) {
+      benchmark::RegisterBenchmark(
+          (std::string("E9_") + variant + "/" + queries[q].id).c_str(), fn)
+          ->Args({static_cast<long>(q), size})
+          ->Unit(benchmark::kMicrosecond);
+    };
+    reg("full", Full);
+    reg("no_deadrun", NoDeadRunPruning);
+    reg("no_dominance", NoDominance);
+    reg("neither", Neither);
+  }
+}
+
+int dummy = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace smoqe

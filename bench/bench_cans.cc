@@ -1,0 +1,88 @@
+// Experiment E4 (DESIGN.md §4): size of the Cans candidate-answer store.
+//
+// Paper claim: potential answers "are collected and stored in an auxiliary
+// structure, referred to as Cans, which is often much smaller than the XML
+// document tree. After the traversal … HyPE only needs a single pass of
+// Cans" — this is why one document traversal suffices.
+//
+// Rows sweep document size × query selectivity; counters report the Cans
+// entry count, its fraction of the document, and the pass counters that
+// back experiment E3's single-pass claim.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/eval/hype_dom.h"
+
+namespace smoqe {
+namespace {
+
+using bench::Corpus;
+
+struct CansQuery {
+  const char* id;
+  const char* text;
+};
+
+const std::vector<CansQuery>& Queries() {
+  static const std::vector<CansQuery> queries = {
+      // Candidates = patients pending an autism-medication check.
+      {"guarded-patients",
+       "//patient[visit/treatment/medication = 'autism']"},
+      // Candidates = names; guard depends on an ancestor's pending check.
+      {"guarded-names",
+       "hospital/patient[visit/treatment/medication = 'autism']/pname"},
+      // Unconditional: Cans = answers.
+      {"all-medications", "//medication"},
+      // Highly selective: nearly empty Cans.
+      {"rare-chain", "//parent/patient/visit/treatment/test"},
+      // Pathological: every element is a candidate.
+      {"everything", "//*"},
+  };
+  return queries;
+}
+
+void CansSize(benchmark::State& state) {
+  const auto& q = Queries()[static_cast<size_t>(state.range(0))];
+  const xml::Document& doc =
+      Corpus::Get().Hospital(static_cast<size_t>(state.range(1)));
+  const automata::Mfa& mfa = Corpus::Get().Mfa(q.text);
+  EvalStats stats;
+  size_t cans_nodes = 0;
+  for (auto _ : state) {
+    auto r = eval::EvalHypeDom(mfa, doc);
+    Corpus::Check(r.ok(), "eval");
+    stats = r->stats;
+    benchmark::DoNotOptimize(r->answers);
+  }
+  state.SetLabel(q.id);
+  (void)cans_nodes;
+  state.counters["doc_nodes"] = static_cast<double>(doc.num_nodes());
+  state.counters["cans_entries"] = static_cast<double>(stats.cans_entries);
+  state.counters["cans_frac_%"] =
+      100.0 * static_cast<double>(stats.cans_entries) /
+      static_cast<double>(doc.num_nodes());
+  state.counters["answers"] = static_cast<double>(stats.answers);
+  state.counters["tree_passes"] = static_cast<double>(stats.tree_passes);
+  state.counters["aux_passes"] = static_cast<double>(stats.aux_passes);
+}
+
+void RegisterAll() {
+  const auto& queries = Queries();
+  for (size_t q = 0; q < queries.size(); ++q) {
+    for (long size : {1000, 10000, 100000}) {
+      benchmark::RegisterBenchmark(
+          (std::string("E4_cans/") + queries[q].id + "/n=" +
+           std::to_string(size))
+              .c_str(),
+          CansSize)
+          ->Args({static_cast<long>(q), size})
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+int dummy = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace smoqe

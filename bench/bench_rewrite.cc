@@ -1,0 +1,130 @@
+// Experiment E1 (DESIGN.md §4): rewritten-query representation size.
+//
+// Paper claim: "the size of Q′, if directly represented as Regular XPath
+// expressions, may be exponential in the size of Q. The SMOQE rewriter
+// overcomes the challenge by employing an automaton characterization
+// (MFA) … which is linear in the size of Q."
+//
+// Two query families over two views:
+//  * diamond wildcard chains (reconvergent type paths): expression size
+//    explodes exponentially, MFA grows linearly;
+//  * hospital recursive chains (no reconvergence): both stay polynomial —
+//    showing the blow-up is a property of the view's type graph, not of
+//    chain length per se.
+// Counters report sizes; timing covers the rewriting itself.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/rewrite/expr_rewriter.h"
+#include "src/rewrite/rewriter.h"
+#include "src/view/annotation.h"
+#include "src/view/derive.h"
+#include "src/xml/dtd_parser.h"
+
+namespace smoqe {
+namespace {
+
+using bench::Corpus;
+
+struct Views {
+  xml::Dtd diamond_dtd;
+  view::ViewDefinition diamond;   // identity view over the diamond schema
+  xml::Dtd hospital_dtd;
+  view::ViewDefinition hospital;  // the paper's autism view
+
+  static Views& Get() {
+    static Views v = [] {
+      Views out;
+      out.diamond_dtd = workload::DiamondDtd();
+      view::Policy diamond_policy(&out.diamond_dtd);
+      auto dv = view::DeriveView(diamond_policy);
+      Corpus::Check(dv.ok(), "diamond view");
+      out.diamond = dv.MoveValue();
+
+      out.hospital_dtd = workload::HospitalDtd();
+      auto policy = view::Policy::Parse(out.hospital_dtd,
+                                        workload::kHospitalPolicyAutism);
+      Corpus::Check(policy.ok(), "hospital policy");
+      auto hv = view::DeriveView(*policy);
+      Corpus::Check(hv.ok(), "hospital view");
+      out.hospital = hv.MoveValue();
+      return out;
+    }();
+    return v;
+  }
+};
+
+void MfaRewrite(benchmark::State& state, const view::ViewDefinition& view,
+                const std::string& query_text) {
+  auto q = rxpath::ParseQuery(query_text);
+  Corpus::Check(q.ok(), "parse");
+  size_t states = 0;
+  for (auto _ : state) {
+    auto mfa = rewrite::RewriteToMfa(**q, view, Corpus::Get().names());
+    Corpus::Check(mfa.ok(), "rewrite");
+    states = mfa->TotalStates();
+    benchmark::DoNotOptimize(mfa);
+  }
+  state.counters["query_size"] = static_cast<double>((*q)->TreeSize());
+  state.counters["mfa_states"] = static_cast<double>(states);
+}
+
+void ExprRewrite(benchmark::State& state, const view::ViewDefinition& view,
+                 const std::string& query_text) {
+  auto q = rxpath::ParseQuery(query_text);
+  Corpus::Check(q.ok(), "parse");
+  constexpr size_t kCap = 1u << 22;  // 4M AST nodes
+  size_t size = 0;
+  bool truncated = false;
+  for (auto _ : state) {
+    rewrite::ExprRewriteStats stats;
+    auto expr = rewrite::RewriteToExpr(**q, view, kCap, &stats);
+    truncated = stats.truncated;
+    size = stats.result_size;
+    benchmark::DoNotOptimize(expr);
+  }
+  state.counters["query_size"] = static_cast<double>((*q)->TreeSize());
+  state.counters["expr_size"] = static_cast<double>(size);
+  state.counters["hit_cap"] = truncated ? 1 : 0;
+  if (truncated) state.SetLabel("EXCEEDED CAP (exponential)");
+}
+
+void RegisterAll() {
+  Views& views = Views::Get();
+  // E1a: diamond wildcard chains — the exponential family.
+  for (int k = 4; k <= 28; k += 4) {
+    std::string q = workload::DiamondWildcardChain(k);
+    benchmark::RegisterBenchmark(
+        ("E1_diamond_MFA/k=" + std::to_string(k)).c_str(),
+        [&views, q](benchmark::State& s) { MfaRewrite(s, views.diamond, q); })
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        ("E1_diamond_Expr/k=" + std::to_string(k)).c_str(),
+        [&views, q](benchmark::State& s) {
+          ExprRewrite(s, views.diamond, q);
+        })
+        ->Unit(benchmark::kMicrosecond);
+  }
+  // E1b: hospital recursive chains — linear for both representations.
+  for (int k = 1; k <= 9; k += 2) {
+    std::string q = workload::HospitalRecursiveChain(k);
+    benchmark::RegisterBenchmark(
+        ("E1_hospital_MFA/k=" + std::to_string(k)).c_str(),
+        [&views, q](benchmark::State& s) {
+          MfaRewrite(s, views.hospital, q);
+        })
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        ("E1_hospital_Expr/k=" + std::to_string(k)).c_str(),
+        [&views, q](benchmark::State& s) {
+          ExprRewrite(s, views.hospital, q);
+        })
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+int dummy = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace smoqe

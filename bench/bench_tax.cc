@@ -1,0 +1,107 @@
+// Experiment E6 (DESIGN.md §4): effectiveness of the TAX index.
+//
+// Paper claim: TAX "is effective in pruning large document subtrees during
+// the evaluation of XPath queries with or without '//'", beyond
+// descendant-axis labeling schemes. Rows: indexer off vs on, per query
+// family and document size; counters expose visited/pruned node counts —
+// the pruning the iSMOQE tree colors show.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/eval/hype_dom.h"
+#include "src/index/tax.h"
+
+namespace smoqe {
+namespace {
+
+using bench::Corpus;
+
+const std::vector<workload::BenchQuery>& Queries() {
+  // Org queries: review/group/salary types are rare and deep, so typed
+  // pruning has room to act; plus two hospital queries with and without //.
+  static const std::vector<workload::BenchQuery> queries = [] {
+    std::vector<workload::BenchQuery> qs = workload::OrgQueries();
+    return qs;
+  }();
+  return queries;
+}
+
+const index::TaxIndex& OrgTax(size_t nodes) {
+  static std::map<size_t, std::unique_ptr<index::TaxIndex>> cache;
+  auto it = cache.find(nodes);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(nodes, std::make_unique<index::TaxIndex>(
+                                 index::TaxIndex::Build(
+                                     Corpus::Get().Org(nodes))))
+             .first;
+  }
+  return *it->second;
+}
+
+void TaxOff(benchmark::State& state) {
+  const auto& bq = Queries()[static_cast<size_t>(state.range(0))];
+  const xml::Document& doc =
+      Corpus::Get().Org(static_cast<size_t>(state.range(1)));
+  const automata::Mfa& mfa = Corpus::Get().Mfa(bq.text);
+  EvalStats stats;
+  for (auto _ : state) {
+    auto r = eval::EvalHypeDom(mfa, doc);
+    Corpus::Check(r.ok(), "eval");
+    stats = r->stats;
+    benchmark::DoNotOptimize(r->answers);
+  }
+  state.SetLabel(bq.id);
+  state.counters["visited"] = static_cast<double>(stats.nodes_visited);
+  state.counters["pruned_nodes"] = static_cast<double>(stats.nodes_pruned);
+  state.counters["answers"] = static_cast<double>(stats.answers);
+}
+
+void TaxOn(benchmark::State& state) {
+  const auto& bq = Queries()[static_cast<size_t>(state.range(0))];
+  const xml::Document& doc =
+      Corpus::Get().Org(static_cast<size_t>(state.range(1)));
+  const index::TaxIndex& tax = OrgTax(static_cast<size_t>(state.range(1)));
+  const automata::Mfa& mfa = Corpus::Get().Mfa(bq.text);
+  EvalStats stats;
+  for (auto _ : state) {
+    eval::DomEvalOptions opts;
+    opts.tax = &tax;
+    auto r = eval::EvalHypeDom(mfa, doc, opts);
+    Corpus::Check(r.ok(), "eval");
+    stats = r->stats;
+    benchmark::DoNotOptimize(r->answers);
+  }
+  state.SetLabel(bq.id);
+  state.counters["visited"] = static_cast<double>(stats.nodes_visited);
+  state.counters["pruned_nodes"] = static_cast<double>(stats.nodes_pruned);
+  state.counters["answers"] = static_cast<double>(stats.answers);
+}
+
+void RegisterAll() {
+  const auto& queries = Queries();
+  for (size_t q = 0; q < queries.size(); ++q) {
+    for (long size : {10000, 100000}) {
+      benchmark::RegisterBenchmark(
+          (std::string("E6_TAX_off/") + queries[q].id + "/n=" +
+           std::to_string(size))
+              .c_str(),
+          TaxOff)
+          ->Args({static_cast<long>(q), size})
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark(
+          (std::string("E6_TAX_on/") + queries[q].id + "/n=" +
+           std::to_string(size))
+              .c_str(),
+          TaxOn)
+          ->Args({static_cast<long>(q), size})
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+int dummy = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace smoqe

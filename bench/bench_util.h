@@ -1,0 +1,96 @@
+#ifndef SMOQE_BENCH_BENCH_UTIL_H_
+#define SMOQE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/automata/mfa.h"
+#include "src/rxpath/parser.h"
+#include "src/workload/workloads.h"
+#include "src/xml/serializer.h"
+
+namespace smoqe::bench {
+
+/// Cached corpus: one generated document per (schema, size), shared by all
+/// benchmarks in a binary so the tables sweep sizes without regenerating.
+class Corpus {
+ public:
+  static Corpus& Get() {
+    static Corpus corpus;
+    return corpus;
+  }
+
+  const xml::Document& Hospital(size_t nodes) {
+    auto it = hospital_.find(nodes);
+    if (it == hospital_.end()) {
+      auto doc = workload::GenHospital(/*seed=*/1234, nodes, names_);
+      Check(doc.ok(), "hospital generation");
+      it = hospital_
+               .emplace(nodes, std::make_unique<xml::Document>(doc.MoveValue()))
+               .first;
+    }
+    return *it->second;
+  }
+
+  const std::string& HospitalText(size_t nodes) {
+    auto it = hospital_text_.find(nodes);
+    if (it == hospital_text_.end()) {
+      it = hospital_text_
+               .emplace(nodes, xml::SerializeDocument(Hospital(nodes)))
+               .first;
+    }
+    return it->second;
+  }
+
+  const xml::Document& Org(size_t nodes) {
+    auto it = org_.find(nodes);
+    if (it == org_.end()) {
+      auto doc = workload::GenOrg(/*seed=*/99, nodes, names_);
+      Check(doc.ok(), "org generation");
+      it = org_.emplace(nodes, std::make_unique<xml::Document>(doc.MoveValue()))
+               .first;
+    }
+    return *it->second;
+  }
+
+  const std::shared_ptr<xml::NameTable>& names() { return names_; }
+
+  /// Compiles (and caches) a query MFA against the shared name table.
+  const automata::Mfa& Mfa(const std::string& query) {
+    auto it = mfas_.find(query);
+    if (it == mfas_.end()) {
+      auto q = rxpath::ParseQuery(query);
+      Check(q.ok(), "query parse");
+      auto mfa = automata::Mfa::Compile(**q, names_);
+      Check(mfa.ok(), "mfa compile");
+      it = mfas_
+               .emplace(query,
+                        std::make_unique<automata::Mfa>(mfa.MoveValue()))
+               .first;
+    }
+    return *it->second;
+  }
+
+  static void Check(bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "bench setup failed: %s\n", what);
+      std::abort();
+    }
+  }
+
+ private:
+  Corpus() : names_(xml::NameTable::Create()) {}
+
+  std::shared_ptr<xml::NameTable> names_;
+  std::map<size_t, std::unique_ptr<xml::Document>> hospital_;
+  std::map<size_t, std::string> hospital_text_;
+  std::map<size_t, std::unique_ptr<xml::Document>> org_;
+  std::map<std::string, std::unique_ptr<automata::Mfa>> mfas_;
+};
+
+}  // namespace smoqe::bench
+
+#endif  // SMOQE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,133 @@
+// Experiment E8 (DESIGN.md §4): answering queries on virtual views
+// without materialization.
+//
+// Paper motivation (§1): "a large number of user groups may want to query
+// the same XML document, each with a different access-control policy …
+// views should be kept virtual since it is prohibitively expensive to
+// materialize and maintain a large number of views."
+//
+// Rows compare, per query: (a) SMOQE — rewrite + evaluate on the document;
+// (b) the materializing strategy — build V(T), then evaluate the query on
+// it (the cost every refresh of a materialized view would pay, times the
+// number of user groups). The one-time rewrite cost is also isolated.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/eval/hype_dom.h"
+#include "src/rewrite/rewriter.h"
+#include "src/rxpath/naive_eval.h"
+#include "src/view/annotation.h"
+#include "src/view/derive.h"
+#include "src/view/materialize.h"
+
+namespace smoqe {
+namespace {
+
+using bench::Corpus;
+
+const view::ViewDefinition& AutismView() {
+  static const view::ViewDefinition* view = [] {
+    static xml::Dtd dtd = workload::HospitalDtd();
+    auto policy =
+        view::Policy::Parse(dtd, workload::kHospitalPolicyAutism);
+    Corpus::Check(policy.ok(), "policy");
+    static view::Policy owned = policy.MoveValue();
+    auto v = view::DeriveView(owned);
+    Corpus::Check(v.ok(), "derive");
+    return new view::ViewDefinition(v.MoveValue());
+  }();
+  return *view;
+}
+
+const std::vector<workload::BenchQuery>& Queries() {
+  static const std::vector<workload::BenchQuery> queries =
+      workload::HospitalViewQueries();
+  return queries;
+}
+
+void Virtual(benchmark::State& state) {
+  const auto& bq = Queries()[static_cast<size_t>(state.range(0))];
+  const xml::Document& doc =
+      Corpus::Get().Hospital(static_cast<size_t>(state.range(1)));
+  auto q = rxpath::ParseQuery(bq.text);
+  Corpus::Check(q.ok(), "parse");
+  size_t answers = 0;
+  for (auto _ : state) {
+    // Rewrite + evaluate; nothing is materialized.
+    auto mfa = rewrite::RewriteToMfa(**q, AutismView(), doc.names());
+    Corpus::Check(mfa.ok(), "rewrite");
+    auto r = eval::EvalHypeDom(*mfa, doc);
+    Corpus::Check(r.ok(), "eval");
+    answers = r->answers.size();
+    benchmark::DoNotOptimize(r->answers);
+  }
+  state.SetLabel(bq.id);
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void RewriteOnly(benchmark::State& state) {
+  const auto& bq = Queries()[static_cast<size_t>(state.range(0))];
+  auto q = rxpath::ParseQuery(bq.text);
+  Corpus::Check(q.ok(), "parse");
+  for (auto _ : state) {
+    auto mfa = rewrite::RewriteToMfa(**q, AutismView(), Corpus::Get().names());
+    Corpus::Check(mfa.ok(), "rewrite");
+    benchmark::DoNotOptimize(mfa);
+  }
+  state.SetLabel(bq.id);
+}
+
+void MaterializeThenQuery(benchmark::State& state) {
+  const auto& bq = Queries()[static_cast<size_t>(state.range(0))];
+  const xml::Document& doc =
+      Corpus::Get().Hospital(static_cast<size_t>(state.range(1)));
+  auto q = rxpath::ParseQuery(bq.text);
+  Corpus::Check(q.ok(), "parse");
+  size_t answers = 0;
+  size_t view_nodes = 0;
+  for (auto _ : state) {
+    auto mat = view::Materialize(AutismView(), doc);
+    Corpus::Check(mat.ok(), "materialize");
+    view_nodes = static_cast<size_t>(mat->document.num_nodes());
+    rxpath::NaiveEvaluator ev(mat->document);
+    auto r = ev.Eval(**q);
+    answers = r.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(bq.id);
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["view_nodes"] = static_cast<double>(view_nodes);
+}
+
+void RegisterAll() {
+  const auto& queries = Queries();
+  for (size_t q = 0; q < queries.size(); ++q) {
+    for (long size : {10000, 100000}) {
+      benchmark::RegisterBenchmark(
+          (std::string("E8_virtual_rewrite+eval/") + queries[q].id + "/n=" +
+           std::to_string(size))
+              .c_str(),
+          Virtual)
+          ->Args({static_cast<long>(q), size})
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark(
+          (std::string("E8_materialize+query/") + queries[q].id + "/n=" +
+           std::to_string(size))
+              .c_str(),
+          MaterializeThenQuery)
+          ->Args({static_cast<long>(q), size})
+          ->Unit(benchmark::kMicrosecond);
+    }
+    benchmark::RegisterBenchmark(
+        (std::string("E8_rewrite_only/") + queries[q].id).c_str(),
+        RewriteOnly)
+        ->Args({static_cast<long>(q), 0})
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+int dummy = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace smoqe

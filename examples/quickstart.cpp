@@ -1,0 +1,90 @@
+// Quickstart: load a document, define a security view from an
+// access-control policy, and answer queries — directly and through the
+// virtual view (no materialization happens; the view query is rewritten).
+//
+// Build & run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/smoqe.h"
+
+namespace {
+
+constexpr char kDtd[] = R"(
+  <!ELEMENT library (book*)>
+  <!ELEMENT book (title, price, internal_rating)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT price (#PCDATA)>
+  <!ELEMENT internal_rating (#PCDATA)>
+)";
+
+constexpr char kDoc[] =
+    "<library>"
+    "<book><title>A Relational Model</title><price>30</price>"
+    "<internal_rating>9</internal_rating></book>"
+    "<book><title>Transaction Processing</title><price>60</price>"
+    "<internal_rating>8</internal_rating></book>"
+    "</library>";
+
+// Customers may browse books and titles, but internal ratings are hidden
+// and prices only show for books that actually have one.
+constexpr char kCustomerPolicy[] = R"(
+  book/internal_rating : N;
+  book/price           : [text() != ''];
+)";
+
+void Show(const char* label, const smoqe::Result<smoqe::core::QueryAnswer>& r) {
+  std::printf("%s\n", label);
+  if (!r.ok()) {
+    std::printf("  error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  if (r->answers_xml.empty()) std::printf("  (no answers)\n");
+  for (const std::string& a : r->answers_xml) {
+    std::printf("  %s\n", a.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  smoqe::core::Smoqe engine;
+
+  smoqe::Status st = engine.RegisterDtd("library", kDtd, "library");
+  if (!st.ok()) {
+    std::printf("RegisterDtd: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = engine.LoadDocument("shop", kDoc);
+  if (!st.ok()) {
+    std::printf("LoadDocument: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = engine.DefineView("customers", "library", kCustomerPolicy);
+  if (!st.ok()) {
+    std::printf("DefineView: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  auto schema = engine.ViewSchema("customers");
+  std::printf("== schema exposed to customers ==\n%s\n",
+              schema.ok() ? schema->c_str() : schema.status().ToString().c_str());
+
+  // A trusted (direct) query sees everything.
+  Show("== direct: //internal_rating ==",
+       engine.Query("shop", "//internal_rating"));
+
+  // The same query through the view is rewritten against the underlying
+  // document and returns nothing — the data is outside the view.
+  smoqe::core::QueryOptions customers;
+  customers.view = "customers";
+  Show("== customers: //internal_rating ==",
+       engine.Query("shop", "//internal_rating", customers));
+
+  Show("== customers: library/book/title ==",
+       engine.Query("shop", "library/book/title", customers));
+
+  Show("== customers: //book[price = '30']/title ==",
+       engine.Query("shop", "//book[price = '30']/title", customers));
+  return 0;
+}

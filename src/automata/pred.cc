@@ -1,0 +1,29 @@
+#include "src/automata/pred.h"
+
+#include <cassert>
+#include <functional>
+
+namespace smoqe::automata {
+
+bool Pred::Evaluate(const std::vector<bool>& leaf_values) const {
+  assert(leaf_values.size() == leaf_obligations.size());
+  std::function<bool(int)> eval = [&](int i) -> bool {
+    const BNode& n = bnodes[i];
+    switch (n.kind) {
+      case BNode::Kind::kTrue:
+        return true;
+      case BNode::Kind::kLeaf:
+        return leaf_values[n.leaf];
+      case BNode::Kind::kNot:
+        return !eval(n.left);
+      case BNode::Kind::kAnd:
+        return eval(n.left) && eval(n.right);
+      case BNode::Kind::kOr:
+        return eval(n.left) || eval(n.right);
+    }
+    return false;
+  };
+  return eval(root);
+}
+
+}  // namespace smoqe::automata

@@ -1,0 +1,69 @@
+#ifndef SMOQE_AUTOMATA_PRED_H_
+#define SMOQE_AUTOMATA_PRED_H_
+
+#include <string>
+#include <vector>
+
+#include "src/automata/nfa.h"
+
+namespace smoqe::automata {
+
+/// Index into an Mfa's obligation table.
+using ObligationId = int32_t;
+
+/// What must hold at a node where an obligation's path NFA accepts.
+struct AcceptTest {
+  enum class Kind {
+    kExists,      ///< reaching the node is enough (existential path)
+    kTextEq,      ///< node's direct text equals `value`
+    kAttrExists,  ///< node carries attribute `attr`
+    kAttrEq,      ///< node carries attribute `attr` with value `value`
+  };
+  Kind kind = Kind::kExists;
+  xml::NameId attr = xml::kNoName;
+  std::string value;
+};
+
+/// \brief A path obligation: the automaton of one qualifier path, run
+/// downward from the anchor node of the enclosing predicate instance.
+///
+/// The path NFA may itself charge nested predicates (its transitions carry
+/// PredIds of the same Mfa), which is how alternation nests — this is the
+/// paper's AFA, factored into reusable path automata plus the boolean
+/// structure in `Pred`.
+struct Obligation {
+  FlatNfa nfa;
+  AcceptTest test;
+};
+
+/// \brief The boolean structure of one predicate `[q]` — an alternating
+/// layer over obligations.
+///
+/// Stored as a flat node array (no pointers) so predicates can live in a
+/// table inside Mfa and be referenced by PredId from transitions.
+struct Pred {
+  struct BNode {
+    enum class Kind { kAnd, kOr, kNot, kLeaf, kTrue };
+    Kind kind = Kind::kTrue;
+    int left = -1;   ///< kAnd/kOr/kNot
+    int right = -1;  ///< kAnd/kOr
+    int leaf = -1;   ///< kLeaf: position into `leaf_obligations`
+  };
+
+  std::vector<BNode> bnodes;
+  int root = -1;
+  /// Printable form of the original qualifier (for dumps/tracing).
+  std::string description;
+
+  /// Evaluates the boolean tree given leaf outcomes (indexed by the
+  /// *positions of this predicate's leaves*, see `leaf_obligations`).
+  bool Evaluate(const std::vector<bool>& leaf_values) const;
+
+  /// Obligations of this predicate's kLeaf nodes in bnode order; leaf i of
+  /// `Evaluate` corresponds to `leaf_obligations[i]`.
+  std::vector<ObligationId> leaf_obligations;
+};
+
+}  // namespace smoqe::automata
+
+#endif  // SMOQE_AUTOMATA_PRED_H_

@@ -1,0 +1,98 @@
+#include "src/automata/regex_extract.h"
+
+namespace smoqe::automata {
+
+using rxpath::PathExpr;
+
+namespace {
+
+std::unique_ptr<PathExpr> UnionMerge(std::unique_ptr<PathExpr> a,
+                                     std::unique_ptr<PathExpr> b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (a->Equals(*b)) return a;
+  std::vector<std::unique_ptr<PathExpr>> parts;
+  parts.push_back(std::move(a));
+  parts.push_back(std::move(b));
+  return PathExpr::Union(std::move(parts));
+}
+
+}  // namespace
+
+void PathAutomaton::AddEdge(int from, int to,
+                            std::unique_ptr<PathExpr> label) {
+  auto& slot = adj_[from][to];
+  slot = UnionMerge(std::move(slot), std::move(label));
+}
+
+Result<std::map<int, std::unique_ptr<PathExpr>>> PathAutomaton::ExtractPaths(
+    int start, const std::set<int>& accepts) const {
+  if (accepts.count(start) > 0) {
+    return Status::InvalidArgument(
+        "state elimination requires start ∉ accepts");
+  }
+  // Working copy of the adjacency with cloned labels.
+  std::vector<std::map<int, std::unique_ptr<PathExpr>>> edges(adj_.size());
+  for (size_t from = 0; from < adj_.size(); ++from) {
+    for (const auto& [to, label] : adj_[from]) {
+      edges[from][to] = label->Clone();
+    }
+  }
+  // Reverse adjacency for efficient in-edge lookup.
+  std::vector<std::set<int>> rev(adj_.size());
+  for (size_t from = 0; from < adj_.size(); ++from) {
+    for (const auto& [to, label] : adj_[from]) {
+      rev[to].insert(static_cast<int>(from));
+    }
+  }
+
+  auto erase_edge = [&](int from, int to) {
+    edges[from].erase(to);
+    rev[to].erase(from);
+  };
+
+  for (int s = 0; s < static_cast<int>(adj_.size()); ++s) {
+    if (s == start || accepts.count(s) > 0) continue;
+    // Self loop contributes (loop)* between in and out edges.
+    std::unique_ptr<PathExpr> loop;
+    auto self = edges[s].find(s);
+    if (self != edges[s].end()) {
+      loop = PathExpr::Star(std::move(self->second));
+      erase_edge(s, s);
+    }
+    // Snapshot in/out neighbor lists before mutation.
+    std::vector<int> ins(rev[s].begin(), rev[s].end());
+    std::vector<std::pair<int, std::unique_ptr<PathExpr>>> outs;
+    for (auto& [to, label] : edges[s]) {
+      outs.emplace_back(to, std::move(label));
+    }
+    for (auto& [to, label] : outs) rev[to].erase(s);
+    edges[s].clear();
+
+    for (int p : ins) {
+      std::unique_ptr<PathExpr> in_label = std::move(edges[p][s]);
+      erase_edge(p, s);
+      for (const auto& [q, out_label] : outs) {
+        std::unique_ptr<PathExpr> mid = in_label->Clone();
+        if (loop != nullptr) {
+          mid = PathExpr::Seq2(std::move(mid), loop->Clone());
+        }
+        mid = PathExpr::Seq2(std::move(mid), out_label->Clone());
+        auto& slot = edges[p][q];
+        bool was_absent = slot == nullptr;
+        slot = UnionMerge(std::move(slot), std::move(mid));
+        if (was_absent) rev[q].insert(p);
+      }
+    }
+  }
+
+  std::map<int, std::unique_ptr<PathExpr>> result;
+  for (auto& [to, label] : edges[start]) {
+    if (accepts.count(to) > 0) {
+      result[to] = std::move(label);
+    }
+  }
+  return result;
+}
+
+}  // namespace smoqe::automata

@@ -1,0 +1,51 @@
+#ifndef SMOQE_AUTOMATA_REGEX_EXTRACT_H_
+#define SMOQE_AUTOMATA_REGEX_EXTRACT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rxpath/ast.h"
+
+namespace smoqe::automata {
+
+/// \brief A small automaton whose edges are labeled with Regular XPath
+/// fragments, plus Kleene's state-elimination to read regular expressions
+/// back off the graph.
+///
+/// This is the workhorse of security-view derivation: the hidden region
+/// below a visible element type is a label graph; σ(A,B) is the regular
+/// expression of all A→B paths through it. Recursive hidden regions
+/// produce Kleene stars — exactly the case where plain XPath is not closed
+/// and Regular XPath is required (paper §1).
+class PathAutomaton {
+ public:
+  int AddState() {
+    adj_.emplace_back();
+    return static_cast<int>(adj_.size()) - 1;
+  }
+
+  /// Adds an edge; parallel edges union their labels.
+  void AddEdge(int from, int to, std::unique_ptr<rxpath::PathExpr> label);
+
+  int num_states() const { return static_cast<int>(adj_.size()); }
+
+  /// Eliminates every state other than `start` and the `accepts` and
+  /// returns, per accept state, the Regular XPath of all start→accept
+  /// paths (absent key = no path).
+  ///
+  /// Requirements (satisfied by derivation graphs): `start` has no
+  /// incoming edges and accept states have no outgoing edges.
+  Result<std::map<int, std::unique_ptr<rxpath::PathExpr>>> ExtractPaths(
+      int start, const std::set<int>& accepts) const;
+
+ private:
+  // adjacency: adj_[from][to] = merged label
+  std::vector<std::map<int, std::unique_ptr<rxpath::PathExpr>>> adj_;
+};
+
+}  // namespace smoqe::automata
+
+#endif  // SMOQE_AUTOMATA_REGEX_EXTRACT_H_

@@ -1,0 +1,79 @@
+#ifndef SMOQE_COMMON_ARENA_H_
+#define SMOQE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace smoqe {
+
+/// \brief Bump allocator for DOM nodes and interned strings.
+///
+/// Allocations live until the arena is destroyed; nothing is individually
+/// freed. Objects allocated here must be trivially destructible (the arena
+/// never runs destructors) — DOM nodes satisfy this by storing text as
+/// offsets into the arena-owned character data.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `size` bytes aligned to `align`.
+  void* Allocate(size_t size, size_t align = alignof(std::max_align_t)) {
+    size_t pos = (pos_ + align - 1) & ~(align - 1);
+    if (pos + size > cap_) {
+      Grow(size + align);
+      pos = (pos_ + align - 1) & ~(align - 1);
+    }
+    void* p = cur_ + pos;
+    pos_ = pos + size;
+    bytes_used_ += size;
+    return p;
+  }
+
+  /// Allocates and default-constructs a T.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* p = Allocate(sizeof(T), alignof(T));
+    return new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// Copies `data[0..len)` into the arena and returns the stable pointer.
+  const char* CopyString(const char* data, size_t len) {
+    char* p = static_cast<char*>(Allocate(len + 1, 1));
+    for (size_t i = 0; i < len; ++i) p[i] = data[i];
+    p[len] = '\0';
+    return p;
+  }
+
+  /// Total bytes handed out (excludes block slack).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total bytes reserved from the system.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  void Grow(size_t min_size) {
+    size_t block = next_block_;
+    if (block < min_size) block = min_size;
+    next_block_ = block * 2;
+    blocks_.push_back(std::make_unique<char[]>(block));
+    cur_ = blocks_.back().get();
+    cap_ = block;
+    pos_ = 0;
+    bytes_reserved_ += block;
+  }
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* cur_ = nullptr;
+  size_t pos_ = 0;
+  size_t cap_ = 0;
+  size_t next_block_ = 1 << 12;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace smoqe
+
+#endif  // SMOQE_COMMON_ARENA_H_

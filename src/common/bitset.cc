@@ -1,0 +1,69 @@
+#include "src/common/bitset.h"
+
+#include <cassert>
+
+namespace smoqe {
+
+void DynamicBitset::Set(size_t i) {
+  assert(i < num_bits_);
+  words_[i / 64] |= (uint64_t{1} << (i % 64));
+}
+
+void DynamicBitset::Reset(size_t i) {
+  assert(i < num_bits_);
+  words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+}
+
+bool DynamicBitset::Test(size_t i) const {
+  assert(i < num_bits_);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void DynamicBitset::Clear() {
+  for (auto& w : words_) w = 0;
+}
+
+bool DynamicBitset::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+size_t DynamicBitset::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+void DynamicBitset::UnionWith(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void DynamicBitset::IntersectWith(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::operator==(const DynamicBitset& other) const {
+  return num_bits_ == other.num_bits_ && words_ == other.words_;
+}
+
+}  // namespace smoqe

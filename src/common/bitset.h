@@ -1,0 +1,74 @@
+#ifndef SMOQE_COMMON_BITSET_H_
+#define SMOQE_COMMON_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smoqe {
+
+/// \brief Fixed-width-at-construction bit vector used for TAX type sets and
+/// NFA state sets.
+///
+/// All set-algebra operations require operands of equal width; this is
+/// asserted in debug builds. The word layout is little-endian within the
+/// `uint64_t` vector so the on-disk TAX format is deterministic.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+  size_t num_words() const { return words_.size(); }
+
+  void Set(size_t i);
+  void Reset(size_t i);
+  bool Test(size_t i) const;
+
+  /// Sets all bits to zero.
+  void Clear();
+
+  /// True iff no bit is set.
+  bool None() const;
+  /// True iff at least one bit is set.
+  bool Any() const { return !None(); }
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// this |= other (widths must match).
+  void UnionWith(const DynamicBitset& other);
+  /// this &= other (widths must match).
+  void IntersectWith(const DynamicBitset& other);
+  /// True iff this ∩ other ≠ ∅ (widths must match).
+  bool Intersects(const DynamicBitset& other) const;
+  /// True iff this ⊆ other (widths must match).
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  bool operator==(const DynamicBitset& other) const;
+
+  /// Raw word access for serialization.
+  const std::vector<uint64_t>& words() const { return words_; }
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+  /// Calls `fn(i)` for every set bit i in ascending order.
+  template <typename Fn>
+  void ForEachSetBit(Fn fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace smoqe
+
+#endif  // SMOQE_COMMON_BITSET_H_

@@ -1,0 +1,23 @@
+#include "src/common/counters.h"
+
+namespace smoqe {
+
+std::string EvalStats::ToString() const {
+  std::string s;
+  s += "visited=" + std::to_string(nodes_visited);
+  s += " pruned_subtrees=" + std::to_string(subtrees_pruned);
+  s += " pruned_nodes=" + std::to_string(nodes_pruned);
+  s += " cans=" + std::to_string(cans_entries);
+  s += " answers=" + std::to_string(answers);
+  s += " pred_instances=" + std::to_string(pred_instances);
+  s += " obligations=" + std::to_string(obligations);
+  s += " max_active_pairs=" + std::to_string(max_active_pairs);
+  s += " tree_passes=" + std::to_string(tree_passes);
+  s += " aux_passes=" + std::to_string(aux_passes);
+  if (buffered_bytes > 0) {
+    s += " buffered_bytes=" + std::to_string(buffered_bytes);
+  }
+  return s;
+}
+
+}  // namespace smoqe

@@ -1,0 +1,35 @@
+#ifndef SMOQE_COMMON_COUNTERS_H_
+#define SMOQE_COMMON_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace smoqe {
+
+/// \brief Instrumentation counters filled in by the evaluator and indexer.
+///
+/// These back the paper's iSMOQE displays (nodes visited / pruned / put in
+/// Cans) and the benchmark tables; collecting them is cheap (plain
+/// increments, no atomics — engines are single-threaded per query).
+struct EvalStats {
+  uint64_t nodes_visited = 0;      ///< element nodes entered by the traversal
+  uint64_t subtrees_pruned = 0;    ///< subtrees skipped by the TAX prune test
+  uint64_t nodes_pruned = 0;       ///< nodes inside pruned subtrees (if known)
+  uint64_t cans_entries = 0;       ///< candidate answers staged in Cans
+  uint64_t answers = 0;            ///< final answer count
+  uint64_t pred_instances = 0;     ///< predicate instances created
+  uint64_t obligations = 0;        ///< path-obligation runner pairs created
+  uint64_t max_active_pairs = 0;   ///< peak (state, guard) pairs on one node
+  uint64_t tree_passes = 0;        ///< full document traversals performed
+  uint64_t aux_passes = 0;         ///< passes over auxiliary structures (Cans)
+  uint64_t buffered_bytes = 0;     ///< StAX mode: bytes buffered for answers
+
+  void Reset() { *this = EvalStats(); }
+
+  /// One-line rendering for examples and debugging.
+  std::string ToString() const;
+};
+
+}  // namespace smoqe
+
+#endif  // SMOQE_COMMON_COUNTERS_H_

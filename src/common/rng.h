@@ -1,0 +1,43 @@
+#ifndef SMOQE_COMMON_RNG_H_
+#define SMOQE_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace smoqe {
+
+/// \brief Deterministic xorshift64* generator.
+///
+/// Used by the document generator and property tests so every run is
+/// reproducible from a seed; we deliberately avoid std::mt19937 to keep
+/// streams identical across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace smoqe
+
+#endif  // SMOQE_COMMON_RNG_H_

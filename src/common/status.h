@@ -1,0 +1,144 @@
+#ifndef SMOQE_COMMON_STATUS_H_
+#define SMOQE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace smoqe {
+
+/// Error category for a failed operation. Mirrors the coarse-grained codes
+/// used by RocksDB/Arrow style status objects; the message carries detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed (bad query string…)
+  kParseError,        ///< input document/DTD/policy text failed to parse
+  kNotFound,          ///< named entity (view, document, type) is unknown
+  kAlreadyExists,     ///< catalog name collision
+  kFailedPrecondition,///< operation not valid in current engine state
+  kResourceExhausted, ///< explicit size/recursion caps exceeded
+  kIOError,           ///< filesystem problem while persisting/loading an index
+  kInternal,          ///< invariant violation inside the engine (a bug)
+};
+
+/// \brief Result of an operation that can fail; the library never throws.
+///
+/// A `Status` is cheap to copy when OK (single word); error states allocate
+/// one string. Functions that produce a value use `Result<T>` below.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected '<' at line 3".
+  std::string ToString() const;
+
+  /// Prefixes the error message with `context` (no-op on OK statuses);
+  /// used to add caller-side context while propagating.
+  Status WithContext(std::string_view context) const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Value-or-error holder, analogous to `arrow::Result<T>`.
+///
+/// Use `ok()` / `status()` to test, `value()` (asserting) or `operator*`
+/// to access. Move-only usage patterns are supported via `MoveValue()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the value out; the Result must be OK.
+  T MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const { return value(); }
+  T& operator*() { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds
+};
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define SMOQE_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::smoqe::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates an expression returning Result<T>; on error returns its status,
+/// otherwise assigns the moved value to `lhs` (which must be declarable).
+#define SMOQE_ASSIGN_OR_RETURN(lhs, expr)      \
+  SMOQE_ASSIGN_OR_RETURN_IMPL(                 \
+      SMOQE_CONCAT(_smoqe_result_, __LINE__), lhs, expr)
+
+#define SMOQE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = tmp.MoveValue();
+
+#define SMOQE_CONCAT_IMPL(a, b) a##b
+#define SMOQE_CONCAT(a, b) SMOQE_CONCAT_IMPL(a, b)
+
+}  // namespace smoqe
+
+#endif  // SMOQE_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef SMOQE_COMMON_STRINGS_H_
+#define SMOQE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smoqe {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Escapes the five XML special characters (& < > " ') for text/attr output.
+std::string XmlEscape(std::string_view s);
+
+/// True for ASCII name-start / name characters of our XML-name subset
+/// (letters, digits, '_', '-', '.', ':'; names start with a letter or '_').
+bool IsNameStartChar(char c);
+bool IsNameChar(char c);
+bool IsValidXmlName(std::string_view s);
+
+}  // namespace smoqe
+
+#endif  // SMOQE_COMMON_STRINGS_H_

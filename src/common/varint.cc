@@ -1,0 +1,43 @@
+#include "src/common/varint.h"
+
+namespace smoqe {
+
+void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Result<uint64_t> GetVarint64(std::string_view* in) {
+  uint64_t result = 0;
+  int shift = 0;
+  for (size_t i = 0; i < in->size() && i < 10; ++i) {
+    uint8_t byte = static_cast<uint8_t>((*in)[i]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      in->remove_prefix(i + 1);
+      return result;
+    }
+    shift += 7;
+  }
+  return Status::ParseError("truncated or overlong varint");
+}
+
+void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutVarint64(out, s.size());
+  out->append(s);
+}
+
+Result<std::string> GetLengthPrefixed(std::string_view* in) {
+  SMOQE_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(in));
+  if (len > in->size()) {
+    return Status::ParseError("truncated length-prefixed string");
+  }
+  std::string s(in->substr(0, len));
+  in->remove_prefix(len);
+  return s;
+}
+
+}  // namespace smoqe

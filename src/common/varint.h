@@ -1,0 +1,27 @@
+#ifndef SMOQE_COMMON_VARINT_H_
+#define SMOQE_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace smoqe {
+
+/// Appends `v` to `out` in LEB128 (7 bits per byte, high bit = continue).
+void PutVarint64(std::string* out, uint64_t v);
+
+/// Reads a varint from the front of `*in`, advancing it past the bytes read.
+/// Fails on truncated input or encodings longer than 10 bytes.
+Result<uint64_t> GetVarint64(std::string_view* in);
+
+/// Appends a length-prefixed string.
+void PutLengthPrefixed(std::string* out, std::string_view s);
+
+/// Reads a length-prefixed string, advancing `*in`.
+Result<std::string> GetLengthPrefixed(std::string_view* in);
+
+}  // namespace smoqe
+
+#endif  // SMOQE_COMMON_VARINT_H_

@@ -1,0 +1,64 @@
+#include "src/core/catalog.h"
+
+namespace smoqe::core {
+
+Status Catalog::AddDocument(const std::string& name,
+                            std::unique_ptr<DocumentEntry> doc) {
+  auto [it, inserted] = documents_.emplace(name, std::move(doc));
+  if (!inserted) {
+    return Status::AlreadyExists("document '" + name + "' already loaded");
+  }
+  return Status::OK();
+}
+
+Status Catalog::AddDtd(const std::string& name,
+                       std::unique_ptr<xml::Dtd> dtd) {
+  auto [it, inserted] = dtds_.emplace(name, std::move(dtd));
+  if (!inserted) {
+    return Status::AlreadyExists("DTD '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+Status Catalog::AddView(const std::string& name,
+                        std::unique_ptr<ViewEntry> view) {
+  auto [it, inserted] = views_.emplace(name, std::move(view));
+  if (!inserted) {
+    return Status::AlreadyExists("view '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+DocumentEntry* Catalog::FindDocument(const std::string& name) {
+  auto it = documents_.find(name);
+  return it == documents_.end() ? nullptr : it->second.get();
+}
+
+const DocumentEntry* Catalog::FindDocument(const std::string& name) const {
+  auto it = documents_.find(name);
+  return it == documents_.end() ? nullptr : it->second.get();
+}
+
+const xml::Dtd* Catalog::FindDtd(const std::string& name) const {
+  auto it = dtds_.find(name);
+  return it == dtds_.end() ? nullptr : it->second.get();
+}
+
+const ViewEntry* Catalog::FindView(const std::string& name) const {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::DocumentNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, doc] : documents_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, view] : views_) out.push_back(name);
+  return out;
+}
+
+}  // namespace smoqe::core

@@ -1,0 +1,58 @@
+#ifndef SMOQE_CORE_CATALOG_H_
+#define SMOQE_CORE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/index/tax.h"
+#include "src/view/annotation.h"
+#include "src/view/view_def.h"
+#include "src/xml/dom.h"
+#include "src/xml/dtd.h"
+
+namespace smoqe::core {
+
+/// A loaded document: the raw text (for StAX mode), the DOM, and an
+/// optional TAX index.
+struct DocumentEntry {
+  std::string text;
+  xml::Document dom;
+  std::optional<index::TaxIndex> tax;
+};
+
+/// A registered view: derived definition plus the policy it came from.
+struct ViewEntry {
+  std::string dtd_name;
+  std::unique_ptr<view::Policy> policy;
+  view::ViewDefinition definition;
+};
+
+/// \brief Name → object registry backing the engine facade. Objects are
+/// heap-allocated so references handed out stay stable across inserts.
+class Catalog {
+ public:
+  Status AddDocument(const std::string& name,
+                     std::unique_ptr<DocumentEntry> doc);
+  Status AddDtd(const std::string& name, std::unique_ptr<xml::Dtd> dtd);
+  Status AddView(const std::string& name, std::unique_ptr<ViewEntry> view);
+
+  DocumentEntry* FindDocument(const std::string& name);
+  const DocumentEntry* FindDocument(const std::string& name) const;
+  const xml::Dtd* FindDtd(const std::string& name) const;
+  const ViewEntry* FindView(const std::string& name) const;
+
+  std::vector<std::string> DocumentNames() const;
+  std::vector<std::string> ViewNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<DocumentEntry>> documents_;
+  std::map<std::string, std::unique_ptr<xml::Dtd>> dtds_;
+  std::map<std::string, std::unique_ptr<ViewEntry>> views_;
+};
+
+}  // namespace smoqe::core
+
+#endif  // SMOQE_CORE_CATALOG_H_

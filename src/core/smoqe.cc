@@ -1,0 +1,233 @@
+#include "src/core/smoqe.h"
+
+#include "src/automata/mfa.h"
+#include "src/eval/hype_dom.h"
+#include "src/eval/hype_stax.h"
+#include "src/index/tax_io.h"
+#include "src/rewrite/rewriter.h"
+#include "src/rxpath/parser.h"
+#include "src/rxpath/type_check.h"
+#include "src/view/derive.h"
+#include "src/view/spec_parser.h"
+#include "src/xml/dtd_parser.h"
+#include "src/xml/generator.h"
+#include "src/xml/parser.h"
+#include "src/xml/serializer.h"
+
+namespace smoqe::core {
+
+Smoqe::Smoqe() : names_(xml::NameTable::Create()) {}
+
+Status Smoqe::RegisterDtd(const std::string& name, std::string_view dtd_text,
+                          std::string_view root) {
+  SMOQE_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::ParseDtd(dtd_text, root));
+  return catalog_.AddDtd(name, std::make_unique<xml::Dtd>(std::move(dtd)));
+}
+
+Status Smoqe::LoadDocument(const std::string& name,
+                           std::string_view xml_text) {
+  xml::ParseOptions opts;
+  opts.names = names_;
+  SMOQE_ASSIGN_OR_RETURN(xml::ParsedDocument parsed,
+                         xml::ParseXml(xml_text, opts));
+  if (!parsed.doctype_internal_subset.empty() &&
+      catalog_.FindDtd(name) == nullptr) {
+    auto dtd = xml::ParseDtd(parsed.doctype_internal_subset,
+                             parsed.doctype_name);
+    if (dtd.ok()) {
+      SMOQE_RETURN_IF_ERROR(
+          catalog_.AddDtd(name, std::make_unique<xml::Dtd>(dtd.MoveValue())));
+    }
+  }
+  auto entry = std::make_unique<DocumentEntry>(DocumentEntry{
+      std::string(xml_text), std::move(parsed.document), std::nullopt});
+  return catalog_.AddDocument(name, std::move(entry));
+}
+
+Status Smoqe::GenerateDocument(const std::string& name,
+                               const std::string& dtd_name, uint64_t seed,
+                               size_t target_nodes) {
+  const xml::Dtd* dtd = catalog_.FindDtd(dtd_name);
+  if (dtd == nullptr) {
+    return Status::NotFound("DTD '" + dtd_name + "' is not registered");
+  }
+  xml::GeneratorOptions opts;
+  opts.seed = seed;
+  opts.target_nodes = target_nodes;
+  opts.names = names_;
+  SMOQE_ASSIGN_OR_RETURN(xml::Document doc,
+                         xml::GenerateDocument(*dtd, opts));
+  std::string text = xml::SerializeDocument(doc);
+  auto entry = std::make_unique<DocumentEntry>(
+      DocumentEntry{std::move(text), std::move(doc), std::nullopt});
+  return catalog_.AddDocument(name, std::move(entry));
+}
+
+Status Smoqe::DefineView(const std::string& view_name,
+                         const std::string& dtd_name,
+                         std::string_view policy_text) {
+  const xml::Dtd* dtd = catalog_.FindDtd(dtd_name);
+  if (dtd == nullptr) {
+    return Status::NotFound("DTD '" + dtd_name + "' is not registered");
+  }
+  SMOQE_ASSIGN_OR_RETURN(view::Policy policy,
+                         view::Policy::Parse(*dtd, policy_text));
+  auto policy_ptr = std::make_unique<view::Policy>(std::move(policy));
+  SMOQE_ASSIGN_OR_RETURN(view::ViewDefinition def,
+                         view::DeriveView(*policy_ptr));
+  auto entry = std::make_unique<ViewEntry>();
+  entry->dtd_name = dtd_name;
+  entry->policy = std::move(policy_ptr);
+  entry->definition = std::move(def);
+  return catalog_.AddView(view_name, std::move(entry));
+}
+
+Status Smoqe::DefineViewFromSpec(const std::string& view_name,
+                                 std::string_view spec_text,
+                                 const std::string& document_dtd_name) {
+  SMOQE_ASSIGN_OR_RETURN(view::ViewDefinition def,
+                         view::ParseViewSpecification(spec_text));
+  if (!document_dtd_name.empty()) {
+    const xml::Dtd* dtd = catalog_.FindDtd(document_dtd_name);
+    if (dtd == nullptr) {
+      return Status::NotFound("DTD '" + document_dtd_name +
+                              "' is not registered");
+    }
+    SMOQE_RETURN_IF_ERROR(view::CheckSpecificationAgainstDtd(def, *dtd));
+  }
+  auto entry = std::make_unique<ViewEntry>();
+  entry->dtd_name = document_dtd_name;
+  entry->definition = std::move(def);
+  return catalog_.AddView(view_name, std::move(entry));
+}
+
+Result<std::string> Smoqe::ViewSchema(const std::string& view_name) const {
+  const ViewEntry* view = catalog_.FindView(view_name);
+  if (view == nullptr) {
+    return Status::NotFound("view '" + view_name + "' is not registered");
+  }
+  return view->definition.view_dtd().ToString();
+}
+
+Result<std::string> Smoqe::ViewSpecification(
+    const std::string& view_name) const {
+  const ViewEntry* view = catalog_.FindView(view_name);
+  if (view == nullptr) {
+    return Status::NotFound("view '" + view_name + "' is not registered");
+  }
+  return view->definition.ToString();
+}
+
+Status Smoqe::BuildIndex(const std::string& doc_name) {
+  DocumentEntry* doc = catalog_.FindDocument(doc_name);
+  if (doc == nullptr) {
+    return Status::NotFound("document '" + doc_name + "' is not loaded");
+  }
+  doc->tax = index::TaxIndex::Build(doc->dom);
+  return Status::OK();
+}
+
+Status Smoqe::SaveIndex(const std::string& doc_name,
+                        const std::string& path) const {
+  const DocumentEntry* doc = catalog_.FindDocument(doc_name);
+  if (doc == nullptr) {
+    return Status::NotFound("document '" + doc_name + "' is not loaded");
+  }
+  if (!doc->tax.has_value()) {
+    return Status::FailedPrecondition("document '" + doc_name +
+                                      "' has no TAX index; call BuildIndex");
+  }
+  return index::TaxIo::Save(*doc->tax, path);
+}
+
+Status Smoqe::LoadIndex(const std::string& doc_name, const std::string& path) {
+  DocumentEntry* doc = catalog_.FindDocument(doc_name);
+  if (doc == nullptr) {
+    return Status::NotFound("document '" + doc_name + "' is not loaded");
+  }
+  SMOQE_ASSIGN_OR_RETURN(index::TaxIndex idx, index::TaxIo::Load(path));
+  doc->tax = std::move(idx);
+  return Status::OK();
+}
+
+Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
+                                 std::string_view query_text,
+                                 const QueryOptions& options) {
+  DocumentEntry* doc = catalog_.FindDocument(doc_name);
+  if (doc == nullptr) {
+    return Status::NotFound("document '" + doc_name + "' is not loaded");
+  }
+  SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<rxpath::PathExpr> query,
+                         rxpath::ParseQuery(query_text));
+
+  // Compile: direct queries compile as-is; view queries are rewritten to
+  // an equivalent MFA over the underlying document (never materializing).
+  automata::Mfa mfa;
+  std::vector<std::string> unknown_labels;
+  if (options.view.empty()) {
+    SMOQE_ASSIGN_OR_RETURN(mfa, automata::Mfa::Compile(*query, names_));
+  } else {
+    const ViewEntry* view = catalog_.FindView(options.view);
+    if (view == nullptr) {
+      return Status::NotFound("view '" + options.view +
+                              "' is not registered");
+    }
+    // Query assistance: flag labels that are not part of the schema the
+    // user group sees (they can never match — typo or access attempt).
+    rxpath::TypeCheckResult tc = rxpath::TypeCheck(
+        *query, view->definition.view_dtd(), {}, /*from_document_node=*/true);
+    unknown_labels.assign(tc.unknown_labels.begin(),
+                          tc.unknown_labels.end());
+    SMOQE_ASSIGN_OR_RETURN(
+        mfa, rewrite::RewriteToMfa(*query, view->definition, names_));
+  }
+
+  QueryAnswer out;
+  out.unknown_labels = std::move(unknown_labels);
+  if (options.explain) out.mfa_dump = mfa.ToString();
+
+  if (options.mode == EvalMode::kStax) {
+    if (options.use_tax) {
+      return Status::InvalidArgument(
+          "TAX requires DOM mode (the index addresses materialized nodes)");
+    }
+    eval::StaxEvalOptions stax_opts;
+    stax_opts.engine.trace = options.explain;
+    SMOQE_ASSIGN_OR_RETURN(eval::StaxEvalResult r,
+                           eval::EvalHypeStax(mfa, doc->text, stax_opts));
+    for (auto& a : r.answers) out.answers_xml.push_back(std::move(a.xml));
+    out.stats = r.stats;
+    return out;
+  }
+
+  eval::DomEvalOptions dom_opts;
+  dom_opts.engine.trace = options.explain;
+  if (options.use_tax) {
+    if (!doc->tax.has_value()) {
+      return Status::FailedPrecondition("document '" + doc_name +
+                                        "' has no TAX index; call BuildIndex");
+    }
+    dom_opts.tax = &*doc->tax;
+  }
+  SMOQE_ASSIGN_OR_RETURN(eval::DomEvalResult r,
+                         eval::EvalHypeDom(mfa, doc->dom, dom_opts));
+  for (const xml::Node* n : r.answers) {
+    out.answers_xml.push_back(xml::SerializeNode(n, *names_));
+    out.answer_ids.push_back(n->node_id);
+  }
+  out.stats = r.stats;
+  if (options.explain && r.trace != nullptr) {
+    out.trace_tree = r.trace->RenderTree(doc->dom, r.nodes_by_engine_id);
+  }
+  return out;
+}
+
+std::vector<std::string> Smoqe::DocumentNames() const {
+  return catalog_.DocumentNames();
+}
+
+std::vector<std::string> Smoqe::ViewNames() const {
+  return catalog_.ViewNames();
+}
+
+}  // namespace smoqe::core

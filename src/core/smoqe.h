@@ -1,0 +1,130 @@
+#ifndef SMOQE_CORE_SMOQE_H_
+#define SMOQE_CORE_SMOQE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/counters.h"
+#include "src/common/status.h"
+#include "src/core/catalog.h"
+#include "src/xml/name_table.h"
+
+namespace smoqe::core {
+
+/// Evaluation mode (paper §2, "XML documents"): DOM loads the tree into
+/// memory; StAX streams the raw text in one forward scan.
+enum class EvalMode { kDom, kStax };
+
+/// Per-query options.
+struct QueryOptions {
+  /// View (= user group) the query is posed against; empty string means
+  /// the caller is trusted to query the document directly.
+  std::string view;
+  EvalMode mode = EvalMode::kDom;
+  /// Consult the document's TAX index (DOM mode; must be built).
+  bool use_tax = false;
+  /// Record engine internals (answers include an explain rendering).
+  bool explain = false;
+};
+
+/// Result of one query.
+struct QueryAnswer {
+  /// Serialized XML of each answer subtree, document order.
+  std::vector<std::string> answers_xml;
+  /// DOM node ids of the answers (DOM mode only).
+  std::vector<int32_t> answer_ids;
+  EvalStats stats;
+  /// Static-analysis notes: labels the query mentions that do not exist
+  /// in the schema it was posed against (view DTD for view queries) —
+  /// such steps can never match. iSMOQE-style query assistance.
+  std::vector<std::string> unknown_labels;
+  /// MFA dump of the (rewritten) query, when explain was requested.
+  std::string mfa_dump;
+  /// iSMOQE-style annotated document tree (DOM + explain only).
+  std::string trace_tree;
+};
+
+/// \brief SMOQE — the Secure MOdular Query Engine facade (paper Fig. 1).
+///
+/// Wires the four modules together: the *rewriter* (view queries →
+/// document MFAs), the *evaluator* (HyPE over DOM or StAX), the *indexer*
+/// (TAX build/save/load) and the catalog that iSMOQE would sit on top of.
+///
+/// Typical use:
+///
+///     core::Smoqe engine;
+///     engine.RegisterDtd("hospital", kHospitalDtd, "hospital");
+///     engine.LoadDocument("ward", xml_text);
+///     engine.DefineView("nurses", "hospital", policy_text);
+///     core::QueryOptions opts;
+///     opts.view = "nurses";
+///     auto result = engine.Query("ward", "//patient/treatment", opts);
+///
+/// All documents, automata and indexes share one name table, so label
+/// comparisons are integer compares end-to-end.
+class Smoqe {
+ public:
+  Smoqe();
+
+  /// Registers a DTD under `name`. `root` may be empty when inferable.
+  Status RegisterDtd(const std::string& name, std::string_view dtd_text,
+                     std::string_view root = "");
+
+  /// Parses and loads a document (keeps the raw text for StAX mode). If a
+  /// DOCTYPE with an internal subset is present, it is registered as a DTD
+  /// under the document's name unless one already exists.
+  Status LoadDocument(const std::string& name, std::string_view xml_text);
+
+  /// Generates and loads a synthetic document conforming to a registered
+  /// DTD (workload helper; see xml::GeneratorOptions for knobs).
+  Status GenerateDocument(const std::string& name, const std::string& dtd_name,
+                          uint64_t seed, size_t target_nodes);
+
+  /// Derives and registers the security view for a user group from an
+  /// access-control policy in the text format of view::Policy::Parse.
+  Status DefineView(const std::string& view_name, const std::string& dtd_name,
+                    std::string_view policy_text);
+
+  /// Registers a hand-written view (the paper's other definition mode):
+  /// a view DTD plus σ per edge, in the format of
+  /// view::ParseViewSpecification. When `document_dtd_name` is non-empty
+  /// the σ paths are statically type-checked against that DTD (each
+  /// σ(A,B) must only produce B nodes).
+  Status DefineViewFromSpec(const std::string& view_name,
+                            std::string_view spec_text,
+                            const std::string& document_dtd_name = "");
+
+  /// The schema exposed to a view's user group, as DTD text.
+  Result<std::string> ViewSchema(const std::string& view_name) const;
+
+  /// The full view specification (view DTD + σ), for inspection.
+  Result<std::string> ViewSpecification(const std::string& view_name) const;
+
+  /// Builds the TAX index for a loaded document.
+  Status BuildIndex(const std::string& doc_name);
+  /// Persists / restores a TAX index (compressed, see index::TaxIo).
+  Status SaveIndex(const std::string& doc_name, const std::string& path) const;
+  Status LoadIndex(const std::string& doc_name, const std::string& path);
+
+  /// Evaluates a Regular XPath query against a loaded document, directly
+  /// or through a view (rewriting — the view is never materialized).
+  Result<QueryAnswer> Query(const std::string& doc_name,
+                            std::string_view query_text,
+                            const QueryOptions& options = {});
+
+  /// Loaded document / registered view names (for tooling).
+  std::vector<std::string> DocumentNames() const;
+  std::vector<std::string> ViewNames() const;
+
+  const std::shared_ptr<xml::NameTable>& names() const { return names_; }
+
+ private:
+  std::shared_ptr<xml::NameTable> names_;
+  Catalog catalog_;
+};
+
+}  // namespace smoqe::core
+
+#endif  // SMOQE_CORE_SMOQE_H_

@@ -1,0 +1,388 @@
+#include "src/eval/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smoqe::eval {
+
+using automata::AcceptTest;
+using automata::FlatNfa;
+using automata::Obligation;
+using automata::Pred;
+using automata::PredId;
+using automata::PredSet;
+
+namespace {
+
+class NoAttrs : public AttrProvider {
+ public:
+  const char* Find(xml::NameId) const override { return nullptr; }
+};
+
+bool IsSubset(const GuardSet& a, const GuardSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+GuardSet MergeGuard(const GuardSet& a, InstId extra) {
+  GuardSet out;
+  out.reserve(a.size() + 1);
+  auto it = std::lower_bound(a.begin(), a.end(), extra);
+  out.insert(out.end(), a.begin(), it);
+  if (it == a.end() || *it != extra) out.push_back(extra);
+  out.insert(out.end(), it, a.end());
+  return out;
+}
+
+}  // namespace
+
+const AttrProvider& AttrProvider::None() {
+  static const NoAttrs none;
+  return none;
+}
+
+// The attribute provider of the node currently being entered. Only valid
+// during Enter (and the constructor's virtual-document setup); accept tests
+// are the only consumers.
+static thread_local const AttrProvider* g_cur_attrs = nullptr;
+
+HypeEngine::HypeEngine(const automata::Mfa& mfa, EngineOptions options)
+    : mfa_(mfa), options_(options) {
+  if (options_.trace) trace_ = std::make_unique<TraceLog>();
+  // Virtual document node (the query context above the root).
+  PushFrame(-1);
+  g_cur_attrs = &AttrProvider::None();
+  for (const auto& [state, guard_preds] : mfa_.selection().initial) {
+    Run r;
+    r.is_selection = true;
+    r.state = state;
+    r.guard = InstantiateSet(guard_preds);
+    AddRun(std::move(r));
+  }
+  Frame& base = CurFrame();
+  for (size_t i = 0; i < base.runs.size(); ++i) {
+    Run r = base.runs[i];  // copy: the vector may grow/reallocate
+    EagerInstantiate(r);
+    HandleAccepts(r);
+  }
+  g_cur_attrs = nullptr;
+}
+
+HypeEngine::~HypeEngine() = default;
+
+HypeEngine::Frame& HypeEngine::PushFrame(int32_t id) {
+  if (depth_ == stack_.size()) stack_.emplace_back();
+  Frame& f = stack_[depth_++];
+  f.Reset(id);
+  return f;
+}
+
+const FlatNfa& HypeEngine::NfaOf(const Run& r) const {
+  return r.is_selection ? mfa_.selection() : mfa_.obligation(r.ob).nfa;
+}
+
+bool HypeEngine::AddRun(Run run) {
+  Frame& cur = CurFrame();
+  for (const Run& e : cur.runs) {
+    if (e.is_selection != run.is_selection || e.ob != run.ob ||
+        e.owner != run.owner || e.leaf != run.leaf || e.state != run.state) {
+      continue;
+    }
+    if (options_.guard_dominance ? IsSubset(e.guard, run.guard)
+                                 : e.guard == run.guard) {
+      return false;  // dominated (or duplicated) by an existing run
+    }
+  }
+  cur.runs.push_back(std::move(run));
+  return true;
+}
+
+GuardSet HypeEngine::InstantiateSet(const PredSet& preds) {
+  GuardSet g;
+  for (PredId p : preds) g = MergeGuard(g, Instantiate(p));
+  return g;
+}
+
+InstId HypeEngine::Instantiate(PredId pred) {
+  Frame& cur = CurFrame();
+  InstId existing = cur.FindInst(pred);
+  if (existing >= 0) return existing;
+
+  InstId id = static_cast<InstId>(instances_.size());
+  const Pred& p = mfa_.pred(pred);
+  PredInstance inst;
+  inst.pred = pred;
+  inst.anchor = cur.id;
+  inst.leaf_witnesses.resize(p.leaf_obligations.size());
+  instances_.push_back(std::move(inst));
+  cur.inst_map.emplace_back(pred, id);
+  cur.anchored.push_back(id);
+  ++stats_.pred_instances;
+  if (trace_) {
+    trace_->Add({TraceEvent::Kind::kInstanceCreate, cur.id, pred, false});
+  }
+
+  // Launch the predicate's obligation runs, anchored here.
+  for (size_t leaf = 0; leaf < p.leaf_obligations.size(); ++leaf) {
+    automata::ObligationId ob_id = p.leaf_obligations[leaf];
+    const Obligation& ob = mfa_.obligation(ob_id);
+    for (const auto& [state, guard_preds] : ob.nfa.initial) {
+      if (!ob.nfa.states[state].live) continue;
+      Run r;
+      r.is_selection = false;
+      r.ob = ob_id;
+      r.owner = id;
+      r.leaf = static_cast<int>(leaf);
+      r.state = state;
+      r.guard = InstantiateSet(guard_preds);
+      ++stats_.obligations;
+      AddRun(std::move(r));
+    }
+    // ε acceptance: the path can match the anchor itself.
+    for (const PredSet& accept : ob.nfa.initial_accept_guards) {
+      // Re-fetch cur: instances_/stack_ unchanged but keep it tidy.
+      GuardSet g = InstantiateSet(accept);
+      switch (ob.test.kind) {
+        case AcceptTest::Kind::kExists:
+          Witness(id, static_cast<int>(leaf), std::move(g));
+          break;
+        case AcceptTest::Kind::kAttrExists:
+        case AcceptTest::Kind::kAttrEq: {
+          const char* v = g_cur_attrs->Find(ob.test.attr);
+          if (v != nullptr && (ob.test.kind == AcceptTest::Kind::kAttrExists ||
+                               ob.test.value == v)) {
+            Witness(id, static_cast<int>(leaf), std::move(g));
+          }
+          break;
+        }
+        case AcceptTest::Kind::kTextEq: {
+          Frame& frame = CurFrame();
+          frame.pending_text.push_back(PendingText{
+              id, static_cast<int>(leaf), std::move(g), &ob.test.value});
+          frame.needs_text = true;
+          break;
+        }
+      }
+    }
+  }
+  return id;
+}
+
+void HypeEngine::EagerInstantiate(const Run& run) {
+  const FlatNfa::State& st = NfaOf(run).states[run.state];
+  for (const FlatNfa::Transition& t : st.trans) {
+    for (PredId p : t.src_preds) Instantiate(p);
+  }
+  for (const PredSet& accept : st.accept_guards) {
+    for (PredId p : accept) Instantiate(p);
+  }
+}
+
+void HypeEngine::HandleAccepts(const Run& run) {
+  Frame& cur = CurFrame();
+  const FlatNfa::State& st = NfaOf(run).states[run.state];
+  for (const PredSet& accept : st.accept_guards) {
+    GuardSet g = run.guard;
+    for (PredId p : accept) {
+      InstId inst = cur.FindInst(p);
+      assert(inst >= 0);  // EagerInstantiate created it
+      g = MergeGuard(g, inst);
+    }
+    if (run.is_selection) {
+      if (cur.id >= 0) {
+        cans_.Add(cur.id, std::move(g));
+        ++stats_.cans_entries;
+        if (trace_) {
+          trace_->Add({TraceEvent::Kind::kCandidate, cur.id, -1, false});
+        }
+      }
+    } else {
+      const Obligation& ob = mfa_.obligation(run.ob);
+      switch (ob.test.kind) {
+        case AcceptTest::Kind::kExists:
+          Witness(run.owner, run.leaf, std::move(g));
+          break;
+        case AcceptTest::Kind::kAttrExists:
+        case AcceptTest::Kind::kAttrEq: {
+          const char* v = g_cur_attrs->Find(ob.test.attr);
+          if (v != nullptr && (ob.test.kind == AcceptTest::Kind::kAttrExists ||
+                               ob.test.value == v)) {
+            Witness(run.owner, run.leaf, std::move(g));
+          }
+          break;
+        }
+        case AcceptTest::Kind::kTextEq:
+          cur.pending_text.push_back(
+              PendingText{run.owner, run.leaf, std::move(g), &ob.test.value});
+          cur.needs_text = true;
+          break;
+      }
+    }
+  }
+}
+
+void HypeEngine::Witness(InstId owner, int leaf, GuardSet guard) {
+  std::vector<GuardSet>& alts = instances_[owner].leaf_witnesses[leaf];
+  for (const GuardSet& g : alts) {
+    if (IsSubset(g, guard)) return;
+  }
+  alts.erase(std::remove_if(
+                 alts.begin(), alts.end(),
+                 [&](const GuardSet& g) { return IsSubset(guard, g); }),
+             alts.end());
+  alts.push_back(std::move(guard));
+}
+
+HypeEngine::EnterResult HypeEngine::Enter(xml::NameId label,
+                                          const AttrProvider& attrs,
+                                          const DynamicBitset* subtree_types) {
+  assert(!finished_ && depth_ > 0);
+  ++stats_.nodes_visited;
+  int32_t id = next_id_++;
+  if (trace_) trace_->Add({TraceEvent::Kind::kVisit, id, -1, false});
+
+  Frame& cur = PushFrame(id);
+  Frame& parent = stack_[depth_ - 2];
+  g_cur_attrs = &attrs;
+
+  // Phase 1: advance runs from the parent frame across this label.
+  for (const Run& r : parent.runs) {
+    const FlatNfa::State& st = NfaOf(r).states[r.state];
+    for (const FlatNfa::Transition& t : st.trans) {
+      if (!t.test.Matches(label)) continue;
+      GuardSet g = r.guard;
+      for (PredId p : t.src_preds) {
+        InstId inst = parent.FindInst(p);
+        assert(inst >= 0);
+        g = MergeGuard(g, inst);
+      }
+      // dst predicates anchor at this node.
+      for (PredId p : t.dst_preds) g = MergeGuard(g, Instantiate(p));
+      Run nr;
+      nr.is_selection = r.is_selection;
+      nr.ob = r.ob;
+      nr.owner = r.owner;
+      nr.leaf = r.leaf;
+      nr.state = t.target;
+      nr.guard = std::move(g);
+      AddRun(std::move(nr));
+    }
+  }
+
+  // Phase 2: worklist — eager instantiation + acceptance; instantiation
+  // may append further obligation runs, which are processed in turn.
+  for (size_t i = 0; i < cur.runs.size(); ++i) {
+    Run r = cur.runs[i];  // copy: vector may reallocate
+    EagerInstantiate(r);
+    HandleAccepts(r);
+  }
+  g_cur_attrs = nullptr;
+
+  stats_.max_active_pairs =
+      std::max<uint64_t>(stats_.max_active_pairs, cur.runs.size());
+
+  EnterResult res;
+  res.needs_direct_text = cur.needs_text;
+  if (cur.runs.empty()) {
+    res.can_skip_subtree = options_.dead_run_pruning;
+  } else if (subtree_types != nullptr) {
+    // TAX prune test: a run can still accept inside this subtree only if
+    // every label its accepting continuations must consume occurs below.
+    bool alive = false;
+    for (const Run& r : cur.runs) {
+      const FlatNfa::State& st = NfaOf(r).states[r.state];
+      if (!st.live) continue;
+      bool all_present = true;
+      for (xml::NameId l : st.necessary_labels) {
+        if (static_cast<size_t>(l) >= subtree_types->size() ||
+            !subtree_types->Test(static_cast<size_t>(l))) {
+          all_present = false;
+          break;
+        }
+      }
+      if (all_present) {
+        alive = true;
+        break;
+      }
+    }
+    if (!alive) res.can_skip_subtree = true;
+  }
+  if (res.can_skip_subtree) {
+    ++stats_.subtrees_pruned;
+    if (trace_) trace_->Add({TraceEvent::Kind::kPruneSubtree, id, -1, false});
+  }
+  return res;
+}
+
+void HypeEngine::Text(std::string_view text) {
+  Frame& cur = CurFrame();
+  if (cur.needs_text) cur.direct_text.append(text);
+}
+
+void HypeEngine::ResolveFrame(Frame* frame) {
+  // Reverse creation order: nested instances (created later, same anchor)
+  // resolve before the instances that reference them.
+  for (auto it = frame->anchored.rbegin(); it != frame->anchored.rend();
+       ++it) {
+    PredInstance& inst = instances_[*it];
+    const Pred& p = mfa_.pred(inst.pred);
+    std::vector<bool> leaf_values(p.leaf_obligations.size(), false);
+    for (size_t leaf = 0; leaf < leaf_values.size(); ++leaf) {
+      for (const GuardSet& g : inst.leaf_witnesses[leaf]) {
+        bool all = true;
+        for (InstId dep : g) {
+          assert(instances_[dep].resolved);
+          if (!instances_[dep].value) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          leaf_values[leaf] = true;
+          break;
+        }
+      }
+      inst.leaf_witnesses[leaf].clear();  // release memory early
+    }
+    inst.value = p.Evaluate(leaf_values);
+    inst.resolved = true;
+    if (trace_) {
+      trace_->Add({TraceEvent::Kind::kInstanceResolve, inst.anchor, inst.pred,
+                   inst.value});
+    }
+  }
+}
+
+void HypeEngine::Leave() {
+  assert(depth_ > 1);
+  Frame& cur = CurFrame();
+  // Text checks resolve now that the element's direct text is complete.
+  for (PendingText& pt : cur.pending_text) {
+    if (cur.direct_text == *pt.value) {
+      Witness(pt.owner, pt.leaf, std::move(pt.guard));
+    }
+  }
+  cur.pending_text.clear();
+  ResolveFrame(&cur);
+  PopFrame();
+}
+
+const std::vector<int32_t>& HypeEngine::FinishDocument() {
+  if (finished_) return answers_;
+  assert(depth_ == 1);  // only the virtual document frame remains
+  // The virtual document node has no text; pending checks fail naturally.
+  ResolveFrame(&CurFrame());
+  PopFrame();
+  answers_ = cans_.Select(instances_);
+  stats_.answers = answers_.size();
+  stats_.tree_passes = 1;
+  stats_.aux_passes = 1;
+  if (trace_) {
+    for (int32_t id : answers_) {
+      trace_->Add({TraceEvent::Kind::kAnswer, id, -1, false});
+    }
+  }
+  finished_ = true;
+  return answers_;
+}
+
+}  // namespace smoqe::eval

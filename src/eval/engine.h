@@ -1,0 +1,198 @@
+#ifndef SMOQE_EVAL_ENGINE_H_
+#define SMOQE_EVAL_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/automata/mfa.h"
+#include "src/common/bitset.h"
+#include "src/common/counters.h"
+#include "src/eval/cans.h"
+#include "src/eval/trace.h"
+
+namespace smoqe::eval {
+
+/// Attribute access abstraction so the engine is agnostic to DOM vs StAX
+/// attribute storage (one virtual call per attribute test).
+class AttrProvider {
+ public:
+  virtual ~AttrProvider() = default;
+  /// Value of the attribute or nullptr. `name` is an interned id of the
+  /// engine's shared name table.
+  virtual const char* Find(xml::NameId name) const = 0;
+
+  /// A provider with no attributes.
+  static const AttrProvider& None();
+};
+
+/// Engine options. The two pruning flags exist for the E9 ablation
+/// benchmark — disabling them never changes answers (tested), only work.
+struct EngineOptions {
+  /// Record a TraceLog (costs time/memory; for the explain tooling).
+  bool trace = false;
+  /// Skip subtrees once every automaton run has died.
+  bool dead_run_pruning = true;
+  /// Drop (state, guard) pairs whose guard is a superset of an existing
+  /// pair's (conjunction dominance); when off, only exact duplicates are
+  /// deduplicated.
+  bool guard_dominance = true;
+};
+
+/// \brief HyPE — hybrid pass evaluation (paper §3, Evaluator).
+///
+/// The engine consumes one pre-order traversal of an element tree —
+/// `Enter` / `Text` / `Leave` events from either a DOM walk or a StAX
+/// scan — and maintains, per open element, the set of active
+/// (automaton state, guard) pairs:
+///
+///  * selection runs advance the MFA's selection NFA; reaching an accept
+///    state stages the node in **Cans** under the run's guard;
+///  * predicate instantiation anchors a `PredInstance` at the node and
+///    launches obligation runs that advance the predicate's path NFAs;
+///    their acceptances record (conditional) witnesses;
+///  * when an element closes, the instances anchored at it resolve —
+///    every obligation witness lies in its subtree, so resolution is
+///    definite (this is what makes negation safe in a single pass);
+///  * after the traversal, one pass over Cans picks the nodes with a
+///    fully-true guard alternative (`FinishDocument`).
+///
+/// Pruning: `Enter` reports whether the subtree can be skipped — always
+/// when every run died; under TAX (pass `subtree_types`) also when no
+/// active automaton can consume any element type occurring below the node
+/// (experiment E6). The caller must still deliver direct text when
+/// `needs_direct_text` is set (pending text()=… checks), then call
+/// `Leave`.
+class HypeEngine {
+ public:
+  HypeEngine(const automata::Mfa& mfa, EngineOptions options = {});
+  ~HypeEngine();
+
+  struct EnterResult {
+    bool can_skip_subtree = false;
+    bool needs_direct_text = false;
+  };
+
+  /// Enters the next element (pre-order). `subtree_types` is the TAX
+  /// descendant-type set of this node, or nullptr when no index is in use.
+  EnterResult Enter(xml::NameId label, const AttrProvider& attrs,
+                    const DynamicBitset* subtree_types = nullptr);
+
+  /// Delivers text content directly under the current element.
+  void Text(std::string_view text);
+
+  /// Closes the current element.
+  void Leave();
+
+  /// Ends the traversal and runs the Cans selection pass. Returns the
+  /// engine ids (element pre-order numbers, document order) of answers.
+  const std::vector<int32_t>& FinishDocument();
+
+  /// Answers (valid after FinishDocument).
+  const std::vector<int32_t>& answers() const { return answers_; }
+
+  const EvalStats& stats() const { return stats_; }
+  /// Drivers add counts they alone can know (e.g. nodes inside skipped
+  /// subtrees).
+  EvalStats* mutable_stats() { return &stats_; }
+  const Cans& cans() const { return cans_; }
+  const std::vector<PredInstance>& instances() const { return instances_; }
+  const TraceLog* trace() const { return trace_.get(); }
+
+  /// Engine id that will be assigned to the next entered element.
+  int32_t next_id() const { return next_id_; }
+
+ private:
+  struct Run {
+    bool is_selection;
+    automata::ObligationId ob = -1;  // obligation runs
+    InstId owner = -1;               // instance the obligation reports to
+    int leaf = -1;                   // leaf position in the owner's pred
+    int state = 0;
+    GuardSet guard;
+  };
+
+  struct PendingText {
+    InstId owner;
+    int leaf;
+    GuardSet guard;
+    const std::string* value;  // expected text (owned by the Mfa)
+  };
+
+  struct Frame {
+    int32_t id = -1;
+    std::vector<Run> runs;
+    std::vector<InstId> anchored;
+    std::vector<PendingText> pending_text;
+    std::string direct_text;
+    bool needs_text = false;
+    /// (pred, instance) dedup pairs; linear scan — typically ≤ 4 entries.
+    std::vector<std::pair<automata::PredId, InstId>> inst_map;
+
+    /// Clears for reuse, keeping vector capacities (frames are pooled —
+    /// one allocation-free Enter/Leave per node on the hot path).
+    void Reset(int32_t new_id) {
+      id = new_id;
+      runs.clear();
+      anchored.clear();
+      pending_text.clear();
+      direct_text.clear();
+      needs_text = false;
+      inst_map.clear();
+    }
+
+    InstId FindInst(automata::PredId pred) const {
+      for (const auto& [p, inst] : inst_map) {
+        if (p == pred) return inst;
+      }
+      return -1;
+    }
+  };
+
+  const automata::FlatNfa& NfaOf(const Run& r) const;
+
+  /// Instantiates `pred` at the current frame (dedup), launching its
+  /// obligation runs; returns the instance id.
+  InstId Instantiate(automata::PredId pred);
+
+  GuardSet InstantiateSet(const automata::PredSet& preds);
+
+  /// Pushes a run into the current frame with per-key dominance pruning;
+  /// returns true if it survived as new work.
+  bool AddRun(Run run);
+
+  /// Handles acceptance of `run` at the current frame.
+  void HandleAccepts(const Run& run);
+
+  /// Eagerly instantiates predicates the run may charge at this node
+  /// (transition src_preds and accept guards).
+  void EagerInstantiate(const Run& run);
+
+  void Witness(InstId owner, int leaf, GuardSet guard);
+  void ResolveFrame(Frame* frame);
+
+  /// Pooled frame stack: entries [0, depth_) are active; popped frames
+  /// keep their buffers for reuse.
+  Frame& CurFrame() { return stack_[depth_ - 1]; }
+  Frame& PushFrame(int32_t id);
+  void PopFrame() { --depth_; }
+
+  const automata::Mfa& mfa_;
+  EngineOptions options_;
+  std::vector<Frame> stack_;
+  size_t depth_ = 0;
+  std::vector<PredInstance> instances_;
+  Cans cans_;
+  EvalStats stats_;
+  std::vector<int32_t> answers_;
+  std::unique_ptr<TraceLog> trace_;
+  int32_t next_id_ = 0;
+  bool finished_ = false;
+  size_t work_cursor_ = 0;  // worklist position within current frame's runs
+};
+
+}  // namespace smoqe::eval
+
+#endif  // SMOQE_EVAL_ENGINE_H_

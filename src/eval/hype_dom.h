@@ -1,0 +1,43 @@
+#ifndef SMOQE_EVAL_HYPE_DOM_H_
+#define SMOQE_EVAL_HYPE_DOM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/automata/mfa.h"
+#include "src/common/counters.h"
+#include "src/common/status.h"
+#include "src/eval/engine.h"
+#include "src/index/tax.h"
+#include "src/xml/dom.h"
+
+namespace smoqe::eval {
+
+/// Options for DOM-mode evaluation.
+struct DomEvalOptions {
+  /// TAX index of the document; enables type-aware subtree pruning.
+  const index::TaxIndex* tax = nullptr;
+  EngineOptions engine;
+};
+
+/// Result of a DOM-mode evaluation.
+struct DomEvalResult {
+  std::vector<const xml::Node*> answers;  ///< document order, unique
+  EvalStats stats;
+  /// Engine-id → node mapping (pruned subtrees have no ids); needed to
+  /// render traces.
+  std::vector<const xml::Node*> nodes_by_engine_id;
+  std::unique_ptr<TraceLog> trace;  ///< present iff options.engine.trace
+};
+
+/// \brief DOM-mode HyPE: drives the single-pass engine over an in-memory
+/// document (paper §2, "DOM mode").
+///
+/// The MFA must have been compiled against `doc`'s name table.
+Result<DomEvalResult> EvalHypeDom(const automata::Mfa& mfa,
+                                  const xml::Document& doc,
+                                  const DomEvalOptions& options = {});
+
+}  // namespace smoqe::eval
+
+#endif  // SMOQE_EVAL_HYPE_DOM_H_

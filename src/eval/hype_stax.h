@@ -1,0 +1,51 @@
+#ifndef SMOQE_EVAL_HYPE_STAX_H_
+#define SMOQE_EVAL_HYPE_STAX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/automata/mfa.h"
+#include "src/common/counters.h"
+#include "src/common/status.h"
+#include "src/eval/engine.h"
+
+namespace smoqe::eval {
+
+/// Options for StAX-mode evaluation.
+struct StaxEvalOptions {
+  EngineOptions engine;
+  /// Drop text events that are all whitespace (matches the DOM parser's
+  /// default, so the two modes agree).
+  bool skip_whitespace_text = true;
+};
+
+/// One answer from a streaming evaluation.
+struct StaxAnswer {
+  int32_t engine_id;  ///< element pre-order id in the stream
+  std::string xml;    ///< serialized subtree, captured during the scan
+};
+
+/// Result of a StAX-mode evaluation.
+struct StaxEvalResult {
+  std::vector<StaxAnswer> answers;  ///< document order
+  EvalStats stats;                  ///< buffered_bytes = peak capture bytes
+};
+
+/// \brief StAX-mode HyPE: evaluates the MFA in a single forward scan of
+/// XML text, without building a document tree (paper §2, "StAX mode").
+///
+/// Candidate answers are detected at their start tags (Cans grows only at
+/// element entry), so their subtrees are captured — serialized back out —
+/// during the same scan; candidates whose guards fail are discarded by the
+/// final Cans pass. Peak capture footprint is reported in
+/// `stats.buffered_bytes` (the paper's claim that Cans is much smaller
+/// than the document is experiment E4/E5).
+Result<StaxEvalResult> EvalHypeStax(const automata::Mfa& mfa,
+                                    std::string_view xml,
+                                    const StaxEvalOptions& options = {});
+
+}  // namespace smoqe::eval
+
+#endif  // SMOQE_EVAL_HYPE_STAX_H_

@@ -1,0 +1,108 @@
+#include "src/eval/trace.h"
+
+#include <map>
+
+namespace smoqe::eval {
+
+namespace {
+
+const char* KindName(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::kVisit:
+      return "visit";
+    case TraceEvent::Kind::kPruneSubtree:
+      return "prune-subtree";
+    case TraceEvent::Kind::kCandidate:
+      return "candidate";
+    case TraceEvent::Kind::kAnswer:
+      return "answer";
+    case TraceEvent::Kind::kInstanceCreate:
+      return "pred-instantiate";
+    case TraceEvent::Kind::kInstanceResolve:
+      return "pred-resolve";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TraceLog::RenderEvents() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += KindName(e.kind);
+    out += " node=" + std::to_string(e.node);
+    if (e.aux >= 0) out += " P" + std::to_string(e.aux);
+    if (e.kind == TraceEvent::Kind::kInstanceResolve) {
+      out += e.flag ? " -> true" : " -> false";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TraceLog::RenderTree(
+    const xml::Document& doc,
+    const std::vector<const xml::Node*>& nodes_by_engine_id) const {
+  struct Flags {
+    bool visited = false, pruned = false, candidate = false, answer = false;
+    int32_t engine_id = -1;
+  };
+  std::map<const xml::Node*, Flags> flags;
+  for (const TraceEvent& e : events_) {
+    if (e.node < 0 ||
+        e.node >= static_cast<int32_t>(nodes_by_engine_id.size())) {
+      continue;
+    }
+    Flags& f = flags[nodes_by_engine_id[e.node]];
+    f.engine_id = e.node;
+    switch (e.kind) {
+      case TraceEvent::Kind::kVisit:
+        f.visited = true;
+        break;
+      case TraceEvent::Kind::kPruneSubtree:
+        f.pruned = true;
+        break;
+      case TraceEvent::Kind::kCandidate:
+        f.candidate = true;
+        break;
+      case TraceEvent::Kind::kAnswer:
+        f.answer = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::string out;
+  struct Item {
+    const xml::Node* node;
+    int depth;
+  };
+  std::vector<Item> stack = {{doc.root(), 0}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    auto it = flags.find(node);
+    std::string mark = "....";
+    if (it != flags.end()) {
+      mark[0] = it->second.visited ? 'V' : '.';
+      mark[1] = it->second.pruned ? 'P' : '.';
+      mark[2] = it->second.candidate ? 'C' : '.';
+      mark[3] = it->second.answer ? 'A' : '.';
+    }
+    out += mark + " " + std::string(static_cast<size_t>(depth) * 2, ' ') +
+           doc.names()->NameOf(node->label) + "\n";
+    // Push children in reverse so the leftmost is processed first.
+    std::vector<const xml::Node*> kids;
+    for (const xml::Node* c = node->first_child; c != nullptr;
+         c = c->next_sibling) {
+      if (c->is_element()) kids.push_back(c);
+    }
+    for (auto rit = kids.rbegin(); rit != kids.rend(); ++rit) {
+      stack.push_back({*rit, depth + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace smoqe::eval

@@ -1,0 +1,57 @@
+#ifndef SMOQE_EVAL_TRACE_H_
+#define SMOQE_EVAL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/xml/dom.h"
+
+namespace smoqe::eval {
+
+/// \brief Execution trace of one HyPE run — the engine-internals feed that
+/// iSMOQE's visualizers render (paper §3: node coloring for visited /
+/// pruned / Cans membership, Fig. 5).
+///
+/// Recording is off by default (EngineOptions::trace); when on, the engine
+/// appends one event per interesting step.
+struct TraceEvent {
+  enum class Kind {
+    kVisit,            ///< element entered by the traversal
+    kPruneSubtree,     ///< subtree skipped (dead runs or TAX)
+    kCandidate,        ///< node staged into Cans
+    kAnswer,           ///< node selected by the final Cans pass
+    kInstanceCreate,   ///< predicate instantiated at a node
+    kInstanceResolve,  ///< predicate instance resolved (value in `flag`)
+  };
+  Kind kind;
+  int32_t node = -1;  ///< engine (element pre-order) id
+  int32_t aux = -1;   ///< pred id for instance events
+  bool flag = false;  ///< resolution value
+};
+
+class TraceLog {
+ public:
+  void Add(TraceEvent ev) { events_.push_back(ev); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Renders the trace as an annotated tree of `doc` (one line per
+  /// element): V=visited, P=pruned-under, C=candidate, A=answer — the text
+  /// analogue of iSMOQE's colored tree mode. `nodes_by_engine_id` is the
+  /// evaluator's mapping from engine ids to DOM nodes (engine ids skip
+  /// pruned subtrees, so the mapping cannot be recomputed from the tree).
+  std::string RenderTree(
+      const xml::Document& doc,
+      const std::vector<const xml::Node*>& nodes_by_engine_id) const;
+
+  /// One-line-per-event rendering.
+  std::string RenderEvents() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace smoqe::eval
+
+#endif  // SMOQE_EVAL_TRACE_H_

@@ -1,0 +1,365 @@
+#include "src/eval/two_pass.h"
+
+#include <algorithm>
+
+#include "src/common/bitset.h"
+
+namespace smoqe::eval {
+
+using automata::AcceptTest;
+using automata::FlatNfa;
+using automata::Mfa;
+using automata::Obligation;
+using automata::ObligationId;
+using automata::Pred;
+using automata::PredId;
+using automata::PredSet;
+
+namespace {
+
+/// Computation order of obligations and predicates respecting their
+/// nesting dependencies (an obligation's NFA charges predicates; a
+/// predicate's leaves are obligations). Item = (is_pred, id).
+struct DependencyOrder {
+  std::vector<std::pair<bool, int>> items;
+
+  static DependencyOrder Compute(const Mfa& mfa) {
+    const size_t num_obs = mfa.obligations().size();
+    const size_t num_preds = mfa.preds().size();
+    // Edges: ob -> preds charged in its NFA; pred -> its leaf obligations.
+    // Kahn topological sort; the compile order guarantees acyclicity.
+    std::vector<std::vector<std::pair<bool, int>>> deps_of(num_obs +
+                                                           num_preds);
+    auto slot = [&](bool is_pred, int id) -> size_t {
+      return is_pred ? num_obs + static_cast<size_t>(id)
+                     : static_cast<size_t>(id);
+    };
+    for (size_t ob = 0; ob < num_obs; ++ob) {
+      const FlatNfa& nfa = mfa.obligations()[ob].nfa;
+      auto add = [&](const PredSet& s) {
+        for (PredId p : s) deps_of[slot(false, static_cast<int>(ob))]
+            .push_back({true, p});
+      };
+      for (const auto& [st, g] : nfa.initial) add(g);
+      for (const PredSet& g : nfa.initial_accept_guards) add(g);
+      for (const FlatNfa::State& st : nfa.states) {
+        for (const FlatNfa::Transition& t : st.trans) {
+          add(t.src_preds);
+          add(t.dst_preds);
+        }
+        for (const PredSet& g : st.accept_guards) add(g);
+      }
+    }
+    for (size_t p = 0; p < num_preds; ++p) {
+      for (ObligationId ob : mfa.preds()[p].leaf_obligations) {
+        deps_of[slot(true, static_cast<int>(p))].push_back({false, ob});
+      }
+    }
+
+    DependencyOrder order;
+    std::vector<int> state(num_obs + num_preds, 0);  // 0 new, 1 open, 2 done
+    // Iterative DFS post-order.
+    std::vector<std::pair<std::pair<bool, int>, size_t>> stack;
+    auto visit = [&](std::pair<bool, int> item) {
+      if (state[slot(item.first, item.second)] != 0) return;
+      stack.push_back({item, 0});
+      state[slot(item.first, item.second)] = 1;
+      while (!stack.empty()) {
+        auto& [cur, next_dep] = stack.back();
+        auto& deps = deps_of[slot(cur.first, cur.second)];
+        if (next_dep < deps.size()) {
+          auto dep = deps[next_dep++];
+          if (state[slot(dep.first, dep.second)] == 0) {
+            state[slot(dep.first, dep.second)] = 1;
+            stack.push_back({dep, 0});
+          }
+        } else {
+          state[slot(cur.first, cur.second)] = 2;
+          order.items.push_back(cur);
+          stack.pop_back();
+        }
+      }
+    };
+    for (size_t ob = 0; ob < num_obs; ++ob) visit({false, static_cast<int>(ob)});
+    for (size_t p = 0; p < num_preds; ++p) visit({true, static_cast<int>(p)});
+    return order;
+  }
+};
+
+/// Arb-style binary (array) representation built by the conversion pass.
+struct BinaryDoc {
+  std::vector<xml::NameId> label;       // by node id; kNoName for text
+  std::vector<int32_t> first_child;     // -1 if none
+  std::vector<int32_t> next_sibling;    // -1 if none
+  std::vector<const xml::Node*> nodes;  // back-pointers for answers/attrs
+};
+
+BinaryDoc ConvertToBinary(const xml::Document& doc) {
+  BinaryDoc bin;
+  const int32_t n = doc.num_nodes();
+  bin.label.resize(n);
+  bin.first_child.assign(n, -1);
+  bin.next_sibling.assign(n, -1);
+  bin.nodes.resize(n);
+  for (int32_t id = 0; id < n; ++id) {
+    const xml::Node* node = doc.node(id);
+    bin.nodes[id] = node;
+    bin.label[id] = node->is_element() ? node->label : xml::kNoName;
+    bin.first_child[id] =
+        node->first_child != nullptr ? node->first_child->node_id : -1;
+    bin.next_sibling[id] =
+        node->next_sibling != nullptr ? node->next_sibling->node_id : -1;
+  }
+  return bin;
+}
+
+class TwoPassRun {
+ public:
+  TwoPassRun(const Mfa& mfa, const xml::Document& doc)
+      : mfa_(mfa), doc_(doc) {}
+
+  TwoPassResult Run() {
+    TwoPassResult result;
+    // Pass 0: format conversion.
+    bin_ = ConvertToBinary(doc_);
+    ++result.stats.tree_passes;
+
+    // Pass 1: bottom-up predicate/obligation tables.
+    BottomUp(&result.stats);
+    ++result.stats.tree_passes;
+
+    // Pass 2: top-down selection.
+    TopDown(&result);
+    ++result.stats.tree_passes;
+
+    result.stats.answers = result.answers.size();
+    return result;
+  }
+
+ private:
+  bool PredTrueAt(int32_t node, PredId p) const {
+    // node == -1 is the virtual document node (tables computed last).
+    return node < 0 ? virtual_pred_[p] : pred_val_[p][node];
+  }
+
+  bool AllPredsTrue(int32_t node, const PredSet& s) const {
+    for (PredId p : s) {
+      if (!PredTrueAt(node, p)) return false;
+    }
+    return true;
+  }
+
+  bool AcceptTestAt(int32_t node, const AcceptTest& test) const {
+    if (node < 0) return test.kind == AcceptTest::Kind::kExists;
+    const xml::Node* n = bin_.nodes[node];
+    switch (test.kind) {
+      case AcceptTest::Kind::kExists:
+        return true;
+      case AcceptTest::Kind::kTextEq:
+        return xml::Document::DirectText(n) == test.value;
+      case AcceptTest::Kind::kAttrExists:
+        return n->FindAttr(test.attr) != nullptr;
+      case AcceptTest::Kind::kAttrEq: {
+        const char* v = n->FindAttr(test.attr);
+        return v != nullptr && test.value == v;
+      }
+    }
+    return false;
+  }
+
+  /// reach_[ob][node].Test(s): running obligation ob from `node` in state
+  /// s accepts at the node or within its subtree.
+  void ComputeReach(int32_t node, ObligationId ob) {
+    const Obligation& o = mfa_.obligations()[ob];
+    const FlatNfa& nfa = o.nfa;
+    DynamicBitset bits(nfa.states.size());
+    for (size_t s = 0; s < nfa.states.size(); ++s) {
+      // Accept here?
+      bool acc = false;
+      for (const PredSet& g : nfa.states[s].accept_guards) {
+        if (AllPredsTrue(node, g) && AcceptTestAt(node, o.test)) {
+          acc = true;
+          break;
+        }
+      }
+      if (acc) {
+        bits.Set(s);
+        continue;
+      }
+      // Or via a child transition.
+      int32_t child =
+          node < 0 ? doc_.root()->node_id : bin_.first_child[node];
+      for (; child >= 0 && !acc; child = bin_.next_sibling[child]) {
+        if (node < 0 && child != doc_.root()->node_id) break;
+        if (bin_.label[child] == xml::kNoName) continue;  // text
+        for (const FlatNfa::Transition& t : nfa.states[s].trans) {
+          if (!t.test.Matches(bin_.label[child])) continue;
+          if (!reach_[ob][child].Test(t.target)) continue;
+          if (!AllPredsTrue(node, t.src_preds)) continue;
+          if (!AllPredsTrue(child, t.dst_preds)) continue;
+          acc = true;
+          break;
+        }
+      }
+      if (acc) bits.Set(s);
+    }
+    if (node < 0) {
+      virtual_reach_[ob] = std::move(bits);
+    } else {
+      reach_[ob][node] = std::move(bits);
+    }
+  }
+
+  bool ObligationHoldsAt(int32_t node, ObligationId ob) const {
+    const FlatNfa& nfa = mfa_.obligations()[ob].nfa;
+    const DynamicBitset& bits =
+        node < 0 ? virtual_reach_[ob] : reach_[ob][node];
+    for (const auto& [state, guards] : nfa.initial) {
+      if (AllPredsTrue(node, guards) && bits.Test(state)) return true;
+    }
+    // ε acceptance at the node itself is already included: the initial
+    // state's accept guards are evaluated by ComputeReach at this node.
+    return false;
+  }
+
+  void ComputePred(int32_t node, PredId p) {
+    const Pred& pred = mfa_.preds()[p];
+    std::vector<bool> leaves(pred.leaf_obligations.size());
+    for (size_t l = 0; l < leaves.size(); ++l) {
+      leaves[l] = ObligationHoldsAt(node, pred.leaf_obligations[l]);
+    }
+    bool v = pred.Evaluate(leaves);
+    if (node < 0) {
+      virtual_pred_[p] = v;
+    } else {
+      pred_val_[p][node] = v;
+    }
+  }
+
+  void BottomUp(EvalStats* stats) {
+    const int32_t n = doc_.num_nodes();
+    order_ = DependencyOrder::Compute(mfa_);
+    reach_.resize(mfa_.obligations().size());
+    for (auto& r : reach_) r.resize(n);
+    pred_val_.resize(mfa_.preds().size());
+    for (auto& pv : pred_val_) pv.assign(n, 0);
+    virtual_reach_.resize(mfa_.obligations().size());
+    virtual_pred_.assign(mfa_.preds().size(), 0);
+
+    // Children have larger pre-order ids: reverse id order = bottom-up.
+    for (int32_t node = n - 1; node >= 0; --node) {
+      if (bin_.label[node] == xml::kNoName) continue;  // text node
+      ++stats->nodes_visited;
+      for (const auto& [is_pred, id] : order_.items) {
+        if (is_pred) {
+          ComputePred(node, id);
+        } else {
+          ComputeReach(node, id);
+        }
+      }
+    }
+    // Virtual document node last (its only child is the root).
+    for (const auto& [is_pred, id] : order_.items) {
+      if (is_pred) {
+        ComputePred(-1, id);
+      } else {
+        ComputeReach(-1, id);
+      }
+    }
+  }
+
+  void TopDown(TwoPassResult* result) {
+    const FlatNfa& sel = mfa_.selection();
+    // State sets per node; DFS carrying parent sets.
+    struct Item {
+      int32_t node;
+      DynamicBitset states;
+    };
+    // Initial states at the virtual document node.
+    DynamicBitset init(sel.states.size());
+    for (const auto& [state, guards] : sel.initial) {
+      if (AllPredsTrue(-1, guards)) init.Set(state);
+    }
+    std::vector<Item> stack;
+    stack.push_back({-1, std::move(init)});
+    while (!stack.empty()) {
+      Item item = std::move(stack.back());
+      stack.pop_back();
+      ++result->stats.nodes_visited;
+
+      // Accept check (not for the virtual node).
+      if (item.node >= 0) {
+        bool accepted = false;
+        item.states.ForEachSetBit([&](size_t s) {
+          if (accepted) return;
+          for (const PredSet& g : sel.states[s].accept_guards) {
+            if (AllPredsTrue(item.node, g)) {
+              accepted = true;
+              return;
+            }
+          }
+        });
+        if (accepted) result->answers.push_back(bin_.nodes[item.node]);
+      }
+
+      // Advance to element children.
+      int32_t child = item.node < 0 ? doc_.root()->node_id
+                                    : bin_.first_child[item.node];
+      std::vector<Item> kids;
+      for (; child >= 0; child = bin_.next_sibling[child]) {
+        if (item.node < 0 && child != doc_.root()->node_id) break;
+        if (bin_.label[child] == xml::kNoName) continue;
+        DynamicBitset next(sel.states.size());
+        bool any = false;
+        item.states.ForEachSetBit([&](size_t s) {
+          for (const FlatNfa::Transition& t : sel.states[s].trans) {
+            if (!t.test.Matches(bin_.label[child])) continue;
+            if (next.Test(static_cast<size_t>(t.target))) continue;
+            if (!AllPredsTrue(item.node, t.src_preds)) continue;
+            if (!AllPredsTrue(child, t.dst_preds)) continue;
+            next.Set(static_cast<size_t>(t.target));
+            any = true;
+          }
+        });
+        if (any) kids.push_back({child, std::move(next)});
+      }
+      // Preserve document order in the answer list: push in reverse.
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back(std::move(*it));
+      }
+    }
+    // DFS with reversed pushes emits answers in document order already,
+    // but sort defensively (cheap, answers are few).
+    std::sort(result->answers.begin(), result->answers.end(),
+              [](const xml::Node* a, const xml::Node* b) {
+                return a->node_id < b->node_id;
+              });
+    result->answers.erase(
+        std::unique(result->answers.begin(), result->answers.end()),
+        result->answers.end());
+  }
+
+  const Mfa& mfa_;
+  const xml::Document& doc_;
+  BinaryDoc bin_;
+  DependencyOrder order_;
+  // reach_[ob][node] — obligation state reachability within subtree.
+  std::vector<std::vector<DynamicBitset>> reach_;
+  std::vector<DynamicBitset> virtual_reach_;
+  // pred_val_[pred][node].
+  std::vector<std::vector<char>> pred_val_;
+  std::vector<char> virtual_pred_;
+};
+
+}  // namespace
+
+Result<TwoPassResult> EvalTwoPass(const Mfa& mfa, const xml::Document& doc) {
+  if (mfa.names() != doc.names()) {
+    return Status::InvalidArgument(
+        "MFA and document must share one name table");
+  }
+  TwoPassRun run(mfa, doc);
+  return run.Run();
+}
+
+}  // namespace smoqe::eval

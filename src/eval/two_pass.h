@@ -1,0 +1,34 @@
+#ifndef SMOQE_EVAL_TWO_PASS_H_
+#define SMOQE_EVAL_TWO_PASS_H_
+
+#include <vector>
+
+#include "src/automata/mfa.h"
+#include "src/common/counters.h"
+#include "src/common/status.h"
+#include "src/xml/dom.h"
+
+namespace smoqe::eval {
+
+/// Result of a two-pass evaluation.
+struct TwoPassResult {
+  std::vector<const xml::Node*> answers;  ///< document order, unique
+  EvalStats stats;  ///< tree_passes = 3 (format conversion, bottom-up,
+                    ///< top-down), matching the paper's account of Arb
+};
+
+/// \brief Tree-automaton-style baseline evaluator (the paper's Arb
+/// comparison, §3: "previous systems require at least two passes").
+///
+/// Pass 0 converts the document to a binary (first-child / next-sibling
+/// array) format, as Arb's pre-processing does. Pass 1 walks the tree
+/// bottom-up computing, for every node, the truth of every predicate and
+/// the subtree-acceptance of every obligation automaton state. Pass 2
+/// walks top-down running the selection NFA with all predicates already
+/// decided. Answers are identical to HyPE's (differential-tested).
+Result<TwoPassResult> EvalTwoPass(const automata::Mfa& mfa,
+                                  const xml::Document& doc);
+
+}  // namespace smoqe::eval
+
+#endif  // SMOQE_EVAL_TWO_PASS_H_

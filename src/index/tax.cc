@@ -1,0 +1,62 @@
+#include "src/index/tax.h"
+
+#include <functional>
+
+namespace smoqe::index {
+
+TaxIndex TaxIndex::Build(const xml::Document& doc) {
+  TaxIndex idx;
+  idx.width_ = doc.names()->size();
+  idx.sets_.resize(doc.num_nodes());
+
+  // Post-order accumulation: children ids are larger than parents', so a
+  // reverse id sweep visits children first.
+  for (int32_t id = doc.num_nodes() - 1; id >= 0; --id) {
+    const xml::Node* n = doc.node(id);
+    if (!n->is_element()) continue;
+    ++idx.elements_;
+    DynamicBitset bits(idx.width_);
+    for (const xml::Node* c = n->first_child; c != nullptr;
+         c = c->next_sibling) {
+      if (!c->is_element()) continue;
+      bits.Set(static_cast<size_t>(c->label));
+      bits.UnionWith(idx.sets_[c->node_id]);
+    }
+    idx.sets_[id] = std::move(bits);
+  }
+  return idx;
+}
+
+size_t TaxIndex::memory_bytes() const {
+  size_t bytes = sets_.capacity() * sizeof(DynamicBitset);
+  for (const DynamicBitset& b : sets_) bytes += b.num_words() * 8;
+  return bytes;
+}
+
+std::string TaxIndex::Dump(const xml::Document& doc, int max_nodes) const {
+  std::string out;
+  int emitted = 0;
+  std::function<void(const xml::Node*, int)> walk = [&](const xml::Node* n,
+                                                        int depth) {
+    if (emitted >= max_nodes) return;
+    ++emitted;
+    out += std::string(static_cast<size_t>(depth) * 2, ' ');
+    out += doc.names()->NameOf(n->label);
+    out += " : {";
+    bool first = true;
+    sets_[n->node_id].ForEachSetBit([&](size_t bit) {
+      if (!first) out += ", ";
+      first = false;
+      out += doc.names()->NameOf(static_cast<xml::NameId>(bit));
+    });
+    out += "}\n";
+    for (const xml::Node* c = n->first_child; c != nullptr;
+         c = c->next_sibling) {
+      if (c->is_element()) walk(c, depth + 1);
+    }
+  };
+  walk(doc.root(), 0);
+  return out;
+}
+
+}  // namespace smoqe::index

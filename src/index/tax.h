@@ -1,0 +1,64 @@
+#ifndef SMOQE_INDEX_TAX_H_
+#define SMOQE_INDEX_TAX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/xml/dom.h"
+
+namespace smoqe::index {
+
+/// \brief TAX — the Type-Aware XML index (paper §3, Indexer).
+///
+/// TAX classifies the descendants of every element node by element type:
+/// for each node it stores the set of element types occurring *strictly
+/// below* it. The evaluator consults this set before descending — if no
+/// active automaton state can consume any type present in the subtree,
+/// the whole subtree is pruned (experiment E6). Unlike interval labeling
+/// schemes that only accelerate the ancestor/descendant test of `//`, the
+/// type sets prune subtrees for queries with or without `//` (paper's
+/// comparison).
+///
+/// Layout: one DynamicBitset per element, indexed by the node's document
+/// id, with bit positions = NameIds of the shared name table at build
+/// time. Built in a single post-order pass, O(|T|·W) where W is words per
+/// set. The compressed on-disk form is in tax_io.h (experiment E7).
+class TaxIndex {
+ public:
+  /// Builds the index for `doc`. Width is the name-table size at call
+  /// time, so types from other documents sharing the table are
+  /// representable.
+  static TaxIndex Build(const xml::Document& doc);
+
+  /// Descendant type set of the element with document id `node_id`
+  /// (bits exclude the node's own label). Returns nullptr for text nodes.
+  const DynamicBitset* DescendantTypes(int32_t node_id) const {
+    const DynamicBitset& b = sets_[node_id];
+    return b.size() == 0 ? nullptr : &b;
+  }
+
+  /// Number of distinct element types representable (bitset width).
+  size_t type_width() const { return width_; }
+  /// Number of indexed elements.
+  size_t num_elements() const { return elements_; }
+  /// In-memory footprint of the raw (uncompressed) index.
+  size_t memory_bytes() const;
+
+  /// Structured dump (element path → type list) of the first `max_nodes`
+  /// elements — the text analogue of iSMOQE's index view (Fig. 6).
+  std::string Dump(const xml::Document& doc, int max_nodes = 50) const;
+
+ private:
+  friend class TaxIo;
+  TaxIndex() = default;
+
+  size_t width_ = 0;
+  size_t elements_ = 0;
+  // Indexed by document node id; text nodes hold empty (width 0) sets.
+  std::vector<DynamicBitset> sets_;
+};
+
+}  // namespace smoqe::index
+
+#endif  // SMOQE_INDEX_TAX_H_

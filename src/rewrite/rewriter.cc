@@ -1,0 +1,203 @@
+#include "src/rewrite/rewriter.h"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace smoqe::rewrite {
+
+using automata::AcceptTest;
+using automata::Mfa;
+using automata::MfaBuilder;
+using automata::ObligationId;
+using automata::PredId;
+using rxpath::PathExpr;
+using rxpath::Qualifier;
+
+namespace {
+
+/// The pseudo-type of the virtual document node above the view root.
+const char kDocType[] = "";
+
+/// Fragment exits per view element type. Each type maps to exactly one
+/// NFA state (parallel arrivals are ε-merged).
+using TypedStates = std::map<std::string, int>;
+
+class TypedCompiler {
+ public:
+  TypedCompiler(const view::ViewDefinition& view, MfaBuilder* builder)
+      : view_(view),
+        builder_(builder),
+        root_step_(PathExpr::Label(view.root())) {}
+
+  TypedStates CompilePath(const PathExpr& p, const TypedStates& in) {
+    switch (p.kind()) {
+      case PathExpr::Kind::kEmpty:
+        return in;
+      case PathExpr::Kind::kLabel:
+        return CompileStep(in, /*wildcard=*/false, p.label());
+      case PathExpr::Kind::kWildcard:
+        return CompileStep(in, /*wildcard=*/true, "");
+      case PathExpr::Kind::kSeq: {
+        TypedStates cur = in;
+        for (const auto& part : p.parts()) {
+          cur = CompilePath(*part, cur);
+          if (cur.empty()) break;
+        }
+        return cur;
+      }
+      case PathExpr::Kind::kUnion: {
+        std::vector<TypedStates> branches;
+        for (const auto& part : p.parts()) {
+          branches.push_back(CompilePath(*part, in));
+        }
+        return MergeTyped(branches);
+      }
+      case PathExpr::Kind::kStar:
+        return CompileStar(p.body(), in);
+      case PathExpr::Kind::kPred: {
+        TypedStates base = CompilePath(*p.parts()[0], in);
+        TypedStates out;
+        for (const auto& [type, state] : base) {
+          PredId pred = CompileTypedQualifier(p.qual(), type);
+          int s = builder_->build()->AddState();
+          builder_->build()->AddEps(state, s);
+          builder_->build()->Annotate(s, pred);
+          out[type] = s;
+        }
+        return out;
+      }
+    }
+    return {};
+  }
+
+  /// Compiles a qualifier anchored at view type `type`; memoized.
+  PredId CompileTypedQualifier(const Qualifier& q, const std::string& type) {
+    auto key = std::make_pair(&q, type);
+    auto it = pred_memo_.find(key);
+    if (it != pred_memo_.end()) return it->second;
+    PredId id = builder_->CompileQualifierVia(
+        q, [&](const Qualifier& leaf, AcceptTest test) {
+          return builder_->CompileObligationVia(
+              std::move(test), [&](int start) {
+                TypedStates in{{type, start}};
+                TypedStates outs = CompilePath(leaf.path(), in);
+                std::vector<int> accepts;
+                for (const auto& [t, s] : outs) accepts.push_back(s);
+                return accepts;
+              });
+        });
+    pred_memo_.emplace(key, id);
+    return id;
+  }
+
+ private:
+  std::vector<std::string> ChildTypesOf(const std::string& type) const {
+    if (type == kDocType) return {view_.root()};
+    return view_.view_dtd().ChildTypes(type);
+  }
+
+  const PathExpr* SigmaOf(const std::string& type,
+                          const std::string& child) const {
+    if (type == kDocType) {
+      return child == view_.root() ? root_step_.get() : nullptr;
+    }
+    return view_.Sigma(type, child);
+  }
+
+  /// One view child step from every input type; σ fragments are inlined.
+  TypedStates CompileStep(const TypedStates& in, bool wildcard,
+                          const std::string& label) {
+    std::map<std::string, std::vector<int>> arrivals;
+    for (const auto& [type, state] : in) {
+      for (const std::string& child : ChildTypesOf(type)) {
+        if (!wildcard && child != label) continue;
+        const PathExpr* sigma = SigmaOf(type, child);
+        if (sigma == nullptr) continue;
+        arrivals[child].push_back(builder_->CompilePath(*sigma, state));
+      }
+    }
+    TypedStates out;
+    for (auto& [type, states] : arrivals) {
+      out[type] = MergeStates(states);
+    }
+    return out;
+  }
+
+  TypedStates CompileStar(const PathExpr& body, const TypedStates& in) {
+    TypedStates loop;
+    std::deque<std::string> work;
+    for (const auto& [type, state] : in) {
+      int ls = builder_->build()->AddState();
+      builder_->build()->AddEps(state, ls);
+      loop[type] = ls;
+      work.push_back(type);
+    }
+    std::set<std::string> processed;
+    while (!work.empty()) {
+      std::string type = work.front();
+      work.pop_front();
+      if (!processed.insert(type).second) continue;
+      TypedStates one{{type, loop[type]}};
+      TypedStates outs = CompilePath(body, one);
+      for (const auto& [t, s] : outs) {
+        auto it = loop.find(t);
+        if (it == loop.end()) {
+          int ls = builder_->build()->AddState();
+          it = loop.emplace(t, ls).first;
+          work.push_back(t);
+        }
+        builder_->build()->AddEps(s, it->second);
+      }
+    }
+    return loop;
+  }
+
+  int MergeStates(const std::vector<int>& states) {
+    if (states.size() == 1) return states[0];
+    int merged = builder_->build()->AddState();
+    for (int s : states) builder_->build()->AddEps(s, merged);
+    return merged;
+  }
+
+  TypedStates MergeTyped(const std::vector<TypedStates>& branches) {
+    std::map<std::string, std::vector<int>> arrivals;
+    for (const TypedStates& b : branches) {
+      for (const auto& [type, state] : b) arrivals[type].push_back(state);
+    }
+    TypedStates out;
+    for (auto& [type, states] : arrivals) out[type] = MergeStates(states);
+    return out;
+  }
+
+  const view::ViewDefinition& view_;
+  MfaBuilder* builder_;
+  std::unique_ptr<PathExpr> root_step_;
+  std::map<std::pair<const Qualifier*, std::string>, PredId> pred_memo_;
+};
+
+}  // namespace
+
+Result<Mfa> RewriteToMfa(const PathExpr& query,
+                         const view::ViewDefinition& view,
+                         std::shared_ptr<xml::NameTable> names) {
+  if (names == nullptr) {
+    return Status::InvalidArgument("RewriteToMfa requires a name table");
+  }
+  MfaBuilder builder(std::move(names));
+  TypedCompiler compiler(view, &builder);
+  int start = builder.build()->AddState();
+  TypedStates in{{kDocType, start}};
+  TypedStates outs = compiler.CompilePath(query, in);
+  std::vector<int> accepts;
+  for (const auto& [type, state] : outs) {
+    if (type != kDocType) accepts.push_back(state);
+  }
+  // Queries selecting only the virtual document node (e.g. ".") have no
+  // element answers; an accept-free MFA correctly yields ∅.
+  return builder.Finish(start, std::move(accepts));
+}
+
+}  // namespace smoqe::rewrite

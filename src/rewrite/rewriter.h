@@ -1,0 +1,40 @@
+#ifndef SMOQE_REWRITE_REWRITER_H_
+#define SMOQE_REWRITE_REWRITER_H_
+
+#include <memory>
+
+#include "src/automata/mfa.h"
+#include "src/common/status.h"
+#include "src/rxpath/ast.h"
+#include "src/view/view_def.h"
+#include "src/xml/name_table.h"
+
+namespace smoqe::rewrite {
+
+/// \brief The SMOQE rewriter (paper §3, Rewriter): translates a Regular
+/// XPath query Q posed on a (virtual) view V into an MFA for the
+/// equivalent query Q′ over the underlying document, such that
+/// Q′(T) = Q(V(T)) for every document T.
+///
+/// Construction: the query automaton is built in a *typed* product with
+/// the view DTD — every query position is compiled once per view element
+/// type it can be matched at, and each view child step (A ─B→ ·) inlines a
+/// copy of σ(A,B)'s automaton. Qualifiers are rewritten recursively with
+/// the anchor's view type threaded through. Because nothing is ever
+/// unfolded into an expression, the result is **linear in |Q|·|σ|**, while
+/// the expression-level rewriting of expr_rewriter.h is worst-case
+/// exponential (experiment E1).
+///
+/// Wildcards and label tests in Q range over the *view* DTD, so hidden
+/// element types can never be addressed — the access-control guarantee.
+/// Labels in Q that are not view types simply yield no matches.
+///
+/// The returned MFA runs directly on underlying documents with any HyPE
+/// mode (DOM / StAX, TAX on or off).
+Result<automata::Mfa> RewriteToMfa(const rxpath::PathExpr& query,
+                                   const view::ViewDefinition& view,
+                                   std::shared_ptr<xml::NameTable> names);
+
+}  // namespace smoqe::rewrite
+
+#endif  // SMOQE_REWRITE_REWRITER_H_

@@ -1,0 +1,240 @@
+#include "src/rxpath/ast.h"
+
+namespace smoqe::rxpath {
+
+PathExpr::~PathExpr() = default;
+Qualifier::~Qualifier() = default;
+
+std::unique_ptr<PathExpr> PathExpr::Empty() {
+  return std::unique_ptr<PathExpr>(new PathExpr(Kind::kEmpty));
+}
+
+std::unique_ptr<PathExpr> PathExpr::Label(std::string name) {
+  auto p = std::unique_ptr<PathExpr>(new PathExpr(Kind::kLabel));
+  p->label_ = std::move(name);
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Wildcard() {
+  return std::unique_ptr<PathExpr>(new PathExpr(Kind::kWildcard));
+}
+
+std::unique_ptr<PathExpr> PathExpr::Seq(
+    std::vector<std::unique_ptr<PathExpr>> parts) {
+  if (parts.size() == 1) return std::move(parts[0]);
+  auto p = std::unique_ptr<PathExpr>(new PathExpr(Kind::kSeq));
+  // Flatten nested sequences for a canonical shape.
+  for (auto& part : parts) {
+    if (part->kind_ == Kind::kSeq) {
+      for (auto& inner : part->parts_) p->parts_.push_back(std::move(inner));
+    } else if (part->kind_ == Kind::kEmpty) {
+      continue;  // ε is the identity of '/'
+    } else {
+      p->parts_.push_back(std::move(part));
+    }
+  }
+  if (p->parts_.empty()) return Empty();
+  if (p->parts_.size() == 1) return std::move(p->parts_[0]);
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Seq2(std::unique_ptr<PathExpr> a,
+                                         std::unique_ptr<PathExpr> b) {
+  std::vector<std::unique_ptr<PathExpr>> v;
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  return Seq(std::move(v));
+}
+
+std::unique_ptr<PathExpr> PathExpr::Union(
+    std::vector<std::unique_ptr<PathExpr>> parts) {
+  if (parts.size() == 1) return std::move(parts[0]);
+  auto p = std::unique_ptr<PathExpr>(new PathExpr(Kind::kUnion));
+  for (auto& part : parts) {
+    if (part->kind_ == Kind::kUnion) {
+      for (auto& inner : part->parts_) p->parts_.push_back(std::move(inner));
+    } else {
+      p->parts_.push_back(std::move(part));
+    }
+  }
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Star(std::unique_ptr<PathExpr> body) {
+  if (body->kind_ == Kind::kStar) return body;      // (p*)* = p*
+  if (body->kind_ == Kind::kEmpty) return body;     // (ε)* = ε
+  auto p = std::unique_ptr<PathExpr>(new PathExpr(Kind::kStar));
+  p->parts_.push_back(std::move(body));
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Pred(std::unique_ptr<PathExpr> path,
+                                         std::unique_ptr<Qualifier> qual) {
+  auto p = std::unique_ptr<PathExpr>(new PathExpr(Kind::kPred));
+  p->parts_.push_back(std::move(path));
+  p->qual_ = std::move(qual);
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Clone() const {
+  switch (kind_) {
+    case Kind::kEmpty:
+      return Empty();
+    case Kind::kLabel:
+      return Label(label_);
+    case Kind::kWildcard:
+      return Wildcard();
+    case Kind::kStar:
+      return Star(parts_[0]->Clone());
+    case Kind::kPred:
+      return Pred(parts_[0]->Clone(), qual_->Clone());
+    case Kind::kSeq:
+    case Kind::kUnion: {
+      std::vector<std::unique_ptr<PathExpr>> parts;
+      parts.reserve(parts_.size());
+      for (const auto& p : parts_) parts.push_back(p->Clone());
+      return kind_ == Kind::kSeq ? Seq(std::move(parts))
+                                 : Union(std::move(parts));
+    }
+  }
+  return Empty();
+}
+
+bool PathExpr::Equals(const PathExpr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kEmpty:
+    case Kind::kWildcard:
+      return true;
+    case Kind::kLabel:
+      return label_ == other.label_;
+    case Kind::kPred:
+      return parts_[0]->Equals(*other.parts_[0]) &&
+             qual_->Equals(*other.qual_);
+    default: {
+      if (parts_.size() != other.parts_.size()) return false;
+      for (size_t i = 0; i < parts_.size(); ++i) {
+        if (!parts_[i]->Equals(*other.parts_[i])) return false;
+      }
+      return true;
+    }
+  }
+}
+
+size_t PathExpr::TreeSize() const {
+  size_t n = 1;
+  for (const auto& p : parts_) n += p->TreeSize();
+  if (qual_) n += qual_->TreeSize();
+  return n;
+}
+
+std::unique_ptr<Qualifier> Qualifier::Path(std::unique_ptr<PathExpr> path) {
+  auto q = std::unique_ptr<Qualifier>(new Qualifier(Kind::kPath));
+  q->path_ = std::move(path);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::TextEq(std::unique_ptr<PathExpr> path,
+                                             std::string value) {
+  auto q = std::unique_ptr<Qualifier>(new Qualifier(Kind::kTextEq));
+  q->path_ = std::move(path);
+  q->value_ = std::move(value);
+  q->has_value_ = true;
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::Attr(std::unique_ptr<PathExpr> path,
+                                           std::string attr_name) {
+  auto q = std::unique_ptr<Qualifier>(new Qualifier(Kind::kAttr));
+  q->path_ = std::move(path);
+  q->attr_name_ = std::move(attr_name);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::AttrEq(std::unique_ptr<PathExpr> path,
+                                             std::string attr_name,
+                                             std::string value) {
+  auto q = Attr(std::move(path), std::move(attr_name));
+  q->value_ = std::move(value);
+  q->has_value_ = true;
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::And(std::unique_ptr<Qualifier> a,
+                                          std::unique_ptr<Qualifier> b) {
+  auto q = std::unique_ptr<Qualifier>(new Qualifier(Kind::kAnd));
+  q->left_ = std::move(a);
+  q->right_ = std::move(b);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::Or(std::unique_ptr<Qualifier> a,
+                                         std::unique_ptr<Qualifier> b) {
+  auto q = std::unique_ptr<Qualifier>(new Qualifier(Kind::kOr));
+  q->left_ = std::move(a);
+  q->right_ = std::move(b);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::Not(std::unique_ptr<Qualifier> a) {
+  auto q = std::unique_ptr<Qualifier>(new Qualifier(Kind::kNot));
+  q->left_ = std::move(a);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::True() {
+  return std::unique_ptr<Qualifier>(new Qualifier(Kind::kTrue));
+}
+
+std::unique_ptr<Qualifier> Qualifier::Clone() const {
+  switch (kind_) {
+    case Kind::kPath:
+      return Path(path_->Clone());
+    case Kind::kTextEq:
+      return TextEq(path_->Clone(), value_);
+    case Kind::kAttr: {
+      if (has_value_) return AttrEq(path_->Clone(), attr_name_, value_);
+      return Attr(path_->Clone(), attr_name_);
+    }
+    case Kind::kAnd:
+      return And(left_->Clone(), right_->Clone());
+    case Kind::kOr:
+      return Or(left_->Clone(), right_->Clone());
+    case Kind::kNot:
+      return Not(left_->Clone());
+    case Kind::kTrue:
+      return True();
+  }
+  return True();
+}
+
+bool Qualifier::Equals(const Qualifier& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kPath:
+      return path_->Equals(*other.path_);
+    case Kind::kTextEq:
+      return value_ == other.value_ && path_->Equals(*other.path_);
+    case Kind::kAttr:
+      return attr_name_ == other.attr_name_ && has_value_ == other.has_value_ &&
+             value_ == other.value_ && path_->Equals(*other.path_);
+    case Kind::kAnd:
+    case Kind::kOr:
+      return left_->Equals(*other.left_) && right_->Equals(*other.right_);
+    case Kind::kNot:
+      return left_->Equals(*other.left_);
+    case Kind::kTrue:
+      return true;
+  }
+  return false;
+}
+
+size_t Qualifier::TreeSize() const {
+  size_t n = 1;
+  if (path_) n += path_->TreeSize();
+  if (left_) n += left_->TreeSize();
+  if (right_) n += right_->TreeSize();
+  return n;
+}
+
+}  // namespace smoqe::rxpath

@@ -1,0 +1,137 @@
+#ifndef SMOQE_RXPATH_AST_H_
+#define SMOQE_RXPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smoqe::rxpath {
+
+class Qualifier;
+
+/// \brief AST of a Regular XPath path expression.
+///
+/// Regular XPath (the paper's query language) is XPath's child-axis
+/// fragment extended with general Kleene closure:
+///
+///   p ::= ε | l | * | p/p | p ∪ p | (p)* | p[q]
+///
+/// `//` is surface syntax desugared by the parser to `(*)*` (any chain of
+/// child steps). Steps navigate the child axis over element nodes; text is
+/// reached only through qualifiers.
+class PathExpr {
+ public:
+  enum class Kind {
+    kEmpty,     ///< ε — stay at the context node ('.')
+    kLabel,     ///< one child step matching an element name
+    kWildcard,  ///< one child step matching any element
+    kSeq,       ///< p1 / p2 / … / pn
+    kUnion,     ///< p1 | p2 | … | pn
+    kStar,      ///< (p)* — zero or more repetitions
+    kPred,      ///< p[q] — keep nodes reached by p that satisfy q
+  };
+
+  static std::unique_ptr<PathExpr> Empty();
+  static std::unique_ptr<PathExpr> Label(std::string name);
+  static std::unique_ptr<PathExpr> Wildcard();
+  static std::unique_ptr<PathExpr> Seq(
+      std::vector<std::unique_ptr<PathExpr>> parts);
+  /// Convenience two-part sequence.
+  static std::unique_ptr<PathExpr> Seq2(std::unique_ptr<PathExpr> a,
+                                        std::unique_ptr<PathExpr> b);
+  static std::unique_ptr<PathExpr> Union(
+      std::vector<std::unique_ptr<PathExpr>> parts);
+  static std::unique_ptr<PathExpr> Star(std::unique_ptr<PathExpr> body);
+  static std::unique_ptr<PathExpr> Pred(std::unique_ptr<PathExpr> path,
+                                        std::unique_ptr<Qualifier> qual);
+
+  ~PathExpr();
+
+  Kind kind() const { return kind_; }
+  const std::string& label() const { return label_; }
+  const std::vector<std::unique_ptr<PathExpr>>& parts() const {
+    return parts_;
+  }
+  const PathExpr& body() const { return *parts_[0]; }  // kStar / kPred
+  const Qualifier& qual() const { return *qual_; }     // kPred
+
+  std::unique_ptr<PathExpr> Clone() const;
+  bool Equals(const PathExpr& other) const;
+
+  /// Number of AST nodes (query size |Q| in the paper's complexity claims).
+  size_t TreeSize() const;
+
+ private:
+  explicit PathExpr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string label_;                               // kLabel
+  std::vector<std::unique_ptr<PathExpr>> parts_;    // kSeq/kUnion/kStar/kPred
+  std::unique_ptr<Qualifier> qual_;                 // kPred
+};
+
+/// \brief AST of a qualifier (the `[…]` predicate language).
+///
+///   q ::= p | p = 'c' | p/@a | p/@a = 'c' | q and q | q or q | not(q)
+///
+/// `p = 'c'` is true at node v iff some node reached from v by p has
+/// direct text equal to 'c' (`p/text() = 'c'` parses to the same form;
+/// with p = ε the test applies to v itself).
+class Qualifier {
+ public:
+  enum class Kind {
+    kPath,    ///< ∃ node reached by path
+    kTextEq,  ///< ∃ node reached by path whose direct text equals value
+    kAttr,    ///< ∃ node reached by path carrying the attribute
+              ///< (optionally with the given value)
+    kAnd,
+    kOr,
+    kNot,
+    kTrue,    ///< constant true (used by internal constructions)
+  };
+
+  static std::unique_ptr<Qualifier> Path(std::unique_ptr<PathExpr> path);
+  static std::unique_ptr<Qualifier> TextEq(std::unique_ptr<PathExpr> path,
+                                           std::string value);
+  static std::unique_ptr<Qualifier> Attr(std::unique_ptr<PathExpr> path,
+                                         std::string attr_name);
+  static std::unique_ptr<Qualifier> AttrEq(std::unique_ptr<PathExpr> path,
+                                           std::string attr_name,
+                                           std::string value);
+  static std::unique_ptr<Qualifier> And(std::unique_ptr<Qualifier> a,
+                                        std::unique_ptr<Qualifier> b);
+  static std::unique_ptr<Qualifier> Or(std::unique_ptr<Qualifier> a,
+                                       std::unique_ptr<Qualifier> b);
+  static std::unique_ptr<Qualifier> Not(std::unique_ptr<Qualifier> a);
+  static std::unique_ptr<Qualifier> True();
+
+  ~Qualifier();
+
+  Kind kind() const { return kind_; }
+  const PathExpr& path() const { return *path_; }
+  bool has_path() const { return path_ != nullptr; }
+  const std::string& value() const { return value_; }
+  bool has_value() const { return has_value_; }
+  const std::string& attr_name() const { return attr_name_; }
+  const Qualifier& left() const { return *left_; }
+  const Qualifier& right() const { return *right_; }
+
+  std::unique_ptr<Qualifier> Clone() const;
+  bool Equals(const Qualifier& other) const;
+  size_t TreeSize() const;
+
+ private:
+  explicit Qualifier(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::unique_ptr<PathExpr> path_;   // kPath/kTextEq/kAttr
+  std::string value_;                // kTextEq / kAttr with value
+  bool has_value_ = false;           // kAttr: value comparison present
+  std::string attr_name_;            // kAttr
+  std::unique_ptr<Qualifier> left_;  // kAnd/kOr/kNot
+  std::unique_ptr<Qualifier> right_; // kAnd/kOr
+};
+
+}  // namespace smoqe::rxpath
+
+#endif  // SMOQE_RXPATH_AST_H_

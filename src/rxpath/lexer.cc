@@ -1,0 +1,179 @@
+#include "src/rxpath/lexer.h"
+
+#include <cctype>
+
+#include "src/common/strings.h"
+
+namespace smoqe::rxpath {
+
+namespace {
+
+bool MatchesCall(std::string_view input, size_t pos) {
+  // Optional whitespace, then "()".
+  while (pos < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[pos]))) {
+    ++pos;
+  }
+  return pos + 1 < input.size() && input[pos] == '(' && input[pos + 1] == ')';
+}
+
+size_t SkipCall(std::string_view input, size_t pos) {
+  while (pos < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[pos]))) {
+    ++pos;
+  }
+  return pos + 2;  // past "()"
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.pos = i;
+    switch (c) {
+      case '/':
+        if (i + 1 < input.size() && input[i + 1] == '/') {
+          tok.kind = TokKind::kDoubleSlash;
+          i += 2;
+        } else {
+          tok.kind = TokKind::kSlash;
+          ++i;
+        }
+        break;
+      case '(':
+        tok.kind = TokKind::kLParen;
+        ++i;
+        break;
+      case ')':
+        tok.kind = TokKind::kRParen;
+        ++i;
+        break;
+      case '[':
+        tok.kind = TokKind::kLBracket;
+        ++i;
+        break;
+      case ']':
+        tok.kind = TokKind::kRBracket;
+        ++i;
+        break;
+      case '|':
+        tok.kind = TokKind::kPipe;
+        ++i;
+        break;
+      case '*':
+        tok.kind = TokKind::kStar;
+        ++i;
+        break;
+      case '.':
+        tok.kind = TokKind::kDot;
+        ++i;
+        break;
+      case '@':
+        tok.kind = TokKind::kAt;
+        ++i;
+        break;
+      case '=':
+        tok.kind = TokKind::kEq;
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          tok.kind = TokKind::kNeq;
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(i));
+        }
+        break;
+      case '\'':
+      case '"': {
+        char quote = c;
+        size_t end = input.find(quote, i + 1);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated string literal at offset " +
+                                    std::to_string(i));
+        }
+        tok.kind = TokKind::kString;
+        tok.text = std::string(input.substr(i + 1, end - i - 1));
+        i = end + 1;
+        break;
+      }
+      default: {
+        if (!IsNameStartChar(c)) {
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at offset " + std::to_string(i));
+        }
+        size_t start = i;
+        while (i < input.size() && IsNameChar(input[i])) ++i;
+        std::string_view name = input.substr(start, i - start);
+        if (name == "text" && MatchesCall(input, i)) {
+          tok.kind = TokKind::kTextFn;
+          i = SkipCall(input, i);
+        } else if (name == "true" && MatchesCall(input, i)) {
+          tok.kind = TokKind::kTrueFn;
+          i = SkipCall(input, i);
+        } else {
+          tok.kind = TokKind::kName;
+          tok.text = std::string(name);
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.pos = input.size();
+  out.push_back(end);
+  return out;
+}
+
+std::string TokKindName(TokKind kind) {
+  switch (kind) {
+    case TokKind::kName:
+      return "name";
+    case TokKind::kString:
+      return "string literal";
+    case TokKind::kSlash:
+      return "'/'";
+    case TokKind::kDoubleSlash:
+      return "'//'";
+    case TokKind::kLParen:
+      return "'('";
+    case TokKind::kRParen:
+      return "')'";
+    case TokKind::kLBracket:
+      return "'['";
+    case TokKind::kRBracket:
+      return "']'";
+    case TokKind::kPipe:
+      return "'|'";
+    case TokKind::kStar:
+      return "'*'";
+    case TokKind::kDot:
+      return "'.'";
+    case TokKind::kAt:
+      return "'@'";
+    case TokKind::kEq:
+      return "'='";
+    case TokKind::kNeq:
+      return "'!='";
+    case TokKind::kTextFn:
+      return "text()";
+    case TokKind::kTrueFn:
+      return "true()";
+    case TokKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace smoqe::rxpath

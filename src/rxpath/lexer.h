@@ -1,0 +1,49 @@
+#ifndef SMOQE_RXPATH_LEXER_H_
+#define SMOQE_RXPATH_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace smoqe::rxpath {
+
+/// Token kinds of the Regular XPath surface syntax.
+enum class TokKind {
+  kName,         ///< element / attribute name (also 'and'/'or'/'not' words)
+  kString,       ///< quoted literal; text() holds the unquoted value
+  kSlash,        ///< /
+  kDoubleSlash,  ///< //
+  kLParen,       ///< (
+  kRParen,       ///< )
+  kLBracket,     ///< [
+  kRBracket,     ///< ]
+  kPipe,         ///< | (union)
+  kStar,         ///< * (wildcard step or postfix Kleene star)
+  kDot,          ///< . (ε)
+  kAt,           ///< @
+  kEq,           ///< =
+  kNeq,          ///< !=
+  kTextFn,       ///< text()
+  kTrueFn,       ///< true()
+  kEnd,          ///< end of input
+};
+
+/// One token with its source offset (for error messages).
+struct Token {
+  TokKind kind;
+  std::string text;  // kName / kString payloads
+  size_t pos = 0;
+};
+
+/// Tokenizes a Regular XPath expression. Fails on characters outside the
+/// grammar or unterminated string literals.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// Name of a token kind for diagnostics ("'['", "name", …).
+std::string TokKindName(TokKind kind);
+
+}  // namespace smoqe::rxpath
+
+#endif  // SMOQE_RXPATH_LEXER_H_

@@ -1,0 +1,184 @@
+#include "src/rxpath/naive_eval.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace smoqe::rxpath {
+
+namespace {
+
+// Virtual document node sorts before everything else.
+int32_t IdOf(const xml::Node* n) { return n == nullptr ? -1 : n->node_id; }
+
+}  // namespace
+
+void NaiveEvaluator::SortUnique(NodeSet* set) const {
+  std::sort(set->begin(), set->end(),
+            [](const xml::Node* a, const xml::Node* b) {
+              return IdOf(a) < IdOf(b);
+            });
+  set->erase(std::unique(set->begin(), set->end()), set->end());
+}
+
+NaiveEvaluator::NodeSet NaiveEvaluator::Eval(const PathExpr& query) {
+  // The memo is keyed by qualifier AST addresses, which are only stable for
+  // the duration of one query's evaluation — a freed AST could be
+  // reallocated at the same address by the next query.
+  qual_memo_.clear();
+  NodeSet context = {nullptr};
+  NodeSet out = EvalPath(query, context);
+  // Only element nodes are answers; drop the virtual document node if the
+  // query can select it (e.g. the query ".").
+  out.erase(std::remove(out.begin(), out.end(), nullptr), out.end());
+  return out;
+}
+
+NaiveEvaluator::NodeSet NaiveEvaluator::EvalFrom(const PathExpr& query,
+                                                 NodeSet context) {
+  qual_memo_.clear();
+  SortUnique(&context);
+  return EvalPath(query, context);
+}
+
+NaiveEvaluator::NodeSet NaiveEvaluator::ChildStep(const NodeSet& input,
+                                                  xml::NameId label,
+                                                  bool wildcard) {
+  NodeSet out;
+  for (const xml::Node* ctx : input) {
+    ++stats_.node_visits;
+    if (ctx == nullptr) {
+      const xml::Node* root = doc_.root();
+      if (wildcard || root->label == label) out.push_back(root);
+      continue;
+    }
+    for (const xml::Node* c = ctx->first_child; c != nullptr;
+         c = c->next_sibling) {
+      if (!c->is_element()) continue;
+      if (wildcard || c->label == label) out.push_back(c);
+    }
+  }
+  // Children of distinct sorted contexts are distinct and produced in
+  // document order only when contexts do not nest; sort to be safe.
+  SortUnique(&out);
+  stats_.set_elements += out.size();
+  return out;
+}
+
+NaiveEvaluator::NodeSet NaiveEvaluator::EvalPath(const PathExpr& p,
+                                                 const NodeSet& input) {
+  switch (p.kind()) {
+    case PathExpr::Kind::kEmpty:
+      return input;
+    case PathExpr::Kind::kLabel: {
+      xml::NameId id = doc_.names()->Lookup(p.label());
+      if (id == xml::kNoName) return {};  // label absent from the document
+      return ChildStep(input, id, /*wildcard=*/false);
+    }
+    case PathExpr::Kind::kWildcard:
+      return ChildStep(input, xml::kNoName, /*wildcard=*/true);
+    case PathExpr::Kind::kSeq: {
+      NodeSet cur = input;
+      for (const auto& part : p.parts()) {
+        cur = EvalPath(*part, cur);
+        if (cur.empty()) break;
+      }
+      return cur;
+    }
+    case PathExpr::Kind::kUnion: {
+      NodeSet out;
+      for (const auto& part : p.parts()) {
+        NodeSet piece = EvalPath(*part, input);
+        out.insert(out.end(), piece.begin(), piece.end());
+      }
+      SortUnique(&out);
+      return out;
+    }
+    case PathExpr::Kind::kStar: {
+      // Kleene fixpoint: closure of `input` under the body path.
+      NodeSet result = input;
+      std::unordered_set<const xml::Node*> seen(input.begin(), input.end());
+      NodeSet frontier = input;
+      while (!frontier.empty()) {
+        NodeSet next = EvalPath(p.body(), frontier);
+        NodeSet fresh;
+        for (const xml::Node* n : next) {
+          if (seen.insert(n).second) fresh.push_back(n);
+        }
+        result.insert(result.end(), fresh.begin(), fresh.end());
+        frontier = std::move(fresh);
+      }
+      SortUnique(&result);
+      return result;
+    }
+    case PathExpr::Kind::kPred: {
+      NodeSet base = EvalPath(*p.parts()[0], input);
+      NodeSet out;
+      for (const xml::Node* n : base) {
+        if (QualifierHolds(p.qual(), n)) out.push_back(n);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+bool NaiveEvaluator::QualifierHolds(const Qualifier& q, const xml::Node* node) {
+  auto& memo = qual_memo_[&q];
+  auto it = memo.find(node);
+  if (it != memo.end()) return it->second;
+  ++stats_.qual_evals;
+
+  bool result = false;
+  switch (q.kind()) {
+    case Qualifier::Kind::kPath: {
+      NodeSet reached = EvalPath(q.path(), {node});
+      result = !reached.empty();
+      break;
+    }
+    case Qualifier::Kind::kTextEq: {
+      NodeSet reached = EvalPath(q.path(), {node});
+      for (const xml::Node* n : reached) {
+        if (n == nullptr) continue;  // virtual document node has no text
+        if (xml::Document::DirectText(n) == q.value()) {
+          result = true;
+          break;
+        }
+      }
+      break;
+    }
+    case Qualifier::Kind::kAttr: {
+      xml::NameId attr = doc_.names()->Lookup(q.attr_name());
+      if (attr == xml::kNoName) {
+        result = false;
+        break;
+      }
+      NodeSet reached = EvalPath(q.path(), {node});
+      for (const xml::Node* n : reached) {
+        if (n == nullptr) continue;
+        const char* v = n->FindAttr(attr);
+        if (v == nullptr) continue;
+        if (!q.has_value() || q.value() == v) {
+          result = true;
+          break;
+        }
+      }
+      break;
+    }
+    case Qualifier::Kind::kAnd:
+      result = QualifierHolds(q.left(), node) && QualifierHolds(q.right(), node);
+      break;
+    case Qualifier::Kind::kOr:
+      result = QualifierHolds(q.left(), node) || QualifierHolds(q.right(), node);
+      break;
+    case Qualifier::Kind::kNot:
+      result = !QualifierHolds(q.left(), node);
+      break;
+    case Qualifier::Kind::kTrue:
+      result = true;
+      break;
+  }
+  qual_memo_[&q][node] = result;
+  return result;
+}
+
+}  // namespace smoqe::rxpath

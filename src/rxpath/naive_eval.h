@@ -1,0 +1,64 @@
+#ifndef SMOQE_RXPATH_NAIVE_EVAL_H_
+#define SMOQE_RXPATH_NAIVE_EVAL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rxpath/ast.h"
+#include "src/xml/dom.h"
+
+namespace smoqe::rxpath {
+
+/// Work counters of the naive evaluator (used by the E2 benchmark to show
+/// the cost of per-step node-set materialization).
+struct NaiveEvalStats {
+  uint64_t node_visits = 0;    ///< child-list scans performed
+  uint64_t set_elements = 0;   ///< total size of materialized node sets
+  uint64_t qual_evals = 0;     ///< qualifier evaluations (after memo hits)
+};
+
+/// \brief Reference Regular XPath evaluator with per-step node-set
+/// materialization — the strategy of classic DOM engines such as Xalan.
+///
+/// Semantics are the specification the optimized engines are tested
+/// against: sets of element nodes in document order; `(p)*` by Kleene
+/// fixpoint; qualifiers memoized per (qualifier, node).
+///
+/// Queries start at a *virtual document node* above the root (represented
+/// internally as nullptr), so `hospital/...` matches the root element by
+/// name. Only element nodes appear in answers.
+class NaiveEvaluator {
+ public:
+  using NodeSet = std::vector<const xml::Node*>;  // sorted by id, unique
+
+  explicit NaiveEvaluator(const xml::Document& doc) : doc_(doc) {}
+
+  /// Evaluates `query` from the virtual document node.
+  NodeSet Eval(const PathExpr& query);
+
+  /// Evaluates `query` from the given context nodes.
+  NodeSet EvalFrom(const PathExpr& query, NodeSet context);
+
+  /// Evaluates a qualifier at one node (nullptr = virtual document node).
+  bool QualifierHolds(const Qualifier& q, const xml::Node* node);
+
+  const NaiveEvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NaiveEvalStats(); }
+
+ private:
+  NodeSet EvalPath(const PathExpr& p, const NodeSet& input);
+  NodeSet ChildStep(const NodeSet& input, xml::NameId label, bool wildcard);
+  void SortUnique(NodeSet* set) const;
+
+  const xml::Document& doc_;
+  NaiveEvalStats stats_;
+  // Memoized qualifier outcomes, keyed by qualifier identity and node.
+  std::unordered_map<const Qualifier*,
+                     std::unordered_map<const xml::Node*, bool>>
+      qual_memo_;
+};
+
+}  // namespace smoqe::rxpath
+
+#endif  // SMOQE_RXPATH_NAIVE_EVAL_H_

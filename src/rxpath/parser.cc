@@ -1,0 +1,295 @@
+#include "src/rxpath/parser.h"
+
+#include <vector>
+
+#include "src/rxpath/lexer.h"
+
+namespace smoqe::rxpath {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<PathExpr>> ParseFullQuery() {
+    SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> p, ParsePath());
+    SMOQE_RETURN_IF_ERROR(ExpectEnd());
+    return p;
+  }
+
+  Result<std::unique_ptr<Qualifier>> ParseFullQualifier() {
+    SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> q, ParseQual());
+    SMOQE_RETURN_IF_ERROR(ExpectEnd());
+    return q;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t ahead = 1) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool ConsumeIf(TokKind kind) {
+    if (Cur().kind != kind) return false;
+    Advance();
+    return true;
+  }
+  bool ConsumeWord(std::string_view word) {
+    if (Cur().kind != TokKind::kName || Cur().text != word) return false;
+    Advance();
+    return true;
+  }
+  Status ErrorHere(std::string msg) const {
+    return Status::ParseError(msg + " (found " + TokKindName(Cur().kind) +
+                              " at offset " + std::to_string(Cur().pos) + ")");
+  }
+  Status ExpectEnd() const {
+    if (Cur().kind != TokKind::kEnd) {
+      return ErrorHere("trailing input after expression");
+    }
+    return Status::OK();
+  }
+  Status Expect(TokKind kind) {
+    if (Cur().kind != kind) {
+      return ErrorHere("expected " + TokKindName(kind));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  // path ::= ['/' | '//'] term ('|' term)*
+  Result<std::unique_ptr<PathExpr>> ParsePath() {
+    std::vector<std::unique_ptr<PathExpr>> branches;
+    SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> first, ParseTerm());
+    branches.push_back(std::move(first));
+    while (ConsumeIf(TokKind::kPipe)) {
+      SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> next, ParseTerm());
+      branches.push_back(std::move(next));
+    }
+    return PathExpr::Union(std::move(branches));
+  }
+
+  // term ::= step (('/' | '//') step)*   — with qualifier-tail stop support
+  Result<std::unique_ptr<PathExpr>> ParseTerm() {
+    std::vector<std::unique_ptr<PathExpr>> parts;
+    // Leading '/' (absolute, no-op) or '//' (descendants of the context).
+    if (ConsumeIf(TokKind::kDoubleSlash)) {
+      parts.push_back(PathExpr::Star(PathExpr::Wildcard()));
+    } else {
+      (void)ConsumeIf(TokKind::kSlash);
+    }
+    SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> step, ParseStep());
+    parts.push_back(std::move(step));
+    while (true) {
+      if (Cur().kind == TokKind::kSlash) {
+        // Stop before '/@a' and '/text()': those belong to the enclosing
+        // comparison (qualifier context); in pure path context the caller
+        // will report them as errors.
+        TokKind after = Peek().kind;
+        if (after == TokKind::kAt || after == TokKind::kTextFn) break;
+        Advance();
+        SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> s, ParseStep());
+        parts.push_back(std::move(s));
+      } else if (Cur().kind == TokKind::kDoubleSlash) {
+        Advance();
+        parts.push_back(PathExpr::Star(PathExpr::Wildcard()));
+        SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> s, ParseStep());
+        parts.push_back(std::move(s));
+      } else {
+        break;
+      }
+    }
+    return PathExpr::Seq(std::move(parts));
+  }
+
+  // step ::= primary postfix*
+  Result<std::unique_ptr<PathExpr>> ParseStep() {
+    std::unique_ptr<PathExpr> p;
+    switch (Cur().kind) {
+      case TokKind::kName:
+        p = PathExpr::Label(Cur().text);
+        Advance();
+        break;
+      case TokKind::kStar:
+        p = PathExpr::Wildcard();
+        Advance();
+        break;
+      case TokKind::kDot:
+        p = PathExpr::Empty();
+        Advance();
+        break;
+      case TokKind::kLParen: {
+        Advance();
+        SMOQE_ASSIGN_OR_RETURN(p, ParsePath());
+        SMOQE_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+        break;
+      }
+      default:
+        return ErrorHere("expected a step (name, '*', '.', or '(')");
+    }
+    // Postfixes.
+    while (true) {
+      if (Cur().kind == TokKind::kLBracket) {
+        Advance();
+        SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> q, ParseQual());
+        SMOQE_RETURN_IF_ERROR(Expect(TokKind::kRBracket));
+        p = PathExpr::Pred(std::move(p), std::move(q));
+      } else if (Cur().kind == TokKind::kStar) {
+        Advance();
+        p = PathExpr::Star(std::move(p));
+      } else {
+        break;
+      }
+    }
+    return p;
+  }
+
+  // qual ::= andq ('or' andq)*
+  Result<std::unique_ptr<Qualifier>> ParseQual() {
+    SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> q, ParseAnd());
+    while (Cur().kind == TokKind::kName && Cur().text == "or") {
+      Advance();
+      SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> rhs, ParseAnd());
+      q = Qualifier::Or(std::move(q), std::move(rhs));
+    }
+    return q;
+  }
+
+  Result<std::unique_ptr<Qualifier>> ParseAnd() {
+    SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> q, ParseUnary());
+    while (Cur().kind == TokKind::kName && Cur().text == "and") {
+      Advance();
+      SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> rhs, ParseUnary());
+      q = Qualifier::And(std::move(q), std::move(rhs));
+    }
+    return q;
+  }
+
+  Result<std::unique_ptr<Qualifier>> ParseUnary() {
+    if (Cur().kind == TokKind::kName && Cur().text == "not" &&
+        Peek().kind == TokKind::kLParen) {
+      Advance();
+      Advance();
+      SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> inner, ParseQual());
+      SMOQE_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+      return Qualifier::Not(std::move(inner));
+    }
+    if (ConsumeIf(TokKind::kTrueFn)) {
+      return Qualifier::True();
+    }
+    // Try a comparison; on failure, backtrack and try '(' qual ')'.
+    size_t saved = pos_;
+    auto cmp = ParseComparison();
+    if (cmp.ok()) return cmp;
+    if (tokens_[saved].kind == TokKind::kLParen) {
+      pos_ = saved;
+      Advance();
+      SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> inner, ParseQual());
+      SMOQE_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+      return inner;
+    }
+    return cmp.status();
+  }
+
+  // comparison ::= cpath (('='|'!=') STRING)?
+  Result<std::unique_ptr<Qualifier>> ParseComparison() {
+    std::unique_ptr<PathExpr> path;
+    bool text_test = false;
+    bool attr_test = false;
+    std::string attr_name;
+
+    if (Cur().kind == TokKind::kAt) {
+      Advance();
+      if (Cur().kind != TokKind::kName) return ErrorHere("expected attribute name");
+      attr_test = true;
+      attr_name = Cur().text;
+      Advance();
+      path = PathExpr::Empty();
+    } else if (ConsumeIf(TokKind::kTextFn)) {
+      text_test = true;
+      path = PathExpr::Empty();
+    } else {
+      SMOQE_ASSIGN_OR_RETURN(path, ParsePath());
+      if (Cur().kind == TokKind::kSlash && Peek().kind == TokKind::kAt) {
+        Advance();
+        Advance();
+        if (Cur().kind != TokKind::kName) {
+          return ErrorHere("expected attribute name after '@'");
+        }
+        attr_test = true;
+        attr_name = Cur().text;
+        Advance();
+      } else if (Cur().kind == TokKind::kSlash &&
+                 Peek().kind == TokKind::kTextFn) {
+        Advance();
+        Advance();
+        text_test = true;
+      }
+    }
+
+    bool negated = false;
+    bool has_cmp = false;
+    std::string value;
+    if (Cur().kind == TokKind::kEq || Cur().kind == TokKind::kNeq) {
+      negated = Cur().kind == TokKind::kNeq;
+      Advance();
+      if (Cur().kind != TokKind::kString) {
+        return ErrorHere("expected a quoted string after comparison operator");
+      }
+      has_cmp = true;
+      value = Cur().text;
+      Advance();
+    }
+
+    std::unique_ptr<Qualifier> q;
+    if (attr_test) {
+      q = has_cmp ? Qualifier::AttrEq(std::move(path), std::move(attr_name),
+                                      std::move(value))
+                  : Qualifier::Attr(std::move(path), std::move(attr_name));
+    } else if (text_test) {
+      if (!has_cmp) {
+        return ErrorHere("text() must be compared to a string");
+      }
+      q = Qualifier::TextEq(std::move(path), std::move(value));
+    } else if (has_cmp) {
+      q = Qualifier::TextEq(std::move(path), std::move(value));
+    } else {
+      q = Qualifier::Path(std::move(path));
+    }
+    if (negated) q = Qualifier::Not(std::move(q));
+    return q;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PathExpr>> ParseQuery(std::string_view input) {
+  SMOQE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  auto result = parser.ParseFullQuery();
+  if (!result.ok()) {
+    return result.status().WithContext("parsing query '" + std::string(input) +
+                                       "'");
+  }
+  return result;
+}
+
+Result<std::unique_ptr<Qualifier>> ParseQualifierExpr(std::string_view input) {
+  SMOQE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  auto result = parser.ParseFullQualifier();
+  if (!result.ok()) {
+    return result.status().WithContext("parsing qualifier '" +
+                                       std::string(input) + "'");
+  }
+  return result;
+}
+
+}  // namespace smoqe::rxpath

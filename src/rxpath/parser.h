@@ -1,0 +1,41 @@
+#ifndef SMOQE_RXPATH_PARSER_H_
+#define SMOQE_RXPATH_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/rxpath/ast.h"
+
+namespace smoqe::rxpath {
+
+/// \brief Parses a Regular XPath query.
+///
+/// Grammar (desugarings applied by the parser are noted):
+///
+///   path   ::= ['/' | '//'] term ('|' term)*
+///   term   ::= step (('/' | '//') step)*          // '//'  ⇒  /(*)*/
+///   step   ::= primary postfix*
+///   primary::= NAME | '*' | '.' | '(' path ')'
+///   postfix::= '[' qual ']'                        // predicate
+///            | '*'                                 // Kleene star
+///   qual   ::= orq ; orq ::= andq ('or' andq)* ; andq ::= unary ('and' unary)*
+///   unary  ::= 'not' '(' qual ')' | comparison | '(' qual ')' | true()
+///   comparison ::= cpath (('='|'!=') STRING)?
+///   cpath  ::= '@' NAME | 'text()' | path ['/' ('@' NAME | 'text()')]
+///
+/// Notes:
+///  * Queries are evaluated from a virtual document node above the root, so
+///    `hospital/patient` matches from the root element's name down; a
+///    leading '/' is accepted and means the same thing.
+///  * Attribute and text() tests are only valid inside qualifiers.
+///  * `p = 'c'` and `p/text() = 'c'` are the same test: some node reached
+///    by p has direct text equal to 'c'; `p != 'c'` is not(p = 'c').
+Result<std::unique_ptr<PathExpr>> ParseQuery(std::string_view input);
+
+/// Parses a standalone qualifier (used by the policy/annotation formats).
+Result<std::unique_ptr<Qualifier>> ParseQualifierExpr(std::string_view input);
+
+}  // namespace smoqe::rxpath
+
+#endif  // SMOQE_RXPATH_PARSER_H_

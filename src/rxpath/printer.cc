@@ -1,0 +1,132 @@
+#include "src/rxpath/printer.h"
+
+namespace smoqe::rxpath {
+
+namespace {
+
+std::string Quote(const std::string& v) {
+  if (v.find('\'') == std::string::npos) return "'" + v + "'";
+  return "\"" + v + "\"";
+}
+
+// True if `p` prints as a single step token (no parens needed before a
+// postfix or inside a sequence).
+bool IsAtomic(const PathExpr& p) {
+  switch (p.kind()) {
+    case PathExpr::Kind::kEmpty:
+    case PathExpr::Kind::kLabel:
+    case PathExpr::Kind::kWildcard:
+    case PathExpr::Kind::kPred:  // prints as step[...]; binds correctly
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string PrintPath(const PathExpr& p);
+
+std::string PrintSeqPart(const PathExpr& p) {
+  if (p.kind() == PathExpr::Kind::kUnion) return "(" + PrintPath(p) + ")";
+  return PrintPath(p);
+}
+
+std::string PrintPath(const PathExpr& p) {
+  switch (p.kind()) {
+    case PathExpr::Kind::kEmpty:
+      return ".";
+    case PathExpr::Kind::kLabel:
+      return p.label();
+    case PathExpr::Kind::kWildcard:
+      return "*";
+    case PathExpr::Kind::kSeq: {
+      std::string out;
+      for (size_t i = 0; i < p.parts().size(); ++i) {
+        if (i > 0) out += "/";
+        out += PrintSeqPart(*p.parts()[i]);
+      }
+      return out;
+    }
+    case PathExpr::Kind::kUnion: {
+      std::string out;
+      for (size_t i = 0; i < p.parts().size(); ++i) {
+        if (i > 0) out += " | ";
+        out += PrintPath(*p.parts()[i]);
+      }
+      return out;
+    }
+    case PathExpr::Kind::kStar: {
+      const PathExpr& body = p.body();
+      if (body.kind() == PathExpr::Kind::kLabel) return body.label() + "*";
+      return "(" + PrintPath(body) + ")*";
+    }
+    case PathExpr::Kind::kPred: {
+      const PathExpr& base = *p.parts()[0];
+      std::string head =
+          IsAtomic(base) ? PrintPath(base) : "(" + PrintPath(base) + ")";
+      return head + "[" + ToString(p.qual()) + "]";
+    }
+  }
+  return "?";
+}
+
+std::string PrintQual(const Qualifier& q);
+
+// Parenthesization preserves the exact tree shape: the parser is
+// left-associative, so a right operand of the same kind needs parentheses,
+// and 'or' under 'and' always does.
+std::string PrintBoolOperand(const Qualifier& q, Qualifier::Kind parent,
+                             bool is_right) {
+  bool needs_parens = false;
+  if (parent == Qualifier::Kind::kAnd) {
+    needs_parens = q.kind() == Qualifier::Kind::kOr ||
+                   (is_right && q.kind() == Qualifier::Kind::kAnd);
+  } else {  // kOr
+    needs_parens = is_right && q.kind() == Qualifier::Kind::kOr;
+  }
+  std::string s = PrintQual(q);
+  return needs_parens ? "(" + s + ")" : s;
+}
+
+std::string PrintQual(const Qualifier& q) {
+  switch (q.kind()) {
+    case Qualifier::Kind::kPath:
+      return PrintPath(q.path());
+    case Qualifier::Kind::kTextEq: {
+      if (q.path().kind() == PathExpr::Kind::kEmpty) {
+        return "text() = " + Quote(q.value());
+      }
+      return PrintPath(q.path()) + " = " + Quote(q.value());
+    }
+    case Qualifier::Kind::kAttr: {
+      std::string head;
+      if (q.path().kind() == PathExpr::Kind::kEmpty) {
+        head = "@" + q.attr_name();
+      } else {
+        head = PrintPath(q.path()) + "/@" + q.attr_name();
+      }
+      if (q.has_value()) head += " = " + Quote(q.value());
+      return head;
+    }
+    case Qualifier::Kind::kAnd:
+      return PrintBoolOperand(q.left(), Qualifier::Kind::kAnd, false) +
+             " and " +
+             PrintBoolOperand(q.right(), Qualifier::Kind::kAnd, true);
+    case Qualifier::Kind::kOr:
+      return PrintBoolOperand(q.left(), Qualifier::Kind::kOr, false) +
+             " or " +
+             PrintBoolOperand(q.right(), Qualifier::Kind::kOr, true);
+    case Qualifier::Kind::kNot:
+      return "not(" + PrintQual(q.left()) + ")";
+    case Qualifier::Kind::kTrue:
+      return "true()";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ToString(const PathExpr& path) { return PrintPath(path); }
+
+std::string ToString(const Qualifier& qual) { return PrintQual(qual); }
+
+}  // namespace smoqe::rxpath

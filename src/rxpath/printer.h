@@ -1,0 +1,19 @@
+#ifndef SMOQE_RXPATH_PRINTER_H_
+#define SMOQE_RXPATH_PRINTER_H_
+
+#include <string>
+
+#include "src/rxpath/ast.h"
+
+namespace smoqe::rxpath {
+
+/// Renders a path expression in canonical surface syntax. The output
+/// re-parses to a structurally equal AST (round-trip property, tested).
+std::string ToString(const PathExpr& path);
+
+/// Renders a qualifier.
+std::string ToString(const Qualifier& qual);
+
+}  // namespace smoqe::rxpath
+
+#endif  // SMOQE_RXPATH_PRINTER_H_

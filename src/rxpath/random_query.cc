@@ -1,0 +1,107 @@
+#include "src/rxpath/random_query.h"
+
+#include "src/common/rng.h"
+
+namespace smoqe::rxpath {
+
+namespace {
+
+class Generator {
+ public:
+  Generator(uint64_t seed, const RandomQueryOptions& options)
+      : rng_(seed ^ 0xC0FFEE), options_(options) {}
+
+  std::unique_ptr<PathExpr> Path(int depth) {
+    // Weighted structural choice; at the depth limit only leaves remain.
+    if (depth >= options_.max_depth) return Step(depth);
+    switch (rng_.Uniform(10)) {
+      case 0: {  // union
+        std::vector<std::unique_ptr<PathExpr>> parts;
+        parts.push_back(Path(depth + 1));
+        parts.push_back(Path(depth + 1));
+        return PathExpr::Union(std::move(parts));
+      }
+      case 1:  // star
+        return PathExpr::Star(Path(depth + 1));
+      case 2:
+      case 3:
+      case 4: {  // sequence of 2-3 sub-paths
+        std::vector<std::unique_ptr<PathExpr>> parts;
+        size_t n = 2 + rng_.Uniform(2);
+        for (size_t i = 0; i < n; ++i) parts.push_back(Path(depth + 1));
+        return PathExpr::Seq(std::move(parts));
+      }
+      default:
+        return Step(depth);
+    }
+  }
+
+ private:
+  std::unique_ptr<PathExpr> Step(int depth) {
+    std::unique_ptr<PathExpr> step;
+    uint64_t die = rng_.Uniform(10);
+    if (die == 0) {
+      step = PathExpr::Wildcard();
+    } else if (die == 1) {
+      // '//'-style descendant hop.
+      step = PathExpr::Seq2(PathExpr::Star(PathExpr::Wildcard()),
+                            PathExpr::Label(Label()));
+    } else {
+      step = PathExpr::Label(Label());
+    }
+    if (depth < options_.max_depth && rng_.Chance(options_.pred_p)) {
+      step = PathExpr::Pred(std::move(step), Qual(depth + 1));
+    }
+    return step;
+  }
+
+  std::unique_ptr<Qualifier> Qual(int depth) {
+    if (depth >= options_.max_depth) return LeafQual(depth);
+    switch (rng_.Uniform(8)) {
+      case 0:
+        return Qualifier::And(Qual(depth + 1), Qual(depth + 1));
+      case 1:
+        return Qualifier::Or(Qual(depth + 1), Qual(depth + 1));
+      case 2:
+        if (options_.allow_negation) {
+          return Qualifier::Not(Qual(depth + 1));
+        }
+        return LeafQual(depth);
+      default:
+        return LeafQual(depth);
+    }
+  }
+
+  std::unique_ptr<Qualifier> LeafQual(int depth) {
+    std::unique_ptr<PathExpr> path =
+        rng_.Chance(0.2) ? PathExpr::Empty() : Path(depth + 1);
+    if (!options_.values.empty() && rng_.Chance(0.5)) {
+      return Qualifier::TextEq(std::move(path), Value());
+    }
+    if (path->kind() == PathExpr::Kind::kEmpty) {
+      // A bare '.' qualifier is trivially true; prefer a label step.
+      path = PathExpr::Label(Label());
+    }
+    return Qualifier::Path(std::move(path));
+  }
+
+  std::string Label() {
+    return options_.labels[rng_.Uniform(options_.labels.size())];
+  }
+  std::string Value() {
+    return options_.values[rng_.Uniform(options_.values.size())];
+  }
+
+  Rng rng_;
+  const RandomQueryOptions& options_;
+};
+
+}  // namespace
+
+std::unique_ptr<PathExpr> RandomQuery(uint64_t seed,
+                                      const RandomQueryOptions& options) {
+  Generator gen(seed, options);
+  return gen.Path(0);
+}
+
+}  // namespace smoqe::rxpath

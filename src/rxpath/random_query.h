@@ -1,0 +1,40 @@
+#ifndef SMOQE_RXPATH_RANDOM_QUERY_H_
+#define SMOQE_RXPATH_RANDOM_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/rxpath/ast.h"
+
+namespace smoqe::rxpath {
+
+/// Knobs for random query generation.
+struct RandomQueryOptions {
+  /// Element names steps draw from (usually a schema's types).
+  std::vector<std::string> labels;
+  /// Text constants for '= value' comparisons (usually the generator
+  /// vocabulary, so predicates are satisfiable).
+  std::vector<std::string> values;
+  /// Maximum AST depth of the generated path.
+  int max_depth = 5;
+  /// Probability a generated step carries a predicate.
+  double pred_p = 0.3;
+  /// Probability weights for structural choices (label vs wildcard vs
+  /// star vs union …) are fixed internally; this flag additionally allows
+  /// `not(…)` in qualifiers (negation stresses resolution ordering).
+  bool allow_negation = true;
+};
+
+/// \brief Grammar-directed random Regular XPath generator, for fuzz-style
+/// differential testing: every engine (naive, HyPE DOM/StAX, two-pass,
+/// TAX on/off) must agree on every (random document, random query) pair.
+///
+/// Deterministic per seed. The same seed/options always yield the same
+/// query, so failures reproduce.
+std::unique_ptr<PathExpr> RandomQuery(uint64_t seed,
+                                      const RandomQueryOptions& options);
+
+}  // namespace smoqe::rxpath
+
+#endif  // SMOQE_RXPATH_RANDOM_QUERY_H_

@@ -1,0 +1,129 @@
+#include "src/rxpath/type_check.h"
+
+#include <algorithm>
+
+namespace smoqe::rxpath {
+
+namespace {
+
+/// The virtual document node is modeled as the pseudo-type "".
+constexpr char kDocType[] = "";
+
+class Checker {
+ public:
+  Checker(const xml::Dtd& dtd, TypeCheckResult* out) : dtd_(dtd), out_(out) {}
+
+  std::set<std::string> Walk(const PathExpr& p,
+                             const std::set<std::string>& in) {
+    switch (p.kind()) {
+      case PathExpr::Kind::kEmpty:
+        return in;
+      case PathExpr::Kind::kLabel: {
+        if (dtd_.Find(p.label()) == nullptr) {
+          out_->unknown_labels.insert(p.label());
+          return {};
+        }
+        std::set<std::string> out;
+        for (const std::string& t : in) {
+          for (const std::string& c : ChildTypesOf(t)) {
+            if (c == p.label()) out.insert(c);
+          }
+        }
+        return out;
+      }
+      case PathExpr::Kind::kWildcard: {
+        std::set<std::string> out;
+        for (const std::string& t : in) {
+          for (const std::string& c : ChildTypesOf(t)) out.insert(c);
+        }
+        return out;
+      }
+      case PathExpr::Kind::kSeq: {
+        std::set<std::string> cur = in;
+        for (const auto& part : p.parts()) {
+          cur = Walk(*part, cur);
+          // Keep walking on empty context so every label is still checked
+          // for typos, but the result stays empty.
+        }
+        return cur;
+      }
+      case PathExpr::Kind::kUnion: {
+        std::set<std::string> out;
+        for (const auto& part : p.parts()) {
+          std::set<std::string> piece = Walk(*part, in);
+          out.insert(piece.begin(), piece.end());
+        }
+        return out;
+      }
+      case PathExpr::Kind::kStar: {
+        // Fixpoint over reachable types.
+        std::set<std::string> all = in;
+        std::set<std::string> frontier = in;
+        while (!frontier.empty()) {
+          std::set<std::string> next = Walk(p.body(), frontier);
+          std::set<std::string> fresh;
+          for (const std::string& t : next) {
+            if (all.insert(t).second) fresh.insert(t);
+          }
+          frontier = std::move(fresh);
+        }
+        return all;
+      }
+      case PathExpr::Kind::kPred: {
+        std::set<std::string> base = Walk(*p.parts()[0], in);
+        CheckQualifier(p.qual(), base);
+        return base;
+      }
+    }
+    return {};
+  }
+
+ private:
+  std::vector<std::string> ChildTypesOf(const std::string& t) const {
+    if (t == kDocType) {
+      return dtd_.root_name().empty()
+                 ? std::vector<std::string>{}
+                 : std::vector<std::string>{dtd_.root_name()};
+    }
+    return dtd_.ChildTypes(t);
+  }
+
+  void CheckQualifier(const Qualifier& q, const std::set<std::string>& anchors) {
+    switch (q.kind()) {
+      case Qualifier::Kind::kPath:
+      case Qualifier::Kind::kTextEq:
+      case Qualifier::Kind::kAttr:
+        (void)Walk(q.path(), anchors);
+        break;
+      case Qualifier::Kind::kAnd:
+      case Qualifier::Kind::kOr:
+        CheckQualifier(q.left(), anchors);
+        CheckQualifier(q.right(), anchors);
+        break;
+      case Qualifier::Kind::kNot:
+        CheckQualifier(q.left(), anchors);
+        break;
+      case Qualifier::Kind::kTrue:
+        break;
+    }
+  }
+
+  const xml::Dtd& dtd_;
+  TypeCheckResult* out_;
+};
+
+}  // namespace
+
+TypeCheckResult TypeCheck(const PathExpr& path, const xml::Dtd& dtd,
+                          const std::set<std::string>& context_types,
+                          bool from_document_node) {
+  TypeCheckResult result;
+  Checker checker(dtd, &result);
+  std::set<std::string> in = context_types;
+  if (from_document_node) in.insert(kDocType);
+  result.output_types = checker.Walk(path, in);
+  result.output_types.erase(kDocType);  // the virtual node is not a type
+  return result;
+}
+
+}  // namespace smoqe::rxpath

@@ -1,0 +1,43 @@
+#ifndef SMOQE_RXPATH_TYPE_CHECK_H_
+#define SMOQE_RXPATH_TYPE_CHECK_H_
+
+#include <set>
+#include <string>
+
+#include "src/rxpath/ast.h"
+#include "src/xml/dtd.h"
+
+namespace smoqe::rxpath {
+
+/// Result of statically typing a path against a DTD.
+struct TypeCheckResult {
+  /// Element types the path can produce from the given context types.
+  std::set<std::string> output_types;
+  /// Labels mentioned by the path (selection or qualifiers) that are not
+  /// element types of the DTD — typos or schema violations; such steps
+  /// can never match on conforming documents.
+  std::set<std::string> unknown_labels;
+};
+
+/// \brief Infers the output types of a Regular XPath over a DTD's type
+/// graph (abstract interpretation of child steps over element types).
+///
+/// `context_types` is the set of types evaluation may start from; pass
+/// `{dtd.root_name()}` with `from_document_node = true` for a whole-query
+/// check (the virtual document node precedes the root, so the first step
+/// must match the root type).
+///
+/// Uses: validating user queries against a view schema (SMOQE rejects or
+/// warns on queries that cannot match — iSMOQE's query assistance), and
+/// checking hand-written view specifications (σ(A,B) must only produce
+/// B-typed nodes; see view::ParseViewSpecification).
+///
+/// Qualifier paths are typed for `unknown_labels` reporting but do not
+/// constrain `output_types` (a qualifier can only shrink the result set).
+TypeCheckResult TypeCheck(const PathExpr& path, const xml::Dtd& dtd,
+                          const std::set<std::string>& context_types,
+                          bool from_document_node = false);
+
+}  // namespace smoqe::rxpath
+
+#endif  // SMOQE_RXPATH_TYPE_CHECK_H_

@@ -1,0 +1,350 @@
+#include "src/view/derive.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "src/automata/regex_extract.h"
+#include "src/rxpath/ast.h"
+
+namespace smoqe::view {
+
+using rxpath::PathExpr;
+using xml::ContentKind;
+using xml::Dtd;
+using xml::ElementDecl;
+using xml::Particle;
+
+namespace {
+
+enum class Vis { kVisible, kHidden };
+
+/// Type classification + per-edge conditions, shared by the DTD transform
+/// and the σ extraction.
+struct Classification {
+  std::map<std::string, Vis> vis;
+  /// Hidden types whose hidden-reachable region contains a cycle.
+  std::set<std::string> cyclic;
+
+  bool IsVisible(const std::string& t) const {
+    auto it = vis.find(t);
+    return it != vis.end() && it->second == Vis::kVisible;
+  }
+  bool IsHidden(const std::string& t) const {
+    auto it = vis.find(t);
+    return it != vis.end() && it->second == Vis::kHidden;
+  }
+};
+
+Result<Classification> Classify(const Policy& policy) {
+  const Dtd& dtd = policy.dtd();
+  Classification cls;
+  cls.vis[dtd.root_name()] = Vis::kVisible;
+  std::deque<std::string> work = {dtd.root_name()};
+  std::set<std::string> expanded;
+  while (!work.empty()) {
+    std::string a = work.front();
+    work.pop_front();
+    if (!expanded.insert(a).second) continue;
+    for (const std::string& b : dtd.ChildTypes(a)) {
+      Vis v;
+      const Annotation* ann = policy.Find(a, b);
+      if (ann != nullptr) {
+        v = ann->kind == AnnKind::kDeny ? Vis::kHidden : Vis::kVisible;
+      } else {
+        v = cls.vis[a];  // inherit (conditionally visible inherits visible)
+      }
+      auto it = cls.vis.find(b);
+      if (it == cls.vis.end()) {
+        cls.vis[b] = v;
+        work.push_back(b);
+      } else if (it->second != v) {
+        return Status::InvalidArgument(
+            "policy classifies type '" + b +
+            "' inconsistently (visible via one edge, hidden via another); "
+            "split the type in the DTD or annotate the edges explicitly");
+      } else {
+        work.push_back(b);
+      }
+    }
+  }
+
+  // Cycle membership within the hidden-only subgraph: a hidden type is
+  // 'cyclic' when it can reach itself through hidden edges.
+  for (const auto& [t, v] : cls.vis) {
+    if (v != Vis::kHidden) continue;
+    std::set<std::string> seen;
+    std::deque<std::string> q;
+    for (const std::string& c : dtd.ChildTypes(t)) {
+      if (cls.IsHidden(c)) q.push_back(c);
+    }
+    bool self = false;
+    while (!q.empty() && !self) {
+      std::string c = q.front();
+      q.pop_front();
+      if (c == t) {
+        self = true;
+        break;
+      }
+      if (!seen.insert(c).second) continue;
+      for (const std::string& d : dtd.ChildTypes(c)) {
+        if (cls.IsHidden(d)) q.push_back(d);
+      }
+    }
+    if (self) cls.cyclic.insert(t);
+  }
+  return cls;
+}
+
+/// Computes frontier particles for hidden types and transformed particles
+/// for visible types.
+class ParticleTransform {
+ public:
+  ParticleTransform(const Policy& policy, const Classification& cls)
+      : policy_(policy), cls_(cls), dtd_(policy.dtd()) {}
+
+  /// Replaces hidden children with their visible frontiers; conditional
+  /// children become optional.
+  std::unique_ptr<Particle> TransformContent(const std::string& type,
+                                             const Particle& p) {
+    return Particle::Simplify(Walk(type, p));
+  }
+
+  /// Frontier of a hidden type: the particle its A-ancestors see instead
+  /// of it.
+  std::unique_ptr<Particle> Frontier(const std::string& hidden) {
+    auto it = memo_.find(hidden);
+    if (it != memo_.end()) return it->second->Clone();
+    std::unique_ptr<Particle> result;
+    if (cls_.cyclic.count(hidden) > 0) {
+      // Recursive hidden region: approximate by (f1 | … | fk)* over its
+      // visible frontier types (the SIGMOD'04 regularization).
+      std::set<std::string> frontier = RegionFrontier(hidden);
+      if (frontier.empty()) {
+        result = Particle::Epsilon();
+      } else {
+        std::vector<std::unique_ptr<Particle>> parts;
+        for (const std::string& f : frontier) {
+          parts.push_back(Particle::Element(f));
+        }
+        result = Particle::Star(Particle::Choice(std::move(parts)));
+      }
+    } else {
+      const ElementDecl* decl = dtd_.Find(hidden);
+      if (decl == nullptr || decl->content == ContentKind::kEmpty ||
+          decl->content == ContentKind::kPcdata) {
+        result = Particle::Epsilon();
+      } else if (decl->content == ContentKind::kMixed) {
+        std::vector<std::unique_ptr<Particle>> parts;
+        for (const std::string& c : decl->mixed_names) {
+          parts.push_back(ChildOccurrence(hidden, c));
+        }
+        result = parts.empty()
+                     ? Particle::Epsilon()
+                     : Particle::Star(Particle::Choice(std::move(parts)));
+      } else {
+        result = Walk(hidden, *decl->particle);
+      }
+    }
+    result = Particle::Simplify(std::move(result));
+    memo_[hidden] = result->Clone();
+    return result;
+  }
+
+  /// Visible frontier types adjacent to the hidden region of `hidden`.
+  std::set<std::string> RegionFrontier(const std::string& hidden) {
+    std::set<std::string> region = {hidden};
+    std::deque<std::string> q = {hidden};
+    while (!q.empty()) {
+      std::string h = q.front();
+      q.pop_front();
+      for (const std::string& c : dtd_.ChildTypes(h)) {
+        if (cls_.IsHidden(c) && region.insert(c).second) q.push_back(c);
+      }
+    }
+    std::set<std::string> frontier;
+    for (const std::string& h : region) {
+      for (const std::string& c : dtd_.ChildTypes(h)) {
+        if (cls_.IsVisible(c)) frontier.insert(c);
+      }
+    }
+    return frontier;
+  }
+
+ private:
+  /// One occurrence of child `c` under `parent` after the transform.
+  std::unique_ptr<Particle> ChildOccurrence(const std::string& parent,
+                                            const std::string& c) {
+    if (cls_.IsVisible(c)) {
+      const Annotation* ann = policy_.Find(parent, c);
+      if (ann != nullptr && ann->kind == AnnKind::kCondition) {
+        return Particle::Opt(Particle::Element(c));
+      }
+      return Particle::Element(c);
+    }
+    return Frontier(c);
+  }
+
+  std::unique_ptr<Particle> Walk(const std::string& type, const Particle& p) {
+    switch (p.kind()) {
+      case Particle::Kind::kElement:
+        return ChildOccurrence(type, p.name());
+      case Particle::Kind::kEpsilon:
+        return Particle::Epsilon();
+      case Particle::Kind::kSeq:
+      case Particle::Kind::kChoice: {
+        std::vector<std::unique_ptr<Particle>> parts;
+        for (const auto& c : p.children()) parts.push_back(Walk(type, *c));
+        return p.kind() == Particle::Kind::kSeq
+                   ? Particle::Seq(std::move(parts))
+                   : Particle::Choice(std::move(parts));
+      }
+      case Particle::Kind::kStar:
+        return Particle::Star(Walk(type, *p.children()[0]));
+      case Particle::Kind::kPlus:
+        return Particle::Plus(Walk(type, *p.children()[0]));
+      case Particle::Kind::kOpt:
+        return Particle::Opt(Walk(type, *p.children()[0]));
+    }
+    return Particle::Epsilon();
+  }
+
+  const Policy& policy_;
+  const Classification& cls_;
+  const Dtd& dtd_;
+  std::map<std::string, std::unique_ptr<Particle>> memo_;
+};
+
+/// One child step of the σ graph: `C` or `C[q]` for conditional edges.
+std::unique_ptr<PathExpr> StepFor(const Policy& policy,
+                                  const std::string& parent,
+                                  const std::string& child) {
+  auto step = PathExpr::Label(child);
+  const Annotation* ann = policy.Find(parent, child);
+  if (ann != nullptr && ann->kind == AnnKind::kCondition) {
+    return PathExpr::Pred(std::move(step), ann->condition->Clone());
+  }
+  return step;
+}
+
+}  // namespace
+
+Result<ViewDefinition> DeriveView(const Policy& policy) {
+  const Dtd& dtd = policy.dtd();
+  if (dtd.root_name().empty() || dtd.Find(dtd.root_name()) == nullptr) {
+    return Status::InvalidArgument("policy DTD has no root element");
+  }
+  for (const auto& [name, decl] : dtd.elements()) {
+    if (decl.content == ContentKind::kAny) {
+      return Status::InvalidArgument(
+          "ANY content models are not supported by view derivation ('" +
+          name + "')");
+    }
+  }
+
+  SMOQE_ASSIGN_OR_RETURN(Classification cls, Classify(policy));
+  ParticleTransform transform(policy, cls);
+
+  ViewDefinition view;
+  Dtd* view_dtd = view.mutable_view_dtd();
+  view_dtd->set_root_name(dtd.root_name());
+
+  // View DTD declarations for visible types.
+  for (const auto& [name, v] : cls.vis) {
+    if (v != Vis::kVisible) continue;
+    const ElementDecl* decl = dtd.Find(name);
+    ElementDecl out;
+    out.name = name;
+    for (const xml::AttrDecl& ad : decl->attrs) out.attrs.push_back(ad);
+    switch (decl->content) {
+      case ContentKind::kEmpty:
+      case ContentKind::kPcdata:
+        out.content = decl->content;
+        break;
+      case ContentKind::kAny:
+        return Status::Internal("ANY slipped through validation");
+      case ContentKind::kMixed: {
+        // Mixed children: visible kept, hidden replaced by region
+        // frontiers; the view stays mixed.
+        std::set<std::string> names;
+        for (const std::string& c : decl->mixed_names) {
+          if (cls.IsVisible(c)) {
+            names.insert(c);
+          } else if (cls.IsHidden(c)) {
+            std::set<std::string> f = transform.RegionFrontier(c);
+            names.insert(f.begin(), f.end());
+          }
+        }
+        if (names.empty()) {
+          out.content = ContentKind::kPcdata;
+        } else {
+          out.content = ContentKind::kMixed;
+          out.mixed_names.assign(names.begin(), names.end());
+        }
+        break;
+      }
+      case ContentKind::kChildren: {
+        std::unique_ptr<Particle> p =
+            transform.TransformContent(name, *decl->particle);
+        if (p->kind() == Particle::Kind::kEpsilon) {
+          out.content = ContentKind::kEmpty;
+        } else {
+          out.content = ContentKind::kChildren;
+          out.particle = std::move(p);
+        }
+        break;
+      }
+    }
+    SMOQE_RETURN_IF_ERROR(view_dtd->AddElement(std::move(out)));
+  }
+
+  // σ extraction per visible type: state-eliminate the hidden region.
+  for (const auto& [name, v] : cls.vis) {
+    if (v != Vis::kVisible) continue;
+    automata::PathAutomaton g;
+    int src = g.AddState();
+    std::map<std::string, int> hidden_node;
+    std::map<std::string, int> sink_node;
+    std::set<int> sinks;
+    std::deque<std::pair<std::string, int>> work = {{name, src}};
+    std::set<std::string> expanded;
+    while (!work.empty()) {
+      auto [type, state] = work.front();
+      work.pop_front();
+      if (!expanded.insert(type).second) continue;
+      for (const std::string& c : dtd.ChildTypes(type)) {
+        if (cls.IsVisible(c)) {
+          auto it = sink_node.find(c);
+          if (it == sink_node.end()) {
+            it = sink_node.emplace(c, g.AddState()).first;
+            sinks.insert(it->second);
+          }
+          g.AddEdge(state, it->second, StepFor(policy, type, c));
+        } else if (cls.IsHidden(c)) {
+          auto it = hidden_node.find(c);
+          if (it == hidden_node.end()) {
+            it = hidden_node.emplace(c, g.AddState()).first;
+          }
+          g.AddEdge(state, it->second, StepFor(policy, type, c));
+          work.push_back({c, it->second});
+        }
+      }
+    }
+    SMOQE_ASSIGN_OR_RETURN(auto paths, g.ExtractPaths(src, sinks));
+    for (auto& [sink, path] : paths) {
+      for (const auto& [child, node] : sink_node) {
+        if (node == sink) {
+          SMOQE_RETURN_IF_ERROR(view.SetSigma(name, child, std::move(path)));
+          break;
+        }
+      }
+    }
+  }
+
+  SMOQE_RETURN_IF_ERROR(view.Validate());
+  return view;
+}
+
+}  // namespace smoqe::view

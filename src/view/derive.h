@@ -1,0 +1,40 @@
+#ifndef SMOQE_VIEW_DERIVE_H_
+#define SMOQE_VIEW_DERIVE_H_
+
+#include "src/common/status.h"
+#include "src/view/annotation.h"
+#include "src/view/view_def.h"
+
+namespace smoqe::view {
+
+/// \brief Derives a security view from an access-control policy
+/// (paper §2 "XML view definition", §3 "Specifying XML views"; the
+/// automated derivation of reference [3]).
+///
+/// Semantics implemented (documented deviations in DESIGN.md §3):
+///  * Explicit annotations: Y = visible, N = hidden, [q] = visible iff q
+///    holds at the node. Unannotated edges inherit top-down: a child of a
+///    visible (or conditionally visible) type is visible, a child of a
+///    hidden type is hidden.
+///  * A type must classify consistently over every reachable edge
+///    (visible on one edge and hidden on another is rejected with
+///    InvalidArgument — the SIGMOD'04 construction resolves this by type
+///    renaming; callers can do the same by editing the DTD).
+///  * The view DTD keeps the visible types. Hidden children in content
+///    models are replaced by the content they expose (their visible
+///    frontier), recursively; a *recursive* hidden region is approximated
+///    by `(f1 | … | fk)*` over its frontier types. Conditionally visible
+///    children become optional (`B?`).
+///  * σ(A,B) is the Regular XPath collecting the visible B-frontier of an
+///    A node: all downward label paths through hidden nodes, computed by
+///    state elimination over the hidden-region graph; conditional steps
+///    carry their qualifier (`B[q]`). Recursive hidden regions produce
+///    Kleene stars — the Regular-XPath-only case.
+///
+/// The root type must be visible. Reproduces the paper's Fig. 3 example
+/// exactly (golden-tested).
+Result<ViewDefinition> DeriveView(const Policy& policy);
+
+}  // namespace smoqe::view
+
+#endif  // SMOQE_VIEW_DERIVE_H_

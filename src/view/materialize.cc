@@ -1,0 +1,78 @@
+#include "src/view/materialize.h"
+
+#include "src/rxpath/naive_eval.h"
+
+namespace smoqe::view {
+
+namespace {
+
+class Materializer {
+ public:
+  Materializer(const ViewDefinition& view, const xml::Document& doc)
+      : view_(view), doc_(doc), eval_(doc), builder_(doc.names()) {}
+
+  Result<MaterializedView> Run() {
+    const xml::Node* root = doc_.root();
+    const std::string& root_name = doc_.names()->NameOf(root->label);
+    if (root_name != view_.root()) {
+      return Status::InvalidArgument("document root '" + root_name +
+                                     "' does not match view root '" +
+                                     view_.root() + "'");
+    }
+    SMOQE_RETURN_IF_ERROR(EmitNode(root, view_.root(), 0));
+    SMOQE_ASSIGN_OR_RETURN(xml::Document vdoc, builder_.Finish());
+    MaterializedView out{std::move(vdoc), std::move(provenance_)};
+    return out;
+  }
+
+ private:
+  Status EmitNode(const xml::Node* src, const std::string& type, int depth) {
+    if (depth > 512) {
+      return Status::ResourceExhausted(
+          "view materialization exceeded depth 512 (is a σ path empty?)");
+    }
+    builder_.StartElement(type);
+    provenance_.push_back(src->node_id);
+    for (uint32_t i = 0; i < src->num_attrs; ++i) {
+      builder_.AddAttribute(doc_.names()->NameOf(src->attrs[i].name),
+                            src->attrs[i].value);
+    }
+    // Text content of the extracted node is preserved.
+    for (const xml::Node* c = src->first_child; c != nullptr;
+         c = c->next_sibling) {
+      if (c->is_text()) {
+        builder_.AddText(c->text);
+        provenance_.push_back(-1);
+      }
+    }
+    // Children per view edge, grouped in view-DTD content-model order.
+    for (const std::string& child_type : view_.EdgeOrder(type)) {
+      const rxpath::PathExpr* sigma = view_.Sigma(type, child_type);
+      if (sigma == nullptr) {
+        return Status::Internal("missing σ(" + type + ", " + child_type +
+                                ") during materialization");
+      }
+      std::vector<const xml::Node*> targets = eval_.EvalFrom(*sigma, {src});
+      for (const xml::Node* t : targets) {
+        SMOQE_RETURN_IF_ERROR(EmitNode(t, child_type, depth + 1));
+      }
+    }
+    return builder_.EndElement();
+  }
+
+  const ViewDefinition& view_;
+  const xml::Document& doc_;
+  rxpath::NaiveEvaluator eval_;
+  xml::DocumentBuilder builder_;
+  std::vector<int32_t> provenance_;
+};
+
+}  // namespace
+
+Result<MaterializedView> Materialize(const ViewDefinition& view,
+                                     const xml::Document& doc) {
+  Materializer m(view, doc);
+  return m.Run();
+}
+
+}  // namespace smoqe::view

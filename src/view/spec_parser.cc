@@ -1,0 +1,161 @@
+#include "src/view/spec_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/rxpath/parser.h"
+#include "src/rxpath/printer.h"
+#include "src/rxpath/type_check.h"
+#include "src/xml/dtd_parser.h"
+
+namespace smoqe::view {
+
+Result<ViewDefinition> ParseViewSpecification(std::string_view text) {
+  // Strip comments: '#' starts a comment only when followed by
+  // whitespace or end of line, so DTD tokens like #PCDATA / #REQUIRED
+  // survive inside the dtd block.
+  std::string cleaned;
+  for (std::string_view line : Split(text, '\n')) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] != '#') continue;
+      if (i + 1 >= line.size() || line[i + 1] == ' ' || line[i + 1] == '\t') {
+        line = line.substr(0, i);
+        break;
+      }
+    }
+    cleaned += std::string(line) + "\n";
+  }
+
+  std::string root;
+  std::string dtd_text;
+  std::vector<std::pair<std::pair<std::string, std::string>, std::string>>
+      sigmas;
+
+  size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < cleaned.size() &&
+           std::isspace(static_cast<unsigned char>(cleaned[pos]))) {
+      ++pos;
+    }
+  };
+  auto starts_with = [&](std::string_view kw) {
+    return cleaned.compare(pos, kw.size(), kw) == 0;
+  };
+
+  while (true) {
+    skip_ws();
+    if (pos >= cleaned.size()) break;
+    if (starts_with("root")) {
+      pos += 4;
+      size_t semi = cleaned.find(';', pos);
+      if (semi == std::string::npos) {
+        return Status::ParseError("'root' statement missing ';'");
+      }
+      root = std::string(Trim(std::string_view(cleaned).substr(pos, semi - pos)));
+      pos = semi + 1;
+    } else if (starts_with("dtd")) {
+      pos += 3;
+      skip_ws();
+      if (pos >= cleaned.size() || cleaned[pos] != '{') {
+        return Status::ParseError("'dtd' must be followed by '{ … }'");
+      }
+      ++pos;
+      size_t close = cleaned.find('}', pos);
+      if (close == std::string::npos) {
+        return Status::ParseError("unterminated dtd block");
+      }
+      dtd_text = cleaned.substr(pos, close - pos);
+      pos = close + 1;
+    } else if (starts_with("sigma")) {
+      pos += 5;
+      size_t semi = cleaned.find(';', pos);
+      if (semi == std::string::npos) {
+        return Status::ParseError("'sigma' statement missing ';'");
+      }
+      std::string_view stmt =
+          Trim(std::string_view(cleaned).substr(pos, semi - pos));
+      pos = semi + 1;
+      size_t eq = stmt.find('=');
+      // The path may itself contain '=' inside qualifiers; the edge part
+      // never does, so split at the first '='.
+      if (eq == std::string_view::npos) {
+        return Status::ParseError("sigma statement needs 'edge = path'");
+      }
+      std::string_view edge = Trim(stmt.substr(0, eq));
+      std::string_view path = Trim(stmt.substr(eq + 1));
+      size_t slash = edge.find('/');
+      if (slash == std::string_view::npos) {
+        return Status::ParseError("sigma edge must be parent/child, got '" +
+                                  std::string(edge) + "'");
+      }
+      sigmas.push_back(
+          {{std::string(Trim(edge.substr(0, slash))),
+            std::string(Trim(edge.substr(slash + 1)))},
+           std::string(path)});
+    } else {
+      return Status::ParseError(
+          "expected 'root', 'dtd' or 'sigma' in view specification near '" +
+          cleaned.substr(pos, 20) + "'");
+    }
+  }
+
+  if (dtd_text.empty()) {
+    return Status::ParseError("view specification has no dtd block");
+  }
+  SMOQE_ASSIGN_OR_RETURN(xml::Dtd view_dtd, xml::ParseDtd(dtd_text, root));
+
+  ViewDefinition view;
+  *view.mutable_view_dtd() = std::move(view_dtd);
+  for (auto& [edge, path_text] : sigmas) {
+    SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<rxpath::PathExpr> path,
+                           rxpath::ParseQuery(path_text));
+    SMOQE_RETURN_IF_ERROR(
+        view.SetSigma(edge.first, edge.second, std::move(path))
+            .WithContext("sigma " + edge.first + "/" + edge.second));
+  }
+  Status valid = view.Validate();
+  if (!valid.ok()) {
+    // Internal → user error here: the spec is hand-written.
+    return Status::InvalidArgument(valid.message());
+  }
+  return view;
+}
+
+Status CheckSpecificationAgainstDtd(const ViewDefinition& view,
+                                    const xml::Dtd& document_dtd) {
+  for (const auto& [name, decl] : view.view_dtd().elements()) {
+    for (const std::string& child : view.view_dtd().ChildTypes(name)) {
+      const rxpath::PathExpr* sigma = view.Sigma(name, child);
+      if (sigma == nullptr) continue;  // Validate() already rejects this
+      rxpath::TypeCheckResult tc =
+          rxpath::TypeCheck(*sigma, document_dtd, {name});
+      if (!tc.unknown_labels.empty()) {
+        return Status::InvalidArgument(
+            "sigma(" + name + ", " + child + ") = " +
+            rxpath::ToString(*sigma) + " mentions '" +
+            *tc.unknown_labels.begin() +
+            "', which is not an element type of the document DTD");
+      }
+      for (const std::string& out : tc.output_types) {
+        if (out != child) {
+          return Status::InvalidArgument(
+              "sigma(" + name + ", " + child + ") = " +
+              rxpath::ToString(*sigma) + " can produce '" + out +
+              "' nodes; it must only produce '" + child + "'");
+        }
+      }
+      if (tc.output_types.empty()) {
+        return Status::InvalidArgument(
+            "sigma(" + name + ", " + child + ") = " +
+            rxpath::ToString(*sigma) +
+            " can never produce a node under an '" + name +
+            "' element of the document DTD");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace smoqe::view

@@ -1,0 +1,41 @@
+#ifndef SMOQE_VIEW_SPEC_PARSER_H_
+#define SMOQE_VIEW_SPEC_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/view/view_def.h"
+
+namespace smoqe::view {
+
+/// \brief Parses a hand-written view specification — the paper's *first*
+/// view-definition mode (§2: "one mode allows users to define an XML view
+/// by leveraging iSMOQE to annotate a view schema"; the visual tool's
+/// output is exactly a view DTD plus a Regular XPath per edge).
+///
+/// Format ('#' comments; statements end with ';' except the dtd block):
+///
+///     root hospital;
+///     dtd {
+///       <!ELEMENT hospital (patient*)>
+///       <!ELEMENT patient (treatment*)>
+///       <!ELEMENT treatment (#PCDATA)>
+///     }
+///     sigma hospital/patient = patient[visit/treatment/medication='autism'];
+///     sigma patient/treatment = visit/treatment[medication];
+///
+/// Every view-DTD edge must receive exactly one sigma; Validate() runs
+/// before returning.
+Result<ViewDefinition> ParseViewSpecification(std::string_view text);
+
+/// \brief Statically checks a view specification against the *document*
+/// DTD: every σ(A,B) must (a) only mention element types of the document
+/// DTD and (b) produce only B-typed nodes when evaluated at an A node —
+/// so the materialized view always conforms to the view DTD's edge
+/// labels. Returns InvalidArgument describing the first violation.
+Status CheckSpecificationAgainstDtd(const ViewDefinition& view,
+                                    const xml::Dtd& document_dtd);
+
+}  // namespace smoqe::view
+
+#endif  // SMOQE_VIEW_SPEC_PARSER_H_

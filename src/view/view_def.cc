@@ -1,0 +1,83 @@
+#include "src/view/view_def.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/rxpath/printer.h"
+
+namespace smoqe::view {
+
+Status ViewDefinition::SetSigma(const std::string& parent,
+                                const std::string& child,
+                                std::unique_ptr<rxpath::PathExpr> path) {
+  if (view_dtd_.Find(parent) == nullptr || view_dtd_.Find(child) == nullptr) {
+    return Status::InvalidArgument("σ(" + parent + ", " + child +
+                                   ") references a type outside the view DTD");
+  }
+  sigma_[{parent, child}] = std::move(path);
+  return Status::OK();
+}
+
+const rxpath::PathExpr* ViewDefinition::Sigma(const std::string& parent,
+                                              const std::string& child) const {
+  auto it = sigma_.find({parent, child});
+  return it == sigma_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ViewDefinition::EdgeOrder(
+    const std::string& parent) const {
+  const xml::ElementDecl* decl = view_dtd_.Find(parent);
+  if (decl == nullptr) return {};
+  std::vector<std::string> order;
+  auto push_unique = [&](const std::string& name) {
+    if (std::find(order.begin(), order.end(), name) == order.end()) {
+      order.push_back(name);
+    }
+  };
+  if (decl->content == xml::ContentKind::kChildren) {
+    std::function<void(const xml::Particle&)> walk =
+        [&](const xml::Particle& p) {
+          if (p.kind() == xml::Particle::Kind::kElement) {
+            push_unique(p.name());
+            return;
+          }
+          for (const auto& c : p.children()) walk(*c);
+        };
+    walk(*decl->particle);
+  } else {
+    for (const std::string& c : view_dtd_.ChildTypes(parent)) push_unique(c);
+  }
+  return order;
+}
+
+Status ViewDefinition::Validate() const {
+  for (const auto& [name, decl] : view_dtd_.elements()) {
+    for (const std::string& child : view_dtd_.ChildTypes(name)) {
+      if (Sigma(name, child) == nullptr) {
+        return Status::Internal("view edge " + name + "/" + child +
+                                " has no σ");
+      }
+    }
+  }
+  for (const auto& [edge, path] : sigma_) {
+    std::vector<std::string> kids = view_dtd_.ChildTypes(edge.first);
+    if (std::find(kids.begin(), kids.end(), edge.second) == kids.end()) {
+      return Status::Internal("σ(" + edge.first + ", " + edge.second +
+                              ") is not an edge of the view DTD");
+    }
+  }
+  return Status::OK();
+}
+
+std::string ViewDefinition::ToString() const {
+  std::string out = "view DTD (root " + view_dtd_.root_name() + "):\n";
+  out += view_dtd_.ToString();
+  out += "specification:\n";
+  for (const auto& [edge, path] : sigma_) {
+    out += "  sigma(" + edge.first + ", " + edge.second +
+           ") = " + rxpath::ToString(*path) + "\n";
+  }
+  return out;
+}
+
+}  // namespace smoqe::view

@@ -1,0 +1,63 @@
+#ifndef SMOQE_VIEW_VIEW_DEF_H_
+#define SMOQE_VIEW_VIEW_DEF_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rxpath/ast.h"
+#include "src/xml/dtd.h"
+
+namespace smoqe::view {
+
+/// \brief A (security) view definition: a view DTD exposed to the user
+/// group, plus the specification σ mapping every view edge (A,B) to a
+/// Regular XPath query over the *underlying document* that collects the
+/// B-children of an A-node of the view (paper Fig. 3(c)/(d)).
+///
+/// Views may be recursive (the view DTD's type graph may be cyclic); σ
+/// paths may contain Kleene stars when hidden regions are recursive —
+/// the case that forces Regular XPath (paper §1).
+class ViewDefinition {
+ public:
+  ViewDefinition() = default;
+  ViewDefinition(ViewDefinition&&) = default;
+  ViewDefinition& operator=(ViewDefinition&&) = default;
+
+  const xml::Dtd& view_dtd() const { return view_dtd_; }
+  xml::Dtd* mutable_view_dtd() { return &view_dtd_; }
+  const std::string& root() const { return view_dtd_.root_name(); }
+
+  /// Sets σ(parent, child). Both types must be declared in the view DTD.
+  Status SetSigma(const std::string& parent, const std::string& child,
+                  std::unique_ptr<rxpath::PathExpr> path);
+
+  /// σ(parent, child), or nullptr if (parent, child) is not a view edge.
+  const rxpath::PathExpr* Sigma(const std::string& parent,
+                                const std::string& child) const;
+
+  /// Child types of `parent` in the view DTD, in content-model order —
+  /// the edge order the materializer emits children in.
+  std::vector<std::string> EdgeOrder(const std::string& parent) const;
+
+  /// Checks internal consistency: every view-DTD edge has a σ entry and
+  /// vice versa; σ paths only end at element steps of the right type is
+  /// not statically checkable and is covered by tests instead.
+  Status Validate() const;
+
+  /// Renders the specification like the paper's Fig. 3(c): one
+  /// "σ(A, B) = path" line per edge, after the view DTD.
+  std::string ToString() const;
+
+ private:
+  xml::Dtd view_dtd_;
+  std::map<std::pair<std::string, std::string>,
+           std::unique_ptr<rxpath::PathExpr>>
+      sigma_;
+};
+
+}  // namespace smoqe::view
+
+#endif  // SMOQE_VIEW_VIEW_DEF_H_

@@ -1,0 +1,184 @@
+#include "src/workload/workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/xml/dtd_parser.h"
+#include "src/xml/serializer.h"
+
+namespace smoqe::workload {
+
+const char kHospitalDtd[] = R"(
+  <!ELEMENT hospital (patient*)>
+  <!ELEMENT patient (pname, visit*, parent*)>
+  <!ELEMENT parent (patient)>
+  <!ELEMENT visit (treatment, date)>
+  <!ELEMENT treatment (test | medication)>
+  <!ELEMENT pname (#PCDATA)>
+  <!ELEMENT date (#PCDATA)>
+  <!ELEMENT test (#PCDATA)>
+  <!ELEMENT medication (#PCDATA)>
+)";
+
+const char kHospitalPolicyAutism[] = R"(
+  # Fig. 3(b): expose only patients treated for autism; hide names,
+  # visit structure and test results.
+  hospital/patient : [visit/treatment/medication = 'autism'];
+  patient/pname    : N;
+  patient/visit    : N;
+  visit/treatment  : [medication];
+  treatment/test   : N;
+)";
+
+const char kHospitalPolicyResearch[] = R"(
+  # Researchers: treatments (including tests) of every patient, no names,
+  # no visit structure. Genealogy stays navigable.
+  patient/pname   : N;
+  patient/visit   : N;
+  visit/treatment : Y;
+  treatment/test  : Y;
+)";
+
+const char kOrgDtd[] = R"(
+  <!ELEMENT company (division+)>
+  <!ELEMENT division (dname, (division | group)*, employee*)>
+  <!ELEMENT group (gname, employee+)>
+  <!ELEMENT employee (ename, salary, review?)>
+  <!ELEMENT dname (#PCDATA)>
+  <!ELEMENT gname (#PCDATA)>
+  <!ELEMENT ename (#PCDATA)>
+  <!ELEMENT salary (#PCDATA)>
+  <!ELEMENT review (#PCDATA)>
+)";
+
+const char kOrgPolicy[] = R"(
+  employee/salary : N;
+  employee/review : N;
+  division/group  : [employee];
+)";
+
+const char kDiamondDtd[] = R"(
+  <!ELEMENT site (region)>
+  <!ELEMENT region (north | south)>
+  <!ELEMENT north (zone)>
+  <!ELEMENT south (zone)>
+  <!ELEMENT zone (region?, sensor*)>
+  <!ELEMENT sensor (#PCDATA)>
+)";
+
+std::vector<BenchQuery> HospitalQueries() {
+  return {
+      {"Q0",
+       "hospital/patient[(parent/patient)*/visit/treatment/test and "
+       "visit/treatment[medication/text()='headache']]/pname",
+       "high"},
+      {"child-chain", "hospital/patient/visit/treatment/medication", "low"},
+      {"descendant", "//medication", "low"},
+      {"star-recursion", "hospital/patient/(parent/patient)*/pname", "low"},
+      {"pred-text", "//patient[visit/treatment/medication = 'autism']/pname",
+       "mid"},
+      {"pred-negation", "//patient[not(visit/treatment/test)]/pname", "mid"},
+      {"rare-type", "//parent/patient/visit/treatment/test", "high"},
+      {"union", "//pname | //date", "low"},
+      {"deep-pred",
+       "//patient[visit/treatment[medication = 'flu'] and "
+       "not(parent)]/visit/date",
+       "high"},
+  };
+}
+
+std::vector<BenchQuery> HospitalViewQueries() {
+  return {
+      {"V1", "hospital/patient/treatment/medication", "low"},
+      {"V2", "//medication[text() = 'autism']", "mid"},
+      {"V3", "hospital/patient/(parent/patient)*/treatment", "low"},
+      {"V4", "//patient[not(treatment)]", "mid"},
+      {"V5", "//patient[parent/patient[treatment]]", "high"},
+  };
+}
+
+std::vector<BenchQuery> OrgQueries() {
+  return {
+      {"rare-review", "//review", "high"},
+      {"group-emp", "//group/employee/ename", "mid"},
+      {"div-chain", "company/division/(division)*/group/gname", "mid"},
+      {"pred-salary", "//employee[salary = '100000']/ename", "high"},
+      {"all-names", "//ename", "low"},
+  };
+}
+
+std::string DiamondWildcardChain(int k) {
+  std::string q = "site";
+  for (int i = 0; i < k; ++i) q += "/*";
+  return q;
+}
+
+std::string HospitalRecursiveChain(int k) {
+  // Each '(parent/patient)*' segment starts and ends at the view type
+  // 'patient', so arbitrarily long chains stay satisfiable over the
+  // recursive autism view (unlike, say, 'patient/patient', which the view
+  // DTD rules out).
+  std::string q = "hospital/patient";
+  for (int i = 0; i < k; ++i) q += "/(parent/patient)*";
+  return q + "/treatment";
+}
+
+namespace {
+
+xml::Dtd MustParseDtd(const char* text, const char* root, const char* what) {
+  auto r = xml::ParseDtd(text, root);
+  if (!r.ok()) {
+    std::fprintf(stderr, "workload: failed to parse %s: %s\n", what,
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return r.MoveValue();
+}
+
+}  // namespace
+
+xml::Dtd HospitalDtd() {
+  return MustParseDtd(kHospitalDtd, "hospital", "hospital DTD");
+}
+
+xml::Dtd OrgDtd() { return MustParseDtd(kOrgDtd, "company", "org DTD"); }
+
+xml::Dtd DiamondDtd() {
+  return MustParseDtd(kDiamondDtd, "site", "diamond DTD");
+}
+
+Result<xml::Document> GenHospital(uint64_t seed, size_t target_nodes,
+                                  std::shared_ptr<xml::NameTable> names) {
+  xml::Dtd dtd = HospitalDtd();
+  xml::GeneratorOptions opts;
+  opts.seed = seed;
+  opts.target_nodes = target_nodes;
+  opts.names = std::move(names);
+  opts.text_values["medication"] = {"autism", "headache", "flu", "cold"};
+  opts.text_values["pname"] = {"Alice", "Bob", "Carol", "Dan", "Eve", "Fay"};
+  opts.text_values["test"] = {"blood", "xray", "mri"};
+  opts.text_values["date"] = {"2006-01-02", "2006-03-04", "2006-05-06"};
+  return xml::GenerateDocument(dtd, opts);
+}
+
+Result<xml::Document> GenOrg(uint64_t seed, size_t target_nodes,
+                             std::shared_ptr<xml::NameTable> names) {
+  xml::Dtd dtd = OrgDtd();
+  xml::GeneratorOptions opts;
+  opts.seed = seed;
+  opts.target_nodes = target_nodes;
+  opts.names = std::move(names);
+  opts.text_values["salary"] = {"50000", "75000", "100000", "125000"};
+  opts.text_values["ename"] = {"ada", "grace", "edsger", "barbara", "tony"};
+  opts.text_values["dname"] = {"r&d", "sales", "ops"};
+  opts.text_values["gname"] = {"core", "infra", "tools"};
+  opts.text_values["review"] = {"exceeds", "meets", "below"};
+  return xml::GenerateDocument(dtd, opts);
+}
+
+Result<std::string> GenHospitalText(uint64_t seed, size_t target_nodes) {
+  SMOQE_ASSIGN_OR_RETURN(xml::Document doc, GenHospital(seed, target_nodes));
+  return xml::SerializeDocument(doc);
+}
+
+}  // namespace smoqe::workload

@@ -1,0 +1,95 @@
+#ifndef SMOQE_WORKLOAD_WORKLOADS_H_
+#define SMOQE_WORKLOAD_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/xml/dom.h"
+#include "src/xml/dtd.h"
+#include "src/xml/generator.h"
+
+namespace smoqe::workload {
+
+// ---------------------------------------------------------------------
+// Schemas
+// ---------------------------------------------------------------------
+
+/// The paper's hospital DTD (Fig. 3(a)) — recursive through
+/// patient → parent → patient.
+extern const char kHospitalDtd[];
+
+/// The paper's access-control policy S0 (Fig. 3(b)) in the text format:
+/// expose only patients treated for autism; hide names, visits and tests.
+extern const char kHospitalPolicyAutism[];
+
+/// A second hospital user group: researchers see all treatments but no
+/// identifying data and no parent genealogy.
+extern const char kHospitalPolicyResearch[];
+
+/// Recursive org chart: company → division → (group | employee)…, used
+/// for TAX selectivity sweeps (deep subtrees without the queried types).
+extern const char kOrgDtd[];
+
+/// Org policy: hide salaries and reviews, expose structure conditionally.
+extern const char kOrgPolicy[];
+
+/// Diamond-cycle schema (site → region → north|south → zone → region…):
+/// the expression-rewriting blow-up family of experiment E1.
+extern const char kDiamondDtd[];
+
+// ---------------------------------------------------------------------
+// Query families
+// ---------------------------------------------------------------------
+
+/// Named query with a rough selectivity class for benchmark tables.
+struct BenchQuery {
+  const char* id;
+  const char* text;
+  const char* selectivity;  // "high" (few answers) … "low" (many)
+};
+
+/// Document-level Regular XPath queries over the hospital schema,
+/// including the paper's Q0 (Fig. 4).
+std::vector<BenchQuery> HospitalQueries();
+
+/// View-level queries for the autism view (user-group workload of E8).
+std::vector<BenchQuery> HospitalViewQueries();
+
+/// Org-schema queries stressing TAX pruning (rare types deep in the tree).
+std::vector<BenchQuery> OrgQueries();
+
+/// Wildcard chain of length k over the diamond schema ("site/*/*/…"),
+/// the E1 scaling family.
+std::string DiamondWildcardChain(int k);
+
+/// Query chains of length k over the hospital view
+/// ("hospital/patient/(parent/patient)*/…"), the E1 linear family.
+std::string HospitalRecursiveChain(int k);
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// Parsed hospital DTD (aborts the process on programmer error — the
+/// constant is compiled in).
+xml::Dtd HospitalDtd();
+xml::Dtd OrgDtd();
+xml::Dtd DiamondDtd();
+
+/// Random hospital document with the benchmark vocabulary: ~25% of
+/// medications are 'autism', names/tests drawn from small pools.
+Result<xml::Document> GenHospital(uint64_t seed, size_t target_nodes,
+                                  std::shared_ptr<xml::NameTable> names = nullptr);
+
+/// Random org-chart document.
+Result<xml::Document> GenOrg(uint64_t seed, size_t target_nodes,
+                             std::shared_ptr<xml::NameTable> names = nullptr);
+
+/// Hospital document as serialized text (StAX-mode input).
+Result<std::string> GenHospitalText(uint64_t seed, size_t target_nodes);
+
+}  // namespace smoqe::workload
+
+#endif  // SMOQE_WORKLOAD_WORKLOADS_H_

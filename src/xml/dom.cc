@@ -1,0 +1,117 @@
+#include "src/xml/dom.h"
+
+namespace smoqe::xml {
+
+std::string Document::DirectText(const Node* e) {
+  std::string out;
+  for (const Node* c = e->first_child; c != nullptr; c = c->next_sibling) {
+    if (c->is_text()) out += c->text;
+  }
+  return out;
+}
+
+DocumentBuilder::DocumentBuilder(std::shared_ptr<NameTable> names)
+    : names_(names ? std::move(names) : NameTable::Create()),
+      arena_(std::make_unique<Arena>()) {}
+
+DocumentBuilder::~DocumentBuilder() = default;
+
+void DocumentBuilder::FlushAttrs() {
+  if (pending_attr_owner_ == nullptr) return;
+  if (!pending_attrs_.empty()) {
+    Attr* arr = static_cast<Attr*>(
+        arena_->Allocate(sizeof(Attr) * pending_attrs_.size(), alignof(Attr)));
+    for (size_t i = 0; i < pending_attrs_.size(); ++i) arr[i] = pending_attrs_[i];
+    pending_attr_owner_->attrs = arr;
+    pending_attr_owner_->num_attrs = static_cast<uint32_t>(pending_attrs_.size());
+    pending_attrs_.clear();
+  }
+  pending_attr_owner_ = nullptr;
+}
+
+void DocumentBuilder::StartElement(std::string_view name) {
+  FlushAttrs();
+  Node* n = arena_->New<Node>();
+  n->kind = Node::Kind::kElement;
+  n->label = names_->Intern(name);
+  n->node_id = next_id_++;
+  ++num_elements_;
+  if (!stack_.empty()) {
+    Node* parent = stack_.back();
+    n->parent = parent;
+    if (last_child_.back() == nullptr) {
+      parent->first_child = n;
+    } else {
+      last_child_.back()->next_sibling = n;
+    }
+    last_child_.back() = n;
+  } else if (root_ == nullptr) {
+    root_ = n;
+  }
+  nodes_.push_back(n);
+  stack_.push_back(n);
+  last_child_.push_back(nullptr);
+  pending_attr_owner_ = n;
+}
+
+void DocumentBuilder::AddAttribute(std::string_view name,
+                                   std::string_view value) {
+  if (pending_attr_owner_ == nullptr) return;  // misuse tolerated; dropped
+  Attr a;
+  a.name = names_->Intern(name);
+  a.value = arena_->CopyString(value.data(), value.size());
+  pending_attrs_.push_back(a);
+}
+
+void DocumentBuilder::AddText(std::string_view text) {
+  if (stack_.empty()) return;  // text outside root is ignored
+  FlushAttrs();
+  Node* n = arena_->New<Node>();
+  n->kind = Node::Kind::kText;
+  n->text = arena_->CopyString(text.data(), text.size());
+  n->node_id = next_id_++;
+  n->subtree_end = n->node_id + 1;
+  Node* parent = stack_.back();
+  n->parent = parent;
+  if (last_child_.back() == nullptr) {
+    parent->first_child = n;
+  } else {
+    last_child_.back()->next_sibling = n;
+  }
+  last_child_.back() = n;
+  nodes_.push_back(n);
+}
+
+Status DocumentBuilder::EndElement() {
+  if (stack_.empty()) {
+    return Status::FailedPrecondition("EndElement with no open element");
+  }
+  FlushAttrs();
+  Node* n = stack_.back();
+  n->subtree_end = next_id_;
+  stack_.pop_back();
+  last_child_.pop_back();
+  return Status::OK();
+}
+
+Result<Document> DocumentBuilder::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  if (!stack_.empty()) {
+    return Status::FailedPrecondition("Finish with unclosed elements");
+  }
+  if (root_ == nullptr) {
+    return Status::FailedPrecondition("document has no root element");
+  }
+  finished_ = true;
+  Document doc;
+  doc.names_ = std::move(names_);
+  doc.arena_ = std::move(arena_);
+  doc.root_ = root_;
+  doc.nodes_ = std::move(nodes_);
+  doc.num_elements_ = num_elements_;
+  return doc;
+}
+
+}  // namespace smoqe::xml

@@ -1,0 +1,154 @@
+#ifndef SMOQE_XML_DOM_H_
+#define SMOQE_XML_DOM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/common/status.h"
+#include "src/xml/name_table.h"
+
+namespace smoqe::xml {
+
+struct Node;
+
+/// Attribute of an element node; `value` points into the document arena.
+struct Attr {
+  NameId name = kNoName;
+  const char* value = nullptr;
+};
+
+/// \brief One node of the in-memory document tree (DOM mode).
+///
+/// Nodes are arena-allocated, trivially destructible, and linked in
+/// first-child / next-sibling form. `node_id` is the document-order
+/// (pre-order) index over *all* nodes, and `subtree_end` is one past the
+/// largest id in the node's subtree, so
+/// `u` is an ancestor-or-self of `v`  ⇔  `u->node_id <= v->node_id < u->subtree_end`.
+struct Node {
+  enum class Kind : uint8_t { kElement, kText };
+
+  Kind kind = Kind::kElement;
+  NameId label = kNoName;        ///< element name id; kNoName for text nodes
+  const char* text = nullptr;    ///< text content; nullptr for elements
+  Node* parent = nullptr;
+  Node* first_child = nullptr;
+  Node* next_sibling = nullptr;
+  const Attr* attrs = nullptr;   ///< arena array of `num_attrs` attributes
+  uint32_t num_attrs = 0;
+  int32_t node_id = 0;
+  int32_t subtree_end = 0;
+
+  bool is_element() const { return kind == Kind::kElement; }
+  bool is_text() const { return kind == Kind::kText; }
+
+  /// Value of the named attribute, or nullptr if absent (elements only).
+  const char* FindAttr(NameId name) const {
+    for (uint32_t i = 0; i < num_attrs; ++i) {
+      if (attrs[i].name == name) return attrs[i].value;
+    }
+    return nullptr;
+  }
+
+  /// True iff `this` is an ancestor of or equal to `v`.
+  bool ContainsOrIs(const Node* v) const {
+    return node_id <= v->node_id && v->node_id < subtree_end;
+  }
+};
+
+/// \brief An immutable parsed XML document (DOM mode).
+///
+/// Owns the node arena and (shares) the name table. Move-only; node
+/// pointers remain stable across moves.
+class Document {
+ public:
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  const Node* root() const { return root_; }
+  const std::shared_ptr<NameTable>& names() const { return names_; }
+  NameTable* mutable_names() const { return names_.get(); }
+
+  /// Total number of nodes (elements + text), equal to the id range.
+  int32_t num_nodes() const { return static_cast<int32_t>(nodes_.size()); }
+  /// Number of element nodes.
+  int32_t num_elements() const { return num_elements_; }
+
+  /// Node with the given document-order id.
+  const Node* node(int32_t id) const { return nodes_[id]; }
+
+  /// Approximate heap footprint of the tree (arena bytes).
+  size_t memory_bytes() const { return arena_->bytes_reserved(); }
+
+  /// Concatenation of the *direct* text children of `e` (XPath string value
+  /// restricted to depth one, which is the semantics SMOQE predicates use).
+  static std::string DirectText(const Node* e);
+
+ private:
+  friend class DocumentBuilder;
+  Document() = default;
+
+  std::shared_ptr<NameTable> names_;
+  std::unique_ptr<Arena> arena_;
+  Node* root_ = nullptr;
+  std::vector<Node*> nodes_;  // by node_id
+  int32_t num_elements_ = 0;
+};
+
+/// \brief Incremental builder used by the parser, the generator and the view
+/// materializer.
+///
+/// Events must form a single well-nested element tree:
+///   StartElement (AddAttribute)* (StartElement…EndElement | AddText)* EndElement
+class DocumentBuilder {
+ public:
+  /// If `names` is null a fresh table is created.
+  explicit DocumentBuilder(std::shared_ptr<NameTable> names = nullptr);
+  ~DocumentBuilder();
+
+  DocumentBuilder(const DocumentBuilder&) = delete;
+  DocumentBuilder& operator=(const DocumentBuilder&) = delete;
+
+  /// Opens a child element of the current element (or the root).
+  void StartElement(std::string_view name);
+
+  /// Attaches an attribute to the most recently opened element. Must be
+  /// called before any child content of that element is added.
+  void AddAttribute(std::string_view name, std::string_view value);
+
+  /// Appends a text node under the current element.
+  void AddText(std::string_view text);
+
+  /// Closes the current element.
+  Status EndElement();
+
+  /// Current nesting depth (0 = before/after root).
+  int depth() const { return static_cast<int>(stack_.size()); }
+
+  /// Validates completeness (exactly one closed root) and yields the tree.
+  Result<Document> Finish();
+
+ private:
+  void FlushAttrs();
+
+  std::shared_ptr<NameTable> names_;
+  std::unique_ptr<Arena> arena_;
+  std::vector<Node*> nodes_;
+  std::vector<Node*> stack_;     // open elements
+  std::vector<Node*> last_child_;  // parallel to stack_: last child appended
+  Node* root_ = nullptr;
+  Node* pending_attr_owner_ = nullptr;
+  std::vector<Attr> pending_attrs_;
+  int32_t next_id_ = 0;
+  int32_t num_elements_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_DOM_H_

@@ -1,0 +1,348 @@
+#include "src/xml/dtd.h"
+
+#include <cassert>
+#include <functional>
+
+namespace smoqe::xml {
+
+std::unique_ptr<Particle> Particle::Element(std::string name) {
+  auto p = std::unique_ptr<Particle>(new Particle(Kind::kElement));
+  p->name_ = std::move(name);
+  return p;
+}
+
+std::unique_ptr<Particle> Particle::Seq(
+    std::vector<std::unique_ptr<Particle>> ps) {
+  auto p = std::unique_ptr<Particle>(new Particle(Kind::kSeq));
+  p->children_ = std::move(ps);
+  return p;
+}
+
+std::unique_ptr<Particle> Particle::Choice(
+    std::vector<std::unique_ptr<Particle>> ps) {
+  auto p = std::unique_ptr<Particle>(new Particle(Kind::kChoice));
+  p->children_ = std::move(ps);
+  return p;
+}
+
+std::unique_ptr<Particle> Particle::Star(std::unique_ptr<Particle> c) {
+  auto p = std::unique_ptr<Particle>(new Particle(Kind::kStar));
+  p->children_.push_back(std::move(c));
+  return p;
+}
+
+std::unique_ptr<Particle> Particle::Plus(std::unique_ptr<Particle> c) {
+  auto p = std::unique_ptr<Particle>(new Particle(Kind::kPlus));
+  p->children_.push_back(std::move(c));
+  return p;
+}
+
+std::unique_ptr<Particle> Particle::Opt(std::unique_ptr<Particle> c) {
+  auto p = std::unique_ptr<Particle>(new Particle(Kind::kOpt));
+  p->children_.push_back(std::move(c));
+  return p;
+}
+
+std::unique_ptr<Particle> Particle::Epsilon() {
+  return std::unique_ptr<Particle>(new Particle(Kind::kEpsilon));
+}
+
+std::unique_ptr<Particle> Particle::Clone() const {
+  switch (kind_) {
+    case Kind::kElement:
+      return Element(name_);
+    case Kind::kEpsilon:
+      return Epsilon();
+    default: {
+      auto p = std::unique_ptr<Particle>(new Particle(kind_));
+      for (const auto& c : children_) p->children_.push_back(c->Clone());
+      return p;
+    }
+  }
+}
+
+void Particle::CollectNames(std::set<std::string>* out) const {
+  if (kind_ == Kind::kElement) {
+    out->insert(name_);
+    return;
+  }
+  for (const auto& c : children_) c->CollectNames(out);
+}
+
+std::unique_ptr<Particle> Particle::Substitute(std::unique_ptr<Particle> p,
+                                               const std::string& name,
+                                               const Particle& repl) {
+  if (p->kind_ == Kind::kElement) {
+    if (p->name_ == name) return repl.Clone();
+    return p;
+  }
+  for (auto& c : p->children_) {
+    c = Substitute(std::move(c), name, repl);
+  }
+  return p;
+}
+
+std::string Particle::ToString() const {
+  switch (kind_) {
+    case Kind::kElement:
+      return name_;
+    case Kind::kEpsilon:
+      return "()";
+    case Kind::kSeq:
+    case Kind::kChoice: {
+      const char* sep = kind_ == Kind::kSeq ? ", " : " | ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kStar:
+    case Kind::kPlus:
+    case Kind::kOpt: {
+      const char suffix = kind_ == Kind::kStar ? '*'
+                          : kind_ == Kind::kPlus ? '+'
+                                                 : '?';
+      std::string inner = children_[0]->ToString();
+      // DTD syntax: names take the suffix directly ("visit*"), groups are
+      // already parenthesized; anything else needs explicit parentheses.
+      if (children_[0]->kind_ == Kind::kElement ||
+          children_[0]->kind_ == Kind::kSeq ||
+          children_[0]->kind_ == Kind::kChoice) {
+        return inner + suffix;
+      }
+      return "(" + inner + ")" + suffix;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNullable(const Particle& p) {
+  switch (p.kind()) {
+    case Particle::Kind::kEpsilon:
+    case Particle::Kind::kStar:
+    case Particle::Kind::kOpt:
+      return true;
+    case Particle::Kind::kElement:
+      return false;
+    case Particle::Kind::kPlus:
+      return IsNullable(*p.children()[0]);
+    case Particle::Kind::kSeq: {
+      for (const auto& c : p.children()) {
+        if (!IsNullable(*c)) return false;
+      }
+      return true;
+    }
+    case Particle::Kind::kChoice: {
+      for (const auto& c : p.children()) {
+        if (IsNullable(*c)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::unique_ptr<Particle> Particle::Simplify(std::unique_ptr<Particle> p) {
+  using K = Kind;
+  // Simplify children first.
+  for (auto& c : p->children_) c = Simplify(std::move(c));
+
+  switch (p->kind_) {
+    case K::kElement:
+    case K::kEpsilon:
+      return p;
+    case K::kSeq:
+    case K::kChoice: {
+      std::vector<std::unique_ptr<Particle>> flat;
+      bool had_epsilon_branch = false;
+      for (auto& c : p->children_) {
+        if (c->kind_ == p->kind_) {
+          for (auto& gc : c->children_) flat.push_back(std::move(gc));
+        } else if (c->kind_ == K::kEpsilon) {
+          had_epsilon_branch = true;
+          if (p->kind_ == K::kChoice) continue;  // dropped; recorded
+          // In a sequence epsilon is the identity: drop it.
+        } else {
+          flat.push_back(std::move(c));
+        }
+      }
+      if (flat.empty()) return Epsilon();
+      if (flat.size() == 1) {
+        auto only = std::move(flat[0]);
+        if (p->kind_ == K::kChoice && had_epsilon_branch &&
+            !IsNullable(*only)) {
+          return Simplify(Opt(std::move(only)));
+        }
+        return only;
+      }
+      p->children_ = std::move(flat);
+      if (p->kind_ == K::kChoice && had_epsilon_branch) {
+        bool some_nullable = false;
+        for (const auto& c : p->children_) {
+          if (IsNullable(*c)) some_nullable = true;
+        }
+        if (!some_nullable) return Simplify(Opt(std::move(p)));
+      }
+      return p;
+    }
+    case K::kStar: {
+      Particle* c = p->children_[0].get();
+      if (c->kind_ == K::kEpsilon) return Epsilon();
+      if (c->kind_ == K::kStar || c->kind_ == K::kOpt ||
+          c->kind_ == K::kPlus) {
+        return Simplify(Star(std::move(c->children_[0])));
+      }
+      return p;
+    }
+    case K::kPlus: {
+      Particle* c = p->children_[0].get();
+      if (c->kind_ == K::kEpsilon) return Epsilon();
+      if (c->kind_ == K::kStar || c->kind_ == K::kOpt) {
+        return Simplify(Star(std::move(c->children_[0])));
+      }
+      if (c->kind_ == K::kPlus) {
+        return Simplify(Plus(std::move(c->children_[0])));
+      }
+      return p;
+    }
+    case K::kOpt: {
+      Particle* c = p->children_[0].get();
+      if (c->kind_ == K::kEpsilon) return Epsilon();
+      if (IsNullable(*c)) return std::move(p->children_[0]);
+      return p;
+    }
+  }
+  return p;
+}
+
+bool Particle::StructurallyEquals(const Particle& other) const {
+  if (kind_ != other.kind_) return false;
+  if (kind_ == Kind::kElement) return name_ == other.name_;
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->StructurallyEquals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+Status Dtd::AddElement(ElementDecl decl) {
+  auto [it, inserted] = elements_.emplace(decl.name, std::move(decl));
+  if (!inserted) {
+    return Status::AlreadyExists("element '" + it->first +
+                                 "' declared twice");
+  }
+  return Status::OK();
+}
+
+const ElementDecl* Dtd::Find(std::string_view name) const {
+  auto it = elements_.find(std::string(name));
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+ElementDecl* Dtd::FindMutable(std::string_view name) {
+  auto it = elements_.find(std::string(name));
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Dtd::ChildTypes(std::string_view name) const {
+  const ElementDecl* decl = Find(name);
+  if (decl == nullptr) return {};
+  std::set<std::string> set;
+  switch (decl->content) {
+    case ContentKind::kEmpty:
+    case ContentKind::kPcdata:
+      break;
+    case ContentKind::kAny:
+      for (const auto& [n, d] : elements_) set.insert(n);
+      break;
+    case ContentKind::kMixed:
+      set.insert(decl->mixed_names.begin(), decl->mixed_names.end());
+      break;
+    case ContentKind::kChildren:
+      decl->particle->CollectNames(&set);
+      break;
+  }
+  return {set.begin(), set.end()};
+}
+
+bool Dtd::AllowsText(std::string_view name) const {
+  const ElementDecl* decl = Find(name);
+  if (decl == nullptr) return false;
+  return decl->content == ContentKind::kPcdata ||
+         decl->content == ContentKind::kMixed ||
+         decl->content == ContentKind::kAny;
+}
+
+bool Dtd::IsRecursive() const {
+  // Colors: 0 unvisited, 1 on stack, 2 done.
+  std::map<std::string, int> color;
+  bool cyclic = false;
+  std::function<void(const std::string&)> dfs = [&](const std::string& n) {
+    color[n] = 1;
+    for (const std::string& c : ChildTypes(n)) {
+      if (cyclic) return;
+      auto it = color.find(c);
+      if (it == color.end() || it->second == 0) {
+        dfs(c);
+      } else if (it->second == 1) {
+        cyclic = true;
+      }
+    }
+    color[n] = 2;
+  };
+  if (!root_name_.empty() && Find(root_name_) != nullptr) {
+    dfs(root_name_);
+  } else {
+    for (const auto& [n, d] : elements_) {
+      if (color[n] == 0) dfs(n);
+    }
+  }
+  return cyclic;
+}
+
+std::string Dtd::ToString() const {
+  std::string out;
+  auto render = [&](const ElementDecl& d) {
+    out += "<!ELEMENT " + d.name + " ";
+    switch (d.content) {
+      case ContentKind::kEmpty:
+        out += "EMPTY";
+        break;
+      case ContentKind::kAny:
+        out += "ANY";
+        break;
+      case ContentKind::kPcdata:
+        out += "(#PCDATA)";
+        break;
+      case ContentKind::kMixed: {
+        out += "(#PCDATA";
+        for (const auto& n : d.mixed_names) out += " | " + n;
+        out += ")*";
+        break;
+      }
+      case ContentKind::kChildren: {
+        std::string s = d.particle->ToString();
+        if (s.empty() || s[0] != '(') s = "(" + s + ")";
+        out += s;
+        break;
+      }
+    }
+    out += ">\n";
+  };
+  const ElementDecl* root = Find(root_name_);
+  if (root != nullptr) render(*root);
+  for (const auto& [n, d] : elements_) {
+    if (n == root_name_) continue;
+    render(d);
+  }
+  return out;
+}
+
+}  // namespace smoqe::xml

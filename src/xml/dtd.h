@@ -1,0 +1,156 @@
+#ifndef SMOQE_XML_DTD_H_
+#define SMOQE_XML_DTD_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace smoqe::xml {
+
+/// \brief A content particle: a regular expression over element type names.
+///
+/// Productions of a DTD (`<!ELEMENT a (b, (c | d)*)>`) are particle trees.
+/// Particles are also manipulated by the security-view derivation, which
+/// inlines hidden element types into their parents' content models.
+class Particle {
+ public:
+  enum class Kind {
+    kElement,  ///< a single element type name
+    kSeq,      ///< concatenation: p1, p2, ..., pn
+    kChoice,   ///< alternation: p1 | p2 | ... | pn
+    kStar,     ///< p*
+    kPlus,     ///< p+
+    kOpt,      ///< p?
+    kEpsilon,  ///< empty content (used internally; prints as "()")
+  };
+
+  static std::unique_ptr<Particle> Element(std::string name);
+  static std::unique_ptr<Particle> Seq(std::vector<std::unique_ptr<Particle>> ps);
+  static std::unique_ptr<Particle> Choice(std::vector<std::unique_ptr<Particle>> ps);
+  static std::unique_ptr<Particle> Star(std::unique_ptr<Particle> p);
+  static std::unique_ptr<Particle> Plus(std::unique_ptr<Particle> p);
+  static std::unique_ptr<Particle> Opt(std::unique_ptr<Particle> p);
+  static std::unique_ptr<Particle> Epsilon();
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  const std::vector<std::unique_ptr<Particle>>& children() const {
+    return children_;
+  }
+
+  std::unique_ptr<Particle> Clone() const;
+
+  /// Adds every element type name occurring in this particle to `out`.
+  void CollectNames(std::set<std::string>* out) const;
+
+  /// Replaces every occurrence of element `name` by a clone of `repl`
+  /// (used by view-DTD construction when a hidden type is inlined).
+  /// Returns the possibly-new particle; consumes *this*.
+  static std::unique_ptr<Particle> Substitute(std::unique_ptr<Particle> p,
+                                              const std::string& name,
+                                              const Particle& repl);
+
+  /// DTD-syntax rendering, e.g. "(b, (c | d)*)". Top-level element-only
+  /// particles render with surrounding parentheses as DTD requires.
+  std::string ToString() const;
+
+  /// Structural simplification: flattens nested seq/choice, removes
+  /// epsilons in sequences, collapses single-child seq/choice, rewrites
+  /// (p?)* and (p*)* to p*, and turns choices with an epsilon branch into
+  /// optionals. Idempotent.
+  static std::unique_ptr<Particle> Simplify(std::unique_ptr<Particle> p);
+
+  bool StructurallyEquals(const Particle& other) const;
+
+ private:
+  explicit Particle(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;  // kElement only
+  std::vector<std::unique_ptr<Particle>> children_;
+};
+
+/// How an element type's content is declared.
+enum class ContentKind {
+  kEmpty,     ///< EMPTY
+  kAny,       ///< ANY
+  kPcdata,    ///< (#PCDATA)
+  kMixed,     ///< (#PCDATA | a | b)*
+  kChildren,  ///< a particle over element types
+};
+
+/// One `<!ATTLIST>` attribute declaration (stored, lightly enforced).
+struct AttrDecl {
+  std::string name;
+  std::string type;           ///< CDATA, ID, IDREF, NMTOKEN, or enumeration
+  enum class Default { kRequired, kImplied, kFixed, kValue } default_kind =
+      Default::kImplied;
+  std::string default_value;  ///< for kFixed / kValue
+};
+
+/// Declaration of one element type.
+struct ElementDecl {
+  std::string name;
+  ContentKind content = ContentKind::kEmpty;
+  std::unique_ptr<Particle> particle;      ///< kChildren only
+  std::vector<std::string> mixed_names;    ///< kMixed only
+  std::vector<AttrDecl> attrs;
+
+  ElementDecl() = default;
+  ElementDecl(ElementDecl&&) = default;
+  ElementDecl& operator=(ElementDecl&&) = default;
+};
+
+/// \brief A Document Type Definition: a root element type plus productions.
+///
+/// This is the schema formalism SMOQE views are defined over (the paper's
+/// Fig. 3 annotates a hospital DTD). Stored by name in a sorted map so
+/// rendering and derivation are deterministic.
+class Dtd {
+ public:
+  Dtd() = default;
+  Dtd(Dtd&&) = default;
+  Dtd& operator=(Dtd&&) = default;
+
+  const std::string& root_name() const { return root_name_; }
+  void set_root_name(std::string name) { root_name_ = std::move(name); }
+
+  /// Adds a declaration; fails on duplicates.
+  Status AddElement(ElementDecl decl);
+
+  /// Looks up a declaration; null if undeclared.
+  const ElementDecl* Find(std::string_view name) const;
+  ElementDecl* FindMutable(std::string_view name);
+
+  const std::map<std::string, ElementDecl>& elements() const {
+    return elements_;
+  }
+
+  /// Element type names that occur in `name`'s content model (its possible
+  /// child types). Empty for EMPTY/PCDATA; all declared types for ANY.
+  std::vector<std::string> ChildTypes(std::string_view name) const;
+
+  /// True if text content is permitted under `name`.
+  bool AllowsText(std::string_view name) const;
+
+  /// True if the type graph reachable from the root has a cycle (the DTD is
+  /// recursive — e.g. the hospital DTD's parent → patient edge).
+  bool IsRecursive() const;
+
+  /// Renders the DTD as `<!ELEMENT …>` declarations in name order, root
+  /// first.
+  std::string ToString() const;
+
+ private:
+  std::string root_name_;
+  std::map<std::string, ElementDecl> elements_;
+};
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_DTD_H_

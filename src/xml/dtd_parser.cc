@@ -1,0 +1,299 @@
+#include "src/xml/dtd_parser.h"
+
+#include <cctype>
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace smoqe::xml {
+
+namespace {
+
+/// Cursor over DTD text with line tracking.
+class DtdCursor {
+ public:
+  explicit DtdCursor(std::string_view text) : text_(text) {}
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void Advance() {
+    if (pos_ < text_.size()) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      Advance();
+    }
+  }
+
+  bool Consume(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    for (size_t i = 0; i < lit.size(); ++i) Advance();
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError(msg + " at DTD line " + std::to_string(line_));
+  }
+
+  Result<std::string> ReadName() {
+    SkipWs();
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Error("expected a name");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ReadQuoted() {
+    SkipWs();
+    char quote = Peek();
+    if (quote != '"' && quote != '\'') return Error("expected quoted literal");
+    Advance();
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) Advance();
+    if (AtEnd()) return Error("unterminated literal");
+    std::string out(text_.substr(start, pos_ - start));
+    Advance();
+    return out;
+  }
+
+  // Parses a content particle (the part after the element name).
+  Result<std::unique_ptr<Particle>> ParseCp() {
+    SkipWs();
+    std::unique_ptr<Particle> base;
+    if (Peek() == '(') {
+      Advance();
+      SMOQE_ASSIGN_OR_RETURN(base, ParseGroupBody());
+    } else {
+      SMOQE_ASSIGN_OR_RETURN(std::string name, ReadName());
+      base = Particle::Element(std::move(name));
+    }
+    return ApplyOccurrence(std::move(base));
+  }
+
+  // Parses "... )" after an opening '(' was consumed: a seq or choice.
+  Result<std::unique_ptr<Particle>> ParseGroupBody() {
+    std::vector<std::unique_ptr<Particle>> parts;
+    SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Particle> first, ParseCp());
+    parts.push_back(std::move(first));
+    SkipWs();
+    char sep = '\0';
+    while (Peek() == ',' || Peek() == '|') {
+      char c = Peek();
+      if (sep == '\0') {
+        sep = c;
+      } else if (sep != c) {
+        return Error("mixed ',' and '|' in one group");
+      }
+      Advance();
+      SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Particle> next, ParseCp());
+      parts.push_back(std::move(next));
+      SkipWs();
+    }
+    if (!Consume(")")) return Error("expected ')'");
+    if (parts.size() == 1) return std::move(parts[0]);
+    if (sep == '|') return Particle::Choice(std::move(parts));
+    return Particle::Seq(std::move(parts));
+  }
+
+  std::unique_ptr<Particle> ApplyOccurrence(std::unique_ptr<Particle> p) {
+    switch (Peek()) {
+      case '*':
+        Advance();
+        return Particle::Star(std::move(p));
+      case '+':
+        Advance();
+        return Particle::Plus(std::move(p));
+      case '?':
+        Advance();
+        return Particle::Opt(std::move(p));
+      default:
+        return p;
+    }
+  }
+
+  Status ParseElementDecl(Dtd* dtd) {
+    ElementDecl decl;
+    SMOQE_ASSIGN_OR_RETURN(decl.name, ReadName());
+    SkipWs();
+    if (Consume("EMPTY")) {
+      decl.content = ContentKind::kEmpty;
+    } else if (Consume("ANY")) {
+      decl.content = ContentKind::kAny;
+    } else if (Peek() == '(') {
+      Advance();
+      SkipWs();
+      if (Consume("#PCDATA")) {
+        SkipWs();
+        std::vector<std::string> names;
+        while (Peek() == '|') {
+          Advance();
+          SMOQE_ASSIGN_OR_RETURN(std::string n, ReadName());
+          names.push_back(std::move(n));
+          SkipWs();
+        }
+        if (!Consume(")")) return Error("expected ')' after #PCDATA group");
+        bool starred = Consume("*");
+        if (names.empty()) {
+          decl.content = ContentKind::kPcdata;
+        } else {
+          if (!starred) {
+            return Error("mixed content must be declared (#PCDATA | ...)*");
+          }
+          decl.content = ContentKind::kMixed;
+          decl.mixed_names = std::move(names);
+        }
+      } else {
+        SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Particle> body,
+                               ParseGroupBody());
+        body = ApplyOccurrence(std::move(body));
+        decl.content = ContentKind::kChildren;
+        decl.particle = Particle::Simplify(std::move(body));
+      }
+    } else {
+      return Error("expected content specification");
+    }
+    SkipWs();
+    if (!Consume(">")) return Error("expected '>' closing <!ELEMENT");
+    return dtd->AddElement(std::move(decl));
+  }
+
+  Status ParseAttlistDecl(Dtd* dtd) {
+    SMOQE_ASSIGN_OR_RETURN(std::string elem_name, ReadName());
+    std::vector<AttrDecl> decls;
+    while (true) {
+      SkipWs();
+      if (Consume(">")) break;
+      if (AtEnd()) return Error("unterminated <!ATTLIST");
+      AttrDecl ad;
+      SMOQE_ASSIGN_OR_RETURN(ad.name, ReadName());
+      SkipWs();
+      if (Peek() == '(') {  // enumeration type
+        size_t start = pos_;
+        int depth = 0;
+        while (!AtEnd()) {
+          if (Peek() == '(') ++depth;
+          if (Peek() == ')') {
+            Advance();
+            if (--depth == 0) break;
+            continue;
+          }
+          Advance();
+        }
+        ad.type = std::string(text_.substr(start, pos_ - start));
+      } else {
+        SMOQE_ASSIGN_OR_RETURN(ad.type, ReadName());
+      }
+      SkipWs();
+      if (Consume("#REQUIRED")) {
+        ad.default_kind = AttrDecl::Default::kRequired;
+      } else if (Consume("#IMPLIED")) {
+        ad.default_kind = AttrDecl::Default::kImplied;
+      } else if (Consume("#FIXED")) {
+        ad.default_kind = AttrDecl::Default::kFixed;
+        SMOQE_ASSIGN_OR_RETURN(ad.default_value, ReadQuoted());
+      } else {
+        ad.default_kind = AttrDecl::Default::kValue;
+        SMOQE_ASSIGN_OR_RETURN(ad.default_value, ReadQuoted());
+      }
+      decls.push_back(std::move(ad));
+    }
+    ElementDecl* decl = dtd->FindMutable(elem_name);
+    if (decl != nullptr) {
+      for (auto& ad : decls) decl->attrs.push_back(std::move(ad));
+    }
+    // ATTLIST for an undeclared element is tolerated (and dropped), as most
+    // XML processors do.
+    return Status::OK();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Result<Dtd> ParseDtd(std::string_view text, std::string_view root_name) {
+  DtdCursor cur(text);
+  Dtd dtd;
+  while (true) {
+    cur.SkipWs();
+    if (cur.AtEnd()) break;
+    if (cur.Consume("<!--")) {
+      while (!cur.AtEnd() && !cur.Consume("-->")) cur.Advance();
+      continue;
+    }
+    if (cur.Consume("<?")) {
+      while (!cur.AtEnd() && !cur.Consume("?>")) cur.Advance();
+      continue;
+    }
+    if (cur.Consume("<!ELEMENT")) {
+      SMOQE_RETURN_IF_ERROR(cur.ParseElementDecl(&dtd));
+      continue;
+    }
+    if (cur.Consume("<!ATTLIST")) {
+      SMOQE_RETURN_IF_ERROR(cur.ParseAttlistDecl(&dtd));
+      continue;
+    }
+    if (cur.Consume("<!ENTITY") || cur.Peek() == '%') {
+      return cur.Error("parameter/general entity declarations not supported");
+    }
+    if (cur.Consume("<!NOTATION")) {
+      while (!cur.AtEnd() && !cur.Consume(">")) cur.Advance();
+      continue;
+    }
+    return cur.Error("unexpected content in DTD");
+  }
+
+  if (!root_name.empty()) {
+    if (dtd.Find(root_name) == nullptr) {
+      return Status::InvalidArgument("declared root '" + std::string(root_name) +
+                                     "' has no <!ELEMENT> declaration");
+    }
+    dtd.set_root_name(std::string(root_name));
+    return dtd;
+  }
+
+  // Infer the root: a declared type never referenced by another declaration.
+  // ANY declarations are skipped — they reference every type and would make
+  // inference impossible even though they name no type explicitly.
+  std::set<std::string> referenced;
+  for (const auto& [name, decl] : dtd.elements()) {
+    if (decl.content == ContentKind::kAny) continue;
+    for (const std::string& c : dtd.ChildTypes(name)) {
+      if (c != name) referenced.insert(c);
+    }
+  }
+  std::vector<std::string> candidates;
+  for (const auto& [name, decl] : dtd.elements()) {
+    if (referenced.find(name) == referenced.end()) candidates.push_back(name);
+  }
+  if (candidates.size() != 1) {
+    return Status::InvalidArgument(
+        "cannot infer a unique root element (candidates: " +
+        std::to_string(candidates.size()) + "); pass root_name explicitly");
+  }
+  dtd.set_root_name(candidates[0]);
+  return dtd;
+}
+
+Result<std::unique_ptr<Particle>> ParseContentModel(std::string_view text) {
+  DtdCursor cur(text);
+  cur.SkipWs();
+  SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<Particle> p, cur.ParseCp());
+  cur.SkipWs();
+  if (!cur.AtEnd()) return cur.Error("trailing input after content model");
+  return Particle::Simplify(std::move(p));
+}
+
+}  // namespace smoqe::xml

@@ -1,0 +1,26 @@
+#ifndef SMOQE_XML_DTD_PARSER_H_
+#define SMOQE_XML_DTD_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/xml/dtd.h"
+
+namespace smoqe::xml {
+
+/// \brief Parses DTD text — a sequence of `<!ELEMENT …>` / `<!ATTLIST …>`
+/// declarations (comments and PIs are skipped; parameter entities are not
+/// supported and reported as errors).
+///
+/// `root_name` fixes the root element type; when empty, the root is inferred
+/// as the unique declared type that no other declaration references (fails
+/// if that type is not unique — pass the name explicitly then).
+Result<Dtd> ParseDtd(std::string_view text, std::string_view root_name = "");
+
+/// Parses a standalone content-model expression, e.g. "(b, (c | d)*)".
+Result<std::unique_ptr<Particle>> ParseContentModel(std::string_view text);
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_DTD_PARSER_H_

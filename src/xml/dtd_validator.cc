@@ -1,0 +1,226 @@
+#include "src/xml/dtd_validator.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace smoqe::xml {
+
+namespace {
+
+/// Small ε-NFA over element-type names compiled from one content particle
+/// (Thompson construction), simulated with ε-closure per child.
+class ContentAutomaton {
+ public:
+  explicit ContentAutomaton(const Particle& p) {
+    start_ = NewState();
+    int end = Build(p, start_);
+    accept_ = end;
+  }
+
+  /// True iff the sequence of child element names matches the model.
+  bool Matches(const std::vector<const std::string*>& children) const {
+    std::set<int> cur;
+    AddClosure(start_, &cur);
+    for (const std::string* name : children) {
+      std::set<int> next;
+      for (int s : cur) {
+        auto range = labeled_.equal_range(s);
+        for (auto it = range.first; it != range.second; ++it) {
+          if (it->second.first == *name) AddClosure(it->second.second, &next);
+        }
+      }
+      if (next.empty()) return false;
+      cur = std::move(next);
+    }
+    return cur.count(accept_) > 0;
+  }
+
+ private:
+  int NewState() {
+    eps_.emplace_back();
+    return static_cast<int>(eps_.size()) - 1;
+  }
+
+  // Builds the fragment for `p` starting at `in`; returns its exit state.
+  int Build(const Particle& p, int in) {
+    switch (p.kind()) {
+      case Particle::Kind::kEpsilon:
+        return in;
+      case Particle::Kind::kElement: {
+        int out = NewState();
+        labeled_.emplace(in, std::make_pair(p.name(), out));
+        return out;
+      }
+      case Particle::Kind::kSeq: {
+        int cur = in;
+        for (const auto& c : p.children()) cur = Build(*c, cur);
+        return cur;
+      }
+      case Particle::Kind::kChoice: {
+        int out = NewState();
+        for (const auto& c : p.children()) {
+          int branch_in = NewState();
+          eps_[in].push_back(branch_in);
+          int branch_out = Build(*c, branch_in);
+          eps_[branch_out].push_back(out);
+        }
+        return out;
+      }
+      case Particle::Kind::kStar: {
+        int body_in = NewState();
+        int out = NewState();
+        eps_[in].push_back(body_in);
+        eps_[in].push_back(out);
+        int body_out = Build(*p.children()[0], body_in);
+        eps_[body_out].push_back(body_in);
+        eps_[body_out].push_back(out);
+        return out;
+      }
+      case Particle::Kind::kPlus: {
+        int body_in = NewState();
+        eps_[in].push_back(body_in);
+        int body_out = Build(*p.children()[0], body_in);
+        int out = NewState();
+        eps_[body_out].push_back(body_in);
+        eps_[body_out].push_back(out);
+        return out;
+      }
+      case Particle::Kind::kOpt: {
+        int out = NewState();
+        eps_[in].push_back(out);
+        int body_out = Build(*p.children()[0], in);
+        eps_[body_out].push_back(out);
+        return out;
+      }
+    }
+    return in;
+  }
+
+  void AddClosure(int s, std::set<int>* out) const {
+    if (!out->insert(s).second) return;
+    for (int t : eps_[s]) AddClosure(t, out);
+  }
+
+  int start_ = 0;
+  int accept_ = 0;
+  std::vector<std::vector<int>> eps_;
+  std::multimap<int, std::pair<std::string, int>> labeled_;
+};
+
+std::string NodeRef(const NameTable& names, const Node* n) {
+  return "element '" + names.NameOf(n->label) + "' (node " +
+         std::to_string(n->node_id) + ")";
+}
+
+}  // namespace
+
+Status ValidateDocument(const Document& doc, const Dtd& dtd,
+                        ValidateOptions options) {
+  const NameTable& names = *doc.names();
+  const Node* root = doc.root();
+  if (!dtd.root_name().empty() &&
+      names.NameOf(root->label) != dtd.root_name()) {
+    return Status::InvalidArgument("root element '" +
+                                   names.NameOf(root->label) +
+                                   "' does not match DTD root '" +
+                                   dtd.root_name() + "'");
+  }
+
+  std::map<std::string, ContentAutomaton> automata;
+
+  // Iterative DFS over elements.
+  std::vector<const Node*> stack = {root};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (!n->is_element()) continue;
+    const std::string& name = names.NameOf(n->label);
+    const ElementDecl* decl = dtd.Find(name);
+    if (decl == nullptr) {
+      if (options.allow_undeclared) continue;
+      return Status::InvalidArgument("undeclared " + NodeRef(names, n));
+    }
+
+    // Gather child info.
+    std::vector<const std::string*> child_names;
+    bool has_text = false;
+    for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+      if (c->is_text()) {
+        has_text = true;
+      } else {
+        child_names.push_back(&names.NameOf(c->label));
+        stack.push_back(c);
+      }
+    }
+
+    switch (decl->content) {
+      case ContentKind::kEmpty:
+        if (has_text || !child_names.empty()) {
+          return Status::InvalidArgument(NodeRef(names, n) +
+                                         " must be EMPTY");
+        }
+        break;
+      case ContentKind::kAny:
+        break;
+      case ContentKind::kPcdata:
+        if (!child_names.empty()) {
+          return Status::InvalidArgument(
+              NodeRef(names, n) + " is (#PCDATA) but has element children");
+        }
+        break;
+      case ContentKind::kMixed: {
+        for (const std::string* cn : child_names) {
+          bool ok = false;
+          for (const std::string& allowed : decl->mixed_names) {
+            if (allowed == *cn) {
+              ok = true;
+              break;
+            }
+          }
+          if (!ok) {
+            return Status::InvalidArgument(NodeRef(names, n) +
+                                           ": child '" + *cn +
+                                           "' not allowed in mixed content");
+          }
+        }
+        break;
+      }
+      case ContentKind::kChildren: {
+        if (has_text) {
+          return Status::InvalidArgument(
+              NodeRef(names, n) +
+              " has element content but contains text");
+        }
+        auto it = automata.find(name);
+        if (it == automata.end()) {
+          it = automata.emplace(name, ContentAutomaton(*decl->particle))
+                   .first;
+        }
+        if (!it->second.Matches(child_names)) {
+          return Status::InvalidArgument(
+              NodeRef(names, n) + ": children do not match content model " +
+              decl->particle->ToString());
+        }
+        break;
+      }
+    }
+
+    if (options.check_attributes) {
+      for (const AttrDecl& ad : decl->attrs) {
+        if (ad.default_kind == AttrDecl::Default::kRequired) {
+          NameId id = names.Lookup(ad.name);
+          if (id == kNoName || n->FindAttr(id) == nullptr) {
+            return Status::InvalidArgument(NodeRef(names, n) +
+                                           " is missing required attribute '" +
+                                           ad.name + "'");
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace smoqe::xml

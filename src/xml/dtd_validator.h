@@ -1,0 +1,29 @@
+#ifndef SMOQE_XML_DTD_VALIDATOR_H_
+#define SMOQE_XML_DTD_VALIDATOR_H_
+
+#include "src/common/status.h"
+#include "src/xml/dom.h"
+#include "src/xml/dtd.h"
+
+namespace smoqe::xml {
+
+/// Options for validation.
+struct ValidateOptions {
+  /// When true, elements without an `<!ELEMENT>` declaration are accepted
+  /// (and their content is unchecked). When false they are errors.
+  bool allow_undeclared = false;
+  /// Check #REQUIRED attributes are present.
+  bool check_attributes = true;
+};
+
+/// \brief Validates `doc` against `dtd`: root type, content models
+/// (matched with Glushkov automata compiled per element declaration),
+/// text placement, and required attributes.
+///
+/// Returns OK or the first violation with the node's document-order id.
+Status ValidateDocument(const Document& doc, const Dtd& dtd,
+                        ValidateOptions options = {});
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_DTD_VALIDATOR_H_

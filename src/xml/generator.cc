@@ -1,0 +1,259 @@
+#include "src/xml/generator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/rng.h"
+
+namespace smoqe::xml {
+
+namespace {
+
+constexpr int kInfinity = std::numeric_limits<int>::max() / 4;
+
+/// Minimum achievable subtree heights per element type, computed by
+/// fixpoint; used to steer recursive choices toward termination.
+class HeightTable {
+ public:
+  explicit HeightTable(const Dtd& dtd) : dtd_(dtd) {
+    for (const auto& [name, decl] : dtd.elements()) height_[name] = kInfinity;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, decl] : dtd.elements()) {
+        int h = 1 + ContentHeight(decl);
+        if (h < height_[name]) {
+          height_[name] = h;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  int Of(const std::string& name) const {
+    auto it = height_.find(name);
+    return it == height_.end() ? kInfinity : it->second;
+  }
+
+  int OfParticle(const Particle& p) const {
+    switch (p.kind()) {
+      case Particle::Kind::kEpsilon:
+        return 0;
+      case Particle::Kind::kElement:
+        return Of(p.name());
+      case Particle::Kind::kStar:
+      case Particle::Kind::kOpt:
+        return 0;  // can be expanded zero times
+      case Particle::Kind::kPlus:
+        return OfParticle(*p.children()[0]);
+      case Particle::Kind::kSeq: {
+        int h = 0;
+        for (const auto& c : p.children()) h = std::max(h, OfParticle(*c));
+        return h;
+      }
+      case Particle::Kind::kChoice: {
+        int h = kInfinity;
+        for (const auto& c : p.children()) h = std::min(h, OfParticle(*c));
+        return h;
+      }
+    }
+    return kInfinity;
+  }
+
+ private:
+  int ContentHeight(const ElementDecl& decl) const {
+    switch (decl.content) {
+      case ContentKind::kEmpty:
+      case ContentKind::kAny:  // can always be left empty of elements
+      case ContentKind::kPcdata:
+      case ContentKind::kMixed:
+        return 0;
+      case ContentKind::kChildren:
+        return OfParticle(*decl.particle);
+    }
+    return 0;
+  }
+
+  const Dtd& dtd_;
+  std::map<std::string, int> height_;
+};
+
+class Generator {
+ public:
+  Generator(const Dtd& dtd, const GeneratorOptions& options)
+      : dtd_(dtd),
+        options_(options),
+        rng_(options.seed),
+        heights_(dtd),
+        builder_(options.names) {}
+
+  Result<Document> Run() {
+    if (dtd_.root_name().empty() || dtd_.Find(dtd_.root_name()) == nullptr) {
+      return Status::InvalidArgument("DTD has no (declared) root element");
+    }
+    if (heights_.Of(dtd_.root_name()) >= kInfinity) {
+      return Status::InvalidArgument(
+          "DTD root cannot derive any finite document");
+    }
+    SMOQE_RETURN_IF_ERROR(EmitElement(dtd_.root_name(), 0));
+    return builder_.Finish();
+  }
+
+ private:
+  bool WindingDown() const { return nodes_ >= options_.target_nodes; }
+
+  const std::vector<std::string>* TextPool(const std::string& elem) const {
+    auto it = options_.text_values.find(elem);
+    if (it != options_.text_values.end() && !it->second.empty()) {
+      return &it->second;
+    }
+    return &options_.default_text;
+  }
+
+  Status EmitElement(const std::string& name, int depth) {
+    if (depth > options_.max_depth + 64) {
+      return Status::ResourceExhausted(
+          "generator exceeded hard depth cap expanding '" + name + "'");
+    }
+    const ElementDecl* decl = dtd_.Find(name);
+    if (decl == nullptr) {
+      return Status::InvalidArgument("undeclared element '" + name +
+                                     "' reached during generation");
+    }
+    builder_.StartElement(name);
+    ++nodes_;
+    for (const AttrDecl& ad : decl->attrs) {
+      if (ad.default_kind == AttrDecl::Default::kRequired) {
+        auto it = options_.attr_values.find(name + "@" + ad.name);
+        const std::vector<std::string>& pool =
+            (it != options_.attr_values.end() && !it->second.empty())
+                ? it->second
+                : options_.default_text;
+        builder_.AddAttribute(ad.name, pool[rng_.Uniform(pool.size())]);
+      } else if (ad.default_kind == AttrDecl::Default::kFixed ||
+                 ad.default_kind == AttrDecl::Default::kValue) {
+        builder_.AddAttribute(ad.name, ad.default_value);
+      }
+    }
+    switch (decl->content) {
+      case ContentKind::kEmpty:
+        break;
+      case ContentKind::kAny:
+        // Treated as empty-able; emit optional text only.
+        if (rng_.Chance(0.5)) EmitText(name);
+        break;
+      case ContentKind::kPcdata:
+      case ContentKind::kMixed:
+        // Data-centric generation: one text child (mixed types could also
+        // interleave elements; we keep them text-only which still conforms).
+        EmitText(name);
+        break;
+      case ContentKind::kChildren:
+        SMOQE_RETURN_IF_ERROR(EmitParticle(*decl->particle, depth));
+        break;
+    }
+    return builder_.EndElement();
+  }
+
+  void EmitText(const std::string& elem) {
+    const std::vector<std::string>& pool = *TextPool(elem);
+    builder_.AddText(pool[rng_.Uniform(pool.size())]);
+    ++nodes_;
+  }
+
+  /// Lazy repetition decision for `*` / `+` bodies, consulted before every
+  /// iteration so the node budget reflects children generated so far. While
+  /// the tree is far below the size target the generator stays in a growth
+  /// phase with high continuation probability; near the target it tapers
+  /// with the configured star_p, and past it it stops repeating entirely.
+  bool ContinueRepetition(int done) {
+    if (WindingDown()) return false;
+    if (nodes_ * 2 < options_.target_nodes) {
+      return done < (1 << 16) && rng_.Chance(0.9);
+    }
+    return done < options_.star_cap && rng_.Chance(options_.star_p);
+  }
+
+  Status EmitParticle(const Particle& p, int depth) {
+    switch (p.kind()) {
+      case Particle::Kind::kEpsilon:
+        return Status::OK();
+      case Particle::Kind::kElement:
+        return EmitElement(p.name(), depth + 1);
+      case Particle::Kind::kSeq: {
+        for (const auto& c : p.children()) {
+          SMOQE_RETURN_IF_ERROR(EmitParticle(*c, depth));
+        }
+        return Status::OK();
+      }
+      case Particle::Kind::kChoice: {
+        // Feasible branches: those that can terminate within budget.
+        int remaining = options_.max_depth - depth;
+        std::vector<const Particle*> feasible;
+        for (const auto& c : p.children()) {
+          if (heights_.OfParticle(*c) <= remaining) feasible.push_back(c.get());
+        }
+        if (feasible.empty() || WindingDown()) {
+          // Take the shallowest branch.
+          const Particle* best = p.children()[0].get();
+          for (const auto& c : p.children()) {
+            if (heights_.OfParticle(*c) < heights_.OfParticle(*best)) {
+              best = c.get();
+            }
+          }
+          return EmitParticle(*best, depth);
+        }
+        return EmitParticle(*feasible[rng_.Uniform(feasible.size())], depth);
+      }
+      case Particle::Kind::kStar: {
+        const Particle& body = *p.children()[0];
+        if (heights_.OfParticle(body) > options_.max_depth - depth) {
+          return Status::OK();  // too deep; empty expansion is always legal
+        }
+        for (int i = 0; ContinueRepetition(i); ++i) {
+          SMOQE_RETURN_IF_ERROR(EmitParticle(body, depth));
+        }
+        return Status::OK();
+      }
+      case Particle::Kind::kPlus: {
+        const Particle& body = *p.children()[0];
+        SMOQE_RETURN_IF_ERROR(EmitParticle(body, depth));  // mandatory first
+        if (heights_.OfParticle(body) <= options_.max_depth - depth) {
+          for (int i = 0; ContinueRepetition(i); ++i) {
+            SMOQE_RETURN_IF_ERROR(EmitParticle(body, depth));
+          }
+        }
+        return Status::OK();
+      }
+      case Particle::Kind::kOpt: {
+        const Particle& body = *p.children()[0];
+        if (heights_.OfParticle(body) > options_.max_depth - depth ||
+            WindingDown()) {
+          return Status::OK();
+        }
+        if (rng_.Chance(0.5)) {
+          return EmitParticle(body, depth);
+        }
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  const Dtd& dtd_;
+  const GeneratorOptions& options_;
+  Rng rng_;
+  HeightTable heights_;
+  DocumentBuilder builder_;
+  size_t nodes_ = 0;
+};
+
+}  // namespace
+
+Result<Document> GenerateDocument(const Dtd& dtd,
+                                  const GeneratorOptions& options) {
+  Generator gen(dtd, options);
+  return gen.Run();
+}
+
+}  // namespace smoqe::xml

@@ -1,0 +1,56 @@
+#ifndef SMOQE_XML_GENERATOR_H_
+#define SMOQE_XML_GENERATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/xml/dom.h"
+#include "src/xml/dtd.h"
+
+namespace smoqe::xml {
+
+/// Options for the synthetic document generator.
+///
+/// The generator produces documents that *conform to the DTD by
+/// construction* (verified in tests with the validator). Repetition counts
+/// for `*`/`+` follow a capped geometric distribution; recursive types are
+/// steered toward termination with precomputed minimum-height tables.
+struct GeneratorOptions {
+  uint64_t seed = 42;
+
+  /// Soft size target: once the tree reaches this many nodes the generator
+  /// winds down (stars stop repeating, choices take the shallowest branch).
+  size_t target_nodes = 1000;
+
+  /// Maximum element nesting depth the generator aims for. Mandatory
+  /// content (e.g. `+` on a recursive type) may exceed it slightly; a hard
+  /// cap of `max_depth + 64` aborts pathological schemas with an error.
+  int max_depth = 24;
+
+  /// Geometric continuation probability for `*` / `+` repetitions.
+  double star_p = 0.5;
+  /// Upper bound on repetitions drawn for one `*` / `+`.
+  int star_cap = 8;
+
+  /// Text vocabulary per element type (weighted by repetition). Types not
+  /// listed draw from `default_text`.
+  std::map<std::string, std::vector<std::string>> text_values;
+  std::vector<std::string> default_text = {"alpha", "beta", "gamma", "delta"};
+
+  /// Value pool for #REQUIRED attributes (keyed "elem@attr"; falls back to
+  /// `default_text`).
+  std::map<std::string, std::vector<std::string>> attr_values;
+
+  /// Share this name table; a fresh one is created when null.
+  std::shared_ptr<NameTable> names;
+};
+
+/// Generates a random document conforming to `dtd`.
+Result<Document> GenerateDocument(const Dtd& dtd, const GeneratorOptions& options);
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_GENERATOR_H_

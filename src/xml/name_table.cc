@@ -1,0 +1,26 @@
+#include "src/xml/name_table.h"
+
+namespace smoqe::xml {
+
+NameId NameTable::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  NameId id = static_cast<NameId>(names_.size());
+  // Deque-like stability: we store strings in a vector, so a rehash of
+  // index_ is fine (keys view into the heap buffers of the strings), but a
+  // reallocation of names_ moves the std::string objects. Small-string
+  // optimization would invalidate views, so force heap allocation for short
+  // names by reserving capacity beyond the SSO threshold.
+  std::string owned(name);
+  if (owned.capacity() < sizeof(std::string)) owned.reserve(sizeof(std::string));
+  names_.push_back(std::move(owned));
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+NameId NameTable::Lookup(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNoName : it->second;
+}
+
+}  // namespace smoqe::xml

@@ -1,0 +1,52 @@
+#ifndef SMOQE_XML_NAME_TABLE_H_
+#define SMOQE_XML_NAME_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace smoqe::xml {
+
+/// Interned identifier for an element/attribute name. Negative values are
+/// sentinels (kNoName); valid ids index into NameTable.
+using NameId = int32_t;
+
+inline constexpr NameId kNoName = -1;
+
+/// \brief Bidirectional string ↔ id interning table.
+///
+/// One table is typically shared by every document, DTD, automaton and index
+/// inside an engine so that label comparisons are integer compares. Interning
+/// a name that is already present returns the existing id, so sharing a table
+/// across documents is safe and cheap.
+class NameTable {
+ public:
+  NameTable() = default;
+
+  /// Returns the id for `name`, interning it if new.
+  NameId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kNoName if it was never interned.
+  NameId Lookup(std::string_view name) const;
+
+  /// Returns the name for a valid id.
+  const std::string& NameOf(NameId id) const { return names_[id]; }
+
+  /// Number of distinct names interned so far.
+  size_t size() const { return names_.size(); }
+
+  /// Convenience: a freshly allocated shared table.
+  static std::shared_ptr<NameTable> Create() {
+    return std::make_shared<NameTable>();
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string_view, NameId> index_;  // views into names_
+};
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_NAME_TABLE_H_

@@ -1,0 +1,45 @@
+#ifndef SMOQE_XML_PARSER_H_
+#define SMOQE_XML_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/xml/dom.h"
+#include "src/xml/stax.h"
+
+namespace smoqe::xml {
+
+/// Options for DOM parsing.
+struct ParseOptions {
+  /// Share this name table; a fresh one is created when null.
+  std::shared_ptr<NameTable> names;
+  /// Forwarded to the underlying StaxReader.
+  bool skip_whitespace_text = true;
+};
+
+/// Result of a successful parse: the tree plus any DOCTYPE internal subset
+/// text captured on the way (callers may feed it to the DTD parser).
+struct ParsedDocument {
+  Document document;
+  std::string doctype_name;
+  std::string doctype_internal_subset;
+};
+
+/// \brief Parses an XML string into a Document (DOM mode).
+///
+/// This is a thin layer over StaxReader — both evaluation modes share one
+/// tokenizer, mirroring the paper's DOM/StAX architecture.
+Result<ParsedDocument> ParseXml(std::string_view input, ParseOptions options = {});
+
+/// Convenience wrapper that drops the DOCTYPE info.
+Result<Document> ParseDocument(std::string_view input, ParseOptions options = {});
+
+/// Reads a whole file and parses it.
+Result<ParsedDocument> ParseXmlFile(const std::string& path,
+                                    ParseOptions options = {});
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_PARSER_H_

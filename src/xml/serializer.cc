@@ -1,0 +1,72 @@
+#include "src/xml/serializer.h"
+
+#include "src/common/strings.h"
+
+namespace smoqe::xml {
+
+namespace {
+
+bool HasTextChild(const Node* node) {
+  for (const Node* c = node->first_child; c != nullptr; c = c->next_sibling) {
+    if (c->is_text()) return true;
+  }
+  return false;
+}
+
+void SerializeRec(const Node* node, const NameTable& names,
+                  const SerializeOptions& options, int depth, bool pretty,
+                  std::string* out) {
+  if (node->is_text()) {
+    *out += XmlEscape(node->text);
+    return;
+  }
+  if (pretty) {
+    out->append(static_cast<size_t>(depth * options.indent_width), ' ');
+  }
+  const std::string& name = names.NameOf(node->label);
+  *out += '<';
+  *out += name;
+  for (uint32_t i = 0; i < node->num_attrs; ++i) {
+    *out += ' ';
+    *out += names.NameOf(node->attrs[i].name);
+    *out += "=\"";
+    *out += XmlEscape(node->attrs[i].value);
+    *out += '"';
+  }
+  if (node->first_child == nullptr) {
+    *out += "/>";
+    if (pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+  // Elements containing text serialize inline even in pretty mode, so that
+  // indentation never alters text content (the pretty form re-parses to the
+  // same tree).
+  bool pretty_children = pretty && !HasTextChild(node);
+  if (pretty_children) *out += '\n';
+  for (const Node* c = node->first_child; c != nullptr; c = c->next_sibling) {
+    SerializeRec(c, names, options, depth + 1, pretty_children, out);
+  }
+  if (pretty_children) {
+    out->append(static_cast<size_t>(depth * options.indent_width), ' ');
+  }
+  *out += "</";
+  *out += name;
+  *out += '>';
+  if (pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string SerializeNode(const Node* node, const NameTable& names,
+                          SerializeOptions options) {
+  std::string out;
+  SerializeRec(node, names, options, 0, options.pretty, &out);
+  return out;
+}
+
+std::string SerializeDocument(const Document& doc, SerializeOptions options) {
+  return SerializeNode(doc.root(), *doc.names(), options);
+}
+
+}  // namespace smoqe::xml

@@ -1,0 +1,30 @@
+#ifndef SMOQE_XML_SERIALIZER_H_
+#define SMOQE_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "src/xml/dom.h"
+
+namespace smoqe::xml {
+
+/// Serialization options.
+struct SerializeOptions {
+  /// Pretty-print with indentation and one element per line; when false the
+  /// output is a single compact line (round-trips losslessly for documents
+  /// parsed with skip_whitespace_text).
+  bool pretty = false;
+  int indent_width = 2;
+};
+
+/// Serializes the subtree rooted at `node` to XML text. `names` must be the
+/// table the node's document was built with.
+std::string SerializeNode(const Node* node, const NameTable& names,
+                          SerializeOptions options = {});
+
+/// Serializes a whole document.
+std::string SerializeDocument(const Document& doc,
+                              SerializeOptions options = {});
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_SERIALIZER_H_

@@ -1,0 +1,113 @@
+#ifndef SMOQE_XML_STAX_H_
+#define SMOQE_XML_STAX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace smoqe::xml {
+
+/// Pull-parsing event kinds, mirroring the StAX (JSR-173) vocabulary the
+/// paper's streaming mode consumes.
+enum class StaxEvent {
+  kStartDocument,
+  kStartElement,
+  kEndElement,
+  kCharacters,
+  kEndDocument,
+};
+
+/// Decoded attribute of a kStartElement event.
+struct StaxAttr {
+  std::string name;
+  std::string value;
+};
+
+/// Options controlling the scanner.
+struct StaxOptions {
+  /// Drop text events that consist solely of whitespace (the usual choice
+  /// for data-centric XML; pretty-printed inputs parse to the same tree).
+  bool skip_whitespace_text = true;
+};
+
+/// \brief Streaming XML pull reader (StAX mode).
+///
+/// One sequential, forward-only scan of the input; no document tree is
+/// built. `Next()` advances to the next event; accessors are valid until
+/// the following `Next()` call. The DOM parser is a thin layer over this
+/// reader, so both modes share one tokenizer.
+///
+/// Supported syntax: XML declaration, DOCTYPE (captured, see
+/// `doctype_internal_subset()`), elements, attributes, text, CDATA,
+/// comments, processing instructions, and the five built-in entities plus
+/// numeric character references. Namespaces are treated as plain names
+/// (prefix kept, no URI resolution) — the SMOQE data model is
+/// namespace-free, like the paper's.
+class StaxReader {
+ public:
+  explicit StaxReader(std::string_view input, StaxOptions options = {});
+
+  /// Advances to the next event. After kEndDocument (or an error) further
+  /// calls keep returning kEndDocument.
+  Result<StaxEvent> Next();
+
+  /// Element name; valid for kStartElement / kEndElement.
+  const std::string& name() const { return name_; }
+  /// Decoded text; valid for kCharacters.
+  const std::string& text() const { return text_; }
+  /// Decoded attributes; valid for kStartElement.
+  const std::vector<StaxAttr>& attrs() const { return attrs_; }
+
+  /// Raw text between '[' and ']' of the DOCTYPE internal subset, empty if
+  /// none was present. Available once the reader has moved past the prolog.
+  const std::string& doctype_internal_subset() const { return doctype_; }
+  /// Root element name declared by DOCTYPE, empty if none.
+  const std::string& doctype_name() const { return doctype_name_; }
+
+  /// 1-based position of the current scan point (for error messages).
+  int line() const { return line_; }
+  int column() const { return col_; }
+
+  /// Current element nesting depth (after the event: a kStartElement for
+  /// the root reports depth 1).
+  int depth() const { return static_cast<int>(open_.size()); }
+
+ private:
+  Status Error(std::string msg) const;
+  void SkipWhitespace();
+  bool Consume(std::string_view lit);
+  Result<std::string> ReadName();
+  Status DecodeEntity(std::string* out);
+  Status ReadAttrValue(std::string* out);
+  Status SkipComment();
+  Status SkipProcessingInstruction();
+  Status ReadDoctype();
+  Result<bool> ReadTextRun();  // fills text_; false if only skippable ws
+  char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < input_.size() ? input_[pos_ + off] : '\0';
+  }
+  void Advance();
+
+  std::string_view input_;
+  StaxOptions options_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool started_ = false;
+  bool done_ = false;
+  bool saw_root_ = false;
+  bool pending_end_ = false;  // self-closing tag: emit EndElement next
+  std::vector<std::string> open_;
+  std::string name_;
+  std::string text_;
+  std::vector<StaxAttr> attrs_;
+  std::string doctype_;
+  std::string doctype_name_;
+};
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_STAX_H_

@@ -1,0 +1,225 @@
+#include "src/automata/mfa.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace smoqe::automata {
+namespace {
+
+using testutil::MustQuery;
+
+Mfa MustCompile(std::string_view q,
+                std::shared_ptr<xml::NameTable> names = nullptr) {
+  if (names == nullptr) names = xml::NameTable::Create();
+  auto query = MustQuery(q);
+  auto mfa = Mfa::Compile(*query, std::move(names));
+  EXPECT_TRUE(mfa.ok()) << mfa.status().ToString();
+  return mfa.MoveValue();
+}
+
+TEST(LabelTestTest, Matching) {
+  EXPECT_TRUE(LabelTest::Wildcard().Matches(3));
+  EXPECT_TRUE(LabelTest::Name(3).Matches(3));
+  EXPECT_FALSE(LabelTest::Name(3).Matches(4));
+  EXPECT_TRUE(LabelTest::Wildcard() == LabelTest::Wildcard());
+  EXPECT_FALSE(LabelTest::Wildcard() == LabelTest::Name(1));
+  EXPECT_TRUE(LabelTest::Name(2) == LabelTest::Name(2));
+}
+
+TEST(MergePredSetsTest, SetUnion) {
+  EXPECT_EQ(MergePredSets({1, 3}, {2, 3}), (PredSet{1, 2, 3}));
+  EXPECT_EQ(MergePredSets({}, {5}), (PredSet{5}));
+  EXPECT_EQ(MergePredSets({}, {}), (PredSet{}));
+}
+
+TEST(MfaTest, SimplePathHasNoPredicates) {
+  Mfa m = MustCompile("a/b/c");
+  EXPECT_TRUE(m.preds().empty());
+  EXPECT_TRUE(m.obligations().empty());
+  // Accepting runs exist (liveness reaches the final state).
+  EXPECT_GE(m.TotalStates(), 4u);
+  EXPECT_GE(m.TotalTransitions(), 3u);
+}
+
+TEST(MfaTest, PredicateCompilesToAnnotations) {
+  Mfa m = MustCompile("a[b = 'v']/c");
+  ASSERT_EQ(m.preds().size(), 1u);
+  ASSERT_EQ(m.obligations().size(), 1u);
+  EXPECT_EQ(m.obligations()[0].test.kind, AcceptTest::Kind::kTextEq);
+  EXPECT_EQ(m.obligations()[0].test.value, "v");
+  EXPECT_EQ(m.preds()[0].description, "b = 'v'");
+  ASSERT_EQ(m.preds()[0].leaf_obligations.size(), 1u);
+}
+
+TEST(MfaTest, NestedPredicatesNestInTables) {
+  Mfa m = MustCompile("a[b[c]/d]");
+  // Outer pred over path b[c]/d; inner pred over path c.
+  EXPECT_EQ(m.preds().size(), 2u);
+  EXPECT_EQ(m.obligations().size(), 2u);
+}
+
+TEST(MfaTest, BooleanStructure) {
+  Mfa m = MustCompile("a[x and not(y or z)]");
+  ASSERT_EQ(m.preds().size(), 1u);
+  const Pred& p = m.preds()[0];
+  EXPECT_EQ(p.leaf_obligations.size(), 3u);
+  // Evaluate the boolean tree directly.
+  EXPECT_TRUE(p.Evaluate({true, false, false}));   // x ∧ ¬(y ∨ z)
+  EXPECT_FALSE(p.Evaluate({true, true, false}));
+  EXPECT_FALSE(p.Evaluate({true, false, true}));
+  EXPECT_FALSE(p.Evaluate({false, false, false}));
+}
+
+TEST(MfaTest, AttrTests) {
+  Mfa m = MustCompile("a[@id = 'x' and b/@k]");
+  ASSERT_EQ(m.obligations().size(), 2u);
+  EXPECT_EQ(m.obligations()[0].test.kind, AcceptTest::Kind::kAttrEq);
+  EXPECT_EQ(m.obligations()[0].test.value, "x");
+  EXPECT_EQ(m.obligations()[1].test.kind, AcceptTest::Kind::kAttrExists);
+}
+
+TEST(MfaTest, SizeLinearInQuery) {
+  // The paper's complexity claim: |MFA| = O(|Q|). Grow a chain query and
+  // check states grow linearly (ratio bounded), not exponentially.
+  std::shared_ptr<xml::NameTable> names = xml::NameTable::Create();
+  std::vector<size_t> sizes;
+  for (int k = 1; k <= 16; ++k) {
+    std::string q = "a0";
+    for (int i = 1; i < k; ++i) q += "/a" + std::to_string(i % 7);
+    q += "[b = 'v']";
+    sizes.push_back(MustCompile(q, names).TotalStates());
+  }
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LE(sizes[i], sizes[i - 1] + 8) << "growth must be additive";
+  }
+}
+
+TEST(MfaTest, NecessaryLabelsOfStar) {
+  // (a/b)*/c can accept via c alone (zero star iterations), so only c is
+  // necessary from the start state.
+  std::shared_ptr<xml::NameTable> names = xml::NameTable::Create();
+  Mfa m = MustCompile("(a/b)*/c", names);
+  const FlatNfa& sel = m.selection();
+  int start = sel.initial[0].first;
+  ASSERT_EQ(sel.states[start].necessary_labels.size(), 1u);
+  EXPECT_EQ(sel.states[start].necessary_labels[0], names->Lookup("c"));
+}
+
+TEST(MfaTest, NecessaryLabelsOfChainAndDescendant) {
+  std::shared_ptr<xml::NameTable> names = xml::NameTable::Create();
+  Mfa m = MustCompile("a/b/c", names);
+  const FlatNfa& sel = m.selection();
+  int start = sel.initial[0].first;
+  // Every accepting path consumes a, b and c.
+  EXPECT_EQ(sel.states[start].necessary_labels.size(), 3u);
+
+  // a//c: the wildcard loop contributes nothing, but a and c remain
+  // necessary — this is what lets TAX prune under '//' queries.
+  Mfa m2 = MustCompile("a//c", names);
+  const FlatNfa& sel2 = m2.selection();
+  std::vector<xml::NameId> want = {names->Lookup("a"), names->Lookup("c")};
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(sel2.states[sel2.initial[0].first].necessary_labels, want);
+
+  // //* accepts via any element: nothing is necessary.
+  Mfa m3 = MustCompile("//*", names);
+  const FlatNfa& sel3 = m3.selection();
+  EXPECT_TRUE(
+      sel3.states[sel3.initial[0].first].necessary_labels.empty());
+}
+
+TEST(MfaTest, WildcardTransitions) {
+  Mfa m = MustCompile("*/a");
+  const FlatNfa& sel = m.selection();
+  int start = sel.initial[0].first;
+  ASSERT_FALSE(sel.states[start].trans.empty());
+  EXPECT_TRUE(sel.states[start].trans[0].test.wildcard);
+}
+
+TEST(MfaTest, EmptyQuerySelectsContext) {
+  Mfa m = MustCompile(".");
+  EXPECT_FALSE(m.selection().initial_accept_guards.empty());
+}
+
+TEST(MfaTest, DumpsMentionStructure) {
+  Mfa m = MustCompile("hospital/patient[medication = 'autism']/pname");
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("selection NFA"), std::string::npos);
+  EXPECT_NE(s.find("medication = 'autism'"), std::string::npos);
+  EXPECT_NE(s.find("text='autism'"), std::string::npos);
+  std::string dot = m.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+TEST(MfaTest, CompileRequiresNames) {
+  auto q = MustQuery("a");
+  auto r = Mfa::Compile(*q, nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(FlatNfaTest, EpsilonChainsFoldAnnotationsIntoGuards) {
+  // Hand-built: s0 -ε-> s1(ann P0) -a-> s2(accept), so the flat automaton
+  // must charge P0 at the source of the 'a' transition.
+  BuildNfa b;
+  int s0 = b.AddState();
+  int s1 = b.AddState();
+  int s2 = b.AddState();
+  b.AddEps(s0, s1);
+  b.Annotate(s1, 0);
+  b.AddTransition(s1, LabelTest::Name(7), s2);
+  std::vector<bool> accepting = {false, false, true};
+  FlatNfa flat = FlatNfa::Flatten(b, s0, accepting);
+  ASSERT_FALSE(flat.states[s0].trans.empty());
+  EXPECT_EQ(flat.states[s0].trans[0].src_preds, (PredSet{0}));
+  EXPECT_TRUE(flat.states[s0].trans[0].dst_preds.empty());
+}
+
+TEST(FlatNfaTest, AcceptGuardsFromEpsilonPaths) {
+  // s0 -ε-> s1(ann P1, accepting): s0 accepts under guard {P1}.
+  BuildNfa b;
+  int s0 = b.AddState();
+  int s1 = b.AddState();
+  b.AddEps(s0, s1);
+  b.Annotate(s1, 1);
+  std::vector<bool> accepting = {false, true};
+  FlatNfa flat = FlatNfa::Flatten(b, s0, accepting);
+  ASSERT_EQ(flat.states[s0].accept_guards.size(), 1u);
+  EXPECT_EQ(flat.states[s0].accept_guards[0], (PredSet{1}));
+}
+
+TEST(FlatNfaTest, DominanceDropsStrongerGuards) {
+  // Two ε paths to the same accepting state: one charges P0, one charges
+  // nothing — only the unconditional alternative survives.
+  BuildNfa b;
+  int s0 = b.AddState();
+  int mid = b.AddState();
+  int acc = b.AddState();
+  b.AddEps(s0, acc);
+  b.AddEps(s0, mid);
+  b.Annotate(mid, 0);
+  b.AddEps(mid, acc);
+  std::vector<bool> accepting = {false, false, true};
+  FlatNfa flat = FlatNfa::Flatten(b, s0, accepting);
+  ASSERT_EQ(flat.states[s0].accept_guards.size(), 1u);
+  EXPECT_TRUE(flat.states[s0].accept_guards[0].empty());
+}
+
+TEST(FlatNfaTest, DeadStatesPruned) {
+  // s0 -a-> s1 (dead end, not accepting): the transition must be dropped.
+  BuildNfa b;
+  int s0 = b.AddState();
+  int s1 = b.AddState();
+  int s2 = b.AddState();
+  b.AddTransition(s0, LabelTest::Name(1), s1);
+  b.AddTransition(s0, LabelTest::Name(2), s2);
+  std::vector<bool> accepting = {false, false, true};
+  FlatNfa flat = FlatNfa::Flatten(b, s0, accepting);
+  ASSERT_EQ(flat.states[s0].trans.size(), 1u);
+  EXPECT_EQ(flat.states[s0].trans[0].target, s2);
+  EXPECT_FALSE(flat.states[s1].live);
+}
+
+}  // namespace
+}  // namespace smoqe::automata

@@ -1,0 +1,96 @@
+#include "src/common/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smoqe {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitsetTest, SetTestReset) {
+  DynamicBitset b(130);  // spans three words
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, UnionIntersect) {
+  DynamicBitset a(70), b(70);
+  a.Set(1);
+  a.Set(65);
+  b.Set(65);
+  b.Set(2);
+  DynamicBitset u = a;
+  u.UnionWith(b);
+  EXPECT_TRUE(u.Test(1));
+  EXPECT_TRUE(u.Test(2));
+  EXPECT_TRUE(u.Test(65));
+  EXPECT_EQ(u.Count(), 3u);
+  DynamicBitset i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(65));
+}
+
+TEST(BitsetTest, IntersectsAndSubset) {
+  DynamicBitset a(128), b(128), c(128);
+  a.Set(3);
+  a.Set(100);
+  b.Set(100);
+  c.Set(5);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  // Empty set is a subset of anything and intersects nothing.
+  DynamicBitset empty(128);
+  EXPECT_TRUE(empty.IsSubsetOf(c));
+  EXPECT_FALSE(empty.Intersects(a));
+}
+
+TEST(BitsetTest, ForEachSetBitVisitsAscending) {
+  DynamicBitset b(200);
+  std::vector<size_t> want = {0, 63, 64, 127, 128, 199};
+  for (size_t i : want) b.Set(i);
+  std::vector<size_t> got;
+  b.ForEachSetBit([&](size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitsetTest, ClearAndEquality) {
+  DynamicBitset a(64), b(64);
+  a.Set(10);
+  EXPECT_FALSE(a == b);
+  a.Clear();
+  EXPECT_TRUE(a == b);
+  // Different widths are never equal.
+  DynamicBitset c(65);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitsetTest, ZeroWidthBehaves) {
+  DynamicBitset b(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace smoqe

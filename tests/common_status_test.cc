@@ -1,0 +1,100 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace smoqe {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  Status s = Status::NotFound("view 'v1'").WithContext("rewriting");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "rewriting: view 'v1'");
+  // No-op on OK.
+  EXPECT_TRUE(Status::OK().WithContext("anything").ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nothing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = r.MoveValue();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SMOQE_ASSIGN_OR_RETURN(int h, Half(x));
+  SMOQE_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> odd = Quarter(6);  // 6/2 = 3, odd at the second step
+  ASSERT_FALSE(odd.ok());
+  EXPECT_EQ(odd.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status CheckAll(int a, int b) {
+  SMOQE_RETURN_IF_ERROR(FailIfNegative(a));
+  SMOQE_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(CheckAll(1, 2).ok());
+  EXPECT_FALSE(CheckAll(1, -2).ok());
+  EXPECT_FALSE(CheckAll(-1, 2).ok());
+}
+
+}  // namespace
+}  // namespace smoqe

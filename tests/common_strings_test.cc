@@ -1,0 +1,57 @@
+#include "src/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace smoqe {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(pieces[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(Join({}, "/"), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t\na b\r\n"), "a b");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hospital", "hosp"));
+  EXPECT_FALSE(StartsWith("hosp", "hospital"));
+  EXPECT_TRUE(EndsWith("patient", "ent"));
+  EXPECT_FALSE(EndsWith("ent", "patient"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringsTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&'\"c"), "a&lt;b&gt;&amp;&apos;&quot;c");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+  EXPECT_EQ(XmlEscape(""), "");
+}
+
+TEST(StringsTest, XmlNameValidation) {
+  EXPECT_TRUE(IsValidXmlName("patient"));
+  EXPECT_TRUE(IsValidXmlName("_x"));
+  EXPECT_TRUE(IsValidXmlName("a-b.c:d"));
+  EXPECT_FALSE(IsValidXmlName(""));
+  EXPECT_FALSE(IsValidXmlName("1abc"));
+  EXPECT_FALSE(IsValidXmlName("-abc"));
+  EXPECT_FALSE(IsValidXmlName("a b"));
+}
+
+}  // namespace
+}  // namespace smoqe

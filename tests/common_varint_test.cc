@@ -1,0 +1,80 @@
+#include "src/common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace smoqe {
+namespace {
+
+TEST(VarintTest, RoundTripsRepresentativeValues) {
+  std::vector<uint64_t> values = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  300,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  ~0ull};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  std::string_view in = buf;
+  for (uint64_t v : values) {
+    auto got = GetVarint64(&in);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  std::string buf;
+  PutVarint64(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint64(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  std::string_view in(buf.data(), buf.size() - 1);
+  EXPECT_FALSE(GetVarint64(&in).ok());
+}
+
+TEST(VarintTest, EmptyInputFails) {
+  std::string_view in;
+  EXPECT_FALSE(GetVarint64(&in).ok());
+}
+
+TEST(VarintTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view in = buf;
+  auto a = GetLengthPrefixed(&in);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, "hello");
+  auto b = GetLengthPrefixed(&in);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, "");
+  auto c = GetLengthPrefixed(&in);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 1000u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(VarintTest, LengthPrefixedTruncatedPayloadFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  std::string_view in(buf.data(), buf.size() - 2);
+  EXPECT_FALSE(GetLengthPrefixed(&in).ok());
+}
+
+}  // namespace
+}  // namespace smoqe

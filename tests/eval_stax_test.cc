@@ -1,0 +1,132 @@
+#include "src/eval/hype_stax.h"
+
+#include <gtest/gtest.h>
+
+#include "src/automata/mfa.h"
+#include "src/eval/hype_dom.h"
+#include "src/xml/serializer.h"
+#include "tests/test_util.h"
+
+namespace smoqe::eval {
+namespace {
+
+using automata::Mfa;
+using testutil::kHospitalDoc;
+using testutil::MustDoc;
+using testutil::MustQuery;
+
+StaxEvalResult MustStax(std::string_view xml, std::string_view q,
+                        std::shared_ptr<xml::NameTable> names = nullptr) {
+  if (names == nullptr) names = xml::NameTable::Create();
+  auto query = MustQuery(q);
+  auto mfa = Mfa::Compile(*query, names);
+  EXPECT_TRUE(mfa.ok()) << mfa.status().ToString();
+  auto r = EvalHypeStax(*mfa, xml);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(StaxEvalTest, SelectsAndSerializesSubtrees) {
+  auto r = MustStax("<a><b>one</b><c><b>two</b></c></a>", "//b");
+  ASSERT_EQ(r.answers.size(), 2u);
+  EXPECT_EQ(r.answers[0].xml, "<b>one</b>");
+  EXPECT_EQ(r.answers[1].xml, "<b>two</b>");
+}
+
+TEST(StaxEvalTest, CandidateDiscardedWhenGuardFails) {
+  // b[x] stages every b as a candidate (guard pending); only one passes.
+  auto r = MustStax("<a><b><x/></b><b><y/></b></a>", "a/b[x]");
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].xml, "<b><x/></b>");
+}
+
+TEST(StaxEvalTest, NestedCandidatesCaptureIndependently) {
+  auto r = MustStax("<a><b><a><b/></a></b></a>", "//b");
+  ASSERT_EQ(r.answers.size(), 2u);
+  EXPECT_EQ(r.answers[0].xml, "<b><a><b/></a></b>");
+  EXPECT_EQ(r.answers[1].xml, "<b/>");
+}
+
+TEST(StaxEvalTest, AttributesPreservedInCapture) {
+  auto r = MustStax("<r><item id=\"7\" k=\"a&amp;b\">t</item></r>", "r/item");
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].xml, "<item id=\"7\" k=\"a&amp;b\">t</item>");
+}
+
+// Differential: StAX answers = DOM answers (serialized), corpus × docs.
+class StaxCorpusTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StaxCorpusTest, AgreesWithDomMode) {
+  auto names = xml::NameTable::Create();
+  xml::Document doc = MustDoc(kHospitalDoc, names);
+  auto query = MustQuery(GetParam());
+  auto mfa = Mfa::Compile(*query, names);
+  ASSERT_TRUE(mfa.ok());
+
+  auto dom = EvalHypeDom(*mfa, doc);
+  ASSERT_TRUE(dom.ok()) << dom.status().ToString();
+  auto stax = EvalHypeStax(*mfa, kHospitalDoc);
+  ASSERT_TRUE(stax.ok()) << stax.status().ToString();
+
+  ASSERT_EQ(stax->answers.size(), dom->answers.size()) << GetParam();
+  for (size_t i = 0; i < dom->answers.size(); ++i) {
+    EXPECT_EQ(stax->answers[i].xml,
+              xml::SerializeNode(dom->answers[i], *names))
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, StaxCorpusTest,
+                         ::testing::ValuesIn(testutil::HospitalQueryCorpus()));
+
+TEST(StaxEvalTest, RandomDocsAgreeWithDom) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    auto names = xml::NameTable::Create();
+    xml::Document doc = testutil::GenHospital(seed, 300, names);
+    std::string text = xml::SerializeDocument(doc);
+    for (const char* q : testutil::HospitalQueryCorpus()) {
+      auto query = MustQuery(q);
+      auto mfa = Mfa::Compile(*query, names);
+      ASSERT_TRUE(mfa.ok());
+      auto dom = EvalHypeDom(*mfa, doc);
+      ASSERT_TRUE(dom.ok());
+      auto stax = EvalHypeStax(*mfa, text);
+      ASSERT_TRUE(stax.ok()) << q << ": " << stax.status().ToString();
+      ASSERT_EQ(stax->answers.size(), dom->answers.size())
+          << "seed " << seed << " query " << q;
+    }
+  }
+}
+
+TEST(StaxEvalTest, BufferedBytesBoundedByCandidates) {
+  // A selective query must not buffer the whole document.
+  auto names = xml::NameTable::Create();
+  xml::Document doc = testutil::GenHospital(3, 2000, names);
+  std::string text = xml::SerializeDocument(doc);
+  auto query = MustQuery("hospital/patient/pname");
+  auto mfa = Mfa::Compile(*query, names);
+  ASSERT_TRUE(mfa.ok());
+  auto r = EvalHypeStax(*mfa, text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->answers.size(), 0u);
+  EXPECT_LT(r->stats.buffered_bytes, text.size() / 4)
+      << "peak capture should be far below document size";
+}
+
+TEST(StaxEvalTest, MalformedInputSurfacesParseError) {
+  auto names = xml::NameTable::Create();
+  auto query = MustQuery("a");
+  auto mfa = Mfa::Compile(*query, names);
+  ASSERT_TRUE(mfa.ok());
+  auto r = EvalHypeStax(*mfa, "<a><b></a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(StaxEvalTest, WhitespaceHandlingMatchesDomDefault) {
+  auto r = MustStax("<a>\n  <b>x</b>\n</a>", "a[b = 'x']");
+  ASSERT_EQ(r.answers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace smoqe::eval

@@ -1,0 +1,164 @@
+#include "src/index/tax.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "src/automata/mfa.h"
+#include "src/eval/hype_dom.h"
+#include "src/index/tax_io.h"
+#include "tests/test_util.h"
+
+namespace smoqe::index {
+namespace {
+
+using automata::Mfa;
+using testutil::IdsOf;
+using testutil::kHospitalDoc;
+using testutil::MustDoc;
+using testutil::MustQuery;
+
+TEST(TaxTest, DescendantTypesMatchBruteForce) {
+  xml::Document doc = MustDoc(kHospitalDoc);
+  TaxIndex idx = TaxIndex::Build(doc);
+  for (int32_t id = 0; id < doc.num_nodes(); ++id) {
+    const xml::Node* n = doc.node(id);
+    if (!n->is_element()) {
+      EXPECT_EQ(idx.DescendantTypes(id), nullptr);
+      continue;
+    }
+    // Brute-force descendant type set (strict descendants).
+    std::set<xml::NameId> want;
+    for (int32_t d = id + 1; d < n->subtree_end; ++d) {
+      const xml::Node* m = doc.node(d);
+      if (m->is_element()) want.insert(m->label);
+    }
+    const DynamicBitset* got = idx.DescendantTypes(id);
+    ASSERT_NE(got, nullptr);
+    std::set<xml::NameId> got_set;
+    got->ForEachSetBit(
+        [&](size_t b) { got_set.insert(static_cast<xml::NameId>(b)); });
+    EXPECT_EQ(got_set, want) << "node " << id;
+  }
+}
+
+TEST(TaxTest, LeafHasEmptySet) {
+  xml::Document doc = MustDoc("<a><leaf/></a>");
+  TaxIndex idx = TaxIndex::Build(doc);
+  const DynamicBitset* leaf = idx.DescendantTypes(1);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_TRUE(leaf->None());
+}
+
+TEST(TaxTest, PruningSoundness) {
+  // TAX on/off must produce identical answers for every corpus query on
+  // random documents (experiment E6's correctness side).
+  for (uint64_t seed = 31; seed <= 36; ++seed) {
+    xml::Document doc = testutil::GenHospital(seed, 400);
+    TaxIndex idx = TaxIndex::Build(doc);
+    for (const char* q : testutil::HospitalQueryCorpus()) {
+      auto query = MustQuery(q);
+      auto mfa = Mfa::Compile(*query, doc.names());
+      ASSERT_TRUE(mfa.ok());
+      auto off = eval::EvalHypeDom(*mfa, doc);
+      ASSERT_TRUE(off.ok());
+      eval::DomEvalOptions with;
+      with.tax = &idx;
+      auto on = eval::EvalHypeDom(*mfa, doc, with);
+      ASSERT_TRUE(on.ok());
+      EXPECT_EQ(IdsOf(on->answers), IdsOf(off->answers))
+          << "seed " << seed << " query " << q;
+      // subtrees_pruned is not monotone (one high TAX prune replaces many
+      // small dead-run prunes below it); visits are the sound metric.
+      EXPECT_LE(on->stats.nodes_visited, off->stats.nodes_visited)
+          << "TAX must never visit more nodes";
+    }
+  }
+}
+
+TEST(TaxTest, PruningEffectivenessOnSelectiveQuery) {
+  xml::Document doc = testutil::GenHospital(7, 3000);
+  TaxIndex idx = TaxIndex::Build(doc);
+  // 'parent' chains are rare; most patient subtrees lack them entirely.
+  auto query = MustQuery("//parent/patient/pname");
+  auto mfa = Mfa::Compile(*query, doc.names());
+  ASSERT_TRUE(mfa.ok());
+  auto off = eval::EvalHypeDom(*mfa, doc);
+  eval::DomEvalOptions with;
+  with.tax = &idx;
+  auto on = eval::EvalHypeDom(*mfa, doc, with);
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE(on.ok());
+  EXPECT_LT(on->stats.nodes_visited, off->stats.nodes_visited)
+      << "TAX should reduce visits for type-selective queries";
+}
+
+TEST(TaxTest, DumpShowsTypeSets) {
+  xml::Document doc = MustDoc(kHospitalDoc);
+  TaxIndex idx = TaxIndex::Build(doc);
+  std::string dump = idx.Dump(doc, 5);
+  EXPECT_NE(dump.find("hospital : {"), std::string::npos);
+  EXPECT_NE(dump.find("patient"), std::string::npos);
+}
+
+TEST(TaxIoTest, EncodeDecodeRoundTrip) {
+  for (uint64_t seed : {41ull, 42ull}) {
+    xml::Document doc = testutil::GenHospital(seed, 500);
+    TaxIndex idx = TaxIndex::Build(doc);
+    std::string bytes = TaxIo::Encode(idx);
+    auto back = TaxIo::Decode(bytes);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->type_width(), idx.type_width());
+    EXPECT_EQ(back->num_elements(), idx.num_elements());
+    for (int32_t id = 0; id < doc.num_nodes(); ++id) {
+      const DynamicBitset* a = idx.DescendantTypes(id);
+      const DynamicBitset* b = back->DescendantTypes(id);
+      if (a == nullptr) {
+        EXPECT_EQ(b, nullptr);
+      } else {
+        ASSERT_NE(b, nullptr);
+        EXPECT_TRUE(*a == *b) << "node " << id;
+      }
+    }
+  }
+}
+
+TEST(TaxIoTest, CompressionShrinksIndex) {
+  xml::Document doc = testutil::GenHospital(5, 5000);
+  TaxIndex idx = TaxIndex::Build(doc);
+  std::string bytes = TaxIo::Encode(idx);
+  EXPECT_LT(bytes.size(), idx.memory_bytes() / 2)
+      << "compressed form should be much smaller than raw bitsets";
+}
+
+TEST(TaxIoTest, SaveLoadFile) {
+  xml::Document doc = MustDoc(kHospitalDoc);
+  TaxIndex idx = TaxIndex::Build(doc);
+  std::string path = ::testing::TempDir() + "/tax_test.idx";
+  ASSERT_TRUE(TaxIo::Save(idx, path).ok());
+  auto back = TaxIo::Load(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_elements(), idx.num_elements());
+  std::remove(path.c_str());
+}
+
+TEST(TaxIoTest, DecodeRejectsCorruptInput) {
+  EXPECT_FALSE(TaxIo::Decode("").ok());
+  EXPECT_FALSE(TaxIo::Decode("BAD!xxxx").ok());
+  xml::Document doc = MustDoc(kHospitalDoc);
+  TaxIndex idx = TaxIndex::Build(doc);
+  std::string bytes = TaxIo::Encode(idx);
+  EXPECT_FALSE(TaxIo::Decode(bytes.substr(0, bytes.size() / 2)).ok());
+  std::string garbled = bytes + "trailing";
+  EXPECT_FALSE(TaxIo::Decode(garbled).ok());
+}
+
+TEST(TaxIoTest, LoadMissingFileFails) {
+  auto r = TaxIo::Load("/nonexistent/path/tax.idx");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace smoqe::index

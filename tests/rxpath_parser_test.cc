@@ -1,0 +1,230 @@
+#include "src/rxpath/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rxpath/printer.h"
+
+namespace smoqe::rxpath {
+namespace {
+
+std::unique_ptr<PathExpr> MustParse(std::string_view q) {
+  auto r = ParseQuery(q);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.MoveValue() : nullptr;
+}
+
+TEST(RxParserTest, SingleStep) {
+  auto p = MustParse("hospital");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind(), PathExpr::Kind::kLabel);
+  EXPECT_EQ(p->label(), "hospital");
+}
+
+TEST(RxParserTest, SequenceOfSteps) {
+  auto p = MustParse("hospital/patient/pname");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->kind(), PathExpr::Kind::kSeq);
+  ASSERT_EQ(p->parts().size(), 3u);
+  EXPECT_EQ(p->parts()[0]->label(), "hospital");
+  EXPECT_EQ(p->parts()[2]->label(), "pname");
+}
+
+TEST(RxParserTest, LeadingSlashIsAbsoluteNoOp) {
+  auto a = MustParse("/hospital/patient");
+  auto b = MustParse("hospital/patient");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(a->Equals(*b));
+}
+
+TEST(RxParserTest, DoubleSlashDesugarsToStarWildcard) {
+  auto p = MustParse("a//b");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->kind(), PathExpr::Kind::kSeq);
+  ASSERT_EQ(p->parts().size(), 3u);
+  EXPECT_EQ(p->parts()[1]->kind(), PathExpr::Kind::kStar);
+  EXPECT_EQ(p->parts()[1]->body().kind(), PathExpr::Kind::kWildcard);
+  // Leading //.
+  auto q = MustParse("//b");
+  ASSERT_EQ(q->kind(), PathExpr::Kind::kSeq);
+  EXPECT_EQ(q->parts()[0]->kind(), PathExpr::Kind::kStar);
+}
+
+TEST(RxParserTest, UnionAndPrecedence) {
+  auto p = MustParse("a/b | c");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->kind(), PathExpr::Kind::kUnion);
+  ASSERT_EQ(p->parts().size(), 2u);
+  EXPECT_EQ(p->parts()[0]->kind(), PathExpr::Kind::kSeq);
+  EXPECT_EQ(p->parts()[1]->kind(), PathExpr::Kind::kLabel);
+}
+
+TEST(RxParserTest, KleeneStarOnGroup) {
+  auto p = MustParse("(parent/patient)*");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->kind(), PathExpr::Kind::kStar);
+  EXPECT_EQ(p->body().kind(), PathExpr::Kind::kSeq);
+}
+
+TEST(RxParserTest, KleeneStarOnLabel) {
+  auto p = MustParse("a*");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->kind(), PathExpr::Kind::kStar);
+  EXPECT_EQ(p->body().kind(), PathExpr::Kind::kLabel);
+}
+
+TEST(RxParserTest, WildcardVsStarDisambiguation) {
+  auto p = MustParse("a/*/b");
+  ASSERT_EQ(p->kind(), PathExpr::Kind::kSeq);
+  EXPECT_EQ(p->parts()[1]->kind(), PathExpr::Kind::kWildcard);
+  auto q = MustParse("a/ * */b");  // wildcard then postfix star
+  ASSERT_EQ(q->kind(), PathExpr::Kind::kSeq);
+  EXPECT_EQ(q->parts()[1]->kind(), PathExpr::Kind::kStar);
+  EXPECT_EQ(q->parts()[1]->body().kind(), PathExpr::Kind::kWildcard);
+}
+
+TEST(RxParserTest, PredicateWithPathQualifier) {
+  auto p = MustParse("patient[visit]");
+  ASSERT_EQ(p->kind(), PathExpr::Kind::kPred);
+  EXPECT_EQ(p->parts()[0]->label(), "patient");
+  EXPECT_EQ(p->qual().kind(), Qualifier::Kind::kPath);
+}
+
+TEST(RxParserTest, PredicateWithTextComparison) {
+  auto p = MustParse("patient[visit/treatment/medication = 'autism']");
+  ASSERT_EQ(p->kind(), PathExpr::Kind::kPred);
+  const Qualifier& q = p->qual();
+  ASSERT_EQ(q.kind(), Qualifier::Kind::kTextEq);
+  EXPECT_EQ(q.value(), "autism");
+  EXPECT_EQ(q.path().kind(), PathExpr::Kind::kSeq);
+}
+
+TEST(RxParserTest, ExplicitTextFunction) {
+  auto a = MustParse("a[b/text() = 'v']");
+  auto b = MustParse("a[b = 'v']");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(a->Equals(*b));
+  auto c = MustParse("a[text() = 'v']");
+  ASSERT_EQ(c->kind(), PathExpr::Kind::kPred);
+  EXPECT_EQ(c->qual().kind(), Qualifier::Kind::kTextEq);
+  EXPECT_EQ(c->qual().path().kind(), PathExpr::Kind::kEmpty);
+}
+
+TEST(RxParserTest, NotEqualsDesugarsToNot) {
+  auto p = MustParse("a[b != 'v']");
+  ASSERT_EQ(p->qual().kind(), Qualifier::Kind::kNot);
+  EXPECT_EQ(p->qual().left().kind(), Qualifier::Kind::kTextEq);
+}
+
+TEST(RxParserTest, AttributeTests) {
+  auto p = MustParse("a[@id]");
+  ASSERT_EQ(p->qual().kind(), Qualifier::Kind::kAttr);
+  EXPECT_EQ(p->qual().attr_name(), "id");
+  EXPECT_FALSE(p->qual().has_value());
+
+  auto q = MustParse("a[b/c/@id = 'x7']");
+  ASSERT_EQ(q->qual().kind(), Qualifier::Kind::kAttr);
+  EXPECT_EQ(q->qual().attr_name(), "id");
+  ASSERT_TRUE(q->qual().has_value());
+  EXPECT_EQ(q->qual().value(), "x7");
+  EXPECT_EQ(q->qual().path().kind(), PathExpr::Kind::kSeq);
+}
+
+TEST(RxParserTest, BooleanConnectivesAndPrecedence) {
+  auto p = MustParse("a[x and y or z]");
+  // 'and' binds tighter: (x and y) or z.
+  ASSERT_EQ(p->qual().kind(), Qualifier::Kind::kOr);
+  EXPECT_EQ(p->qual().left().kind(), Qualifier::Kind::kAnd);
+  EXPECT_EQ(p->qual().right().kind(), Qualifier::Kind::kPath);
+
+  auto q = MustParse("a[x and (y or z)]");
+  ASSERT_EQ(q->qual().kind(), Qualifier::Kind::kAnd);
+  EXPECT_EQ(q->qual().right().kind(), Qualifier::Kind::kOr);
+}
+
+TEST(RxParserTest, NotQualifier) {
+  auto p = MustParse("a[not(b and c)]");
+  ASSERT_EQ(p->qual().kind(), Qualifier::Kind::kNot);
+  EXPECT_EQ(p->qual().left().kind(), Qualifier::Kind::kAnd);
+}
+
+TEST(RxParserTest, NestedPredicates) {
+  auto p = MustParse("a[b[c = 'v']]");
+  ASSERT_EQ(p->kind(), PathExpr::Kind::kPred);
+  const Qualifier& outer = p->qual();
+  ASSERT_EQ(outer.kind(), Qualifier::Kind::kPath);
+  EXPECT_EQ(outer.path().kind(), PathExpr::Kind::kPred);
+}
+
+TEST(RxParserTest, MultiplePredicatesStack) {
+  auto p = MustParse("a[b][c]");
+  ASSERT_EQ(p->kind(), PathExpr::Kind::kPred);
+  EXPECT_EQ(p->parts()[0]->kind(), PathExpr::Kind::kPred);
+}
+
+TEST(RxParserTest, PaperQueryQ0Parses) {
+  // Q0 from the paper (Fig. 4), lightly reformatted.
+  auto p = MustParse(
+      "hospital/patient[(parent/patient)*/visit/treatment/test and "
+      "visit/treatment[medication/text()=\"headache\"]]/pname");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->kind(), PathExpr::Kind::kSeq);
+  ASSERT_EQ(p->parts().size(), 3u);
+  EXPECT_EQ(p->parts()[1]->kind(), PathExpr::Kind::kPred);
+  EXPECT_EQ(p->parts()[1]->qual().kind(), Qualifier::Kind::kAnd);
+}
+
+TEST(RxParserTest, DotIsEmptyPath) {
+  auto p = MustParse(".");
+  EXPECT_EQ(p->kind(), PathExpr::Kind::kEmpty);
+  auto q = MustParse("a/./b");
+  ASSERT_EQ(q->kind(), PathExpr::Kind::kSeq);
+  EXPECT_EQ(q->parts().size(), 2u);  // ε removed in canonical form
+}
+
+TEST(RxParserTest, ParenthesizedUnionInSequence) {
+  auto p = MustParse("a/(b | c)/d");
+  ASSERT_EQ(p->kind(), PathExpr::Kind::kSeq);
+  ASSERT_EQ(p->parts().size(), 3u);
+  EXPECT_EQ(p->parts()[1]->kind(), PathExpr::Kind::kUnion);
+}
+
+// --- failure injection ---
+
+TEST(RxParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("a/").ok());
+  EXPECT_FALSE(ParseQuery("/").ok());
+  EXPECT_FALSE(ParseQuery("a[").ok());
+  EXPECT_FALSE(ParseQuery("a[]").ok());
+  EXPECT_FALSE(ParseQuery("a]").ok());
+  EXPECT_FALSE(ParseQuery("(a").ok());
+  EXPECT_FALSE(ParseQuery("a |").ok());
+  EXPECT_FALSE(ParseQuery("a[b = ]").ok());
+  EXPECT_FALSE(ParseQuery("a[b = c]").ok());   // rhs must be quoted
+  EXPECT_FALSE(ParseQuery("a[@]").ok());
+  EXPECT_FALSE(ParseQuery("a['str']").ok());
+  EXPECT_FALSE(ParseQuery("a[not b]").ok());
+  EXPECT_FALSE(ParseQuery("a b").ok());
+  EXPECT_FALSE(ParseQuery("a[text()]").ok());  // text() needs comparison
+}
+
+TEST(RxParserTest, AttributesRejectedInPurePathContext) {
+  EXPECT_FALSE(ParseQuery("a/@id").ok());
+  EXPECT_FALSE(ParseQuery("@id").ok());
+}
+
+TEST(RxParserTest, UnterminatedStringRejected) {
+  EXPECT_FALSE(ParseQuery("a[b = 'v]").ok());
+}
+
+TEST(RxParserTest, QualifierEntryPoint) {
+  auto q = ParseQualifierExpr("visit/treatment/medication = 'autism'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->kind(), Qualifier::Kind::kTextEq);
+  EXPECT_FALSE(ParseQualifierExpr("and and").ok());
+}
+
+}  // namespace
+}  // namespace smoqe::rxpath

@@ -1,0 +1,82 @@
+#include "src/rxpath/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rxpath/parser.h"
+
+namespace smoqe::rxpath {
+namespace {
+
+// Round-trip property: parse → print → parse yields a structurally equal
+// AST, and printing is a fixpoint.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParsePrintParse) {
+  auto p1 = ParseQuery(GetParam());
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  std::string printed = ToString(**p1);
+  auto p2 = ParseQuery(printed);
+  ASSERT_TRUE(p2.ok()) << "printed form '" << printed
+                       << "': " << p2.status().ToString();
+  EXPECT_TRUE((*p1)->Equals(**p2))
+      << "input '" << GetParam() << "' printed as '" << printed << "'";
+  EXPECT_EQ(printed, ToString(**p2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RoundTripTest,
+    ::testing::Values(
+        "a", "*", ".", "a/b/c", "a | b", "a/b | c/d", "a*",
+        "(a/b)*", "(a | b)*", "a/(b | c)/d", "a//b", "//a",
+        "a[b]", "a[b/c]", "a[b = 'v']", "a[text() = 'v']",
+        "a[@id]", "a[@id = 'x']", "a[b/@k = 'v']",
+        "a[b and c]", "a[b or c and d]", "a[(b or c) and d]",
+        "a[not(b)]", "a[not(b or c)]", "a[b != 'v']",
+        "a[b][c]", "a[b[c = 'x']]",
+        "(parent/patient)*/visit",
+        "hospital/patient[(parent/patient)*/visit/treatment/test and "
+        "visit/treatment[medication = 'headache']]/pname",
+        "(a)*[b]", "a[.]", "a[. = 'v']",
+        "a/(b/c)*/d", "x/y[z = 'q']/w"));
+
+TEST(PrinterTest, CanonicalForms) {
+  auto check = [](std::string_view in, std::string_view want) {
+    auto p = ParseQuery(in);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    EXPECT_EQ(ToString(**p), want) << "for input " << in;
+  };
+  check("a", "a");
+  check("/a/b", "a/b");
+  check("a//b", "a/(*)*/b");
+  check("a[b/text() = 'v']", "a[b = 'v']");
+  check("a[b != 'v']", "a[not(b = 'v')]");
+  check("a/./b", "a/b");
+  check("((a))", "a");
+  check("a | (b | c)", "a | b | c");
+}
+
+TEST(PrinterTest, QualifierPrinting) {
+  auto q = ParseQualifierExpr("not(a = 'x') and (b or c)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(ToString(**q), "not(a = 'x') and (b or c)");
+}
+
+TEST(PrinterTest, QuotesSwitchWhenValueHasApostrophe) {
+  auto p = ParseQuery("a[b = \"it's\"]");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  std::string printed = ToString(**p);
+  EXPECT_NE(printed.find("\"it's\""), std::string::npos);
+  auto p2 = ParseQuery(printed);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_TRUE((*p)->Equals(**p2));
+}
+
+TEST(PrinterTest, TreeSizeCountsNodes) {
+  auto p = ParseQuery("a/b[c = 'v']");
+  ASSERT_TRUE(p.ok());
+  // Seq(a, Pred(b, TextEq(c))) = seq + a + pred + b + qual + c = 6.
+  EXPECT_EQ((*p)->TreeSize(), 6u);
+}
+
+}  // namespace
+}  // namespace smoqe::rxpath

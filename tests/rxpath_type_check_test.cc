@@ -1,0 +1,100 @@
+#include "src/rxpath/type_check.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace smoqe::rxpath {
+namespace {
+
+using testutil::kHospitalDtd;
+using testutil::MustDtd;
+using testutil::MustQuery;
+
+TypeCheckResult Check(const xml::Dtd& dtd, std::string_view q,
+                      bool from_doc = true) {
+  auto query = MustQuery(q);
+  return TypeCheck(*query, dtd, {}, from_doc);
+}
+
+TEST(TypeCheckTest, SimpleChain) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto r = Check(dtd, "hospital/patient/pname");
+  EXPECT_EQ(r.output_types, (std::set<std::string>{"pname"}));
+  EXPECT_TRUE(r.unknown_labels.empty());
+}
+
+TEST(TypeCheckTest, FirstStepMustMatchRoot) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  // 'patient' is declared but is not the root: no output from the
+  // document node.
+  auto r = Check(dtd, "patient/pname");
+  EXPECT_TRUE(r.output_types.empty());
+  EXPECT_TRUE(r.unknown_labels.empty());
+}
+
+TEST(TypeCheckTest, WildcardExpandsPerSchema) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto r = Check(dtd, "hospital/patient/*");
+  EXPECT_EQ(r.output_types,
+            (std::set<std::string>{"parent", "pname", "visit"}));
+}
+
+TEST(TypeCheckTest, DescendantReachesRecursiveTypes) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto r = Check(dtd, "//patient");
+  EXPECT_EQ(r.output_types, (std::set<std::string>{"patient"}));
+  auto all = Check(dtd, "//*");
+  EXPECT_EQ(all.output_types.size(), dtd.elements().size());
+}
+
+TEST(TypeCheckTest, StarFixpointTerminatesOnCycles) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto r = Check(dtd, "hospital/patient/(parent/patient)*");
+  EXPECT_EQ(r.output_types, (std::set<std::string>{"patient"}));
+}
+
+TEST(TypeCheckTest, UnknownLabelsReported) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto r = Check(dtd, "hospital/patiennt");  // typo
+  EXPECT_EQ(r.unknown_labels, (std::set<std::string>{"patiennt"}));
+  EXPECT_TRUE(r.output_types.empty());
+  // Typos after a dead prefix are still reported.
+  auto r2 = Check(dtd, "hospital/patiennt/alsoo");
+  EXPECT_EQ(r2.unknown_labels,
+            (std::set<std::string>{"alsoo", "patiennt"}));
+}
+
+TEST(TypeCheckTest, QualifierLabelsChecked) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto r = Check(dtd, "hospital/patient[visitt/treatment]");
+  EXPECT_EQ(r.unknown_labels, (std::set<std::string>{"visitt"}));
+  // Qualifiers never widen the output.
+  EXPECT_EQ(r.output_types, (std::set<std::string>{"patient"}));
+}
+
+TEST(TypeCheckTest, SchemaImpossibleChainYieldsEmpty) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  // 'date' is a child of visit, not of patient.
+  auto r = Check(dtd, "hospital/patient/date");
+  EXPECT_TRUE(r.output_types.empty());
+  EXPECT_TRUE(r.unknown_labels.empty());
+}
+
+TEST(TypeCheckTest, ExplicitContextTypes) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto q = MustQuery("visit/treatment");
+  auto r = TypeCheck(*q, dtd, {"patient"});
+  EXPECT_EQ(r.output_types, (std::set<std::string>{"treatment"}));
+  auto r2 = TypeCheck(*q, dtd, {"hospital"});
+  EXPECT_TRUE(r2.output_types.empty());
+}
+
+TEST(TypeCheckTest, UnionMergesBranches) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto r = Check(dtd, "hospital/patient/(pname | visit/date)");
+  EXPECT_EQ(r.output_types, (std::set<std::string>{"date", "pname"}));
+}
+
+}  // namespace
+}  // namespace smoqe::rxpath

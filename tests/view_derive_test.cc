@@ -1,0 +1,228 @@
+#include "src/view/derive.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rxpath/printer.h"
+#include "src/view/annotation.h"
+#include "tests/test_util.h"
+
+namespace smoqe::view {
+namespace {
+
+using testutil::kHospitalDtd;
+using testutil::MustDtd;
+
+/// The paper's access-control policy S0 (Fig. 3(b)), in the text format.
+constexpr char kPolicyS0[] = R"(
+  # only patients treated for autism are exposed; hide names and tests
+  hospital/patient : [visit/treatment/medication = 'autism'];
+  patient/pname    : N;
+  patient/visit    : N;
+  visit/treatment  : [medication];
+  treatment/test   : N;
+)";
+
+std::string SigmaStr(const ViewDefinition& v, const std::string& a,
+                     const std::string& b) {
+  const rxpath::PathExpr* p = v.Sigma(a, b);
+  return p == nullptr ? "<none>" : rxpath::ToString(*p);
+}
+
+TEST(PolicyTest, ParsesTextFormat) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto p = Policy::Parse(dtd, kPolicyS0);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->size(), 5u);
+  const Annotation* a = p->Find("patient", "pname");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->kind, AnnKind::kDeny);
+  const Annotation* c = p->Find("hospital", "patient");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, AnnKind::kCondition);
+  EXPECT_EQ(rxpath::ToString(*c->condition),
+            "visit/treatment/medication = 'autism'");
+  EXPECT_EQ(p->Find("parent", "patient"), nullptr);
+}
+
+TEST(PolicyTest, ToStringRoundTrips) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto p = Policy::Parse(dtd, kPolicyS0);
+  ASSERT_TRUE(p.ok());
+  auto p2 = Policy::Parse(dtd, p->ToString());
+  ASSERT_TRUE(p2.ok()) << p2.status().ToString();
+  EXPECT_EQ(p2->ToString(), p->ToString());
+}
+
+TEST(PolicyTest, RejectsBadInput) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  EXPECT_FALSE(Policy::Parse(dtd, "nosuch/edge : N;").ok());
+  EXPECT_FALSE(Policy::Parse(dtd, "hospital/visit : N;").ok());  // not an edge
+  EXPECT_FALSE(Policy::Parse(dtd, "hospital/patient : MAYBE;").ok());
+  EXPECT_FALSE(Policy::Parse(dtd, "hospital/patient [x];").ok());
+  EXPECT_FALSE(Policy::Parse(dtd, "hospitalpatient : N;").ok());
+  EXPECT_FALSE(Policy::Parse(dtd, "hospital/patient : [not a qual(];").ok());
+}
+
+// =====================================================================
+// GOLDEN TEST — the paper's Fig. 3: policy S0 must derive exactly the
+// view specification σ0 and the view DTD DV shown in the paper.
+// =====================================================================
+TEST(DeriveTest, PaperFig3Golden) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto policy = Policy::Parse(dtd, kPolicyS0);
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  auto view = DeriveView(*policy);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+
+  // σ0 exactly as printed in Fig. 3(c).
+  EXPECT_EQ(SigmaStr(*view, "hospital", "patient"),
+            "patient[visit/treatment/medication = 'autism']");
+  EXPECT_EQ(SigmaStr(*view, "patient", "treatment"),
+            "visit/treatment[medication]");
+  EXPECT_EQ(SigmaStr(*view, "patient", "parent"), "parent");
+  EXPECT_EQ(SigmaStr(*view, "parent", "patient"), "patient");
+  EXPECT_EQ(SigmaStr(*view, "treatment", "medication"), "medication");
+
+  // View DTD DV: productions of Fig. 3(d).
+  const xml::Dtd& vd = view->view_dtd();
+  EXPECT_EQ(vd.root_name(), "hospital");
+  ASSERT_NE(vd.Find("hospital"), nullptr);
+  EXPECT_EQ(vd.Find("hospital")->particle->ToString(), "patient*");
+  EXPECT_EQ(vd.Find("patient")->particle->ToString(), "(treatment*, parent*)");
+  EXPECT_EQ(vd.Find("parent")->particle->ToString(), "patient");
+  EXPECT_EQ(vd.Find("treatment")->particle->ToString(), "medication?");
+  EXPECT_EQ(vd.Find("medication")->content, xml::ContentKind::kPcdata);
+  // Hidden types are gone.
+  EXPECT_EQ(vd.Find("pname"), nullptr);
+  EXPECT_EQ(vd.Find("visit"), nullptr);
+  EXPECT_EQ(vd.Find("date"), nullptr);
+  EXPECT_EQ(vd.Find("test"), nullptr);
+  // The view DTD is recursive, like the paper says (patient→parent→patient).
+  EXPECT_TRUE(vd.IsRecursive());
+}
+
+TEST(DeriveTest, RecursiveHiddenRegionProducesKleeneStar) {
+  // part is hidden and recursive: part → (part | item)*; σ(assembly, item)
+  // must use a Kleene star over the hidden 'part' chain — the case where
+  // XPath is not closed under rewriting and Regular XPath is required.
+  xml::Dtd dtd = MustDtd(R"(
+    <!ELEMENT assembly (part*)>
+    <!ELEMENT part ((part | item)*)>
+    <!ELEMENT item (#PCDATA)>
+  )", "assembly");
+  Policy policy(&dtd);
+  ASSERT_TRUE(policy.Deny("assembly", "part").ok());
+  // Items stay accessible even under hidden parts (explicit re-allow;
+  // an unannotated edge would inherit the hiding).
+  ASSERT_TRUE(policy.Allow("part", "item").ok());
+  auto view = DeriveView(policy);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  std::string sigma = SigmaStr(*view, "assembly", "item");
+  EXPECT_NE(sigma.find('*'), std::string::npos) << sigma;
+  EXPECT_NE(sigma.find("part"), std::string::npos) << sigma;
+  // The view DTD exposes items under assembly.
+  EXPECT_NE(view->view_dtd().Find("item"), nullptr);
+  EXPECT_EQ(view->view_dtd().Find("part"), nullptr);
+}
+
+TEST(DeriveTest, HiddenInheritancePropagates) {
+  xml::Dtd dtd = MustDtd(R"(
+    <!ELEMENT a (b)>
+    <!ELEMENT b (c)>
+    <!ELEMENT c (d)>
+    <!ELEMENT d (#PCDATA)>
+  )", "a");
+  Policy policy(&dtd);
+  ASSERT_TRUE(policy.Deny("a", "b").ok());
+  auto view = DeriveView(policy);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  // b, c, d are all hidden (inheritance); nothing visible below a.
+  EXPECT_EQ(view->view_dtd().elements().size(), 1u);
+  EXPECT_EQ(view->view_dtd().Find("a")->content, xml::ContentKind::kEmpty);
+}
+
+TEST(DeriveTest, ExplicitAllowResurfacesUnderHiddenParent) {
+  xml::Dtd dtd = MustDtd(R"(
+    <!ELEMENT a (b)>
+    <!ELEMENT b (c)>
+    <!ELEMENT c (#PCDATA)>
+  )", "a");
+  Policy policy(&dtd);
+  ASSERT_TRUE(policy.Deny("a", "b").ok());
+  ASSERT_TRUE(policy.Allow("b", "c").ok());
+  auto view = DeriveView(policy);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(SigmaStr(*view, "a", "c"), "b/c");
+  EXPECT_EQ(view->view_dtd().Find("b"), nullptr);
+  EXPECT_NE(view->view_dtd().Find("c"), nullptr);
+}
+
+TEST(DeriveTest, InconsistentClassificationRejected) {
+  xml::Dtd dtd = MustDtd(R"(
+    <!ELEMENT a (b, c)>
+    <!ELEMENT b (d)>
+    <!ELEMENT c (d)>
+    <!ELEMENT d (#PCDATA)>
+  )", "a");
+  Policy policy(&dtd);
+  ASSERT_TRUE(policy.Deny("b", "d").ok());  // hidden via b, visible via c
+  auto view = DeriveView(policy);
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeriveTest, ConditionalChildBecomesOptional) {
+  xml::Dtd dtd = MustDtd(R"(
+    <!ELEMENT a (b)>
+    <!ELEMENT b (#PCDATA)>
+  )", "a");
+  Policy policy(&dtd);
+  ASSERT_TRUE(policy.AllowIf("a", "b", "text() = 'ok'").ok());
+  auto view = DeriveView(policy);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->view_dtd().Find("a")->particle->ToString(), "b?");
+  EXPECT_EQ(SigmaStr(*view, "a", "b"), "b[text() = 'ok']");
+}
+
+TEST(DeriveTest, AnyContentRejected) {
+  xml::Dtd dtd = MustDtd("<!ELEMENT a ANY> <!ELEMENT b (#PCDATA)>", "a");
+  Policy policy(&dtd);
+  EXPECT_FALSE(DeriveView(policy).ok());
+}
+
+TEST(DeriveTest, NoPolicyMeansIdentityView) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  Policy policy(&dtd);
+  auto view = DeriveView(policy);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->view_dtd().elements().size(), dtd.elements().size());
+  EXPECT_EQ(SigmaStr(*view, "hospital", "patient"), "patient");
+  EXPECT_EQ(SigmaStr(*view, "patient", "visit"), "visit");
+  EXPECT_EQ(SigmaStr(*view, "visit", "date"), "date");
+}
+
+TEST(DeriveTest, ViewDefinitionRendering) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto policy = Policy::Parse(dtd, kPolicyS0);
+  ASSERT_TRUE(policy.ok());
+  auto view = DeriveView(*policy);
+  ASSERT_TRUE(view.ok());
+  std::string s = view->ToString();
+  EXPECT_NE(s.find("sigma(patient, treatment) = visit/treatment[medication]"),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.find("<!ELEMENT hospital (patient*)>"), std::string::npos) << s;
+}
+
+TEST(ViewDefTest, EdgeOrderFollowsContentModel) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto policy = Policy::Parse(dtd, kPolicyS0);
+  ASSERT_TRUE(policy.ok());
+  auto view = DeriveView(*policy);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->EdgeOrder("patient"),
+            (std::vector<std::string>{"treatment", "parent"}));
+}
+
+}  // namespace
+}  // namespace smoqe::view

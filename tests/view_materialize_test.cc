@@ -1,0 +1,120 @@
+#include "src/view/materialize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/view/derive.h"
+#include "src/xml/dtd_validator.h"
+#include "src/xml/serializer.h"
+#include "tests/test_util.h"
+
+namespace smoqe::view {
+namespace {
+
+using testutil::kHospitalDoc;
+using testutil::kHospitalDtd;
+using testutil::MustDoc;
+using testutil::MustDtd;
+
+constexpr char kPolicyS0[] = R"(
+  hospital/patient : [visit/treatment/medication = 'autism'];
+  patient/pname    : N;
+  patient/visit    : N;
+  visit/treatment  : [medication];
+  treatment/test   : N;
+)";
+
+ViewDefinition MustView(const xml::Dtd& dtd, std::string_view policy_text) {
+  auto policy = Policy::Parse(dtd, policy_text);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  auto view = DeriveView(*policy);
+  EXPECT_TRUE(view.ok()) << view.status().ToString();
+  return view.MoveValue();
+}
+
+TEST(MaterializeTest, PaperExampleView) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  ViewDefinition view = MustView(dtd, kPolicyS0);
+  xml::Document doc = MustDoc(kHospitalDoc);
+  auto mat = Materialize(view, doc);
+  ASSERT_TRUE(mat.ok()) << mat.status().ToString();
+
+  // Only Alice's record survives at the top level (she has the autism
+  // medication); names and visits are hidden, treatments surface directly.
+  // Bob appears through Alice's parent chain (σ0(parent,patient) is
+  // unconditional) but his treatment is filtered out: it has a test, and
+  // ann(visit,treatment) = [medication].
+  std::string xml = xml::SerializeDocument(mat->document);
+  EXPECT_EQ(xml,
+            "<hospital><patient><treatment><medication>autism</medication>"
+            "</treatment><parent><patient/></parent>"
+            "</patient></hospital>");
+}
+
+TEST(MaterializeTest, ViewConformsToViewDtd) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  ViewDefinition view = MustView(dtd, kPolicyS0);
+  for (uint64_t seed = 51; seed <= 56; ++seed) {
+    xml::Document doc = testutil::GenHospital(seed, 300);
+    auto mat = Materialize(view, doc);
+    ASSERT_TRUE(mat.ok()) << mat.status().ToString();
+    Status st = xml::ValidateDocument(mat->document, view.view_dtd());
+    EXPECT_TRUE(st.ok()) << "seed " << seed << ": " << st.ToString();
+  }
+}
+
+TEST(MaterializeTest, ProvenanceMapsToSourceNodes) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  ViewDefinition view = MustView(dtd, kPolicyS0);
+  xml::Document doc = MustDoc(kHospitalDoc);
+  auto mat = Materialize(view, doc);
+  ASSERT_TRUE(mat.ok());
+  ASSERT_EQ(static_cast<int32_t>(mat->source_node_id.size()),
+            mat->document.num_nodes());
+  for (int32_t vid = 0; vid < mat->document.num_nodes(); ++vid) {
+    const xml::Node* vn = mat->document.node(vid);
+    int32_t src = mat->source_node_id[vid];
+    if (vn->is_text()) continue;
+    ASSERT_GE(src, 0);
+    const xml::Node* sn = doc.node(src);
+    // Same element type.
+    EXPECT_EQ(doc.names()->NameOf(sn->label),
+              mat->document.names()->NameOf(vn->label));
+  }
+}
+
+TEST(MaterializeTest, HiddenDataNeverAppears) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  ViewDefinition view = MustView(dtd, kPolicyS0);
+  for (uint64_t seed = 61; seed <= 64; ++seed) {
+    xml::Document doc = testutil::GenHospital(seed, 400);
+    auto mat = Materialize(view, doc);
+    ASSERT_TRUE(mat.ok());
+    std::string xml = xml::SerializeDocument(mat->document);
+    EXPECT_EQ(xml.find("<pname>"), std::string::npos);
+    EXPECT_EQ(xml.find("<visit>"), std::string::npos);
+    EXPECT_EQ(xml.find("<test>"), std::string::npos);
+    EXPECT_EQ(xml.find("<date>"), std::string::npos);
+  }
+}
+
+TEST(MaterializeTest, IdentityViewCopiesDocument) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  Policy policy(&dtd);
+  auto view = DeriveView(policy);
+  ASSERT_TRUE(view.ok());
+  xml::Document doc = MustDoc(kHospitalDoc);
+  auto mat = Materialize(*view, doc);
+  ASSERT_TRUE(mat.ok()) << mat.status().ToString();
+  EXPECT_EQ(xml::SerializeDocument(mat->document),
+            xml::SerializeDocument(doc));
+}
+
+TEST(MaterializeTest, RootMismatchFails) {
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  ViewDefinition view = MustView(dtd, kPolicyS0);
+  xml::Document doc = MustDoc("<clinic/>");
+  EXPECT_FALSE(Materialize(view, doc).ok());
+}
+
+}  // namespace
+}  // namespace smoqe::view

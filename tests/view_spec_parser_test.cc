@@ -1,0 +1,154 @@
+#include "src/view/spec_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rxpath/printer.h"
+#include "src/view/derive.h"
+#include "src/view/materialize.h"
+#include "src/xml/serializer.h"
+#include "tests/test_util.h"
+
+namespace smoqe::view {
+namespace {
+
+using testutil::kHospitalDoc;
+using testutil::kHospitalDtd;
+using testutil::MustDoc;
+using testutil::MustDtd;
+
+// A hand-written view equivalent to the paper's derived σ0 (Fig. 3(c,d)):
+// the iSMOQE "annotate a view schema" definition mode.
+constexpr char kHandWrittenSpec[] = R"(
+  # Fig 3(c)/(d), written by hand instead of derived from a policy.
+  root hospital;
+  dtd {
+    <!ELEMENT hospital (patient*)>
+    <!ELEMENT patient (treatment*, parent*)>
+    <!ELEMENT parent (patient)>
+    <!ELEMENT treatment (medication?)>
+    <!ELEMENT medication (#PCDATA)>
+  }
+  sigma hospital/patient = patient[visit/treatment/medication = 'autism'];
+  sigma patient/treatment = visit/treatment[medication];
+  sigma patient/parent = parent;
+  sigma parent/patient = patient;
+  sigma treatment/medication = medication;
+)";
+
+TEST(SpecParserTest, ParsesHandWrittenSpec) {
+  auto view = ParseViewSpecification(kHandWrittenSpec);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->root(), "hospital");
+  EXPECT_EQ(rxpath::ToString(*view->Sigma("patient", "treatment")),
+            "visit/treatment[medication]");
+  EXPECT_TRUE(view->view_dtd().IsRecursive());
+}
+
+TEST(SpecParserTest, HandWrittenMatchesDerivedView) {
+  // Materializing the hand-written spec and the policy-derived view must
+  // give identical documents.
+  auto hand = ParseViewSpecification(kHandWrittenSpec);
+  ASSERT_TRUE(hand.ok()) << hand.status().ToString();
+
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  auto policy = Policy::Parse(dtd, R"(
+    hospital/patient : [visit/treatment/medication = 'autism'];
+    patient/pname    : N;
+    patient/visit    : N;
+    visit/treatment  : [medication];
+    treatment/test   : N;
+  )");
+  ASSERT_TRUE(policy.ok());
+  auto derived = DeriveView(*policy);
+  ASSERT_TRUE(derived.ok());
+
+  xml::Document doc = MustDoc(kHospitalDoc);
+  auto m1 = Materialize(*hand, doc);
+  auto m2 = Materialize(*derived, doc);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(xml::SerializeDocument(m1->document),
+            xml::SerializeDocument(m2->document));
+}
+
+TEST(SpecParserTest, TypeCheckAcceptsCorrectSpec) {
+  auto view = ParseViewSpecification(kHandWrittenSpec);
+  ASSERT_TRUE(view.ok());
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  EXPECT_TRUE(CheckSpecificationAgainstDtd(*view, dtd).ok());
+}
+
+TEST(SpecParserTest, TypeCheckRejectsWrongOutputType) {
+  auto view = ParseViewSpecification(R"(
+    root hospital;
+    dtd {
+      <!ELEMENT hospital (patient*)>
+      <!ELEMENT patient EMPTY>
+    }
+    sigma hospital/patient = patient/visit;   # produces visit, not patient
+  )");
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  Status st = CheckSpecificationAgainstDtd(*view, dtd);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("can produce 'visit'"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(SpecParserTest, TypeCheckRejectsUnknownLabel) {
+  auto view = ParseViewSpecification(R"(
+    root hospital;
+    dtd {
+      <!ELEMENT hospital (patient*)>
+      <!ELEMENT patient EMPTY>
+    }
+    sigma hospital/patient = patiennt;
+  )");
+  ASSERT_TRUE(view.ok());
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  Status st = CheckSpecificationAgainstDtd(*view, dtd);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("patiennt"), std::string::npos);
+}
+
+TEST(SpecParserTest, TypeCheckRejectsDeadSigma) {
+  auto view = ParseViewSpecification(R"(
+    root hospital;
+    dtd {
+      <!ELEMENT hospital (date*)>
+      <!ELEMENT date (#PCDATA)>
+    }
+    sigma hospital/date = date;   # date is not reachable as a child here
+  )");
+  ASSERT_TRUE(view.ok());
+  xml::Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  EXPECT_FALSE(CheckSpecificationAgainstDtd(*view, dtd).ok());
+}
+
+TEST(SpecParserTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseViewSpecification("").ok());
+  EXPECT_FALSE(ParseViewSpecification("root a").ok());  // missing ';'
+  EXPECT_FALSE(ParseViewSpecification("bogus x;").ok());
+  EXPECT_FALSE(ParseViewSpecification("root a; dtd { <!ELEMENT a EMPTY>")
+                   .ok());  // unterminated block
+  // Missing sigma for a declared edge.
+  EXPECT_FALSE(ParseViewSpecification(R"(
+    root a;
+    dtd { <!ELEMENT a (b)> <!ELEMENT b EMPTY> }
+  )").ok());
+  // Sigma for a non-edge.
+  EXPECT_FALSE(ParseViewSpecification(R"(
+    root a;
+    dtd { <!ELEMENT a EMPTY> }
+    sigma a/b = b;
+  )").ok());
+  // Bad path syntax.
+  EXPECT_FALSE(ParseViewSpecification(R"(
+    root a;
+    dtd { <!ELEMENT a (b)> <!ELEMENT b EMPTY> }
+    sigma a/b = b[[;
+  )").ok());
+}
+
+}  // namespace
+}  // namespace smoqe::view

@@ -1,0 +1,66 @@
+#include "src/workload/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rxpath/parser.h"
+#include "src/view/annotation.h"
+#include "src/view/derive.h"
+#include "src/xml/dtd_validator.h"
+
+namespace smoqe::workload {
+namespace {
+
+TEST(WorkloadTest, SchemasParse) {
+  EXPECT_EQ(HospitalDtd().root_name(), "hospital");
+  EXPECT_EQ(OrgDtd().root_name(), "company");
+  EXPECT_EQ(DiamondDtd().root_name(), "site");
+  EXPECT_TRUE(HospitalDtd().IsRecursive());
+  EXPECT_TRUE(OrgDtd().IsRecursive());
+  EXPECT_TRUE(DiamondDtd().IsRecursive());
+}
+
+TEST(WorkloadTest, PoliciesDeriveViews) {
+  xml::Dtd hospital = HospitalDtd();
+  for (const char* policy_text :
+       {kHospitalPolicyAutism, kHospitalPolicyResearch}) {
+    auto policy = view::Policy::Parse(hospital, policy_text);
+    ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+    auto view = view::DeriveView(*policy);
+    EXPECT_TRUE(view.ok()) << view.status().ToString();
+  }
+  xml::Dtd org = OrgDtd();
+  auto policy = view::Policy::Parse(org, kOrgPolicy);
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  auto view = view::DeriveView(*policy);
+  EXPECT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->view_dtd().Find("salary"), nullptr);
+}
+
+TEST(WorkloadTest, QueriesParse) {
+  for (const auto& family :
+       {HospitalQueries(), HospitalViewQueries(), OrgQueries()}) {
+    for (const BenchQuery& q : family) {
+      EXPECT_TRUE(rxpath::ParseQuery(q.text).ok()) << q.id;
+    }
+  }
+  EXPECT_TRUE(rxpath::ParseQuery(DiamondWildcardChain(10)).ok());
+  EXPECT_TRUE(rxpath::ParseQuery(HospitalRecursiveChain(5)).ok());
+}
+
+TEST(WorkloadTest, GeneratorsProduceValidDocs) {
+  auto h = GenHospital(3, 800);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_TRUE(xml::ValidateDocument(*h, HospitalDtd()).ok());
+  auto o = GenOrg(3, 800);
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  EXPECT_TRUE(xml::ValidateDocument(*o, OrgDtd()).ok());
+}
+
+TEST(WorkloadTest, HospitalTextRoundTrips) {
+  auto text = GenHospitalText(5, 300);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("<hospital>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smoqe::workload

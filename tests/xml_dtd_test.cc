@@ -1,0 +1,189 @@
+#include "src/xml/dtd.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xml/dtd_parser.h"
+
+namespace smoqe::xml {
+namespace {
+
+// The paper's hospital DTD (Fig. 3(a)).
+constexpr char kHospitalDtd[] = R"(
+  <!ELEMENT hospital (patient*)>
+  <!ELEMENT patient (pname, visit*, parent*)>
+  <!ELEMENT parent (patient)>
+  <!ELEMENT visit (treatment, date)>
+  <!ELEMENT treatment (test | medication)>
+  <!ELEMENT pname (#PCDATA)>
+  <!ELEMENT date (#PCDATA)>
+  <!ELEMENT test (#PCDATA)>
+  <!ELEMENT medication (#PCDATA)>
+)";
+
+TEST(DtdParserTest, ParsesHospitalDtd) {
+  auto r = ParseDtd(kHospitalDtd, "hospital");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Dtd& dtd = *r;
+  EXPECT_EQ(dtd.root_name(), "hospital");
+  EXPECT_EQ(dtd.elements().size(), 9u);
+  const ElementDecl* patient = dtd.Find("patient");
+  ASSERT_NE(patient, nullptr);
+  EXPECT_EQ(patient->content, ContentKind::kChildren);
+  EXPECT_EQ(patient->particle->ToString(), "(pname, visit*, parent*)");
+  EXPECT_TRUE(dtd.AllowsText("pname"));
+  EXPECT_FALSE(dtd.AllowsText("patient"));
+}
+
+TEST(DtdParserTest, InfersUniqueRoot) {
+  auto r = ParseDtd("<!ELEMENT a (b)> <!ELEMENT b EMPTY>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->root_name(), "a");
+}
+
+TEST(DtdParserTest, RootInferenceFailsWhenAmbiguous) {
+  auto r = ParseDtd("<!ELEMENT a EMPTY> <!ELEMENT b EMPTY>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DtdParserTest, RecursiveRootStillNeedsExplicitName) {
+  // Every type is referenced (cycle), so no root candidate exists.
+  auto r = ParseDtd("<!ELEMENT a (b)> <!ELEMENT b (a?)>");
+  EXPECT_FALSE(r.ok());
+  auto r2 = ParseDtd("<!ELEMENT a (b)> <!ELEMENT b (a?)>", "a");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_TRUE(r2->IsRecursive());
+}
+
+TEST(DtdParserTest, HospitalDtdIsRecursive) {
+  auto r = ParseDtd(kHospitalDtd, "hospital");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsRecursive());  // patient → parent → patient
+}
+
+TEST(DtdParserTest, NonRecursiveDtd) {
+  auto r = ParseDtd("<!ELEMENT a (b*)> <!ELEMENT b EMPTY>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->IsRecursive());
+}
+
+TEST(DtdParserTest, MixedContent) {
+  auto r = ParseDtd("<!ELEMENT a (#PCDATA | b)*> <!ELEMENT b (#PCDATA)>", "a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ElementDecl* a = r->Find("a");
+  EXPECT_EQ(a->content, ContentKind::kMixed);
+  ASSERT_EQ(a->mixed_names.size(), 1u);
+  EXPECT_EQ(a->mixed_names[0], "b");
+  EXPECT_TRUE(r->AllowsText("a"));
+}
+
+TEST(DtdParserTest, EmptyAndAny) {
+  auto r = ParseDtd("<!ELEMENT a (b, c)> <!ELEMENT b EMPTY> <!ELEMENT c ANY>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Find("b")->content, ContentKind::kEmpty);
+  EXPECT_EQ(r->Find("c")->content, ContentKind::kAny);
+}
+
+TEST(DtdParserTest, AttlistParsed) {
+  auto r = ParseDtd(R"(
+    <!ELEMENT a (b)>
+    <!ELEMENT b EMPTY>
+    <!ATTLIST a id ID #REQUIRED
+                kind CDATA #IMPLIED
+                mode (fast | slow) "fast">
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ElementDecl* a = r->Find("a");
+  ASSERT_EQ(a->attrs.size(), 3u);
+  EXPECT_EQ(a->attrs[0].name, "id");
+  EXPECT_EQ(a->attrs[0].default_kind, AttrDecl::Default::kRequired);
+  EXPECT_EQ(a->attrs[1].default_kind, AttrDecl::Default::kImplied);
+  EXPECT_EQ(a->attrs[2].default_kind, AttrDecl::Default::kValue);
+  EXPECT_EQ(a->attrs[2].default_value, "fast");
+}
+
+TEST(DtdParserTest, RejectsDuplicateDeclaration) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a EMPTY> <!ELEMENT a EMPTY>").ok());
+}
+
+TEST(DtdParserTest, RejectsEntities) {
+  EXPECT_FALSE(ParseDtd("<!ENTITY x \"y\"> <!ELEMENT a EMPTY>").ok());
+}
+
+TEST(DtdParserTest, RejectsMixedSeparators) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b, c | d)> <!ELEMENT b EMPTY>").ok());
+}
+
+TEST(DtdParserTest, ChildTypesForAllContentKinds) {
+  auto r = ParseDtd(kHospitalDtd, "hospital");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ChildTypes("hospital"), std::vector<std::string>{"patient"});
+  auto pt = r->ChildTypes("patient");
+  EXPECT_EQ(pt, (std::vector<std::string>{"parent", "pname", "visit"}));
+  EXPECT_TRUE(r->ChildTypes("pname").empty());
+}
+
+TEST(ContentModelTest, ParseAndPrint) {
+  auto r = ParseContentModel("(a, (b | c)*, d?)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->ToString(), "(a, (b | c)*, d?)");
+}
+
+TEST(ContentModelTest, SimplifyCollapsesRedundancy) {
+  {
+    auto r = ParseContentModel("((a))");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)->ToString(), "a");
+  }
+  {
+    auto r = ParseContentModel("((a*)*)");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)->ToString(), "a*");
+  }
+  {
+    auto r = ParseContentModel("((a?)+)");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)->ToString(), "a*");
+  }
+  {
+    auto r = ParseContentModel("((a?)?)");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)->ToString(), "a?");
+  }
+}
+
+TEST(ContentModelTest, SubstituteReplacesLeaves) {
+  auto model = ParseContentModel("(a, b*, a?)");
+  ASSERT_TRUE(model.ok());
+  auto repl = ParseContentModel("(x | y)");
+  ASSERT_TRUE(repl.ok());
+  auto substituted =
+      Particle::Substitute(model.MoveValue(), "a", **repl);
+  substituted = Particle::Simplify(std::move(substituted));
+  EXPECT_EQ(substituted->ToString(), "((x | y), b*, (x | y)?)");
+}
+
+TEST(ContentModelTest, CloneIsDeepAndEqual) {
+  auto model = ParseContentModel("(a, (b | c)+)");
+  ASSERT_TRUE(model.ok());
+  auto clone = (*model)->Clone();
+  EXPECT_TRUE(clone->StructurallyEquals(**model));
+  EXPECT_NE(clone.get(), model->get());
+}
+
+TEST(DtdTest, ToStringRendersDeclarations) {
+  auto r = ParseDtd(kHospitalDtd, "hospital");
+  ASSERT_TRUE(r.ok());
+  std::string s = r->ToString();
+  // Root declaration comes first.
+  EXPECT_EQ(s.find("<!ELEMENT hospital"), 0u);
+  EXPECT_NE(s.find("<!ELEMENT patient (pname, visit*, parent*)>"),
+            std::string::npos);
+  EXPECT_NE(s.find("<!ELEMENT pname (#PCDATA)>"), std::string::npos);
+  // Round-trip: parse the rendering, same element count.
+  auto r2 = ParseDtd(s, "hospital");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2->elements().size(), r->elements().size());
+}
+
+}  // namespace
+}  // namespace smoqe::xml

@@ -1,0 +1,148 @@
+#include "src/xml/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xml/dtd_parser.h"
+#include "src/xml/dtd_validator.h"
+#include "src/xml/serializer.h"
+
+namespace smoqe::xml {
+namespace {
+
+constexpr char kHospitalDtd[] = R"(
+  <!ELEMENT hospital (patient*)>
+  <!ELEMENT patient (pname, visit*, parent*)>
+  <!ELEMENT parent (patient)>
+  <!ELEMENT visit (treatment, date)>
+  <!ELEMENT treatment (test | medication)>
+  <!ELEMENT pname (#PCDATA)>
+  <!ELEMENT date (#PCDATA)>
+  <!ELEMENT test (#PCDATA)>
+  <!ELEMENT medication (#PCDATA)>
+)";
+
+Dtd MustDtd(std::string_view text, std::string_view root = "") {
+  auto r = ParseDtd(text, root);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(GeneratorTest, OutputValidatesAgainstDtd) {
+  Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  for (uint64_t seed : {1ull, 2ull, 3ull, 17ull, 99ull}) {
+    GeneratorOptions opts;
+    opts.seed = seed;
+    opts.target_nodes = 500;
+    auto doc = GenerateDocument(dtd, opts);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    Status st = ValidateDocument(*doc, dtd);
+    EXPECT_TRUE(st.ok()) << "seed " << seed << ": " << st.ToString();
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  GeneratorOptions opts;
+  opts.seed = 7;
+  opts.target_nodes = 300;
+  auto d1 = GenerateDocument(dtd, opts);
+  auto d2 = GenerateDocument(dtd, opts);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(SerializeDocument(*d1), SerializeDocument(*d2));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  GeneratorOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  a.target_nodes = b.target_nodes = 300;
+  auto d1 = GenerateDocument(dtd, a);
+  auto d2 = GenerateDocument(dtd, b);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_NE(SerializeDocument(*d1), SerializeDocument(*d2));
+}
+
+TEST(GeneratorTest, RespectsSoftSizeTarget) {
+  Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  GeneratorOptions opts;
+  opts.seed = 5;
+  for (size_t target : {100u, 1000u, 10000u}) {
+    opts.target_nodes = target;
+    auto doc = GenerateDocument(dtd, opts);
+    ASSERT_TRUE(doc.ok());
+    // Soft target: within a generous factor (winding down isn't instant).
+    EXPECT_GE(static_cast<size_t>(doc->num_nodes()), target / 4);
+    EXPECT_LE(static_cast<size_t>(doc->num_nodes()), target * 4);
+  }
+}
+
+TEST(GeneratorTest, TextVocabularyUsed) {
+  Dtd dtd = MustDtd(kHospitalDtd, "hospital");
+  GeneratorOptions opts;
+  opts.seed = 11;
+  opts.target_nodes = 400;
+  opts.text_values["medication"] = {"autism", "headache"};
+  auto doc = GenerateDocument(dtd, opts);
+  ASSERT_TRUE(doc.ok());
+  NameId med = doc->names()->Lookup("medication");
+  ASSERT_NE(med, kNoName);
+  int found = 0;
+  for (int32_t i = 0; i < doc->num_nodes(); ++i) {
+    const Node* n = doc->node(i);
+    if (n->is_element() && n->label == med) {
+      std::string t = Document::DirectText(n);
+      EXPECT_TRUE(t == "autism" || t == "headache") << t;
+      ++found;
+    }
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(GeneratorTest, RecursionDepthBounded) {
+  // A DTD that recurses aggressively: a → a? b.
+  Dtd dtd = MustDtd("<!ELEMENT a (a?, b)> <!ELEMENT b (#PCDATA)>", "a");
+  GeneratorOptions opts;
+  opts.seed = 3;
+  opts.target_nodes = 100000;
+  opts.max_depth = 10;
+  auto doc = GenerateDocument(dtd, opts);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  // Depth must stay near the cap.
+  int max_depth = 0;
+  for (int32_t i = 0; i < doc->num_nodes(); ++i) {
+    const Node* n = doc->node(i);
+    int d = 0;
+    for (const Node* p = n; p != nullptr; p = p->parent) ++d;
+    max_depth = std::max(max_depth, d);
+  }
+  EXPECT_LE(max_depth, 12);
+}
+
+TEST(GeneratorTest, MandatoryRecursionFailsCleanly) {
+  // a → a b: no finite document exists.
+  Dtd dtd = MustDtd("<!ELEMENT a (a, b)> <!ELEMENT b EMPTY>", "a");
+  GeneratorOptions opts;
+  auto doc = GenerateDocument(dtd, opts);
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(GeneratorTest, RequiredAttributesGenerated) {
+  Dtd dtd = MustDtd(R"(
+    <!ELEMENT a (b*)>
+    <!ELEMENT b EMPTY>
+    <!ATTLIST b id CDATA #REQUIRED>
+  )", "a");
+  GeneratorOptions opts;
+  opts.seed = 9;
+  opts.target_nodes = 50;
+  opts.attr_values["b@id"] = {"i1", "i2"};
+  auto doc = GenerateDocument(dtd, opts);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(ValidateDocument(*doc, dtd).ok());
+}
+
+}  // namespace
+}  // namespace smoqe::xml

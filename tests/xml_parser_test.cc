@@ -1,0 +1,202 @@
+#include "src/xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xml/serializer.h"
+
+namespace smoqe::xml {
+namespace {
+
+TEST(XmlParserTest, ParsesMinimalDocument) {
+  auto r = ParseDocument("<a/>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Document& doc = *r;
+  EXPECT_EQ(doc.names()->NameOf(doc.root()->label), "a");
+  EXPECT_EQ(doc.num_nodes(), 1);
+  EXPECT_EQ(doc.root()->first_child, nullptr);
+}
+
+TEST(XmlParserTest, ParsesNestedElementsAndText) {
+  auto r = ParseDocument("<a><b>hi</b><c><d/></c></a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Node* a = r->root();
+  ASSERT_NE(a->first_child, nullptr);
+  const Node* b = a->first_child;
+  EXPECT_EQ(r->names()->NameOf(b->label), "b");
+  ASSERT_NE(b->first_child, nullptr);
+  EXPECT_TRUE(b->first_child->is_text());
+  EXPECT_STREQ(b->first_child->text, "hi");
+  const Node* c = b->next_sibling;
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(r->names()->NameOf(c->label), "c");
+  EXPECT_EQ(r->names()->NameOf(c->first_child->label), "d");
+}
+
+TEST(XmlParserTest, ParsesAttributes) {
+  auto r = ParseDocument("<a x=\"1\" y='two &amp; three'/>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Node* a = r->root();
+  ASSERT_EQ(a->num_attrs, 2u);
+  NameId x = r->names()->Lookup("x");
+  NameId y = r->names()->Lookup("y");
+  EXPECT_STREQ(a->FindAttr(x), "1");
+  EXPECT_STREQ(a->FindAttr(y), "two & three");
+  EXPECT_EQ(a->FindAttr(r->names()->Intern("z")), nullptr);
+}
+
+TEST(XmlParserTest, DecodesEntitiesInText) {
+  auto r = ParseDocument("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos; &#65;&#x42;</a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Document::DirectText(r->root()), "<tag> & \"q\" 'a' AB");
+}
+
+TEST(XmlParserTest, CdataIsText) {
+  auto r = ParseDocument("<a><![CDATA[<not-a-tag> & raw]]></a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Document::DirectText(r->root()), "<not-a-tag> & raw");
+}
+
+TEST(XmlParserTest, SkipsCommentsPisAndDeclaration) {
+  auto r = ParseDocument(
+      "<?xml version=\"1.0\"?><!-- c --><?pi data?><a><!-- inner -->x</a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Document::DirectText(r->root()), "x");
+}
+
+TEST(XmlParserTest, WhitespaceOnlyTextDroppedByDefault) {
+  auto r = ParseDocument("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  int kids = 0;
+  for (const Node* c = r->root()->first_child; c; c = c->next_sibling) {
+    EXPECT_TRUE(c->is_element());
+    ++kids;
+  }
+  EXPECT_EQ(kids, 2);
+}
+
+TEST(XmlParserTest, WhitespaceKeptWhenRequested) {
+  ParseOptions opts;
+  opts.skip_whitespace_text = false;
+  auto r = ParseDocument("<a> <b/></a>", opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->root()->first_child->is_text());
+  EXPECT_STREQ(r->root()->first_child->text, " ");
+}
+
+TEST(XmlParserTest, CapturesDoctype) {
+  auto r = ParseXml(
+      "<!DOCTYPE hospital [<!ELEMENT hospital (patient)*>]><hospital/>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->doctype_name, "hospital");
+  EXPECT_NE(r->doctype_internal_subset.find("<!ELEMENT hospital"),
+            std::string::npos);
+}
+
+TEST(XmlParserTest, NodeIdsArePreOrderAndSubtreeEndsCorrect) {
+  auto r = ParseDocument("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(r.ok());
+  const Node* a = r->root();
+  const Node* b = a->first_child;
+  const Node* c = b->first_child;
+  const Node* d = b->next_sibling;
+  EXPECT_EQ(a->node_id, 0);
+  EXPECT_EQ(b->node_id, 1);
+  EXPECT_EQ(c->node_id, 2);
+  EXPECT_EQ(d->node_id, 3);
+  EXPECT_EQ(a->subtree_end, 4);
+  EXPECT_EQ(b->subtree_end, 3);
+  EXPECT_TRUE(a->ContainsOrIs(c));
+  EXPECT_TRUE(b->ContainsOrIs(c));
+  EXPECT_FALSE(b->ContainsOrIs(d));
+  EXPECT_FALSE(d->ContainsOrIs(a));
+}
+
+// --- failure injection ---
+
+TEST(XmlParserTest, RejectsMismatchedTags) {
+  auto r = ParseDocument("<a><b></a></b>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(XmlParserTest, RejectsUnclosedRoot) {
+  EXPECT_FALSE(ParseDocument("<a><b/>").ok());
+}
+
+TEST(XmlParserTest, RejectsMultipleRoots) {
+  EXPECT_FALSE(ParseDocument("<a/><b/>").ok());
+}
+
+TEST(XmlParserTest, RejectsContentOutsideRoot) {
+  EXPECT_FALSE(ParseDocument("<a/>stray").ok());
+  EXPECT_FALSE(ParseDocument("stray<a/>").ok());
+}
+
+TEST(XmlParserTest, RejectsUnknownEntity) {
+  EXPECT_FALSE(ParseDocument("<a>&unknown;</a>").ok());
+}
+
+TEST(XmlParserTest, RejectsDuplicateAttribute) {
+  EXPECT_FALSE(ParseDocument("<a x='1' x='2'/>").ok());
+}
+
+TEST(XmlParserTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseDocument("").ok());
+  EXPECT_FALSE(ParseDocument("   ").ok());
+}
+
+TEST(XmlParserTest, RejectsMalformedTagSyntax) {
+  EXPECT_FALSE(ParseDocument("<a b></a>").ok());
+  EXPECT_FALSE(ParseDocument("<a b=>").ok());
+  EXPECT_FALSE(ParseDocument("<1tag/>").ok());
+  EXPECT_FALSE(ParseDocument("<a x='1'").ok());
+}
+
+TEST(XmlParserTest, ErrorsMentionLineNumbers) {
+  auto r = ParseDocument("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+}
+
+// --- serializer round-trip ---
+
+TEST(XmlSerializerTest, CompactRoundTrip) {
+  const std::string input =
+      "<a x=\"1\"><b>text &amp; more</b><c/><d>t2</d></a>";
+  auto r = ParseDocument(input);
+  ASSERT_TRUE(r.ok());
+  std::string out = SerializeDocument(*r);
+  EXPECT_EQ(out, input);
+  // Parse the output again: same serialization (fixpoint).
+  auto r2 = ParseDocument(out);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(SerializeDocument(*r2), out);
+}
+
+TEST(XmlSerializerTest, PrettyPrintsNested) {
+  auto r = ParseDocument("<a><b>hi</b></a>");
+  ASSERT_TRUE(r.ok());
+  SerializeOptions opts;
+  opts.pretty = true;
+  std::string out = SerializeDocument(*r, opts);
+  EXPECT_NE(out.find("<a>\n"), std::string::npos);
+  EXPECT_NE(out.find("  <b>"), std::string::npos);
+  // Pretty output still parses to an equivalent compact form.
+  auto r2 = ParseDocument(out);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(SerializeDocument(*r2), SerializeDocument(*r));
+}
+
+TEST(XmlSerializerTest, EscapesAttributeValues) {
+  auto r = ParseDocument("<a v=\"a&amp;b&lt;c&quot;d\"/>");
+  ASSERT_TRUE(r.ok());
+  std::string out = SerializeDocument(*r);
+  auto r2 = ParseDocument(out);
+  ASSERT_TRUE(r2.ok());
+  NameId v = r2->names()->Lookup("v");
+  EXPECT_STREQ(r2->root()->FindAttr(v), "a&b<c\"d");
+}
+
+}  // namespace
+}  // namespace smoqe::xml

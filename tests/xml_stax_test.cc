@@ -1,0 +1,152 @@
+#include "src/xml/stax.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smoqe::xml {
+namespace {
+
+struct Ev {
+  StaxEvent kind;
+  std::string payload;  // name or text
+};
+
+std::vector<Ev> Drain(StaxReader* r) {
+  std::vector<Ev> out;
+  while (true) {
+    auto e = r->Next();
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    if (!e.ok()) return out;
+    Ev ev{*e, ""};
+    if (*e == StaxEvent::kStartElement || *e == StaxEvent::kEndElement) {
+      ev.payload = r->name();
+    } else if (*e == StaxEvent::kCharacters) {
+      ev.payload = r->text();
+    }
+    out.push_back(std::move(ev));
+    if (*e == StaxEvent::kEndDocument) return out;
+  }
+}
+
+TEST(StaxTest, EventSequenceForSimpleDocument) {
+  StaxReader r("<a><b>hi</b><c/></a>");
+  auto evs = Drain(&r);
+  ASSERT_EQ(evs.size(), 9u);
+  EXPECT_EQ(evs[0].kind, StaxEvent::kStartDocument);
+  EXPECT_EQ(evs[1].kind, StaxEvent::kStartElement);
+  EXPECT_EQ(evs[1].payload, "a");
+  EXPECT_EQ(evs[2].kind, StaxEvent::kStartElement);
+  EXPECT_EQ(evs[2].payload, "b");
+  EXPECT_EQ(evs[3].kind, StaxEvent::kCharacters);
+  EXPECT_EQ(evs[3].payload, "hi");
+  EXPECT_EQ(evs[4].kind, StaxEvent::kEndElement);
+  EXPECT_EQ(evs[4].payload, "b");
+  EXPECT_EQ(evs[5].kind, StaxEvent::kStartElement);
+  EXPECT_EQ(evs[5].payload, "c");
+  EXPECT_EQ(evs[6].kind, StaxEvent::kEndElement);
+  EXPECT_EQ(evs[6].payload, "c");
+  EXPECT_EQ(evs[7].kind, StaxEvent::kEndElement);
+  EXPECT_EQ(evs[7].payload, "a");
+  EXPECT_EQ(evs[8].kind, StaxEvent::kEndDocument);
+}
+
+TEST(StaxTest, FullEventCount) {
+  StaxReader r("<a><b/></a>");
+  auto evs = Drain(&r);
+  // StartDoc, a, b, /b, /a, EndDoc
+  ASSERT_EQ(evs.size(), 6u);
+  EXPECT_EQ(evs.back().kind, StaxEvent::kEndDocument);
+}
+
+TEST(StaxTest, SelfClosingEmitsStartAndEnd) {
+  StaxReader r("<a/>");
+  auto evs = Drain(&r);
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs[1].kind, StaxEvent::kStartElement);
+  EXPECT_EQ(evs[2].kind, StaxEvent::kEndElement);
+  EXPECT_EQ(evs[2].payload, "a");
+}
+
+TEST(StaxTest, AttributesDecoded) {
+  StaxReader r("<a k='1' m=\"x &lt; y\"/>");
+  ASSERT_TRUE(r.Next().ok());   // StartDocument
+  auto e = r.Next();
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(*e, StaxEvent::kStartElement);
+  ASSERT_EQ(r.attrs().size(), 2u);
+  EXPECT_EQ(r.attrs()[0].name, "k");
+  EXPECT_EQ(r.attrs()[0].value, "1");
+  EXPECT_EQ(r.attrs()[1].name, "m");
+  EXPECT_EQ(r.attrs()[1].value, "x < y");
+}
+
+TEST(StaxTest, DepthTracksNesting) {
+  StaxReader r("<a><b><c/></b></a>");
+  ASSERT_TRUE(r.Next().ok());  // StartDocument
+  ASSERT_TRUE(r.Next().ok());  // <a>
+  EXPECT_EQ(r.depth(), 1);
+  ASSERT_TRUE(r.Next().ok());  // <b>
+  EXPECT_EQ(r.depth(), 2);
+  ASSERT_TRUE(r.Next().ok());  // <c>
+  EXPECT_EQ(r.depth(), 3);
+  ASSERT_TRUE(r.Next().ok());  // </c>
+  EXPECT_EQ(r.depth(), 2);
+}
+
+TEST(StaxTest, EndDocumentIsSticky) {
+  StaxReader r("<a/>");
+  (void)Drain(&r);
+  auto e = r.Next();
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, StaxEvent::kEndDocument);
+}
+
+TEST(StaxTest, DoctypeCaptured) {
+  StaxReader r("<!DOCTYPE root SYSTEM \"x.dtd\" [<!ELEMENT root EMPTY>]><root/>");
+  ASSERT_TRUE(r.Next().ok());
+  auto e = r.Next();
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(*e, StaxEvent::kStartElement);
+  EXPECT_EQ(r.doctype_name(), "root");
+  EXPECT_EQ(r.doctype_internal_subset(), "<!ELEMENT root EMPTY>");
+}
+
+TEST(StaxTest, WhitespaceTextSkippedByDefaultKeptOnRequest) {
+  {
+    StaxReader r("<a>  <b/>  </a>");
+    auto evs = Drain(&r);
+    ASSERT_EQ(evs.size(), 6u);  // no kCharacters events
+  }
+  {
+    StaxOptions opts;
+    opts.skip_whitespace_text = false;
+    StaxReader r("<a>  <b/>  </a>", opts);
+    auto evs = Drain(&r);
+    ASSERT_EQ(evs.size(), 8u);
+    EXPECT_EQ(evs[2].kind, StaxEvent::kCharacters);
+  }
+}
+
+TEST(StaxTest, CdataAndTextCoalesce) {
+  StaxReader r("<a>pre<![CDATA[ <raw> ]]>post</a>");
+  ASSERT_TRUE(r.Next().ok());
+  ASSERT_TRUE(r.Next().ok());
+  auto e = r.Next();
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(*e, StaxEvent::kCharacters);
+  EXPECT_EQ(r.text(), "pre <raw> post");
+}
+
+TEST(StaxTest, ErrorsSurfaceOnce) {
+  StaxReader r("<a><b></c></a>");
+  ASSERT_TRUE(r.Next().ok());
+  ASSERT_TRUE(r.Next().ok());
+  ASSERT_TRUE(r.Next().ok());
+  auto e = r.Next();
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace smoqe::xml

@@ -1,0 +1,131 @@
+#include "src/xml/dtd_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xml/dtd_parser.h"
+#include "src/xml/parser.h"
+
+namespace smoqe::xml {
+namespace {
+
+Dtd MustDtd(std::string_view text, std::string_view root = "") {
+  auto r = ParseDtd(text, root);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+Document MustDoc(std::string_view text) {
+  auto r = ParseDocument(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(ValidatorTest, AcceptsConformingDocument) {
+  Dtd dtd = MustDtd(R"(
+    <!ELEMENT a (b, c*)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c EMPTY>
+  )");
+  Document doc = MustDoc("<a><b>t</b><c/><c/></a>");
+  EXPECT_TRUE(ValidateDocument(doc, dtd).ok());
+}
+
+TEST(ValidatorTest, RejectsWrongRoot) {
+  Dtd dtd = MustDtd("<!ELEMENT a EMPTY>");
+  Document doc = MustDoc("<b/>");
+  auto st = ValidateDocument(doc, dtd);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("root"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsContentModelViolation) {
+  Dtd dtd = MustDtd(R"(
+    <!ELEMENT a (b, c)>
+    <!ELEMENT b EMPTY>
+    <!ELEMENT c EMPTY>
+  )");
+  EXPECT_FALSE(ValidateDocument(MustDoc("<a><b/></a>"), dtd).ok());   // missing c
+  EXPECT_FALSE(ValidateDocument(MustDoc("<a><c/><b/></a>"), dtd).ok());  // order
+  EXPECT_FALSE(ValidateDocument(MustDoc("<a><b/><c/><c/></a>"), dtd).ok());
+  EXPECT_TRUE(ValidateDocument(MustDoc("<a><b/><c/></a>"), dtd).ok());
+}
+
+TEST(ValidatorTest, ChoiceAndOccurrence) {
+  Dtd dtd = MustDtd(R"(
+    <!ELEMENT a ((b | c)+, d?)>
+    <!ELEMENT b EMPTY>
+    <!ELEMENT c EMPTY>
+    <!ELEMENT d EMPTY>
+  )");
+  EXPECT_TRUE(ValidateDocument(MustDoc("<a><b/></a>"), dtd).ok());
+  EXPECT_TRUE(ValidateDocument(MustDoc("<a><c/><b/><c/><d/></a>"), dtd).ok());
+  EXPECT_FALSE(ValidateDocument(MustDoc("<a><d/></a>"), dtd).ok());
+  EXPECT_FALSE(ValidateDocument(MustDoc("<a><b/><d/><d/></a>"), dtd).ok());
+}
+
+TEST(ValidatorTest, EmptyContentRejectsChildrenAndText) {
+  Dtd dtd = MustDtd("<!ELEMENT a EMPTY> <!ELEMENT b EMPTY>", "a");
+  EXPECT_TRUE(ValidateDocument(MustDoc("<a/>"), dtd).ok());
+  EXPECT_FALSE(ValidateDocument(MustDoc("<a>t</a>"), dtd).ok());
+}
+
+TEST(ValidatorTest, PcdataRejectsElementChildren) {
+  Dtd dtd = MustDtd("<!ELEMENT a (#PCDATA)> <!ELEMENT b EMPTY>", "a");
+  EXPECT_TRUE(ValidateDocument(MustDoc("<a>text</a>"), dtd).ok());
+  EXPECT_TRUE(ValidateDocument(MustDoc("<a/>"), dtd).ok());
+  EXPECT_FALSE(ValidateDocument(MustDoc("<a><b/></a>"), dtd).ok());
+}
+
+TEST(ValidatorTest, MixedContentAllowsListedChildrenAnyOrder) {
+  Dtd dtd = MustDtd(R"(
+    <!ELEMENT a (#PCDATA | b | c)*>
+    <!ELEMENT b EMPTY>
+    <!ELEMENT c EMPTY>
+    <!ELEMENT d EMPTY>
+  )", "a");
+  EXPECT_TRUE(ValidateDocument(MustDoc("<a>t<b/>u<c/><b/></a>"), dtd).ok());
+  EXPECT_FALSE(ValidateDocument(MustDoc("<a><d/></a>"), dtd).ok());
+}
+
+TEST(ValidatorTest, ElementContentRejectsText) {
+  Dtd dtd = MustDtd("<!ELEMENT a (b*)> <!ELEMENT b EMPTY>", "a");
+  EXPECT_FALSE(ValidateDocument(MustDoc("<a><b/>stray</a>"), dtd).ok());
+}
+
+TEST(ValidatorTest, UndeclaredElementPolicy) {
+  Dtd dtd = MustDtd("<!ELEMENT a ANY>", "a");
+  Document doc = MustDoc("<a><mystery/></a>");
+  EXPECT_FALSE(ValidateDocument(doc, dtd).ok());
+  ValidateOptions opts;
+  opts.allow_undeclared = true;
+  EXPECT_TRUE(ValidateDocument(doc, dtd, opts).ok());
+}
+
+TEST(ValidatorTest, RequiredAttributeEnforced) {
+  Dtd dtd = MustDtd(R"(
+    <!ELEMENT a EMPTY>
+    <!ATTLIST a id CDATA #REQUIRED>
+  )", "a");
+  EXPECT_TRUE(ValidateDocument(MustDoc("<a id='7'/>"), dtd).ok());
+  EXPECT_FALSE(ValidateDocument(MustDoc("<a/>"), dtd).ok());
+  ValidateOptions opts;
+  opts.check_attributes = false;
+  EXPECT_TRUE(ValidateDocument(MustDoc("<a/>"), dtd, opts).ok());
+}
+
+TEST(ValidatorTest, RecursiveDtdValidatesNestedDocument) {
+  Dtd dtd = MustDtd(R"(
+    <!ELEMENT part (name, part*)>
+    <!ELEMENT name (#PCDATA)>
+  )", "part");
+  Document doc = MustDoc(
+      "<part><name>p1</name><part><name>p2</name>"
+      "<part><name>p3</name></part></part></part>");
+  EXPECT_TRUE(ValidateDocument(doc, dtd).ok());
+  EXPECT_FALSE(
+      ValidateDocument(MustDoc("<part><part><name>x</name></part></part>"), dtd)
+          .ok());
+}
+
+}  // namespace
+}  // namespace smoqe::xml
