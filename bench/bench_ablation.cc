@@ -26,17 +26,17 @@ const std::vector<workload::BenchQuery>& Queries() {
   return queries;
 }
 
-void Run(benchmark::State& state, bool dead_run_pruning,
-         bool guard_dominance) {
+void Run(benchmark::State& state, const eval::EngineOptions& engine) {
   const auto& bq = Queries()[static_cast<size_t>(state.range(0))];
+  const bool deep = state.range(2) != 0;
   const xml::Document& doc =
-      Corpus::Get().Hospital(static_cast<size_t>(state.range(1)));
+      deep ? Corpus::Get().HospitalDeep(static_cast<size_t>(state.range(1)))
+           : Corpus::Get().Hospital(static_cast<size_t>(state.range(1)));
   const automata::Mfa& mfa = Corpus::Get().Mfa(bq.text);
   EvalStats stats;
   for (auto _ : state) {
     eval::DomEvalOptions opts;
-    opts.engine.dead_run_pruning = dead_run_pruning;
-    opts.engine.guard_dominance = guard_dominance;
+    opts.engine = engine;
     auto r = eval::EvalHypeDom(mfa, doc, opts);
     Corpus::Check(r.ok(), "eval");
     stats = r->stats;
@@ -46,27 +46,95 @@ void Run(benchmark::State& state, bool dead_run_pruning,
   state.counters["visited"] = static_cast<double>(stats.nodes_visited);
   state.counters["max_active_pairs"] =
       static_cast<double>(stats.max_active_pairs);
+  // E10 hot-path machinery: how much each mechanism was exercised.
+  state.counters["dispatch_hits"] = static_cast<double>(
+      stats.dispatch_label_hits + stats.dispatch_wildcard_hits);
+  state.counters["dispatch_scans"] =
+      static_cast<double>(stats.dispatch_scan_steps);
+  state.counters["guard_pool"] =
+      static_cast<double>(stats.guard_pool_entries);
+  state.counters["guard_hit_rate"] =
+      stats.guard_pool_hits + stats.guard_pool_misses > 0
+          ? static_cast<double>(stats.guard_pool_hits) /
+                static_cast<double>(stats.guard_pool_hits +
+                                    stats.guard_pool_misses)
+          : 0.0;
+  state.counters["dedup_probes"] =
+      static_cast<double>(stats.run_dedup_probes);
+  state.counters["runs_deduped"] = static_cast<double>(stats.runs_deduped);
 }
 
-void Full(benchmark::State& s) { Run(s, true, true); }
-void NoDeadRunPruning(benchmark::State& s) { Run(s, false, true); }
-void NoDominance(benchmark::State& s) { Run(s, true, false); }
-void Neither(benchmark::State& s) { Run(s, false, false); }
+eval::EngineOptions Opts(bool dead_run, bool dominance, bool dispatch,
+                         bool interning, bool hashdedup) {
+  eval::EngineOptions e;
+  e.dead_run_pruning = dead_run;
+  e.guard_dominance = dominance;
+  e.label_dispatch = dispatch;
+  e.guard_interning = interning;
+  e.hashed_run_dedup = hashdedup;
+  return e;
+}
+
+// E9: the run-management pruning ablation (as in the seed).
+void Full(benchmark::State& s) { Run(s, Opts(true, true, true, true, true)); }
+void NoDeadRunPruning(benchmark::State& s) {
+  Run(s, Opts(false, true, true, true, true));
+}
+void NoDominance(benchmark::State& s) {
+  Run(s, Opts(true, false, true, true, true));
+}
+void Neither(benchmark::State& s) {
+  Run(s, Opts(false, false, true, true, true));
+}
+
+// E10: the hot-path mechanism ablation — label dispatch, guard interning,
+// hashed run dedup, each toggled off alone and all off together.
+void NoDispatch(benchmark::State& s) {
+  Run(s, Opts(true, true, false, true, true));
+}
+void NoInterning(benchmark::State& s) {
+  Run(s, Opts(true, true, true, false, true));
+}
+void NoHashDedup(benchmark::State& s) {
+  Run(s, Opts(true, true, true, true, false));
+}
+void SlowPath(benchmark::State& s) {
+  Run(s, Opts(true, true, false, false, false));
+}
 
 void RegisterAll() {
   const auto& queries = Queries();
   const long size = 10000;
   for (size_t q = 0; q < queries.size(); ++q) {
-    auto reg = [&](const char* variant, void (*fn)(benchmark::State&)) {
+    const std::string id(queries[q].id);
+    auto reg = [&](const char* variant, void (*fn)(benchmark::State&),
+                   long deep) {
       benchmark::RegisterBenchmark(
-          (std::string("E9_") + variant + "/" + queries[q].id).c_str(), fn)
-          ->Args({static_cast<long>(q), size})
+          (std::string(variant) + "/" + id + (deep ? "/deep" : "")).c_str(),
+          fn)
+          ->Args({static_cast<long>(q), size, deep})
           ->Unit(benchmark::kMicrosecond);
     };
-    reg("full", Full);
-    reg("no_deadrun", NoDeadRunPruning);
-    reg("no_dominance", NoDominance);
-    reg("neither", Neither);
+    // One shared all-on baseline row per query serves both the E9 and E10
+    // comparisons (registering it per family would measure the identical
+    // configuration twice).
+    reg("full", Full, 0);
+    reg("E9_no_deadrun", NoDeadRunPruning, 0);
+    reg("E9_no_dominance", NoDominance, 0);
+    reg("E9_neither", Neither, 0);
+    reg("E10_no_dispatch", NoDispatch, 0);
+    reg("E10_no_interning", NoInterning, 0);
+    reg("E10_no_hashdedup", NoHashDedup, 0);
+    reg("E10_slowpath", SlowPath, 0);
+    if (id == "desc-pred" || id == "desc-neg") {
+      // The wide-frame regime: E10 over the deep-genealogy corpus, where
+      // the three hot-path mechanisms carry the ≥2× trajectory win.
+      reg("full", Full, 1);
+      reg("E10_no_dispatch", NoDispatch, 1);
+      reg("E10_no_interning", NoInterning, 1);
+      reg("E10_no_hashdedup", NoHashDedup, 1);
+      reg("E10_slowpath", SlowPath, 1);
+    }
   }
 }
 

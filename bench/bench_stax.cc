@@ -84,7 +84,68 @@ void RegisterAll() {
   }
 }
 
+}  // namespace
+
+// BENCH_stax.json: StAX-mode trajectory (ns/node, nodes/sec, peak active
+// pairs) with the hot-path optimizations on vs off. Extern: called from
+// main below.
+void WriteStaxTrajectory(const char* path) {
+  bench::JsonReport report;
+  for (size_t size : bench::TrajectorySizes()) {
+    const xml::Document& doc = Corpus::Get().Hospital(size);
+    const std::string& text = Corpus::Get().HospitalText(size);
+    const automata::Mfa& mfa = Corpus::Get().Mfa(kQuery);
+    for (bool opt_all : {true, false}) {
+      eval::StaxEvalOptions opts;
+      opts.engine.label_dispatch = opt_all;
+      opts.engine.guard_interning = opt_all;
+      opts.engine.hashed_run_dedup = opt_all;
+      EvalStats stats;
+      size_t answers = 0;
+      double ns = bench::MeasureNsPerIter([&] {
+        auto r = eval::EvalHypeStax(mfa, text, opts);
+        Corpus::Check(r.ok(), "stax trajectory eval");
+        stats = r->stats;
+        answers = r->answers.size();
+      });
+      bench::TrajectoryRow row;
+      row.engine = "hype_stax";
+      row.workload = "hospital";
+      row.query = "autism-dates";
+      row.config = opt_all ? "opt_all" : "opt_none";
+      row.nodes = doc.num_nodes();
+      row.answers = answers;
+      row.ns_per_node = ns / static_cast<double>(doc.num_nodes());
+      row.nodes_per_sec = static_cast<double>(doc.num_nodes()) * 1e9 / ns;
+      row.max_active_pairs = stats.max_active_pairs;
+      row.guard_pool_entries = stats.guard_pool_entries;
+      row.guard_pool_hits = stats.guard_pool_hits;
+      row.run_dedup_probes = stats.run_dedup_probes;
+      report.Add(std::move(row));
+    }
+  }
+  if (!report.WriteFile(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path);
+  } else {
+    std::fprintf(stderr, "wrote %zu trajectory rows to %s\n", report.size(),
+                 path);
+  }
+}
+
+namespace {
+
 int dummy = (RegisterAll(), 0);
 
 }  // namespace
 }  // namespace smoqe
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (smoqe::bench::TrajectoryEnabled()) {
+    smoqe::WriteStaxTrajectory("BENCH_stax.json");
+  }
+  return 0;
+}

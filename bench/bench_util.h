@@ -1,13 +1,17 @@
 #ifndef SMOQE_BENCH_BENCH_UTIL_H_
 #define SMOQE_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/automata/mfa.h"
+#include "src/common/counters.h"
 #include "src/rxpath/parser.h"
 #include "src/workload/workloads.h"
 #include "src/xml/serializer.h"
@@ -43,6 +47,21 @@ class Corpus {
                .first;
     }
     return it->second;
+  }
+
+  /// Deep-genealogy hospital variant (GenHospitalDeep): same schema and
+  /// vocabulary, ancestry chains tens of patients deep — the recursion ×
+  /// predicates regime the hot-path optimizations target.
+  const xml::Document& HospitalDeep(size_t nodes) {
+    auto it = hospital_deep_.find(nodes);
+    if (it == hospital_deep_.end()) {
+      auto doc = workload::GenHospitalDeep(/*seed=*/1234, nodes, names_);
+      Check(doc.ok(), "deep hospital generation");
+      it = hospital_deep_
+               .emplace(nodes, std::make_unique<xml::Document>(doc.MoveValue()))
+               .first;
+    }
+    return *it->second;
   }
 
   const xml::Document& Org(size_t nodes) {
@@ -86,10 +105,138 @@ class Corpus {
 
   std::shared_ptr<xml::NameTable> names_;
   std::map<size_t, std::unique_ptr<xml::Document>> hospital_;
+  std::map<size_t, std::unique_ptr<xml::Document>> hospital_deep_;
   std::map<size_t, std::string> hospital_text_;
   std::map<size_t, std::unique_ptr<xml::Document>> org_;
   std::map<std::string, std::unique_ptr<automata::Mfa>> mfas_;
 };
+
+// ---------------------------------------------------------------------
+// JSON trajectory reporting — BENCH_*.json files recorded per PR so the
+// perf history of the hot path is tracked in-repo (ROADMAP north star).
+// ---------------------------------------------------------------------
+
+/// One measured configuration: engine × workload × query × size × option
+/// set, with throughput and the hot-path counters.
+struct TrajectoryRow {
+  std::string engine;    ///< "hype_dom" | "hype_stax" | ...
+  std::string workload;  ///< "hospital" | "org". Rows are keyed by
+                         ///< (workload, query, nodes): the hospital desc-*
+                         ///< queries run over the deep-genealogy document
+                         ///< variant (see WriteTrajectory in bench_eval.cc).
+  std::string query;     ///< bench query id
+  std::string config;    ///< "opt_all" | "opt_none" | "no_dispatch" | ...
+  uint64_t nodes = 0;
+  uint64_t answers = 0;
+  double ns_per_node = 0;
+  double nodes_per_sec = 0;
+  uint64_t max_active_pairs = 0;
+  uint64_t guard_pool_entries = 0;
+  uint64_t guard_pool_hits = 0;
+  uint64_t run_dedup_probes = 0;
+};
+
+/// Collects TrajectoryRows and writes them as a JSON array. Output schema
+/// is flat so downstream diffing stays trivial (`jq` over BENCH_*.json).
+class JsonReport {
+ public:
+  void Add(TrajectoryRow row) { rows_.push_back(std::move(row)); }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("[\n", f);
+    bool ok = true;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const TrajectoryRow& r = rows_[i];
+      ok &= 0 <= std::fprintf(
+          f,
+          "  {\"engine\": \"%s\", \"workload\": \"%s\", \"query\": \"%s\", "
+          "\"config\": \"%s\", \"nodes\": %llu, \"answers\": %llu, "
+          "\"ns_per_node\": %.2f, \"nodes_per_sec\": %.0f, "
+          "\"max_active_pairs\": %llu, \"guard_pool_entries\": %llu, "
+          "\"guard_pool_hits\": %llu, \"run_dedup_probes\": %llu}%s\n",
+          Escape(r.engine).c_str(), Escape(r.workload).c_str(),
+          Escape(r.query).c_str(), Escape(r.config).c_str(),
+          static_cast<unsigned long long>(r.nodes),
+          static_cast<unsigned long long>(r.answers), r.ns_per_node,
+          r.nodes_per_sec, static_cast<unsigned long long>(r.max_active_pairs),
+          static_cast<unsigned long long>(r.guard_pool_entries),
+          static_cast<unsigned long long>(r.guard_pool_hits),
+          static_cast<unsigned long long>(r.run_dedup_probes),
+          i + 1 < rows_.size() ? "," : "");
+    }
+    ok &= std::fputs("]\n", f) >= 0;
+    ok &= std::ferror(f) == 0;
+    ok &= std::fclose(f) == 0;
+    return ok;
+  }
+
+  size_t size() const { return rows_.size(); }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<TrajectoryRow> rows_;
+};
+
+/// Times `fn` (one evaluation per call): warms up once, then repeats until
+/// both `min_iters` and `min_seconds` are reached. Returns ns per call.
+template <typename Fn>
+double MeasureNsPerIter(Fn&& fn, int min_iters = 3,
+                        double min_seconds = 0.10) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warmup (also populates corpus caches)
+  int iters = 0;
+  double elapsed = 0;
+  auto start = Clock::now();
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (iters < min_iters || elapsed < min_seconds);
+  return elapsed * 1e9 / iters;
+}
+
+/// Whether the post-benchmark JSON trajectory sweep should run. On by
+/// default (a plain `bench_eval` run records the trajectory); set
+/// SMOQE_TRAJECTORY=0 when iterating on a single filtered benchmark so
+/// minutes of sweep don't follow every run (and the checked-in
+/// BENCH_*.json isn't clobbered from the repo root).
+inline bool TrajectoryEnabled() {
+  const char* env = std::getenv("SMOQE_TRAJECTORY");
+  return env == nullptr || std::string(env) != "0";
+}
+
+/// Document sizes for the JSON sweep; override with SMOQE_BENCH_SIZES
+/// (comma-separated) to keep CI smoke runs small.
+inline std::vector<size_t> TrajectorySizes() {
+  const char* env = std::getenv("SMOQE_BENCH_SIZES");
+  if (env == nullptr || *env == '\0') return {1000, 10000, 100000};
+  std::vector<size_t> sizes;
+  size_t cur = 0;
+  bool have = false;
+  for (const char* p = env;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      cur = cur * 10 + static_cast<size_t>(*p - '0');
+      have = true;
+    } else {
+      if (have) sizes.push_back(cur);
+      cur = 0;
+      have = false;
+      if (*p == '\0') break;
+    }
+  }
+  return sizes.empty() ? std::vector<size_t>{1000} : sizes;
+}
 
 }  // namespace smoqe::bench
 

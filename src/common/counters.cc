@@ -17,6 +17,24 @@ std::string EvalStats::ToString() const {
   if (buffered_bytes > 0) {
     s += " buffered_bytes=" + std::to_string(buffered_bytes);
   }
+  if (dispatch_label_hits + dispatch_wildcard_hits > 0) {
+    s += " dispatch_hits=" + std::to_string(dispatch_label_hits) + "+" +
+         std::to_string(dispatch_wildcard_hits) + "w";
+  }
+  if (dispatch_scan_steps > 0) {
+    s += " dispatch_scans=" + std::to_string(dispatch_scan_steps);
+  }
+  if (guard_pool_entries > 0) {
+    s += " guard_pool=" + std::to_string(guard_pool_entries) + " (" +
+         std::to_string(guard_pool_hits) + "h/" +
+         std::to_string(guard_pool_misses) + "m)";
+  }
+  if (run_dedup_probes > 0) {
+    s += " dedup_probes=" + std::to_string(run_dedup_probes);
+  }
+  if (runs_deduped > 0) {
+    s += " runs_deduped=" + std::to_string(runs_deduped);
+  }
   return s;
 }
 

@@ -14,6 +14,10 @@ using InstId = int32_t;
 /// Sorted conjunction of predicate-instance ids; empty = unconditional.
 using GuardSet = std::vector<InstId>;
 
+/// Handle of a guard set interned in the engine's GuardPool (32-bit;
+/// 0 = the empty, unconditional guard). Valid for one document traversal.
+using GuardRef = int32_t;
+
 /// One predicate instantiated at one anchor node during the traversal.
 struct PredInstance {
   automata::PredId pred = -1;
@@ -21,8 +25,9 @@ struct PredInstance {
   bool resolved = false;
   bool value = false;
   /// Conditional witnesses per leaf position of the predicate: the leaf is
-  /// true iff some witness guard is fully true at resolution time.
-  std::vector<std::vector<GuardSet>> leaf_witnesses;
+  /// true iff some witness guard is fully true at resolution time. Guards
+  /// are GuardPool handles owned by the engine that built the instance.
+  std::vector<std::vector<GuardRef>> leaf_witnesses;
 };
 
 /// \brief Cans — the candidate-answer store of HyPE (paper §3, Evaluator).

@@ -19,20 +19,6 @@ class NoAttrs : public AttrProvider {
   const char* Find(xml::NameId) const override { return nullptr; }
 };
 
-bool IsSubset(const GuardSet& a, const GuardSet& b) {
-  return std::includes(b.begin(), b.end(), a.begin(), a.end());
-}
-
-GuardSet MergeGuard(const GuardSet& a, InstId extra) {
-  GuardSet out;
-  out.reserve(a.size() + 1);
-  auto it = std::lower_bound(a.begin(), a.end(), extra);
-  out.insert(out.end(), a.begin(), it);
-  if (it == a.end() || *it != extra) out.push_back(extra);
-  out.insert(out.end(), it, a.end());
-  return out;
-}
-
 }  // namespace
 
 const AttrProvider& AttrProvider::None() {
@@ -46,7 +32,7 @@ const AttrProvider& AttrProvider::None() {
 static thread_local const AttrProvider* g_cur_attrs = nullptr;
 
 HypeEngine::HypeEngine(const automata::Mfa& mfa, EngineOptions options)
-    : mfa_(mfa), options_(options) {
+    : mfa_(mfa), options_(options), pool_(options.guard_interning) {
   if (options_.trace) trace_ = std::make_unique<TraceLog>();
   // Virtual document node (the query context above the root).
   PushFrame(-1);
@@ -56,7 +42,7 @@ HypeEngine::HypeEngine(const automata::Mfa& mfa, EngineOptions options)
     r.is_selection = true;
     r.state = state;
     r.guard = InstantiateSet(guard_preds);
-    AddRun(std::move(r));
+    AddRun(r);
   }
   Frame& base = CurFrame();
   for (size_t i = 0; i < base.runs.size(); ++i) {
@@ -73,6 +59,8 @@ HypeEngine::Frame& HypeEngine::PushFrame(int32_t id) {
   if (depth_ == stack_.size()) stack_.emplace_back();
   Frame& f = stack_[depth_++];
   f.Reset(id);
+  // New epoch: every dedup-table slot of previous frames is now stale.
+  ++frame_epoch_;
   return f;
 }
 
@@ -80,25 +68,127 @@ const FlatNfa& HypeEngine::NfaOf(const Run& r) const {
   return r.is_selection ? mfa_.selection() : mfa_.obligation(r.ob).nfa;
 }
 
+namespace {
+
+/// Frames with fewer runs than this are deduplicated by linear scan even
+/// when hashed_run_dedup is on: below it the scan is one cache line and
+/// beats any table. The index kicks in — built once, lazily — when a frame
+/// goes wide (recursion × predicates × unions), which is exactly where the
+/// linear scan degrades quadratically. Sweeping 4…64 on the deep-genealogy
+/// workload showed 4–16 equivalent and ≥32 measurably worse.
+constexpr size_t kRunIndexThreshold = 16;
+
+/// Hash of a run's dedup key (is_selection, ob, owner, leaf, state).
+/// `owner` and `state` carry nearly all the entropy; one 64-bit multiply
+/// spreads them.
+inline uint32_t RunKeyHash(bool is_selection, automata::ObligationId ob,
+                           InstId owner, int leaf, int state) {
+  uint32_t lo = (static_cast<uint32_t>(state) << 12) ^
+                (static_cast<uint32_t>(leaf) << 6) ^
+                static_cast<uint32_t>(ob) ^ (is_selection ? 1u : 0u);
+  uint64_t x =
+      (static_cast<uint64_t>(static_cast<uint32_t>(owner)) << 32) | lo;
+  x *= 0x9e3779b97f4a7c15ull;
+  return static_cast<uint32_t>(x >> 32);
+}
+
+}  // namespace
+
 bool HypeEngine::AddRun(Run run) {
   Frame& cur = CurFrame();
+  if (options_.hashed_run_dedup && cur.runs.size() >= kRunIndexThreshold) {
+    return AddRunHashed(cur, run);
+  }
   for (const Run& e : cur.runs) {
     if (e.is_selection != run.is_selection || e.ob != run.ob ||
         e.owner != run.owner || e.leaf != run.leaf || e.state != run.state) {
       continue;
     }
-    if (options_.guard_dominance ? IsSubset(e.guard, run.guard)
-                                 : e.guard == run.guard) {
+    if (options_.guard_dominance ? pool_.IsSubset(e.guard, run.guard)
+                                 : pool_.Equal(e.guard, run.guard)) {
+      ++stats_.runs_deduped;
       return false;  // dominated (or duplicated) by an existing run
     }
   }
-  cur.runs.push_back(std::move(run));
+  cur.runs.push_back(run);
   return true;
 }
 
-GuardSet HypeEngine::InstantiateSet(const PredSet& preds) {
-  GuardSet g;
-  for (PredId p : preds) g = MergeGuard(g, Instantiate(p));
+void HypeEngine::SeedRunIndex(Frame& cur) {
+  // Grow the table until the frame's runs load it at most half full, then
+  // stamp the current frame's runs into it. Growth wipes epochs (cheap and
+  // rare); entries of other frames were stale anyway.
+  size_t want = dedup_epoch_.empty() ? 256 : dedup_epoch_.size();
+  while (want < 2 * (cur.runs.size() + kRunIndexThreshold)) want *= 2;
+  if (want != dedup_epoch_.size()) {
+    dedup_epoch_.assign(want, 0);
+    dedup_head_.resize(want);
+  }
+  size_t mask = want - 1;
+  cur.run_next.assign(cur.runs.size(), -1);
+  for (size_t i = 0; i < cur.runs.size(); ++i) {
+    const Run& e = cur.runs[i];
+    uint32_t h = RunKeyHash(e.is_selection, e.ob, e.owner, e.leaf, e.state);
+    size_t slot = h & mask;
+    while (dedup_epoch_[slot] == frame_epoch_) {
+      const Run& head = cur.runs[static_cast<size_t>(dedup_head_[slot])];
+      if (head.is_selection == e.is_selection && head.ob == e.ob &&
+          head.owner == e.owner && head.leaf == e.leaf &&
+          head.state == e.state) {
+        cur.run_next[i] = dedup_head_[slot];
+        break;
+      }
+      slot = (slot + 1) & mask;
+    }
+    dedup_epoch_[slot] = frame_epoch_;
+    dedup_head_[slot] = static_cast<int32_t>(i);
+  }
+}
+
+bool HypeEngine::AddRunHashed(Frame& cur, const Run& run) {
+  // First insert past the linear threshold (run_next lagging runs) or a
+  // table nearing half load reseeds; otherwise the table is current.
+  if (cur.run_next.size() != cur.runs.size() ||
+      dedup_epoch_.size() < 2 * (cur.runs.size() + 1)) {
+    SeedRunIndex(cur);
+  }
+  size_t mask = dedup_epoch_.size() - 1;
+  uint32_t h =
+      RunKeyHash(run.is_selection, run.ob, run.owner, run.leaf, run.state);
+  size_t slot = h & mask;
+  ++stats_.run_dedup_probes;
+  while (dedup_epoch_[slot] == frame_epoch_) {
+    const Run& head = cur.runs[static_cast<size_t>(dedup_head_[slot])];
+    if (head.is_selection == run.is_selection && head.ob == run.ob &&
+        head.owner == run.owner && head.leaf == run.leaf &&
+        head.state == run.state) {
+      // Key chain found: only same-key runs are checked for dominance.
+      for (int32_t i = dedup_head_[slot]; i >= 0; i = cur.run_next[i]) {
+        const Run& e = cur.runs[static_cast<size_t>(i)];
+        if (options_.guard_dominance ? pool_.IsSubset(e.guard, run.guard)
+                                     : pool_.Equal(e.guard, run.guard)) {
+          ++stats_.runs_deduped;
+          return false;
+        }
+      }
+      cur.run_next.push_back(dedup_head_[slot]);
+      dedup_head_[slot] = static_cast<int32_t>(cur.runs.size());
+      cur.runs.push_back(run);
+      return true;
+    }
+    slot = (slot + 1) & mask;
+    ++stats_.run_dedup_probes;
+  }
+  dedup_epoch_[slot] = frame_epoch_;
+  dedup_head_[slot] = static_cast<int32_t>(cur.runs.size());
+  cur.run_next.push_back(-1);
+  cur.runs.push_back(run);
+  return true;
+}
+
+GuardRef HypeEngine::InstantiateSet(const PredSet& preds) {
+  GuardRef g = GuardPool::kEmpty;
+  for (PredId p : preds) g = pool_.Merge(g, Instantiate(p));
   return g;
 }
 
@@ -135,29 +225,28 @@ InstId HypeEngine::Instantiate(PredId pred) {
       r.state = state;
       r.guard = InstantiateSet(guard_preds);
       ++stats_.obligations;
-      AddRun(std::move(r));
+      AddRun(r);
     }
     // ε acceptance: the path can match the anchor itself.
     for (const PredSet& accept : ob.nfa.initial_accept_guards) {
-      // Re-fetch cur: instances_/stack_ unchanged but keep it tidy.
-      GuardSet g = InstantiateSet(accept);
+      GuardRef g = InstantiateSet(accept);
       switch (ob.test.kind) {
         case AcceptTest::Kind::kExists:
-          Witness(id, static_cast<int>(leaf), std::move(g));
+          Witness(id, static_cast<int>(leaf), g);
           break;
         case AcceptTest::Kind::kAttrExists:
         case AcceptTest::Kind::kAttrEq: {
           const char* v = g_cur_attrs->Find(ob.test.attr);
           if (v != nullptr && (ob.test.kind == AcceptTest::Kind::kAttrExists ||
                                ob.test.value == v)) {
-            Witness(id, static_cast<int>(leaf), std::move(g));
+            Witness(id, static_cast<int>(leaf), g);
           }
           break;
         }
         case AcceptTest::Kind::kTextEq: {
           Frame& frame = CurFrame();
-          frame.pending_text.push_back(PendingText{
-              id, static_cast<int>(leaf), std::move(g), &ob.test.value});
+          frame.pending_text.push_back(
+              PendingText{id, static_cast<int>(leaf), g, &ob.test.value});
           frame.needs_text = true;
           break;
         }
@@ -169,6 +258,12 @@ InstId HypeEngine::Instantiate(PredId pred) {
 
 void HypeEngine::EagerInstantiate(const Run& run) {
   const FlatNfa::State& st = NfaOf(run).states[run.state];
+  if (options_.label_dispatch) {
+    // Sealed union of the per-transition / per-accept pred sets; same
+    // instances created (Instantiate dedups), one short list to walk.
+    for (PredId p : st.eager_preds) Instantiate(p);
+    return;
+  }
   for (const FlatNfa::Transition& t : st.trans) {
     for (PredId p : t.src_preds) Instantiate(p);
   }
@@ -181,15 +276,16 @@ void HypeEngine::HandleAccepts(const Run& run) {
   Frame& cur = CurFrame();
   const FlatNfa::State& st = NfaOf(run).states[run.state];
   for (const PredSet& accept : st.accept_guards) {
-    GuardSet g = run.guard;
+    GuardRef g =
+        options_.guard_interning ? run.guard : pool_.CopyFresh(run.guard);
     for (PredId p : accept) {
       InstId inst = cur.FindInst(p);
       assert(inst >= 0);  // EagerInstantiate created it
-      g = MergeGuard(g, inst);
+      g = pool_.Merge(g, inst);
     }
     if (run.is_selection) {
       if (cur.id >= 0) {
-        cans_.Add(cur.id, std::move(g));
+        cans_.Add(cur.id, pool_.Materialize(g));
         ++stats_.cans_entries;
         if (trace_) {
           trace_->Add({TraceEvent::Kind::kCandidate, cur.id, -1, false});
@@ -199,20 +295,20 @@ void HypeEngine::HandleAccepts(const Run& run) {
       const Obligation& ob = mfa_.obligation(run.ob);
       switch (ob.test.kind) {
         case AcceptTest::Kind::kExists:
-          Witness(run.owner, run.leaf, std::move(g));
+          Witness(run.owner, run.leaf, g);
           break;
         case AcceptTest::Kind::kAttrExists:
         case AcceptTest::Kind::kAttrEq: {
           const char* v = g_cur_attrs->Find(ob.test.attr);
           if (v != nullptr && (ob.test.kind == AcceptTest::Kind::kAttrExists ||
                                ob.test.value == v)) {
-            Witness(run.owner, run.leaf, std::move(g));
+            Witness(run.owner, run.leaf, g);
           }
           break;
         }
         case AcceptTest::Kind::kTextEq:
           cur.pending_text.push_back(
-              PendingText{run.owner, run.leaf, std::move(g), &ob.test.value});
+              PendingText{run.owner, run.leaf, g, &ob.test.value});
           cur.needs_text = true;
           break;
       }
@@ -220,16 +316,40 @@ void HypeEngine::HandleAccepts(const Run& run) {
   }
 }
 
-void HypeEngine::Witness(InstId owner, int leaf, GuardSet guard) {
-  std::vector<GuardSet>& alts = instances_[owner].leaf_witnesses[leaf];
-  for (const GuardSet& g : alts) {
-    if (IsSubset(g, guard)) return;
+void HypeEngine::Witness(InstId owner, int leaf, GuardRef guard) {
+  std::vector<GuardRef>& alts = instances_[owner].leaf_witnesses[leaf];
+  for (GuardRef g : alts) {
+    if (pool_.IsSubset(g, guard)) return;
   }
   alts.erase(std::remove_if(
                  alts.begin(), alts.end(),
-                 [&](const GuardSet& g) { return IsSubset(guard, g); }),
+                 [&](GuardRef g) { return pool_.IsSubset(guard, g); }),
              alts.end());
-  alts.push_back(std::move(guard));
+  alts.push_back(guard);
+}
+
+void HypeEngine::AdvanceRun(const Frame& parent, const Run& r,
+                            const FlatNfa::Transition& t) {
+  // With interning the advanced run shares the parent's guard handle; the
+  // un-interned engine copied the guard vector here on every transition, so
+  // the ablation baseline reproduces that allocate-and-copy.
+  GuardRef g =
+      options_.guard_interning ? r.guard : pool_.CopyFresh(r.guard);
+  for (PredId p : t.src_preds) {
+    InstId inst = parent.FindInst(p);
+    assert(inst >= 0);
+    g = pool_.Merge(g, inst);
+  }
+  // dst predicates anchor at this node.
+  for (PredId p : t.dst_preds) g = pool_.Merge(g, Instantiate(p));
+  Run nr;
+  nr.is_selection = r.is_selection;
+  nr.ob = r.ob;
+  nr.owner = r.owner;
+  nr.leaf = r.leaf;
+  nr.state = t.target;
+  nr.guard = g;
+  AddRun(nr);
 }
 
 HypeEngine::EnterResult HypeEngine::Enter(xml::NameId label,
@@ -244,27 +364,32 @@ HypeEngine::EnterResult HypeEngine::Enter(xml::NameId label,
   Frame& parent = stack_[depth_ - 2];
   g_cur_attrs = &attrs;
 
-  // Phase 1: advance runs from the parent frame across this label.
-  for (const Run& r : parent.runs) {
-    const FlatNfa::State& st = NfaOf(r).states[r.state];
-    for (const FlatNfa::Transition& t : st.trans) {
-      if (!t.test.Matches(label)) continue;
-      GuardSet g = r.guard;
-      for (PredId p : t.src_preds) {
-        InstId inst = parent.FindInst(p);
-        assert(inst >= 0);
-        g = MergeGuard(g, inst);
+  // Phase 1: advance runs from the parent frame across this label. With
+  // label dispatch, the transitions that can match are read off the
+  // state's sealed span for `label` plus its wildcard list — no per-
+  // transition LabelTest. The fallback scans st.trans like the seed did.
+  if (options_.label_dispatch) {
+    for (const Run& r : parent.runs) {
+      const FlatNfa::State& st = NfaOf(r).states[r.state];
+      auto [b, e] = st.LabelSpan(label);
+      stats_.dispatch_label_hits += static_cast<uint64_t>(e - b);
+      stats_.dispatch_wildcard_hits +=
+          static_cast<uint64_t>(st.wildcard_trans.size());
+      for (const int32_t* p = b; p != e; ++p) {
+        AdvanceRun(parent, r, st.trans[static_cast<size_t>(*p)]);
       }
-      // dst predicates anchor at this node.
-      for (PredId p : t.dst_preds) g = MergeGuard(g, Instantiate(p));
-      Run nr;
-      nr.is_selection = r.is_selection;
-      nr.ob = r.ob;
-      nr.owner = r.owner;
-      nr.leaf = r.leaf;
-      nr.state = t.target;
-      nr.guard = std::move(g);
-      AddRun(std::move(nr));
+      for (int32_t ti : st.wildcard_trans) {
+        AdvanceRun(parent, r, st.trans[static_cast<size_t>(ti)]);
+      }
+    }
+  } else {
+    for (const Run& r : parent.runs) {
+      const FlatNfa::State& st = NfaOf(r).states[r.state];
+      stats_.dispatch_scan_steps += static_cast<uint64_t>(st.trans.size());
+      for (const FlatNfa::Transition& t : st.trans) {
+        if (!t.test.Matches(label)) continue;
+        AdvanceRun(parent, r, t);
+      }
     }
   }
 
@@ -327,11 +452,13 @@ void HypeEngine::ResolveFrame(Frame* frame) {
     const Pred& p = mfa_.pred(inst.pred);
     std::vector<bool> leaf_values(p.leaf_obligations.size(), false);
     for (size_t leaf = 0; leaf < leaf_values.size(); ++leaf) {
-      for (const GuardSet& g : inst.leaf_witnesses[leaf]) {
+      for (GuardRef g : inst.leaf_witnesses[leaf]) {
+        const InstId* deps = pool_.data(g);
+        const size_t n = pool_.size(g);
         bool all = true;
-        for (InstId dep : g) {
-          assert(instances_[dep].resolved);
-          if (!instances_[dep].value) {
+        for (size_t i = 0; i < n; ++i) {
+          assert(instances_[deps[i]].resolved);
+          if (!instances_[deps[i]].value) {
             all = false;
             break;
           }
@@ -358,7 +485,7 @@ void HypeEngine::Leave() {
   // Text checks resolve now that the element's direct text is complete.
   for (PendingText& pt : cur.pending_text) {
     if (cur.direct_text == *pt.value) {
-      Witness(pt.owner, pt.leaf, std::move(pt.guard));
+      Witness(pt.owner, pt.leaf, pt.guard);
     }
   }
   cur.pending_text.clear();
@@ -376,6 +503,9 @@ const std::vector<int32_t>& HypeEngine::FinishDocument() {
   stats_.answers = answers_.size();
   stats_.tree_passes = 1;
   stats_.aux_passes = 1;
+  stats_.guard_pool_entries = pool_.entry_count();
+  stats_.guard_pool_hits = pool_.hits();
+  stats_.guard_pool_misses = pool_.misses();
   if (trace_) {
     for (int32_t id : answers_) {
       trace_->Add({TraceEvent::Kind::kAnswer, id, -1, false});

@@ -11,6 +11,7 @@
 #include "src/common/bitset.h"
 #include "src/common/counters.h"
 #include "src/eval/cans.h"
+#include "src/eval/guard_pool.h"
 #include "src/eval/trace.h"
 
 namespace smoqe::eval {
@@ -28,8 +29,9 @@ class AttrProvider {
   static const AttrProvider& None();
 };
 
-/// Engine options. The two pruning flags exist for the E9 ablation
-/// benchmark — disabling them never changes answers (tested), only work.
+/// Engine options. The pruning and hot-path flags exist for the E9/E10
+/// ablation benchmarks — disabling them never changes answers (tested),
+/// only work.
 struct EngineOptions {
   /// Record a TraceLog (costs time/memory; for the explain tooling).
   bool trace = false;
@@ -39,6 +41,18 @@ struct EngineOptions {
   /// pair's (conjunction dominance); when off, only exact duplicates are
   /// deduplicated.
   bool guard_dominance = true;
+  /// Advance runs through the FlatNfa label-dispatch table (one span
+  /// lookup per (run, label)) instead of scanning every transition and
+  /// calling LabelTest::Matches.
+  bool label_dispatch = true;
+  /// Hash-cons guard sets in the GuardPool so merges that reproduce a
+  /// known set cost a table hit instead of an allocation, and guard
+  /// equality is a handle compare. Off: every merge appends fresh storage.
+  bool guard_interning = true;
+  /// Deduplicate new runs through a per-frame open-addressing index keyed
+  /// on (is_selection, ob, owner, leaf, state) instead of a linear scan of
+  /// the frame's runs.
+  bool hashed_run_dedup = true;
 };
 
 /// \brief HyPE — hybrid pass evaluation (paper §3, Evaluator).
@@ -111,13 +125,13 @@ class HypeEngine {
     InstId owner = -1;               // instance the obligation reports to
     int leaf = -1;                   // leaf position in the owner's pred
     int state = 0;
-    GuardSet guard;
+    GuardRef guard = GuardPool::kEmpty;
   };
 
   struct PendingText {
     InstId owner;
     int leaf;
-    GuardSet guard;
+    GuardRef guard;
     const std::string* value;  // expected text (owned by the Mfa)
   };
 
@@ -130,6 +144,10 @@ class HypeEngine {
     bool needs_text = false;
     /// (pred, instance) dedup pairs; linear scan — typically ≤ 4 entries.
     std::vector<std::pair<automata::PredId, InstId>> inst_map;
+    /// Same-key chain links, parallel to `runs` while the engine-level
+    /// run-dedup table (see `dedup_*_` below) indexes this frame. Only the
+    /// chain of runs sharing a key is walked for the dominance check.
+    std::vector<int32_t> run_next;
 
     /// Clears for reuse, keeping vector capacities (frames are pooled —
     /// one allocation-free Enter/Leave per node on the hot path).
@@ -141,6 +159,7 @@ class HypeEngine {
       direct_text.clear();
       needs_text = false;
       inst_map.clear();
+      run_next.clear();
     }
 
     InstId FindInst(automata::PredId pred) const {
@@ -157,11 +176,19 @@ class HypeEngine {
   /// obligation runs; returns the instance id.
   InstId Instantiate(automata::PredId pred);
 
-  GuardSet InstantiateSet(const automata::PredSet& preds);
+  GuardRef InstantiateSet(const automata::PredSet& preds);
 
   /// Pushes a run into the current frame with per-key dominance pruning;
   /// returns true if it survived as new work.
   bool AddRun(Run run);
+  bool AddRunHashed(Frame& cur, const Run& run);
+  /// (Re)seeds the dedup table with `cur`'s runs — on first use past the
+  /// linear threshold and on growth.
+  void SeedRunIndex(Frame& cur);
+
+  /// Advances `r` (active at `parent`) across `t` into the current frame.
+  void AdvanceRun(const Frame& parent, const Run& r,
+                  const automata::FlatNfa::Transition& t);
 
   /// Handles acceptance of `run` at the current frame.
   void HandleAccepts(const Run& run);
@@ -170,7 +197,7 @@ class HypeEngine {
   /// (transition src_preds and accept guards).
   void EagerInstantiate(const Run& run);
 
-  void Witness(InstId owner, int leaf, GuardSet guard);
+  void Witness(InstId owner, int leaf, GuardRef guard);
   void ResolveFrame(Frame* frame);
 
   /// Pooled frame stack: entries [0, depth_) are active; popped frames
@@ -181,8 +208,18 @@ class HypeEngine {
 
   const automata::Mfa& mfa_;
   EngineOptions options_;
+  GuardPool pool_;
   std::vector<Frame> stack_;
   size_t depth_ = 0;
+  /// Engine-level run-dedup table (hashed_run_dedup). Runs are only ever
+  /// added to the top frame while its Enter executes, so one open-
+  /// addressing table serves every frame: slots are stamped with the
+  /// owning frame's epoch and slots from finished frames simply go stale —
+  /// no per-frame clearing, no per-frame allocation. A slot holds the
+  /// newest run index of one key; Frame::run_next chains the rest.
+  std::vector<uint64_t> dedup_epoch_;
+  std::vector<int32_t> dedup_head_;
+  uint64_t frame_epoch_ = 0;
   std::vector<PredInstance> instances_;
   Cans cans_;
   EvalStats stats_;

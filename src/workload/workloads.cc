@@ -79,6 +79,13 @@ std::vector<BenchQuery> HospitalQueries() {
        "mid"},
       {"pred-negation", "//patient[not(visit/treatment/test)]/pname", "mid"},
       {"rare-type", "//parent/patient/visit/treatment/test", "high"},
+      // Descendant predicates: the obligation NFA carries a closure, so it
+      // stays live through patient recursion — every enclosing patient
+      // holds an open run and frame width grows with nesting depth. The
+      // hot-path regime (run under GenHospitalDeep to see it).
+      {"desc-pred", "//patient[.//medication = 'autism']/pname", "mid"},
+      {"desc-neg",
+       "//patient[.//medication = 'autism' and not(.//test)]/pname", "high"},
       {"union", "//pname | //date", "low"},
       {"deep-pred",
        "//patient[visit/treatment[medication = 'flu'] and "
@@ -147,9 +154,10 @@ xml::Dtd DiamondDtd() {
   return MustParseDtd(kDiamondDtd, "site", "diamond DTD");
 }
 
-Result<xml::Document> GenHospital(uint64_t seed, size_t target_nodes,
-                                  std::shared_ptr<xml::NameTable> names) {
-  xml::Dtd dtd = HospitalDtd();
+namespace {
+
+xml::GeneratorOptions HospitalGenOptions(uint64_t seed, size_t target_nodes,
+                                         std::shared_ptr<xml::NameTable> names) {
   xml::GeneratorOptions opts;
   opts.seed = seed;
   opts.target_nodes = target_nodes;
@@ -158,7 +166,27 @@ Result<xml::Document> GenHospital(uint64_t seed, size_t target_nodes,
   opts.text_values["pname"] = {"Alice", "Bob", "Carol", "Dan", "Eve", "Fay"};
   opts.text_values["test"] = {"blood", "xray", "mri"};
   opts.text_values["date"] = {"2006-01-02", "2006-03-04", "2006-05-06"};
-  return xml::GenerateDocument(dtd, opts);
+  return opts;
+}
+
+}  // namespace
+
+Result<xml::Document> GenHospital(uint64_t seed, size_t target_nodes,
+                                  std::shared_ptr<xml::NameTable> names) {
+  return xml::GenerateDocument(
+      HospitalDtd(), HospitalGenOptions(seed, target_nodes, std::move(names)));
+}
+
+Result<xml::Document> GenHospitalDeep(uint64_t seed, size_t target_nodes,
+                                      std::shared_ptr<xml::NameTable> names) {
+  xml::GeneratorOptions opts =
+      HospitalGenOptions(seed, target_nodes, std::move(names));
+  // Long patient → parent → patient ancestry chains: at 100k nodes the
+  // deepest chain nests ~70 patients, so descendant predicates keep ~70
+  // obligation runs live at the bottom (vs ≤5 with the default depth cap).
+  opts.max_depth = 200;
+  opts.star_p = 0.6;
+  return xml::GenerateDocument(HospitalDtd(), opts);
 }
 
 Result<xml::Document> GenOrg(uint64_t seed, size_t target_nodes,

@@ -83,6 +83,15 @@ xml::Dtd DiamondDtd();
 Result<xml::Document> GenHospital(uint64_t seed, size_t target_nodes,
                                   std::shared_ptr<xml::NameTable> names = nullptr);
 
+/// Deep-genealogy hospital document: same DTD and vocabulary as
+/// GenHospital, but the generator is allowed deep patient → parent →
+/// patient nesting (the paper's recursive-ancestry case). This is the
+/// regime where accessibility predicates multiply under recursion — every
+/// enclosing patient keeps live obligation runs, so frames carry O(depth)
+/// (state, guard) pairs and the evaluator hot path dominates.
+Result<xml::Document> GenHospitalDeep(uint64_t seed, size_t target_nodes,
+                                      std::shared_ptr<xml::NameTable> names = nullptr);
+
 /// Random org-chart document.
 Result<xml::Document> GenOrg(uint64_t seed, size_t target_nodes,
                              std::shared_ptr<xml::NameTable> names = nullptr);

@@ -1,0 +1,140 @@
+// Randomized equivalence suite for the hot-path optimizations (E10's
+// correctness side): for every random query, HypeEngine must return the
+// same answers under every combination of {label_dispatch, guard_interning,
+// hashed_run_dedup}, and they must all agree with the reference naive
+// evaluator. Covers the hospital and org workloads, plus the
+// deep-genealogy hospital variant so frames exceed the hashed-dedup
+// threshold and AddRunHashed/SeedRunIndex actually execute.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/automata/mfa.h"
+#include "src/eval/hype_dom.h"
+#include "src/rxpath/printer.h"
+#include "src/rxpath/random_query.h"
+#include "src/workload/workloads.h"
+#include "tests/test_util.h"
+
+namespace smoqe::eval {
+namespace {
+
+rxpath::RandomQueryOptions HospitalQueryOptions() {
+  rxpath::RandomQueryOptions opts;
+  opts.labels = {"hospital", "patient", "pname",      "visit",
+                 "treatment", "test",   "medication", "parent",
+                 "date"};
+  opts.values = {"autism", "headache", "Alice", "blood", "2006-01-02"};
+  opts.max_depth = 5;
+  opts.pred_p = 0.35;
+  return opts;
+}
+
+rxpath::RandomQueryOptions OrgQueryOptions() {
+  rxpath::RandomQueryOptions opts;
+  opts.labels = {"company", "division", "group",  "employee", "dname",
+                 "gname",   "ename",    "salary", "review"};
+  opts.values = {"50000", "ada", "r&d", "core", "exceeds"};
+  opts.max_depth = 5;
+  opts.pred_p = 0.35;
+  return opts;
+}
+
+/// Evaluates `mfa` under every combination of the three hot-path flags and
+/// asserts every answer set equals `want`.
+void ExpectAllConfigsAgree(const automata::Mfa& mfa, const xml::Document& doc,
+                           const std::vector<int32_t>& want) {
+  for (int mask = 0; mask < 8; ++mask) {
+    DomEvalOptions opts;
+    opts.engine.label_dispatch = (mask & 1) != 0;
+    opts.engine.guard_interning = (mask & 2) != 0;
+    opts.engine.hashed_run_dedup = (mask & 4) != 0;
+    auto r = EvalHypeDom(mfa, doc, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(testutil::IdsOf(r->answers), want)
+        << "dispatch=" << opts.engine.label_dispatch
+        << " interning=" << opts.engine.guard_interning
+        << " hashdedup=" << opts.engine.hashed_run_dedup;
+  }
+}
+
+void RunSuite(const xml::Document& doc, const rxpath::RandomQueryOptions& qopts,
+              uint64_t seed_base, int num_queries) {
+  rxpath::NaiveEvaluator naive(doc);
+  for (int i = 0; i < num_queries; ++i) {
+    std::unique_ptr<rxpath::PathExpr> query =
+        rxpath::RandomQuery(seed_base + static_cast<uint64_t>(i), qopts);
+    SCOPED_TRACE("seed " + std::to_string(seed_base + i) + " query " +
+                 rxpath::ToString(*query));
+    std::vector<int32_t> want;
+    for (const xml::Node* n : naive.Eval(*query)) want.push_back(n->node_id);
+
+    auto mfa = automata::Mfa::Compile(*query, doc.names());
+    ASSERT_TRUE(mfa.ok());
+    ExpectAllConfigsAgree(*mfa, doc, want);
+  }
+}
+
+// ≥200 random queries total across the three suites below (the issue's
+// equivalence bar); each one checks 8 engine configurations vs naive.
+
+TEST(HotPathEquivTest, HospitalRandomQueries) {
+  auto names = xml::NameTable::Create();
+  xml::Document doc = testutil::GenHospital(4242, 1200, names);
+  RunSuite(doc, HospitalQueryOptions(), /*seed_base=*/9000, /*num_queries=*/80);
+}
+
+TEST(HotPathEquivTest, HospitalDeepRandomQueries) {
+  auto names = xml::NameTable::Create();
+  auto doc = workload::GenHospitalDeep(4242, 2500, names);
+  ASSERT_TRUE(doc.ok());
+  RunSuite(*doc, HospitalQueryOptions(), /*seed_base=*/10000,
+           /*num_queries=*/60);
+}
+
+TEST(HotPathEquivTest, OrgRandomQueries) {
+  auto names = xml::NameTable::Create();
+  auto doc = workload::GenOrg(777, 1200, names);
+  ASSERT_TRUE(doc.ok());
+  RunSuite(*doc, OrgQueryOptions(), /*seed_base=*/11000, /*num_queries=*/80);
+}
+
+// The curated benchmark queries — including the descendant-predicate pair
+// whose wide frames drive the trajectory numbers — on the deep document.
+TEST(HotPathEquivTest, BenchQueriesOnDeepHospital) {
+  auto names = xml::NameTable::Create();
+  auto doc = workload::GenHospitalDeep(1234, 4000, names);
+  ASSERT_TRUE(doc.ok());
+  rxpath::NaiveEvaluator naive(*doc);
+  for (const auto& bq : workload::HospitalQueries()) {
+    auto query = rxpath::ParseQuery(bq.text);
+    ASSERT_TRUE(query.ok()) << bq.text;
+    SCOPED_TRACE(std::string(bq.id) + ": " + bq.text);
+    std::vector<int32_t> want;
+    for (const xml::Node* n : naive.Eval(**query)) want.push_back(n->node_id);
+    auto mfa = automata::Mfa::Compile(**query, names);
+    ASSERT_TRUE(mfa.ok());
+    ExpectAllConfigsAgree(*mfa, *doc, want);
+  }
+}
+
+// The deep document must actually reach the wide-frame regime, or the
+// suite above silently stops covering the hashed path.
+TEST(HotPathEquivTest, DeepHospitalExercisesHashedDedup) {
+  auto names = xml::NameTable::Create();
+  auto doc = workload::GenHospitalDeep(1234, 4000, names);
+  ASSERT_TRUE(doc.ok());
+  auto query = rxpath::ParseQuery("//patient[.//medication = 'autism']/pname");
+  ASSERT_TRUE(query.ok());
+  auto mfa = automata::Mfa::Compile(**query, names);
+  ASSERT_TRUE(mfa.ok());
+  auto r = EvalHypeDom(*mfa, *doc);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stats.max_active_pairs, 16u);  // above kRunIndexThreshold
+  EXPECT_GT(r->stats.run_dedup_probes, 0u);
+}
+
+}  // namespace
+}  // namespace smoqe::eval
