@@ -172,7 +172,9 @@ void WriteTrajectory(const char* path) {
       SweepDom("org", org, bq, &report);
     }
   }
-  if (!report.WriteFile(path)) {
+  // Merged write: bench_batch's hype_stax_batch/seq rows in the same file
+  // survive a bench_eval re-run (and vice versa).
+  if (!report.WriteFileMerged(path, {"hype_dom"})) {
     std::fprintf(stderr, "failed to write %s\n", path);
   } else {
     std::fprintf(stderr, "wrote %zu trajectory rows to %s\n", report.size(),

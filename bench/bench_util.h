@@ -137,39 +137,72 @@ struct TrajectoryRow {
 };
 
 /// Collects TrajectoryRows and writes them as a JSON array. Output schema
-/// is flat so downstream diffing stays trivial (`jq` over BENCH_*.json).
+/// is flat so downstream diffing stays trivial (`jq` over BENCH_*.json),
+/// and strictly one row per line so different bench binaries can merge
+/// their rows into one trajectory file (WriteFileMerged).
 class JsonReport {
  public:
   void Add(TrajectoryRow row) { rows_.push_back(std::move(row)); }
 
   bool WriteFile(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    std::fputs("[\n", f);
-    bool ok = true;
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      const TrajectoryRow& r = rows_[i];
-      ok &= 0 <= std::fprintf(
-          f,
-          "  {\"engine\": \"%s\", \"workload\": \"%s\", \"query\": \"%s\", "
-          "\"config\": \"%s\", \"nodes\": %llu, \"answers\": %llu, "
-          "\"ns_per_node\": %.2f, \"nodes_per_sec\": %.0f, "
-          "\"max_active_pairs\": %llu, \"guard_pool_entries\": %llu, "
-          "\"guard_pool_hits\": %llu, \"run_dedup_probes\": %llu}%s\n",
-          Escape(r.engine).c_str(), Escape(r.workload).c_str(),
-          Escape(r.query).c_str(), Escape(r.config).c_str(),
-          static_cast<unsigned long long>(r.nodes),
-          static_cast<unsigned long long>(r.answers), r.ns_per_node,
-          r.nodes_per_sec, static_cast<unsigned long long>(r.max_active_pairs),
-          static_cast<unsigned long long>(r.guard_pool_entries),
-          static_cast<unsigned long long>(r.guard_pool_hits),
-          static_cast<unsigned long long>(r.run_dedup_probes),
-          i + 1 < rows_.size() ? "," : "");
+    return WriteRows(path, {});
+  }
+
+  /// Rewrites `path` keeping every existing row whose "engine" is NOT in
+  /// `replace_engines`, then appends this report's rows. This is how
+  /// bench_eval and bench_batch share BENCH_eval.json: each binary owns
+  /// its engine names and leaves the other's history untouched.
+  bool WriteFileMerged(const std::string& path,
+                       const std::vector<std::string>& replace_engines) const {
+    std::vector<std::string> kept;
+    std::FILE* in = std::fopen(path.c_str(), "r");
+    if (in != nullptr) {
+      char buf[8192];
+      bool saw_object = false;   // any '{' at all, row-shaped or not
+      size_t parsed_rows = 0;    // lines in our one-row-per-line format
+      std::string line;          // accumulates across fgets chunks
+      auto process_line = [&] {
+        saw_object |= line.find('{') != std::string::npos;
+        while (!line.empty() &&
+               (line.back() == '\n' || line.back() == '\r')) {
+          line.pop_back();
+        }
+        if (line.rfind("  {", 0) == 0) {  // a row line
+          ++parsed_rows;
+          if (!line.empty() && line.back() == ',') line.pop_back();
+          bool replaced = false;
+          for (const std::string& engine : replace_engines) {
+            if (line.find("\"engine\": \"" + engine + "\"") !=
+                std::string::npos) {
+              replaced = true;
+              break;
+            }
+          }
+          if (!replaced) kept.push_back(line);
+        }
+        line.clear();
+      };
+      while (std::fgets(buf, sizeof buf, in) != nullptr) {
+        line += buf;
+        // Only process complete lines: a row longer than the fgets
+        // buffer must not be split into a kept-but-truncated prefix.
+        if (!line.empty() && line.back() == '\n') process_line();
+      }
+      if (!line.empty()) process_line();  // unterminated last line
+      std::fclose(in);
+      if (saw_object && parsed_rows == 0) {
+        // The file holds objects but none parse as our one-row-per-line
+        // format (reformatted by hand or by a tool?). Refuse rather than
+        // silently dropping the other binaries' recorded history.
+        std::fprintf(stderr,
+                     "%s: existing rows are not in the one-row-per-line "
+                     "format; refusing to merge (re-record or restore the "
+                     "file)\n",
+                     path.c_str());
+        return false;
+      }
     }
-    ok &= std::fputs("]\n", f) >= 0;
-    ok &= std::ferror(f) == 0;
-    ok &= std::fclose(f) == 0;
-    return ok;
+    return WriteRows(path, kept);
   }
 
   size_t size() const { return rows_.size(); }
@@ -185,16 +218,71 @@ class JsonReport {
     return out;
   }
 
+  static std::string Render(const TrajectoryRow& r) {
+    // Two-pass snprintf (measure, then fill) so long query strings can
+    // never truncate a row into malformed JSON.
+    auto fmt = [&](char* buf, size_t n) {
+      return std::snprintf(
+          buf, n,
+          "  {\"engine\": \"%s\", \"workload\": \"%s\", \"query\": \"%s\", "
+          "\"config\": \"%s\", \"nodes\": %llu, \"answers\": %llu, "
+          "\"ns_per_node\": %.2f, \"nodes_per_sec\": %.0f, "
+          "\"max_active_pairs\": %llu, \"guard_pool_entries\": %llu, "
+          "\"guard_pool_hits\": %llu, \"run_dedup_probes\": %llu}",
+          Escape(r.engine).c_str(), Escape(r.workload).c_str(),
+          Escape(r.query).c_str(), Escape(r.config).c_str(),
+          static_cast<unsigned long long>(r.nodes),
+          static_cast<unsigned long long>(r.answers), r.ns_per_node,
+          r.nodes_per_sec,
+          static_cast<unsigned long long>(r.max_active_pairs),
+          static_cast<unsigned long long>(r.guard_pool_entries),
+          static_cast<unsigned long long>(r.guard_pool_hits),
+          static_cast<unsigned long long>(r.run_dedup_probes));
+    };
+    int need = fmt(nullptr, 0);
+    std::string out(need > 0 ? static_cast<size_t>(need) : 0, '\0');
+    if (need > 0) fmt(&out[0], out.size() + 1);
+    return out;
+  }
+
+  bool WriteRows(const std::string& path,
+                 const std::vector<std::string>& kept) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    bool ok = std::fputs("[\n", f) >= 0;
+    const size_t total = kept.size() + rows_.size();
+    size_t i = 0;
+    for (const std::string& line : kept) {
+      ok &= 0 <= std::fprintf(f, "%s%s\n", line.c_str(),
+                              ++i < total ? "," : "");
+    }
+    for (const TrajectoryRow& r : rows_) {
+      ok &= 0 <= std::fprintf(f, "%s%s\n", Render(r).c_str(),
+                              ++i < total ? "," : "");
+    }
+    ok &= std::fputs("]\n", f) >= 0;
+    ok &= std::ferror(f) == 0;
+    ok &= std::fclose(f) == 0;
+    return ok;
+  }
+
   std::vector<TrajectoryRow> rows_;
 };
 
-/// Times `fn` (one evaluation per call): warms up once, then repeats until
-/// both `min_iters` and `min_seconds` are reached. Returns ns per call.
+/// Times `fn` (one evaluation per call): warms up for ~10 ms (at least
+/// once — a single warmup call proved not enough for the first
+/// measurement of a sweep, where CPU frequency ramp and cold caches
+/// inflated a 30 µs/iter row by 2×), then repeats until both `min_iters`
+/// and `min_seconds` are reached. Returns ns per call.
 template <typename Fn>
 double MeasureNsPerIter(Fn&& fn, int min_iters = 3,
                         double min_seconds = 0.10) {
   using Clock = std::chrono::steady_clock;
-  fn();  // warmup (also populates corpus caches)
+  auto warm_start = Clock::now();
+  do {
+    fn();  // warmup (also populates corpus caches)
+  } while (std::chrono::duration<double>(Clock::now() - warm_start).count() <
+           0.01);
   int iters = 0;
   double elapsed = 0;
   auto start = Clock::now();
@@ -204,6 +292,35 @@ double MeasureNsPerIter(Fn&& fn, int min_iters = 3,
     elapsed = std::chrono::duration<double>(Clock::now() - start).count();
   } while (iters < min_iters || elapsed < min_seconds);
   return elapsed * 1e9 / iters;
+}
+
+/// Per-call MINIMUM over repeated timed calls. Noise-robust where
+/// MeasureNsPerIter's mean is not: scheduler preemption and frequency
+/// dips only ever inflate a sample, so the minimum is the cleanest
+/// estimate of the code's actual cost — use it when a *ratio* of two
+/// measurements is the recorded result (bench_batch's speedup rows,
+/// where a single inflated window on either side skews the quotient).
+template <typename Fn>
+double MeasureMinNsPerIter(Fn&& fn, int min_iters = 5,
+                           double min_seconds = 0.5) {
+  using Clock = std::chrono::steady_clock;
+  auto warm_start = Clock::now();
+  do {
+    fn();
+  } while (std::chrono::duration<double>(Clock::now() - warm_start).count() <
+           0.01);
+  double best = 1e300;
+  double total = 0;
+  int iters = 0;
+  do {
+    auto t0 = Clock::now();
+    fn();
+    double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (s < best) best = s;
+    total += s;
+    ++iters;
+  } while (iters < min_iters || total < min_seconds);
+  return best * 1e9;
 }
 
 /// Whether the post-benchmark JSON trajectory sweep should run. On by

@@ -4,8 +4,8 @@
 // rewriting — including the paper's query Q0 (Fig. 4) with an iSMOQE-style
 // explain rendering of the MFA and the HyPE run.
 //
-// Run:              ./build/examples/hospital_access_control
-// With internals:   ./build/examples/hospital_access_control --explain
+// Run:              ./build/hospital_access_control
+// With internals:   ./build/hospital_access_control --explain
 
 #include <cstdio>
 #include <cstring>

@@ -3,7 +3,7 @@
 // compressed form to disk, reload it, and compare query evaluation with
 // the indexer on vs off (subtree pruning statistics).
 //
-// Run:   ./build/examples/indexed_queries [target_nodes]
+// Run:   ./build/indexed_queries [target_nodes]
 
 #include <chrono>
 #include <cstdio>

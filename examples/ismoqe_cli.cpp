@@ -4,7 +4,7 @@
 // run queries with the engine internals exposed (MFA dump, node-coloring
 // trace, statistics).
 //
-// Run:   ./build/examples/ismoqe_cli          (starts with the hospital
+// Run:   ./build/ismoqe_cli          (starts with the hospital
 //                                              demo pre-loaded; type 'help')
 //
 // Example session:

@@ -2,7 +2,7 @@
 // access-control policy, and answer queries — directly and through the
 // virtual view (no materialization happens; the view query is rewritten).
 //
-// Build & run:   ./build/examples/quickstart
+// Build & run:   ./build/quickstart
 
 #include <cstdio>
 

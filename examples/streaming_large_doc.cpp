@@ -4,7 +4,7 @@
 // candidate answers (peak bytes reported), which is what lets SMOQE
 // process documents larger than memory.
 //
-// Run:   ./build/examples/streaming_large_doc [target_nodes]
+// Run:   ./build/streaming_large_doc [target_nodes]
 
 #include <chrono>
 #include <cstdio>

@@ -35,6 +35,13 @@ std::string EvalStats::ToString() const {
   if (runs_deduped > 0) {
     s += " runs_deduped=" + std::to_string(runs_deduped);
   }
+  if (plan_cache_hits + plan_cache_misses > 0) {
+    s += " plan_cache=" + std::to_string(plan_cache_hits) + "h/" +
+         std::to_string(plan_cache_misses) + "m";
+  }
+  if (batch_plans > 0) {
+    s += " batch_plans=" + std::to_string(batch_plans);
+  }
   return s;
 }
 

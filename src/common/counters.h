@@ -37,6 +37,13 @@ struct EvalStats {
   uint64_t run_dedup_probes = 0;        ///< hashed-dedup bucket probes
   uint64_t runs_deduped = 0;            ///< runs rejected as dominated/duplicate
 
+  // Service layer (plan cache + batch evaluation, DESIGN.md §5).
+  uint64_t plan_cache_hits = 0;    ///< compile served from the plan cache
+  uint64_t plan_cache_misses = 0;  ///< compiled fresh (then cached)
+  uint64_t batch_plans = 0;        ///< plans co-evaluated on this StAX scan
+                                   ///< (1 = single-query streaming; 0 = not
+                                   ///< a streaming evaluation)
+
   void Reset() { *this = EvalStats(); }
 
   /// One-line rendering for examples and debugging.

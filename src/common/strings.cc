@@ -72,6 +72,15 @@ std::string XmlEscape(std::string_view s) {
   return out;
 }
 
+uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 bool IsNameStartChar(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
 }

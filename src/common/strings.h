@@ -1,6 +1,7 @@
 #ifndef SMOQE_COMMON_STRINGS_H_
 #define SMOQE_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,6 +23,11 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 
 /// Escapes the five XML special characters (& < > " ') for text/attr output.
 std::string XmlEscape(std::string_view s);
+
+/// 64-bit FNV-1a hash. Stable across runs and platforms (used for plan
+/// fingerprints that end up in cache keys, so std::hash's
+/// implementation-defined values won't do).
+uint64_t Fnv1a64(std::string_view s);
 
 /// True for ASCII name-start / name characters of our XML-name subset
 /// (letters, digits, '_', '-', '.', ':'; names start with a letter or '_').

@@ -29,6 +29,32 @@ Status Catalog::AddView(const std::string& name,
   return Status::OK();
 }
 
+// Replacement is in place (assign through the existing heap object, not
+// insert_or_assign) to keep the class invariant: pointers handed out for
+// this name stay valid and observe the new content. view::Policy objects
+// hold a raw pointer to their catalog-owned Dtd, so swapping the
+// allocation would dangle them.
+bool Catalog::PutDtd(const std::string& name, std::unique_ptr<xml::Dtd> dtd) {
+  auto it = dtds_.find(name);
+  if (it == dtds_.end()) {
+    dtds_.emplace(name, std::move(dtd));
+    return false;
+  }
+  *it->second = std::move(*dtd);
+  return true;
+}
+
+bool Catalog::PutView(const std::string& name,
+                      std::unique_ptr<ViewEntry> view) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    views_.emplace(name, std::move(view));
+    return false;
+  }
+  *it->second = std::move(*view);
+  return true;
+}
+
 DocumentEntry* Catalog::FindDocument(const std::string& name) {
   auto it = documents_.find(name);
   return it == documents_.end() ? nullptr : it->second.get();

@@ -1,3 +1,8 @@
+/// \file
+/// \brief Name → object registry (documents, DTDs, views) behind the
+/// Smoqe facade, including the upsert + plan-invalidation contract the
+/// plan cache depends on (docs/DESIGN.md §5.1).
+
 #ifndef SMOQE_CORE_CATALOG_H_
 #define SMOQE_CORE_CATALOG_H_
 
@@ -28,16 +33,31 @@ struct ViewEntry {
   std::string dtd_name;
   std::unique_ptr<view::Policy> policy;
   view::ViewDefinition definition;
+  /// Stable hash of (definition, dtd_name); part of every plan-cache key
+  /// minted for this view, so plans compiled against an older definition
+  /// can never be served after a redefinition (DESIGN.md §5.1).
+  uint64_t fingerprint = 0;
 };
 
 /// \brief Name → object registry backing the engine facade. Objects are
 /// heap-allocated so references handed out stay stable across inserts.
+///
+/// `Add*` rejects duplicates; `Put*` upserts and reports whether an
+/// existing entry was replaced — the facade uses the report to invalidate
+/// cached query plans that depended on the replaced object.
 class Catalog {
  public:
   Status AddDocument(const std::string& name,
                      std::unique_ptr<DocumentEntry> doc);
   Status AddDtd(const std::string& name, std::unique_ptr<xml::Dtd> dtd);
   Status AddView(const std::string& name, std::unique_ptr<ViewEntry> view);
+
+  /// Registers or replaces; returns true when an existing entry was
+  /// replaced (callers must then invalidate dependent compiled plans).
+  /// Replacement happens in place through the existing heap object, so
+  /// previously handed-out pointers stay valid and see the new content.
+  bool PutDtd(const std::string& name, std::unique_ptr<xml::Dtd> dtd);
+  bool PutView(const std::string& name, std::unique_ptr<ViewEntry> view);
 
   DocumentEntry* FindDocument(const std::string& name);
   const DocumentEntry* FindDocument(const std::string& name) const;

@@ -1,11 +1,14 @@
 #include "src/core/smoqe.h"
 
 #include "src/automata/mfa.h"
+#include "src/common/strings.h"
+#include "src/eval/batch.h"
 #include "src/eval/hype_dom.h"
 #include "src/eval/hype_stax.h"
 #include "src/index/tax_io.h"
 #include "src/rewrite/rewriter.h"
 #include "src/rxpath/parser.h"
+#include "src/rxpath/printer.h"
 #include "src/rxpath/type_check.h"
 #include "src/view/derive.h"
 #include "src/view/spec_parser.h"
@@ -16,12 +19,37 @@
 
 namespace smoqe::core {
 
-Smoqe::Smoqe() : names_(xml::NameTable::Create()) {}
+namespace {
+
+/// Stable identity of a view's compiled-plan space: any change to the
+/// definition (view DTD or σ) or to the underlying DTD name changes the
+/// fingerprint, so stale cache keys can never collide with fresh ones.
+uint64_t ViewFingerprint(const view::ViewDefinition& def,
+                         const std::string& dtd_name) {
+  return Fnv1a64(def.ToString()) ^ (Fnv1a64(dtd_name) * 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace
+
+Smoqe::Smoqe(size_t plan_cache_capacity)
+    : names_(xml::NameTable::Create()), plan_cache_(plan_cache_capacity) {}
 
 Status Smoqe::RegisterDtd(const std::string& name, std::string_view dtd_text,
                           std::string_view root) {
   SMOQE_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::ParseDtd(dtd_text, root));
-  return catalog_.AddDtd(name, std::make_unique<xml::Dtd>(std::move(dtd)));
+  bool replaced =
+      catalog_.PutDtd(name, std::make_unique<xml::Dtd>(std::move(dtd)));
+  if (replaced) {
+    // Conservative: every view derived over this DTD recompiles its plans
+    // on next use (the views keep their definitions until redefined).
+    for (const std::string& view_name : catalog_.ViewNames()) {
+      const ViewEntry* view = catalog_.FindView(view_name);
+      if (view != nullptr && view->dtd_name == name) {
+        plan_cache_.InvalidateView(view_name);
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Status Smoqe::LoadDocument(const std::string& name,
@@ -79,7 +107,11 @@ Status Smoqe::DefineView(const std::string& view_name,
   entry->dtd_name = dtd_name;
   entry->policy = std::move(policy_ptr);
   entry->definition = std::move(def);
-  return catalog_.AddView(view_name, std::move(entry));
+  entry->fingerprint = ViewFingerprint(entry->definition, dtd_name);
+  if (catalog_.PutView(view_name, std::move(entry))) {
+    plan_cache_.InvalidateView(view_name);  // redefinition: recompile
+  }
+  return Status::OK();
 }
 
 Status Smoqe::DefineViewFromSpec(const std::string& view_name,
@@ -98,7 +130,11 @@ Status Smoqe::DefineViewFromSpec(const std::string& view_name,
   auto entry = std::make_unique<ViewEntry>();
   entry->dtd_name = document_dtd_name;
   entry->definition = std::move(def);
-  return catalog_.AddView(view_name, std::move(entry));
+  entry->fingerprint = ViewFingerprint(entry->definition, document_dtd_name);
+  if (catalog_.PutView(view_name, std::move(entry))) {
+    plan_cache_.InvalidateView(view_name);  // redefinition: recompile
+  }
+  return Status::OK();
 }
 
 Result<std::string> Smoqe::ViewSchema(const std::string& view_name) const {
@@ -150,41 +186,59 @@ Status Smoqe::LoadIndex(const std::string& doc_name, const std::string& path) {
   return Status::OK();
 }
 
-Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
-                                 std::string_view query_text,
-                                 const QueryOptions& options) {
-  DocumentEntry* doc = catalog_.FindDocument(doc_name);
-  if (doc == nullptr) {
-    return Status::NotFound("document '" + doc_name + "' is not loaded");
-  }
+Result<Smoqe::PlanUse> Smoqe::GetPlan(std::string_view query_text,
+                                      const QueryOptions& options) {
   SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<rxpath::PathExpr> query,
                          rxpath::ParseQuery(query_text));
 
-  // Compile: direct queries compile as-is; view queries are rewritten to
-  // an equivalent MFA over the underlying document (never materializing).
-  automata::Mfa mfa;
-  std::vector<std::string> unknown_labels;
-  if (options.view.empty()) {
-    SMOQE_ASSIGN_OR_RETURN(mfa, automata::Mfa::Compile(*query, names_));
-  } else {
-    const ViewEntry* view = catalog_.FindView(options.view);
+  const ViewEntry* view = nullptr;
+  PlanCache::Key key;
+  key.view = options.view;
+  if (!options.view.empty()) {
+    view = catalog_.FindView(options.view);
     if (view == nullptr) {
       return Status::NotFound("view '" + options.view +
                               "' is not registered");
     }
+    key.view_fingerprint = view->fingerprint;
+  }
+  // Canonical printer rendering, so surface variants of one query share
+  // one cache entry ("//a [b]" ≡ "//a[b]").
+  key.normalized_query = rxpath::ToString(*query);
+
+  if (!options.bypass_plan_cache) {
+    if (std::shared_ptr<const CompiledPlan> hit = plan_cache_.Lookup(key)) {
+      return PlanUse{std::move(hit), /*cache_hit=*/true};
+    }
+  }
+
+  // Compile: direct queries compile as-is; view queries are rewritten to
+  // an equivalent MFA over the underlying document (never materializing).
+  auto plan = std::make_shared<CompiledPlan>();
+  if (view == nullptr) {
+    SMOQE_ASSIGN_OR_RETURN(plan->mfa, automata::Mfa::Compile(*query, names_));
+  } else {
     // Query assistance: flag labels that are not part of the schema the
     // user group sees (they can never match — typo or access attempt).
     rxpath::TypeCheckResult tc = rxpath::TypeCheck(
         *query, view->definition.view_dtd(), {}, /*from_document_node=*/true);
-    unknown_labels.assign(tc.unknown_labels.begin(),
-                          tc.unknown_labels.end());
+    plan->unknown_labels.assign(tc.unknown_labels.begin(),
+                                tc.unknown_labels.end());
     SMOQE_ASSIGN_OR_RETURN(
-        mfa, rewrite::RewriteToMfa(*query, view->definition, names_));
+        plan->mfa, rewrite::RewriteToMfa(*query, view->definition, names_));
   }
+  if (!options.bypass_plan_cache) plan_cache_.Insert(key, plan);
+  return PlanUse{std::move(plan), /*cache_hit=*/false};
+}
 
+Result<QueryAnswer> Smoqe::EvalCompiled(DocumentEntry* doc,
+                                        const std::string& doc_name,
+                                        const PlanUse& pu,
+                                        const QueryOptions& options) {
+  const CompiledPlan& plan = *pu.plan;
   QueryAnswer out;
-  out.unknown_labels = std::move(unknown_labels);
-  if (options.explain) out.mfa_dump = mfa.ToString();
+  out.unknown_labels = plan.unknown_labels;
+  if (options.explain) out.mfa_dump = plan.mfa.ToString();
 
   if (options.mode == EvalMode::kStax) {
     if (options.use_tax) {
@@ -194,30 +248,114 @@ Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
     eval::StaxEvalOptions stax_opts;
     stax_opts.engine.trace = options.explain;
     SMOQE_ASSIGN_OR_RETURN(eval::StaxEvalResult r,
-                           eval::EvalHypeStax(mfa, doc->text, stax_opts));
+                           eval::EvalHypeStax(plan.mfa, doc->text, stax_opts));
     for (auto& a : r.answers) out.answers_xml.push_back(std::move(a.xml));
     out.stats = r.stats;
-    return out;
+  } else {
+    eval::DomEvalOptions dom_opts;
+    dom_opts.engine.trace = options.explain;
+    if (options.use_tax) {
+      if (!doc->tax.has_value()) {
+        return Status::FailedPrecondition(
+            "document '" + doc_name + "' has no TAX index; call BuildIndex");
+      }
+      dom_opts.tax = &*doc->tax;
+    }
+    SMOQE_ASSIGN_OR_RETURN(eval::DomEvalResult r,
+                           eval::EvalHypeDom(plan.mfa, doc->dom, dom_opts));
+    for (const xml::Node* n : r.answers) {
+      out.answers_xml.push_back(xml::SerializeNode(n, *names_));
+      out.answer_ids.push_back(n->node_id);
+    }
+    out.stats = r.stats;
+    if (options.explain && r.trace != nullptr) {
+      out.trace_tree = r.trace->RenderTree(doc->dom, r.nodes_by_engine_id);
+    }
+  }
+  out.stats.plan_cache_hits = pu.cache_hit ? 1 : 0;
+  out.stats.plan_cache_misses = pu.cache_hit ? 0 : 1;
+  return out;
+}
+
+Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
+                                 std::string_view query_text,
+                                 const QueryOptions& options) {
+  DocumentEntry* doc = catalog_.FindDocument(doc_name);
+  if (doc == nullptr) {
+    return Status::NotFound("document '" + doc_name + "' is not loaded");
+  }
+  SMOQE_ASSIGN_OR_RETURN(PlanUse plan, GetPlan(query_text, options));
+  return EvalCompiled(doc, doc_name, plan, options);
+}
+
+Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
+    const std::string& doc_name, const std::vector<BatchQueryItem>& items) {
+  DocumentEntry* doc = catalog_.FindDocument(doc_name);
+  if (doc == nullptr) {
+    return Status::NotFound("document '" + doc_name + "' is not loaded");
   }
 
-  eval::DomEvalOptions dom_opts;
-  dom_opts.engine.trace = options.explain;
-  if (options.use_tax) {
-    if (!doc->tax.has_value()) {
-      return Status::FailedPrecondition("document '" + doc_name +
-                                        "' has no TAX index; call BuildIndex");
+  // Resolve every plan and check every evaluation precondition first, so
+  // a bad item fails the whole call before any evaluation work happens.
+  std::vector<PlanUse> plans;
+  plans.reserve(items.size());
+  std::vector<size_t> stax_items;
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto plan = GetPlan(items[i].query, items[i].options);
+    if (!plan.ok()) {
+      return plan.status().WithContext("batch item " + std::to_string(i));
     }
-    dom_opts.tax = &*doc->tax;
+    plans.push_back(std::move(*plan));
+    if (items[i].options.mode == EvalMode::kStax) {
+      if (items[i].options.use_tax) {
+        return Status::InvalidArgument(
+            "batch item " + std::to_string(i) +
+            ": TAX requires DOM mode (the index addresses materialized "
+            "nodes)");
+      }
+      stax_items.push_back(i);
+    } else if (items[i].options.use_tax && !doc->tax.has_value()) {
+      return Status::FailedPrecondition(
+          "batch item " + std::to_string(i) + ": document '" + doc_name +
+          "' has no TAX index; call BuildIndex");
+    }
   }
-  SMOQE_ASSIGN_OR_RETURN(eval::DomEvalResult r,
-                         eval::EvalHypeDom(mfa, doc->dom, dom_opts));
-  for (const xml::Node* n : r.answers) {
-    out.answers_xml.push_back(xml::SerializeNode(n, *names_));
-    out.answer_ids.push_back(n->node_id);
+
+  std::vector<QueryAnswer> out(items.size());
+
+  // All streaming items share one forward scan of the document text.
+  if (!stax_items.empty()) {
+    eval::BatchEvaluator batch;
+    for (size_t i : stax_items) {
+      eval::EngineOptions engine;
+      engine.trace = items[i].options.explain;
+      batch.AddPlan(&plans[i].plan->mfa, engine);
+    }
+    SMOQE_ASSIGN_OR_RETURN(std::vector<eval::StaxEvalResult> results,
+                           batch.Run(doc->text));
+    for (size_t j = 0; j < stax_items.size(); ++j) {
+      const size_t i = stax_items[j];
+      QueryAnswer& a = out[i];
+      a.unknown_labels = plans[i].plan->unknown_labels;
+      if (items[i].options.explain) a.mfa_dump = plans[i].plan->mfa.ToString();
+      for (auto& ans : results[j].answers) {
+        a.answers_xml.push_back(std::move(ans.xml));
+      }
+      a.stats = results[j].stats;  // batch_plans set by the evaluator
+      a.stats.plan_cache_hits = plans[i].cache_hit ? 1 : 0;
+      a.stats.plan_cache_misses = plans[i].cache_hit ? 0 : 1;
+    }
   }
-  out.stats = r.stats;
-  if (options.explain && r.trace != nullptr) {
-    out.trace_tree = r.trace->RenderTree(doc->dom, r.nodes_by_engine_id);
+
+  // DOM-mode items evaluate per item — the tree is already amortized
+  // across them, and TAX/trace address materialized nodes.
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].options.mode == EvalMode::kStax) continue;
+    auto answer = EvalCompiled(doc, doc_name, plans[i], items[i].options);
+    if (!answer.ok()) {
+      return answer.status().WithContext("batch item " + std::to_string(i));
+    }
+    out[i] = std::move(*answer);
   }
   return out;
 }

@@ -1,3 +1,9 @@
+/// \file
+/// \brief The SMOQE engine facade (paper Fig. 1): DTD / document / view
+/// registration and query evaluation, with compiled plans cached per
+/// (view, query) and multi-query batches sharing one document scan
+/// (docs/DESIGN.md §1, §5).
+
 #ifndef SMOQE_CORE_SMOQE_H_
 #define SMOQE_CORE_SMOQE_H_
 
@@ -9,6 +15,7 @@
 #include "src/common/counters.h"
 #include "src/common/status.h"
 #include "src/core/catalog.h"
+#include "src/core/plan_cache.h"
 #include "src/xml/name_table.h"
 
 namespace smoqe::core {
@@ -27,6 +34,9 @@ struct QueryOptions {
   bool use_tax = false;
   /// Record engine internals (answers include an explain rendering).
   bool explain = false;
+  /// Compile fresh, without consulting or populating the plan cache
+  /// (ablation / differential-testing knob; see DESIGN.md §5.1).
+  bool bypass_plan_cache = false;
 };
 
 /// Result of one query.
@@ -44,6 +54,14 @@ struct QueryAnswer {
   std::string mfa_dump;
   /// iSMOQE-style annotated document tree (DOM + explain only).
   std::string trace_tree;
+};
+
+/// One query of a QueryBatch call: the query text plus its own options —
+/// different entries may pose different views (users/roles), which is the
+/// batch evaluator's whole point.
+struct BatchQueryItem {
+  std::string query;
+  QueryOptions options;
 };
 
 /// \brief SMOQE — the Secure MOdular Query Engine facade (paper Fig. 1).
@@ -66,9 +84,13 @@ struct QueryAnswer {
 /// comparisons are integer compares end-to-end.
 class Smoqe {
  public:
-  Smoqe();
+  /// `plan_cache_capacity` bounds the number of compiled query plans kept
+  /// hot (LRU beyond it).
+  explicit Smoqe(size_t plan_cache_capacity = PlanCache::kDefaultCapacity);
 
-  /// Registers a DTD under `name`. `root` may be empty when inferable.
+  /// Registers a DTD under `name`, replacing any previous registration.
+  /// `root` may be empty when inferable. Replacing a DTD invalidates the
+  /// cached plans of every view defined over it.
   Status RegisterDtd(const std::string& name, std::string_view dtd_text,
                      std::string_view root = "");
 
@@ -84,6 +106,8 @@ class Smoqe {
 
   /// Derives and registers the security view for a user group from an
   /// access-control policy in the text format of view::Policy::Parse.
+  /// Redefining an existing view replaces it and invalidates its cached
+  /// query plans (subsequent queries recompile against the new policy).
   Status DefineView(const std::string& view_name, const std::string& dtd_name,
                     std::string_view policy_text);
 
@@ -110,9 +134,22 @@ class Smoqe {
 
   /// Evaluates a Regular XPath query against a loaded document, directly
   /// or through a view (rewriting — the view is never materialized).
+  /// Compilation goes through the plan cache: repeat queries skip the
+  /// rewrite → MFA → dispatch-sealing pipeline entirely (DESIGN.md §5.1);
+  /// `answer.stats.plan_cache_hits/misses` says which happened.
   Result<QueryAnswer> Query(const std::string& doc_name,
                             std::string_view query_text,
                             const QueryOptions& options = {});
+
+  /// Evaluates many queries — typically from different users, so each
+  /// item carries its own view — against one document. Answers line up
+  /// with `items` by index and are identical to per-item Query calls.
+  /// All StAX-mode items share a single streaming pass of the document
+  /// (DESIGN.md §5.2); DOM-mode items evaluate per item (the tree is
+  /// already amortized). Every item's compile goes through the plan
+  /// cache.
+  Result<std::vector<QueryAnswer>> QueryBatch(
+      const std::string& doc_name, const std::vector<BatchQueryItem>& items);
 
   /// Loaded document / registered view names (for tooling).
   std::vector<std::string> DocumentNames() const;
@@ -120,9 +157,32 @@ class Smoqe {
 
   const std::shared_ptr<xml::NameTable>& names() const { return names_; }
 
+  /// The compiled-plan cache (stats, Clear; shared by Query/QueryBatch).
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
+  /// A plan resolved for one query: the (possibly shared) compiled
+  /// artifact plus whether it came from the cache.
+  struct PlanUse {
+    std::shared_ptr<const CompiledPlan> plan;
+    bool cache_hit = false;
+  };
+
+  /// Parses + normalizes `query_text` and returns its compiled plan,
+  /// consulting the cache unless `options.bypass_plan_cache`.
+  Result<PlanUse> GetPlan(std::string_view query_text,
+                          const QueryOptions& options);
+
+  /// Evaluates a resolved plan over a loaded document (single query).
+  Result<QueryAnswer> EvalCompiled(DocumentEntry* doc,
+                                   const std::string& doc_name,
+                                   const PlanUse& plan,
+                                   const QueryOptions& options);
+
   std::shared_ptr<xml::NameTable> names_;
   Catalog catalog_;
+  PlanCache plan_cache_;
 };
 
 }  // namespace smoqe::core

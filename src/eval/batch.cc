@@ -1,0 +1,269 @@
+#include "src/eval/batch.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "src/common/strings.h"
+#include "src/eval/engine.h"
+#include "src/xml/stax.h"
+
+namespace smoqe::eval {
+
+namespace {
+
+class StaxAttrs : public AttrProvider {
+ public:
+  StaxAttrs(const std::vector<xml::StaxAttr>& attrs,
+            const xml::NameTable& names)
+      : attrs_(attrs), names_(names) {}
+
+  const char* Find(xml::NameId name) const override {
+    const std::string& want = names_.NameOf(name);
+    for (const xml::StaxAttr& a : attrs_) {
+      if (a.name == want) return a.value.c_str();
+    }
+    return nullptr;
+  }
+
+ private:
+  const std::vector<xml::StaxAttr>& attrs_;
+  const xml::NameTable& names_;
+};
+
+/// An in-flight subtree capture, keyed by the driver's document pre-order
+/// node id. One capture per staged element regardless of how many plans
+/// staged it — the serialized bytes are demultiplexed at FinishDocument.
+struct Capture {
+  int32_t node_id;
+  int open_depth;  ///< reader depth at which the capture started
+  std::string buffer;
+};
+
+// Appends "<name a="v"" without the closing '>', which is emitted lazily
+// so empty elements serialize as "<name/>" exactly like the DOM
+// serializer (captures and SerializeNode must agree byte-for-byte).
+void AppendOpenTag(const xml::StaxReader& reader, std::string* out) {
+  *out += '<';
+  *out += reader.name();
+  for (const xml::StaxAttr& a : reader.attrs()) {
+    *out += ' ';
+    *out += a.name;
+    *out += "=\"";
+    *out += XmlEscape(a.value);
+    *out += '"';
+  }
+}
+
+/// Per-plan evaluation state: the plan's own engine (runs, guards,
+/// frames) plus the skip window and the engine-id → document-node map
+/// used to demultiplex shared captures back into per-plan answers.
+struct PlanState {
+  PlanState(const automata::Mfa& mfa, const EngineOptions& engine_options)
+      : engine(mfa, engine_options) {}
+
+  HypeEngine engine;
+  /// Reader depth of the element whose subtree this plan is skipping
+  /// (dead-run / TAX pruning), or -1 when the plan is live. While
+  /// skipping, the plan receives no events except direct text of the
+  /// skipped element itself when `skip_needs_text` is set.
+  int skip_depth = -1;
+  bool skip_needs_text = false;
+  /// (engine id, driver node id) of each element this plan staged as a
+  /// candidate, in ascending order (candidates are discovered at Enter).
+  /// Plans skip independently, so the two numberings drift apart per
+  /// plan; only candidates are recorded, keeping streaming memory
+  /// O(candidates) — not O(document) — like the captures themselves.
+  std::vector<std::pair<int32_t, int32_t>> candidate_nodes;
+};
+
+}  // namespace
+
+BatchEvaluator::BatchEvaluator(BatchStaxOptions options)
+    : options_(options) {}
+
+int BatchEvaluator::AddPlan(const automata::Mfa* mfa,
+                            const EngineOptions& engine) {
+  plans_.push_back(Plan{mfa, engine});
+  return static_cast<int>(plans_.size()) - 1;
+}
+
+Result<std::vector<StaxEvalResult>> BatchEvaluator::Run(
+    std::string_view xml) const {
+  if (plans_.empty()) return std::vector<StaxEvalResult>{};
+  xml::NameTable* names = plans_[0].mfa->names().get();
+  for (const Plan& p : plans_) {
+    if (p.mfa->names().get() != names) {
+      return Status::InvalidArgument(
+          "batch plans must share one name table (compile every query "
+          "against the same corpus)");
+    }
+  }
+
+  xml::StaxOptions stax_options;
+  stax_options.skip_whitespace_text = options_.skip_whitespace_text;
+  xml::StaxReader reader(xml, stax_options);
+
+  std::vector<std::unique_ptr<PlanState>> states;
+  states.reserve(plans_.size());
+  for (const Plan& p : plans_) {
+    states.push_back(std::make_unique<PlanState>(*p.mfa, p.engine));
+  }
+  size_t live_plans = states.size();  // plans not currently skipping
+
+  std::vector<Capture> captures;
+  std::map<int32_t, std::string> finished_captures;
+  size_t peak_buffered = 0;
+  bool tag_open = false;  // captures have an unclosed start tag pending
+  int32_t next_node_id = 0;
+
+  while (true) {
+    SMOQE_ASSIGN_OR_RETURN(xml::StaxEvent ev, reader.Next());
+    const int depth = reader.depth();
+
+    switch (ev) {
+      case xml::StaxEvent::kStartDocument:
+        continue;
+      case xml::StaxEvent::kStartElement: {
+        const int32_t node_id = next_node_id++;
+        bool stage_capture = false;
+        if (live_plans > 0) {
+          // Shared per-event work: one intern, one attribute view.
+          xml::NameId label = names->Intern(reader.name());
+          StaxAttrs attrs(reader.attrs(), *names);
+          for (auto& ps : states) {
+            if (ps->skip_depth >= 0) {
+              ps->engine.mutable_stats()->nodes_pruned += 1;
+              continue;
+            }
+            size_t candidates_before = ps->engine.cans().node_count();
+            int32_t engine_id = ps->engine.next_id();
+            HypeEngine::EnterResult r = ps->engine.Enter(label, attrs);
+            if (ps->engine.cans().node_count() > candidates_before) {
+              stage_capture = true;
+              ps->candidate_nodes.emplace_back(engine_id, node_id);
+            }
+            if (r.can_skip_subtree) {
+              ps->skip_depth = depth;
+              ps->skip_needs_text = r.needs_direct_text;
+              --live_plans;
+            }
+          }
+        } else {
+          for (auto& ps : states) {
+            ps->engine.mutable_stats()->nodes_pruned += 1;
+          }
+        }
+        // Close the enclosing element's pending start tag, serialize our
+        // start tag into surrounding captures, then maybe start our own.
+        if (tag_open) {
+          for (Capture& c : captures) c.buffer += '>';
+          tag_open = false;
+        }
+        for (Capture& c : captures) AppendOpenTag(reader, &c.buffer);
+        if (stage_capture) {
+          Capture c;
+          c.node_id = node_id;
+          c.open_depth = depth;
+          AppendOpenTag(reader, &c.buffer);
+          captures.push_back(std::move(c));
+        }
+        if (!captures.empty()) tag_open = true;
+        break;
+      }
+      case xml::StaxEvent::kCharacters: {
+        for (auto& ps : states) {
+          if (ps->skip_depth >= 0) {
+            if (ps->skip_needs_text && depth == ps->skip_depth) {
+              ps->engine.Text(reader.text());
+            }
+          } else {
+            ps->engine.Text(reader.text());
+          }
+        }
+        if (!captures.empty()) {
+          if (tag_open) {
+            for (Capture& c : captures) c.buffer += '>';
+            tag_open = false;
+          }
+          std::string escaped = XmlEscape(reader.text());
+          for (Capture& c : captures) c.buffer += escaped;
+        }
+        break;
+      }
+      case xml::StaxEvent::kEndElement: {
+        if (tag_open) {
+          // The closing element is empty: finish it as a self-closing tag.
+          for (Capture& c : captures) c.buffer += "/>";
+          tag_open = false;
+        } else {
+          for (Capture& c : captures) {
+            c.buffer += "</";
+            c.buffer += reader.name();
+            c.buffer += '>';
+          }
+        }
+        size_t buffered = 0;
+        for (const Capture& c : captures) buffered += c.buffer.size();
+        peak_buffered = std::max(peak_buffered, buffered);
+        if (!captures.empty() && captures.back().open_depth == depth + 1) {
+          finished_captures.emplace(captures.back().node_id,
+                                    std::move(captures.back().buffer));
+          captures.pop_back();
+        }
+        for (auto& ps : states) {
+          if (ps->skip_depth >= 0) {
+            if (depth == ps->skip_depth - 1) {
+              ps->engine.Leave();  // the Leave matching the skip root's Enter
+              ps->skip_depth = -1;
+              ++live_plans;
+            }
+          } else {
+            ps->engine.Leave();
+          }
+        }
+        break;
+      }
+      case xml::StaxEvent::kEndDocument: {
+        std::vector<StaxEvalResult> results(states.size());
+        for (size_t k = 0; k < states.size(); ++k) {
+          PlanState& ps = *states[k];
+          const std::vector<int32_t>& ids = ps.engine.FinishDocument();
+          StaxEvalResult& out = results[k];
+          for (int32_t id : ids) {
+            // Answers are candidates, so the binary search always lands.
+            auto cand = std::lower_bound(
+                ps.candidate_nodes.begin(), ps.candidate_nodes.end(),
+                std::make_pair(id, INT32_MIN));
+            auto it = cand == ps.candidate_nodes.end() || cand->first != id
+                          ? finished_captures.end()
+                          : finished_captures.find(cand->second);
+            if (it == finished_captures.end()) {
+              return Status::Internal("plan " + std::to_string(k) +
+                                      " answer " + std::to_string(id) +
+                                      " was never captured");
+            }
+            out.answers.push_back(StaxAnswer{id, it->second});
+          }
+          out.stats = ps.engine.stats();
+          // The capture footprint is shared by the whole batch; every
+          // plan reports the pass-wide peak.
+          out.stats.buffered_bytes = peak_buffered;
+          out.stats.batch_plans = states.size();
+        }
+        return results;
+      }
+    }
+  }
+}
+
+Result<std::vector<StaxEvalResult>> EvalHypeStaxBatch(
+    const std::vector<const automata::Mfa*>& plans, std::string_view xml,
+    const BatchStaxOptions& options, const EngineOptions& engine) {
+  BatchEvaluator batch(options);
+  for (const automata::Mfa* mfa : plans) batch.AddPlan(mfa, engine);
+  return batch.Run(xml);
+}
+
+}  // namespace smoqe::eval

@@ -1,0 +1,85 @@
+/// \file
+/// \brief Multi-query batch evaluation over a single StAX pass — the
+/// service-layer half of the evaluator (docs/DESIGN.md §5.2).
+///
+/// N compiled plans (MFAs sharing one name table) are advanced in
+/// lockstep over one forward scan of the XML text: the event stream, the
+/// name-table lookups, the element depth bookkeeping and the answer
+/// captures are shared across plans, while every plan keeps its own HyPE
+/// run sets and guards. Per-event cost therefore grows sublinearly in N —
+/// tokenization and capture serialization are paid once per document, not
+/// once per query (experiment E11, bench/bench_batch.cc).
+
+#ifndef SMOQE_EVAL_BATCH_H_
+#define SMOQE_EVAL_BATCH_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/automata/mfa.h"
+#include "src/common/status.h"
+#include "src/eval/hype_stax.h"
+
+namespace smoqe::eval {
+
+/// Options shared by every plan of a batch evaluation.
+struct BatchStaxOptions {
+  /// Drop all-whitespace text events (matches the DOM parser's default).
+  bool skip_whitespace_text = true;
+};
+
+/// \brief Runs many compiled plans over one streaming scan per document.
+///
+/// Usage (one instance can serve many documents — plans are fixed,
+/// engines are per-Run):
+///
+///     eval::BatchEvaluator batch;
+///     batch.AddPlan(&mfa_nurse);
+///     batch.AddPlan(&mfa_research, per_plan_engine_options);
+///     auto results = batch.Run(xml_text);   // results->at(i) ↔ plan i
+///
+/// Sharing model (DESIGN.md §5.2): the driver owns the StAX reader, one
+/// interned label per start tag, one attribute view per element, and one
+/// capture stack — a candidate subtree staged by *any* plan is serialized
+/// exactly once and demultiplexed to every plan that answers it. Each
+/// plan runs its own HypeEngine (own frames/runs/guards), and a plan
+/// whose runs die under dead-run pruning stops receiving events for that
+/// subtree while the scan continues for the others.
+///
+/// Answers are byte-identical to N sequential EvalHypeStax passes
+/// (differential-tested); per-plan `stats.buffered_bytes` reports the
+/// shared peak capture footprint of the pass.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(BatchStaxOptions options = {});
+
+  /// Registers a compiled plan; returns its index in Run's result vector.
+  /// Every plan must share the first plan's name table (checked by Run).
+  /// The MFA must stay alive for the evaluator's lifetime.
+  int AddPlan(const automata::Mfa* mfa, const EngineOptions& engine = {});
+
+  /// Evaluates every registered plan in one forward scan of `xml`.
+  /// Result i holds plan i's answers in document order.
+  Result<std::vector<StaxEvalResult>> Run(std::string_view xml) const;
+
+  size_t plan_count() const { return plans_.size(); }
+
+ private:
+  struct Plan {
+    const automata::Mfa* mfa;
+    EngineOptions engine;
+  };
+
+  BatchStaxOptions options_;
+  std::vector<Plan> plans_;
+};
+
+/// One-shot convenience wrapper: evaluates `plans` (shared `engine`
+/// options) over `xml` in a single pass. EvalHypeStax is this with N = 1.
+Result<std::vector<StaxEvalResult>> EvalHypeStaxBatch(
+    const std::vector<const automata::Mfa*>& plans, std::string_view xml,
+    const BatchStaxOptions& options = {}, const EngineOptions& engine = {});
+
+}  // namespace smoqe::eval
+
+#endif  // SMOQE_EVAL_BATCH_H_

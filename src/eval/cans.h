@@ -1,3 +1,8 @@
+/// \file
+/// \brief Cans — the candidate-answer store — plus the guard and
+/// predicate-instance records that HyPE's single pass resolves against
+/// (docs/DESIGN.md §3.2).
+
 #ifndef SMOQE_EVAL_CANS_H_
 #define SMOQE_EVAL_CANS_H_
 

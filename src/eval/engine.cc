@@ -438,11 +438,6 @@ HypeEngine::EnterResult HypeEngine::Enter(xml::NameId label,
   return res;
 }
 
-void HypeEngine::Text(std::string_view text) {
-  Frame& cur = CurFrame();
-  if (cur.needs_text) cur.direct_text.append(text);
-}
-
 void HypeEngine::ResolveFrame(Frame* frame) {
   // Reverse creation order: nested instances (created later, same anchor)
   // resolve before the instances that reference them.

@@ -1,3 +1,9 @@
+/// \file
+/// \brief The HyPE engine: per-open-element frames of (state, guard)
+/// runs advanced over one pre-order traversal, with the label-dispatch /
+/// guard-interning / hashed-dedup hot path (docs/DESIGN.md §3.2–§3.5).
+/// Drivers: hype_dom.h (DOM), hype_stax.h / batch.h (streaming).
+
 #ifndef SMOQE_EVAL_ENGINE_H_
 #define SMOQE_EVAL_ENGINE_H_
 
@@ -94,8 +100,13 @@ class HypeEngine {
   EnterResult Enter(xml::NameId label, const AttrProvider& attrs,
                     const DynamicBitset* subtree_types = nullptr);
 
-  /// Delivers text content directly under the current element.
-  void Text(std::string_view text);
+  /// Delivers text content directly under the current element. Inline:
+  /// drivers call this once per text event per plan, and almost always
+  /// no run is waiting on text (the needs_text test is the whole call).
+  void Text(std::string_view text) {
+    Frame& cur = CurFrame();
+    if (cur.needs_text) cur.direct_text.append(text);
+  }
 
   /// Closes the current element.
   void Leave();

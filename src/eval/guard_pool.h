@@ -1,3 +1,8 @@
+/// \file
+/// \brief Hash-consed pool of guard sets (arena-backed storage, 32-bit
+/// handles) — the per-traversal conjunction store of the engine's runs
+/// (docs/DESIGN.md §3.4).
+
 #ifndef SMOQE_EVAL_GUARD_POOL_H_
 #define SMOQE_EVAL_GUARD_POOL_H_
 

@@ -1,3 +1,8 @@
+/// \file
+/// \brief DOM-mode HyPE driver: one engine walk of an in-memory tree,
+/// optionally pruned by the TAX type index (docs/DESIGN.md §3; E2/E6 in
+/// §4).
+
 #ifndef SMOQE_EVAL_HYPE_DOM_H_
 #define SMOQE_EVAL_HYPE_DOM_H_
 

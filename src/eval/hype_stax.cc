@@ -1,189 +1,24 @@
 #include "src/eval/hype_stax.h"
 
-#include <algorithm>
-#include <map>
+#include <utility>
+#include <vector>
 
-#include "src/common/strings.h"
-#include "src/xml/stax.h"
+#include "src/eval/batch.h"
 
 namespace smoqe::eval {
 
-namespace {
-
-class StaxAttrs : public AttrProvider {
- public:
-  StaxAttrs(const std::vector<xml::StaxAttr>& attrs,
-            const xml::NameTable& names)
-      : attrs_(attrs), names_(names) {}
-
-  const char* Find(xml::NameId name) const override {
-    const std::string& want = names_.NameOf(name);
-    for (const xml::StaxAttr& a : attrs_) {
-      if (a.name == want) return a.value.c_str();
-    }
-    return nullptr;
-  }
-
- private:
-  const std::vector<xml::StaxAttr>& attrs_;
-  const xml::NameTable& names_;
-};
-
-/// An in-flight subtree capture for one candidate element.
-struct Capture {
-  int32_t engine_id;
-  int open_depth;  ///< reader depth at which the capture started
-  std::string buffer;
-};
-
-// Appends "<name a="v"" without the closing '>', which is emitted lazily
-// so empty elements serialize as "<name/>" exactly like the DOM
-// serializer (captures and SerializeNode must agree byte-for-byte).
-void AppendOpenTag(const xml::StaxReader& reader, std::string* out) {
-  *out += '<';
-  *out += reader.name();
-  for (const xml::StaxAttr& a : reader.attrs()) {
-    *out += ' ';
-    *out += a.name;
-    *out += "=\"";
-    *out += XmlEscape(a.value);
-    *out += '"';
-  }
-}
-
-}  // namespace
-
+// Since the service layer landed (DESIGN.md §5.2), single-query StAX
+// evaluation is the N = 1 case of the batch driver: one shared scan loop
+// to maintain, and every single-query test exercises the batch code path.
 Result<StaxEvalResult> EvalHypeStax(const automata::Mfa& mfa,
                                     std::string_view xml,
                                     const StaxEvalOptions& options) {
-  xml::StaxOptions stax_options;
-  stax_options.skip_whitespace_text = options.skip_whitespace_text;
-  xml::StaxReader reader(xml, stax_options);
-  xml::NameTable* names = mfa.names().get();
-
-  HypeEngine engine(mfa, options.engine);
-  StaxEvalResult result;
-  std::vector<Capture> captures;
-  std::map<int32_t, std::string> finished_captures;
-  size_t peak_buffered = 0;
-  bool tag_open = false;  // captures have an unclosed start tag pending
-
-  // When the engine says a subtree is skippable, we fast-forward the
-  // reader: consume events without engine calls until the element closes,
-  // feeding only its direct text when requested. Active captures still
-  // need the serialized events, so we only fast-forward capture-free.
-  int skip_depth = -1;       // depth of the skipped element, -1 = none
-  bool skip_needs_text = false;
-
-  while (true) {
-    SMOQE_ASSIGN_OR_RETURN(xml::StaxEvent ev, reader.Next());
-    const int depth = reader.depth();
-
-    if (skip_depth >= 0) {
-      switch (ev) {
-        case xml::StaxEvent::kCharacters:
-          if (skip_needs_text && depth == skip_depth) {
-            engine.Text(reader.text());
-          }
-          break;
-        case xml::StaxEvent::kEndElement:
-          if (depth == skip_depth - 1) {
-            engine.Leave();
-            skip_depth = -1;
-          }
-          break;
-        case xml::StaxEvent::kStartElement:
-          engine.mutable_stats()->nodes_pruned += 1;
-          break;
-        case xml::StaxEvent::kEndDocument:
-          return Status::Internal("document ended inside a skipped subtree");
-        default:
-          break;
-      }
-      continue;
-    }
-
-    switch (ev) {
-      case xml::StaxEvent::kStartDocument:
-        continue;
-      case xml::StaxEvent::kStartElement: {
-        xml::NameId label = names->Intern(reader.name());
-        StaxAttrs attrs(reader.attrs(), *names);
-        size_t candidates_before = engine.cans().node_count();
-        int32_t id = engine.next_id();
-        HypeEngine::EnterResult r = engine.Enter(label, attrs);
-        // Close the enclosing element's pending start tag, serialize our
-        // start tag into surrounding captures, then maybe start our own.
-        if (tag_open) {
-          for (Capture& c : captures) c.buffer += '>';
-          tag_open = false;
-        }
-        for (Capture& c : captures) AppendOpenTag(reader, &c.buffer);
-        if (engine.cans().node_count() > candidates_before) {
-          Capture c;
-          c.engine_id = id;
-          c.open_depth = depth;
-          AppendOpenTag(reader, &c.buffer);
-          captures.push_back(std::move(c));
-        }
-        if (!captures.empty()) tag_open = true;
-        if (r.can_skip_subtree && captures.empty()) {
-          skip_depth = depth;
-          skip_needs_text = r.needs_direct_text;
-        }
-        break;
-      }
-      case xml::StaxEvent::kCharacters: {
-        engine.Text(reader.text());
-        if (!captures.empty()) {
-          if (tag_open) {
-            for (Capture& c : captures) c.buffer += '>';
-            tag_open = false;
-          }
-          std::string escaped = XmlEscape(reader.text());
-          for (Capture& c : captures) c.buffer += escaped;
-        }
-        break;
-      }
-      case xml::StaxEvent::kEndElement: {
-        if (tag_open) {
-          // The closing element is empty: finish it as a self-closing tag.
-          for (Capture& c : captures) c.buffer += "/>";
-          tag_open = false;
-        } else {
-          for (Capture& c : captures) {
-            c.buffer += "</";
-            c.buffer += reader.name();
-            c.buffer += '>';
-          }
-        }
-        size_t buffered = 0;
-        for (const Capture& c : captures) buffered += c.buffer.size();
-        peak_buffered = std::max(peak_buffered, buffered);
-        if (!captures.empty() && captures.back().open_depth == depth + 1) {
-          finished_captures.emplace(captures.back().engine_id,
-                                    std::move(captures.back().buffer));
-          captures.pop_back();
-        }
-        engine.Leave();
-        break;
-      }
-      case xml::StaxEvent::kEndDocument: {
-        const std::vector<int32_t>& ids = engine.FinishDocument();
-        for (int32_t id : ids) {
-          auto it = finished_captures.find(id);
-          if (it == finished_captures.end()) {
-            return Status::Internal("answer " + std::to_string(id) +
-                                    " was never captured");
-          }
-          result.answers.push_back(StaxAnswer{id, std::move(it->second)});
-        }
-        result.stats = engine.stats();
-        result.stats.buffered_bytes = peak_buffered;
-        return result;
-      }
-    }
-  }
+  BatchStaxOptions batch_options;
+  batch_options.skip_whitespace_text = options.skip_whitespace_text;
+  BatchEvaluator batch(batch_options);
+  batch.AddPlan(&mfa, options.engine);
+  SMOQE_ASSIGN_OR_RETURN(std::vector<StaxEvalResult> results, batch.Run(xml));
+  return std::move(results[0]);
 }
 
 }  // namespace smoqe::eval

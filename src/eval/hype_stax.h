@@ -1,3 +1,8 @@
+/// \file
+/// \brief StAX-mode HyPE driver: single-query streaming evaluation with
+/// in-scan answer capture — implemented as the N = 1 case of the batch
+/// evaluator in batch.h (docs/DESIGN.md §3, §5.2).
+
 #ifndef SMOQE_EVAL_HYPE_STAX_H_
 #define SMOQE_EVAL_HYPE_STAX_H_
 

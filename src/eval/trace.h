@@ -1,3 +1,8 @@
+/// \file
+/// \brief Trace log of one HyPE run — the engine-internals feed behind
+/// the iSMOQE-style explain renderings (docs/DESIGN.md §3.2; off by
+/// default via EngineOptions::trace).
+
 #ifndef SMOQE_EVAL_TRACE_H_
 #define SMOQE_EVAL_TRACE_H_
 

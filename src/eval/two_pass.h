@@ -1,3 +1,8 @@
+/// \file
+/// \brief Multi-pass tree-automaton baseline evaluator (the paper's Arb
+/// comparison) that experiment E3 measures HyPE's single pass against
+/// (docs/DESIGN.md §4).
+
 #ifndef SMOQE_EVAL_TWO_PASS_H_
 #define SMOQE_EVAL_TWO_PASS_H_
 

@@ -1,3 +1,8 @@
+/// \file
+/// \brief Expression-level view unfolding — the worst-case-exponential
+/// baseline the MFA rewriter is measured against in experiment E1
+/// (docs/DESIGN.md §4).
+
 #ifndef SMOQE_REWRITE_EXPR_REWRITER_H_
 #define SMOQE_REWRITE_EXPR_REWRITER_H_
 

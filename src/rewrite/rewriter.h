@@ -1,3 +1,9 @@
+/// \file
+/// \brief The SMOQE rewriter: compiles a query over a (virtual) security
+/// view into an MFA over the underlying document, linear in |Q|·|σ|
+/// (docs/DESIGN.md §1 step 3; E1 in §4). The compiled artifact is what
+/// the plan cache stores (§5.1).
+
 #ifndef SMOQE_REWRITE_REWRITER_H_
 #define SMOQE_REWRITE_REWRITER_H_
 

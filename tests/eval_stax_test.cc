@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/automata/mfa.h"
+#include "src/eval/batch.h"
 #include "src/eval/hype_dom.h"
 #include "src/xml/serializer.h"
 #include "tests/test_util.h"
@@ -126,6 +127,63 @@ TEST(StaxEvalTest, MalformedInputSurfacesParseError) {
 TEST(StaxEvalTest, WhitespaceHandlingMatchesDomDefault) {
   auto r = MustStax("<a>\n  <b>x</b>\n</a>", "a[b = 'x']");
   ASSERT_EQ(r.answers.size(), 1u);
+}
+
+// Batch evaluation (one shared scan, N plans) must produce byte-identical
+// answers to N sequential single-plan passes — the DESIGN.md §5.2
+// contract that bench_batch's speedup claim rests on.
+TEST(BatchEvalTest, BatchAnswersByteIdenticalToSequential) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    auto names = xml::NameTable::Create();
+    xml::Document doc = testutil::GenHospital(seed, 400, names);
+    std::string text = xml::SerializeDocument(doc);
+
+    std::vector<Mfa> mfas;
+    for (const char* q : testutil::HospitalQueryCorpus()) {
+      auto query = MustQuery(q);
+      auto mfa = Mfa::Compile(*query, names);
+      ASSERT_TRUE(mfa.ok());
+      mfas.push_back(mfa.MoveValue());
+    }
+    std::vector<const Mfa*> plans;
+    for (const Mfa& m : mfas) plans.push_back(&m);
+
+    auto batch = EvalHypeStaxBatch(plans, text);
+    ASSERT_TRUE(batch.ok()) << "seed " << seed << ": "
+                            << batch.status().ToString();
+    ASSERT_EQ(batch->size(), plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      auto single = EvalHypeStax(*plans[i], text);
+      ASSERT_TRUE(single.ok());
+      ASSERT_EQ((*batch)[i].answers.size(), single->answers.size())
+          << "seed " << seed << " plan " << i;
+      for (size_t a = 0; a < single->answers.size(); ++a) {
+        EXPECT_EQ((*batch)[i].answers[a].xml, single->answers[a].xml)
+            << "seed " << seed << " plan " << i << " answer " << a;
+        EXPECT_EQ((*batch)[i].answers[a].engine_id,
+                  single->answers[a].engine_id);
+      }
+    }
+  }
+}
+
+TEST(BatchEvalTest, RejectsPlansFromDifferentNameTables) {
+  auto names_a = xml::NameTable::Create();
+  auto names_b = xml::NameTable::Create();
+  auto qa = MustQuery("a");
+  auto qb = MustQuery("b");
+  auto ma = Mfa::Compile(*qa, names_a);
+  auto mb = Mfa::Compile(*qb, names_b);
+  ASSERT_TRUE(ma.ok() && mb.ok());
+  auto r = EvalHypeStaxBatch({&*ma, &*mb}, "<a><b/></a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BatchEvalTest, EmptyBatchIsNoop) {
+  auto r = EvalHypeStaxBatch({}, "<a/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
 }
 
 }  // namespace

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Checks every inline link in README.md and docs/*.md:
+  * relative file links must point at an existing file or directory
+    (resolved from the linking file's directory);
+  * intra-document anchors (#...) must match a heading of the target
+    file, using GitHub's slug rules (lowercased, punctuation stripped,
+    spaces -> hyphens);
+  * absolute http(s) links are NOT fetched (CI must not depend on the
+    network) — they are only reported with --list-external.
+
+Exit status 0 iff no broken links. No dependencies beyond the stdlib.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# [text](target) — ignores images' leading '!' (same target rules) and
+# skips fenced code blocks, where brackets are code, not links.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor slug (close enough for our docs)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links in headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: str) -> set:
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(md_path: str, repo_root: str, external: list) -> list:
+    errors = []
+    base = os.path.dirname(md_path)
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                where = f"{os.path.relpath(md_path, repo_root)}:{lineno}"
+                if target.startswith(("http://", "https://", "mailto:")):
+                    external.append((where, target))
+                    continue
+                path_part, _, anchor = target.partition("#")
+                if path_part:
+                    resolved = os.path.normpath(os.path.join(base, path_part))
+                    if not os.path.exists(resolved):
+                        errors.append(f"{where}: broken link '{target}' "
+                                      f"(no such file: {path_part})")
+                        continue
+                    anchor_file = resolved
+                else:
+                    anchor_file = md_path  # same-document anchor
+                if anchor:
+                    if not anchor_file.endswith((".md", ".markdown")):
+                        continue  # anchors into non-markdown: don't judge
+                    if anchor.lower() not in heading_slugs(anchor_file):
+                        errors.append(f"{where}: broken anchor '#{anchor}' "
+                                      f"in {os.path.basename(anchor_file)}")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--list-external", action="store_true",
+                        help="print external links (not checked)")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    targets = []
+    readme = os.path.join(root, "README.md")
+    if os.path.exists(readme):
+        targets.append(readme)
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith((".md", ".markdown")):
+                targets.append(os.path.join(docs, name))
+    if not targets:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+
+    errors, external = [], []
+    for md in targets:
+        errors.extend(check_file(md, root, external))
+
+    if args.list_external:
+        for where, url in external:
+            print(f"external (unchecked): {where}: {url}")
+    for e in errors:
+        print(e, file=sys.stderr)
+    checked = len(targets)
+    print(f"check_links: {checked} files, {len(errors)} broken link(s), "
+          f"{len(external)} external link(s) skipped")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
