@@ -18,11 +18,32 @@
 
 namespace smoqe::bench {
 
+/// Refuses to benchmark a Debug (assert-enabled) build: the seed's cached
+/// Debug build/ dir silently recorded meaningless rows once (CHANGES.md,
+/// PR 3 note). Set SMOQE_ALLOW_DEBUG_BENCH=1 to run anyway — trajectory
+/// recording stays disabled either way, so Debug numbers can never reach
+/// the checked-in BENCH_*.json files.
+inline void RequireReleaseBuild() {
+#ifndef NDEBUG
+  if (std::getenv("SMOQE_ALLOW_DEBUG_BENCH") == nullptr) {
+    std::fprintf(
+        stderr,
+        "bench: this binary was built without NDEBUG (Debug build) — "
+        "numbers would be meaningless.\n"
+        "Rebuild with -DCMAKE_BUILD_TYPE=Release, or set "
+        "SMOQE_ALLOW_DEBUG_BENCH=1 to run anyway (the JSON trajectory "
+        "stays off).\n");
+    std::exit(2);
+  }
+#endif
+}
+
 /// Cached corpus: one generated document per (schema, size), shared by all
 /// benchmarks in a binary so the tables sweep sizes without regenerating.
 class Corpus {
  public:
   static Corpus& Get() {
+    RequireReleaseBuild();
     static Corpus corpus;
     return corpus;
   }
@@ -327,10 +348,15 @@ double MeasureMinNsPerIter(Fn&& fn, int min_iters = 5,
 /// default (a plain `bench_eval` run records the trajectory); set
 /// SMOQE_TRAJECTORY=0 when iterating on a single filtered benchmark so
 /// minutes of sweep don't follow every run (and the checked-in
-/// BENCH_*.json isn't clobbered from the repo root).
+/// BENCH_*.json isn't clobbered from the repo root). Always off in
+/// non-NDEBUG builds — Debug rows must never enter the recorded history.
 inline bool TrajectoryEnabled() {
+#ifndef NDEBUG
+  return false;
+#else
   const char* env = std::getenv("SMOQE_TRAJECTORY");
   return env == nullptr || std::string(env) != "0";
+#endif
 }
 
 /// Document sizes for the JSON sweep; override with SMOQE_BENCH_SIZES

@@ -41,6 +41,27 @@ void DynamicBitset::UnionWith(const DynamicBitset& other) {
   for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
 }
 
+void DynamicBitset::UnionWithZeroExt(const DynamicBitset& other) {
+  assert(other.num_bits_ <= num_bits_);
+  for (size_t i = 0; i < other.words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+bool DynamicBitset::SameBits(const DynamicBitset& other) const {
+  const size_t common = words_.size() < other.words_.size()
+                            ? words_.size()
+                            : other.words_.size();
+  for (size_t i = 0; i < common; ++i) {
+    if (words_[i] != other.words_[i]) return false;
+  }
+  for (size_t i = common; i < words_.size(); ++i) {
+    if (words_[i] != 0) return false;
+  }
+  for (size_t i = common; i < other.words_.size(); ++i) {
+    if (other.words_[i] != 0) return false;
+  }
+  return true;
+}
+
 void DynamicBitset::IntersectWith(const DynamicBitset& other) {
   assert(num_bits_ == other.num_bits_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];

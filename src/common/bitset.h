@@ -38,6 +38,13 @@ class DynamicBitset {
 
   /// this |= other (widths must match).
   void UnionWith(const DynamicBitset& other);
+  /// this |= zero-extend(other): `other` may be narrower (never wider).
+  /// Used where widths legitimately diverge — TAX sets built before a
+  /// name-table growth unioned into sets built after it.
+  void UnionWithZeroExt(const DynamicBitset& other);
+  /// True iff the two sets contain the same bits, treating the narrower
+  /// one as zero-extended (width-insensitive ==).
+  bool SameBits(const DynamicBitset& other) const;
   /// this &= other (widths must match).
   void IntersectWith(const DynamicBitset& other);
   /// True iff this ∩ other ≠ ∅ (widths must match).

@@ -24,6 +24,8 @@ const char* CodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
   }
   return "Unknown";
 }

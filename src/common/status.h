@@ -21,6 +21,7 @@ enum class StatusCode {
   kResourceExhausted, ///< explicit size/recursion caps exceeded
   kIOError,           ///< filesystem problem while persisting/loading an index
   kInternal,          ///< invariant violation inside the engine (a bug)
+  kPermissionDenied,  ///< update rejected by the access-control policy
 };
 
 /// \brief Result of an operation that can fail; the library never throws.
@@ -56,6 +57,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

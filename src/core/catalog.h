@@ -13,19 +13,44 @@
 
 #include "src/common/status.h"
 #include "src/index/tax.h"
+#include "src/view/access.h"
 #include "src/view/annotation.h"
+#include "src/view/materialize.h"
 #include "src/view/view_def.h"
 #include "src/xml/dom.h"
 #include "src/xml/dtd.h"
 
 namespace smoqe::core {
 
-/// A loaded document: the raw text (for StAX mode), the DOM, and an
-/// optional TAX index.
+/// Per-(document, view) caches derived from one document epoch: the
+/// materialized view with provenance, and the node-level access map. Both
+/// are invalidated by comparing `*_epoch` against `dom.epoch()` — a
+/// successful update bumps the epoch, and the facade either rebuilds
+/// lazily on next use or *retains* the materialization when the edit
+/// provably could not change it (DESIGN.md §6.5).
+struct ViewCacheEntry {
+  uint64_t fingerprint = 0;  ///< ViewEntry::fingerprint the caches match
+  uint64_t mv_epoch = 0;     ///< document epoch `mv` is valid at
+  std::optional<view::MaterializedView> mv;
+  uint64_t access_epoch = 0;  ///< document epoch `access` is valid at
+  std::unique_ptr<view::AccessMap> access;  ///< null until first needed
+};
+
+/// A loaded document: the raw text (for StAX mode), the DOM, an optional
+/// TAX index, and the epoch-stamped caches derived from the tree.
 struct DocumentEntry {
+  DocumentEntry(std::string text_, xml::Document dom_)
+      : text(std::move(text_)), dom(std::move(dom_)) {}
+
   std::string text;
   xml::Document dom;
   std::optional<index::TaxIndex> tax;
+  /// Document epoch `text` reflects. Starts at the load epoch (the
+  /// original input text); updates leave it stale and the facade
+  /// re-serializes lazily before the next streaming scan.
+  uint64_t text_epoch = 0;
+  /// Per-view caches, keyed by view name.
+  std::map<std::string, ViewCacheEntry> view_caches;
 };
 
 /// A registered view: derived definition plus the policy it came from.

@@ -1,5 +1,7 @@
 #include "src/core/smoqe.h"
 
+#include <set>
+
 #include "src/automata/mfa.h"
 #include "src/common/strings.h"
 #include "src/eval/batch.h"
@@ -7,9 +9,13 @@
 #include "src/eval/hype_stax.h"
 #include "src/index/tax_io.h"
 #include "src/rewrite/rewriter.h"
+#include "src/rxpath/naive_eval.h"
 #include "src/rxpath/parser.h"
 #include "src/rxpath/printer.h"
 #include "src/rxpath/type_check.h"
+#include "src/update/applier.h"
+#include "src/update/authorize.h"
+#include "src/update/update_lang.h"
 #include "src/view/derive.h"
 #include "src/view/spec_parser.h"
 #include "src/xml/dtd_parser.h"
@@ -67,8 +73,8 @@ Status Smoqe::LoadDocument(const std::string& name,
           catalog_.AddDtd(name, std::make_unique<xml::Dtd>(dtd.MoveValue())));
     }
   }
-  auto entry = std::make_unique<DocumentEntry>(DocumentEntry{
-      std::string(xml_text), std::move(parsed.document), std::nullopt});
+  auto entry = std::make_unique<DocumentEntry>(std::string(xml_text),
+                                               std::move(parsed.document));
   return catalog_.AddDocument(name, std::move(entry));
 }
 
@@ -86,8 +92,8 @@ Status Smoqe::GenerateDocument(const std::string& name,
   SMOQE_ASSIGN_OR_RETURN(xml::Document doc,
                          xml::GenerateDocument(*dtd, opts));
   std::string text = xml::SerializeDocument(doc);
-  auto entry = std::make_unique<DocumentEntry>(
-      DocumentEntry{std::move(text), std::move(doc), std::nullopt});
+  auto entry =
+      std::make_unique<DocumentEntry>(std::move(text), std::move(doc));
   return catalog_.AddDocument(name, std::move(entry));
 }
 
@@ -245,6 +251,7 @@ Result<QueryAnswer> Smoqe::EvalCompiled(DocumentEntry* doc,
       return Status::InvalidArgument(
           "TAX requires DOM mode (the index addresses materialized nodes)");
     }
+    EnsureFreshText(doc);
     eval::StaxEvalOptions stax_opts;
     stax_opts.engine.trace = options.explain;
     SMOQE_ASSIGN_OR_RETURN(eval::StaxEvalResult r,
@@ -325,6 +332,7 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
 
   // All streaming items share one forward scan of the document text.
   if (!stax_items.empty()) {
+    EnsureFreshText(doc);
     eval::BatchEvaluator batch;
     for (size_t i : stax_items) {
       eval::EngineOptions engine;
@@ -356,6 +364,282 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
       return answer.status().WithContext("batch item " + std::to_string(i));
     }
     out[i] = std::move(*answer);
+  }
+  return out;
+}
+
+void Smoqe::EnsureFreshText(DocumentEntry* doc) {
+  if (doc->text_epoch == doc->dom.epoch()) return;
+  doc->text = xml::SerializeDocument(doc->dom);
+  doc->text_epoch = doc->dom.epoch();
+}
+
+Result<ViewCacheEntry*> Smoqe::GetViewCache(DocumentEntry* doc,
+                                            const std::string& view_name,
+                                            const ViewEntry* view,
+                                            bool* cache_hit) {
+  ViewCacheEntry& cache = doc->view_caches[view_name];
+  const uint64_t epoch = doc->dom.epoch();
+  if (cache.mv.has_value() && cache.fingerprint == view->fingerprint &&
+      cache.mv_epoch == epoch) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return &cache;
+  }
+  SMOQE_ASSIGN_OR_RETURN(view::MaterializedView mv,
+                         view::Materialize(view->definition, doc->dom));
+  if (cache.fingerprint != view->fingerprint) {
+    cache.access.reset();  // access maps are per-policy too
+  }
+  cache.fingerprint = view->fingerprint;
+  cache.mv_epoch = epoch;
+  cache.mv.emplace(std::move(mv));
+  if (cache_hit != nullptr) *cache_hit = false;
+  return &cache;
+}
+
+Result<const view::AccessMap*> Smoqe::GetAccessMap(DocumentEntry* doc,
+                                                   const std::string& view_name,
+                                                   const ViewEntry* view) {
+  if (view->policy == nullptr) {
+    return Status::FailedPrecondition(
+        "view '" + view_name +
+        "' was registered from a specification, not a policy; updates "
+        "require a policy-derived view");
+  }
+  ViewCacheEntry& cache = doc->view_caches[view_name];
+  const uint64_t epoch = doc->dom.epoch();
+  if (cache.access == nullptr || cache.fingerprint != view->fingerprint ||
+      cache.access_epoch != epoch) {
+    cache.access = std::make_unique<view::AccessMap>(
+        view::AccessMap::Compute(*view->policy, doc->dom));
+    cache.access_epoch = epoch;
+    if (cache.fingerprint != view->fingerprint) {
+      cache.mv.reset();  // fingerprint owner changed; drop the sibling cache
+      cache.fingerprint = view->fingerprint;
+    }
+  }
+  return cache.access.get();
+}
+
+Result<MaterializedViewAnswer> Smoqe::MaterializeView(
+    const std::string& doc_name, const std::string& view_name) {
+  DocumentEntry* doc = catalog_.FindDocument(doc_name);
+  if (doc == nullptr) {
+    return Status::NotFound("document '" + doc_name + "' is not loaded");
+  }
+  const ViewEntry* view = catalog_.FindView(view_name);
+  if (view == nullptr) {
+    return Status::NotFound("view '" + view_name + "' is not registered");
+  }
+  bool cache_hit = false;
+  SMOQE_ASSIGN_OR_RETURN(ViewCacheEntry * cache,
+                         GetViewCache(doc, view_name, view, &cache_hit));
+  MaterializedViewAnswer out;
+  out.xml = xml::SerializeDocument(cache->mv->document);
+  out.cache_hit = cache_hit;
+  out.epoch = cache->mv_epoch;
+  return out;
+}
+
+Result<std::string> Smoqe::DocumentXml(const std::string& doc_name) const {
+  const DocumentEntry* doc = catalog_.FindDocument(doc_name);
+  if (doc == nullptr) {
+    return Status::NotFound("document '" + doc_name + "' is not loaded");
+  }
+  return xml::SerializeDocument(doc->dom);
+}
+
+Result<uint64_t> Smoqe::DocumentEpoch(const std::string& doc_name) const {
+  const DocumentEntry* doc = catalog_.FindDocument(doc_name);
+  if (doc == nullptr) {
+    return Status::NotFound("document '" + doc_name + "' is not loaded");
+  }
+  return doc->dom.epoch();
+}
+
+Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
+                                   std::string_view update_text,
+                                   const UpdateOptions& options) {
+  DocumentEntry* doc = catalog_.FindDocument(doc_name);
+  if (doc == nullptr) {
+    return Status::NotFound("document '" + doc_name + "' is not loaded");
+  }
+  SMOQE_ASSIGN_OR_RETURN(update::UpdateStatement stmt,
+                         update::ParseUpdate(update_text, names_));
+
+  const ViewEntry* view = nullptr;
+  if (!options.view.empty()) {
+    view = catalog_.FindView(options.view);
+    if (view == nullptr) {
+      return Status::NotFound("view '" + options.view + "' is not registered");
+    }
+  }
+
+  // Revalidation schema: explicit name → the view's document DTD → a DTD
+  // registered under the document's name → none.
+  const xml::Dtd* dtd = nullptr;
+  if (!options.dtd_name.empty()) {
+    dtd = catalog_.FindDtd(options.dtd_name);
+    if (dtd == nullptr) {
+      return Status::NotFound("DTD '" + options.dtd_name +
+                              "' is not registered");
+    }
+  } else if (view != nullptr && !view->dtd_name.empty()) {
+    dtd = catalog_.FindDtd(view->dtd_name);
+  } else {
+    dtd = catalog_.FindDtd(doc_name);
+  }
+
+  // Resolve the target set to document nodes. View updates resolve in the
+  // view's virtual document (via the epoch-cached materialization and its
+  // provenance); direct updates resolve on the document itself.
+  std::vector<update::ResolvedEdit> script;
+  std::set<int32_t> target_ids;
+  if (view == nullptr) {
+    rxpath::NaiveEvaluator eval(doc->dom);
+    for (const xml::Node* n : eval.Eval(*stmt.target)) {
+      target_ids.insert(n->node_id);
+    }
+  } else {
+    if (view->policy == nullptr) {
+      return Status::FailedPrecondition(
+          "view '" + options.view +
+          "' was registered from a specification, not a policy; updates "
+          "require a policy-derived view");
+    }
+    SMOQE_ASSIGN_OR_RETURN(ViewCacheEntry * cache,
+                           GetViewCache(doc, options.view, view, nullptr));
+    rxpath::NaiveEvaluator eval(cache->mv->document);
+    for (const xml::Node* n : eval.Eval(*stmt.target)) {
+      int32_t src = cache->mv->source_node_id[n->node_id];
+      if (src >= 0) target_ids.insert(src);
+    }
+  }
+  const xml::Document* fragment =
+      stmt.fragment.has_value() ? &*stmt.fragment : nullptr;
+  for (int32_t id : target_ids) {
+    script.push_back(
+        update::ResolvedEdit{stmt.kind, doc->dom.mutable_node(id), fragment});
+  }
+
+  UpdateResult out;
+  out.canonical = update::ToString(stmt);
+  out.stats.targets = script.size();
+  out.stats.doc_epoch = doc->dom.epoch();
+  if (script.empty()) return out;  // nothing selected: a successful no-op
+
+  // Authorize (view updates only), then validate — both before any
+  // mutation, so a rejected or invalid update leaves everything intact.
+  if (view != nullptr) {
+    SMOQE_ASSIGN_OR_RETURN(const view::AccessMap* access,
+                           GetAccessMap(doc, options.view, view));
+    SMOQE_RETURN_IF_ERROR(update::AuthorizeScript(*view->policy, *access,
+                                                  doc->dom, script));
+  }
+
+  update::ApplierOptions apply_opts;
+  apply_opts.dtd = dtd;
+  apply_opts.tax = doc->tax.has_value() ? &*doc->tax : nullptr;
+  apply_opts.rebuild_tax = options.rebuild_tax;
+  update::UpdateApplier applier(&doc->dom, apply_opts);
+  if (options.dry_run) {
+    SMOQE_RETURN_IF_ERROR(applier.Validate(script));
+    return out;
+  }
+
+  // View-cache retention (DESIGN.md §6.5): decide per *fresh* cached view
+  // BEFORE mutating — the test walks subtrees the update removes. A cache
+  // survives iff its policy is qualifier-free and the whole effect region
+  // is hidden from that view; everything else goes stale via the epoch.
+  const uint64_t pre_epoch = doc->dom.epoch();
+  std::vector<std::string> retain;
+  for (auto& [name, cache] : doc->view_caches) {
+    if (!cache.mv.has_value() || cache.mv_epoch != pre_epoch) continue;
+    const ViewEntry* v = catalog_.FindView(name);
+    if (v == nullptr || v->fingerprint != cache.fingerprint ||
+        v->policy == nullptr || v->policy->HasConditions()) {
+      continue;
+    }
+    auto access = GetAccessMap(doc, name, v);
+    if (!access.ok()) continue;
+    bool irrelevant = true;
+    for (const update::ResolvedEdit& e : script) {
+      if (e.kind != update::OpKind::kInsert &&
+          !(*access)->SubtreeHidden(e.target)) {
+        irrelevant = false;
+        break;
+      }
+      if (e.kind != update::OpKind::kDelete) {
+        // The grafted fragment must be entirely hidden from this view:
+        // with a qualifier-free policy that reduces to "the graft edge or
+        // an inherited Deny hides every fragment node". Walk the fragment
+        // simulating edge annotations from the graft parent's status.
+        const xml::Node* graft_parent =
+            e.kind == update::OpKind::kInsert ? e.target : e.target->parent;
+        if (graft_parent == nullptr) {
+          irrelevant = false;  // replacing the root is never irrelevant
+          break;
+        }
+        const xml::NameTable& names = *doc->dom.names();
+        const xml::NameTable& fnames = *e.fragment->names();
+        struct Item {
+          const std::string* parent_name;
+          const xml::Node* node;
+          bool visible;
+        };
+        std::vector<Item> stack = {
+            {&names.NameOf(graft_parent->label), e.fragment->root(),
+             (*access)->visible(graft_parent->node_id)}};
+        while (irrelevant && !stack.empty()) {
+          Item it = stack.back();
+          stack.pop_back();
+          const std::string& child_name = fnames.NameOf(it.node->label);
+          const view::Annotation* ann =
+              v->policy->Find(*it.parent_name, child_name);
+          bool child_visible = it.visible;
+          if (ann != nullptr) {
+            child_visible = ann->kind == view::AnnKind::kAllow;
+          }
+          if (child_visible) {
+            irrelevant = false;
+            break;
+          }
+          for (const xml::Node* c = it.node->first_child; c != nullptr;
+               c = c->next_sibling) {
+            if (c->is_element()) {
+              stack.push_back({&child_name, c, child_visible});
+            }
+          }
+        }
+        if (!irrelevant) break;
+      }
+    }
+    if (irrelevant) retain.push_back(name);
+  }
+
+  SMOQE_ASSIGN_OR_RETURN(update::ApplyStats applied, applier.Run(script));
+  out.stats.edits_applied = applied.edits_applied;
+  out.stats.edits_dropped = applied.edits_dropped;
+  out.stats.nodes_inserted = applied.nodes_inserted;
+  out.stats.nodes_deleted = applied.nodes_deleted;
+  out.stats.tax_sets_recomputed = applied.tax_sets_recomputed;
+  out.stats.tax_rebuilt = applied.tax_rebuilt ? 1 : 0;
+  out.stats.doc_epoch = doc->dom.epoch();
+
+  // Epoch bookkeeping of the derived caches: retained materializations
+  // jump to the new epoch; everything else is now stale and rebuilds on
+  // next use (the access maps always go stale — node-level statuses can
+  // change whenever the tree does).
+  for (const std::string& name : retain) {
+    doc->view_caches[name].mv_epoch = doc->dom.epoch();
+  }
+  for (const auto& [name, cache] : doc->view_caches) {
+    if (!cache.mv.has_value()) continue;
+    if (cache.mv_epoch == doc->dom.epoch()) {
+      ++out.stats.view_caches_retained;
+    } else if (cache.mv_epoch == pre_epoch) {
+      ++out.stats.view_caches_invalidated;
+    }
   }
   return out;
 }

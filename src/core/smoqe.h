@@ -64,6 +64,50 @@ struct BatchQueryItem {
   QueryOptions options;
 };
 
+/// Per-update options (docs/DESIGN.md §6).
+struct UpdateOptions {
+  /// View the update is posed against; empty string means the caller is
+  /// trusted to edit the document directly (no authorization check).
+  std::string view;
+  /// Revalidation schema. When empty the engine uses the view's document
+  /// DTD (view updates), else a DTD registered under the document's own
+  /// name, else skips DTD revalidation (structural checks only).
+  std::string dtd_name;
+  /// Parse, resolve, authorize and validate — but do not mutate.
+  bool dry_run = false;
+  /// Maintain the TAX index by full rebuild instead of incremental
+  /// ancestor-chain repair (the E12 differential/ablation knob).
+  bool rebuild_tax = false;
+};
+
+/// Counters of one update (the update-side analogue of EvalStats).
+struct UpdateStats {
+  uint64_t targets = 0;         ///< nodes the target path selected
+  uint64_t edits_applied = 0;   ///< after nesting normalization
+  uint64_t edits_dropped = 0;   ///< nested inside another removed subtree
+  uint64_t nodes_inserted = 0;
+  uint64_t nodes_deleted = 0;
+  uint64_t tax_sets_recomputed = 0;  ///< incremental TAX repair work
+  uint64_t tax_rebuilt = 0;          ///< 1 if maintenance fell back to Build
+  uint64_t view_caches_retained = 0;     ///< materializations that survived
+  uint64_t view_caches_invalidated = 0;  ///< materializations gone stale
+  uint64_t doc_epoch = 0;  ///< document epoch after the update
+};
+
+/// Result of one accepted update.
+struct UpdateResult {
+  /// Canonical printed form of the statement (see update::ToString).
+  std::string canonical;
+  UpdateStats stats;
+};
+
+/// Result of MaterializeView.
+struct MaterializedViewAnswer {
+  std::string xml;       ///< serialized view document
+  bool cache_hit = false;  ///< served from the per-epoch cache
+  uint64_t epoch = 0;    ///< document epoch the materialization reflects
+};
+
 /// \brief SMOQE — the Secure MOdular Query Engine facade (paper Fig. 1).
 ///
 /// Wires the four modules together: the *rewriter* (view queries →
@@ -151,6 +195,32 @@ class Smoqe {
   Result<std::vector<QueryAnswer>> QueryBatch(
       const std::string& doc_name, const std::vector<BatchQueryItem>& items);
 
+  /// Applies one update statement (`insert into p f` / `delete p` /
+  /// `replace p with f`, docs/QUERY_LANGUAGE.md "Updates") to a loaded
+  /// document. Direct updates (empty `options.view`) are trusted; view
+  /// updates resolve the target path *in the view* and are authorized
+  /// against the view's access annotations with accept/reject semantics —
+  /// a rejected update returns PermissionDenied naming the violated
+  /// annotation and leaves document, TAX index, caches and epoch
+  /// untouched. Accepted updates apply atomically (DTD-revalidated before
+  /// any mutation), bump the document epoch, repair the TAX index
+  /// incrementally and retain/invalidate materialized-view caches.
+  Result<UpdateResult> Update(const std::string& doc_name,
+                              std::string_view update_text,
+                              const UpdateOptions& options = {});
+
+  /// Materializes a view of a document (cached per document epoch — the
+  /// epoch-invalidation consumer updates exercise; queries still answer
+  /// by rewriting, never through this).
+  Result<MaterializedViewAnswer> MaterializeView(const std::string& doc_name,
+                                                 const std::string& view_name);
+
+  /// Serialized (compact) XML of the document's current DOM.
+  Result<std::string> DocumentXml(const std::string& doc_name) const;
+
+  /// The document's update epoch (0 until the first accepted update).
+  Result<uint64_t> DocumentEpoch(const std::string& doc_name) const;
+
   /// Loaded document / registered view names (for tooling).
   std::vector<std::string> DocumentNames() const;
   std::vector<std::string> ViewNames() const;
@@ -179,6 +249,21 @@ class Smoqe {
                                    const std::string& doc_name,
                                    const PlanUse& plan,
                                    const QueryOptions& options);
+
+  /// The view's materialized-view cache over `doc`, rebuilt if stale
+  /// (fingerprint or epoch mismatch). `cache_hit` reports which happened.
+  Result<ViewCacheEntry*> GetViewCache(DocumentEntry* doc,
+                                       const std::string& view_name,
+                                       const ViewEntry* view, bool* cache_hit);
+
+  /// The view's node-level access map over `doc`, recomputed if stale.
+  Result<const view::AccessMap*> GetAccessMap(DocumentEntry* doc,
+                                              const std::string& view_name,
+                                              const ViewEntry* view);
+
+  /// Re-serializes `doc->text` when updates made it stale (StAX scans
+  /// must see the current tree).
+  void EnsureFreshText(DocumentEntry* doc);
 
   std::shared_ptr<xml::NameTable> names_;
   Catalog catalog_;

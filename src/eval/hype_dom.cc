@@ -56,7 +56,7 @@ Result<DomEvalResult> EvalHypeDom(const automata::Mfa& mfa,
       }
       engine.Leave();
       engine.mutable_stats()->nodes_pruned += static_cast<uint64_t>(
-          node->subtree_end - node->node_id - 1);
+          node->subtree_end - node->order - 1);
       continue;
     }
     stack.push_back(nullptr);

@@ -103,6 +103,10 @@ BinaryDoc ConvertToBinary(const xml::Document& doc) {
   bin.nodes.resize(n);
   for (int32_t id = 0; id < n; ++id) {
     const xml::Node* node = doc.node(id);
+    if (node == nullptr) {  // id retired by an update; never reached by DFS
+      bin.label[id] = xml::kNoName;
+      continue;
+    }
     bin.nodes[id] = node;
     bin.label[id] = node->is_element() ? node->label : xml::kNoName;
     bin.first_child[id] =
@@ -332,7 +336,7 @@ class TwoPassRun {
     // but sort defensively (cheap, answers are few).
     std::sort(result->answers.begin(), result->answers.end(),
               [](const xml::Node* a, const xml::Node* b) {
-                return a->node_id < b->node_id;
+                return a->order < b->order;
               });
     result->answers.erase(
         std::unique(result->answers.begin(), result->answers.end()),

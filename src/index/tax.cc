@@ -8,23 +8,84 @@ TaxIndex TaxIndex::Build(const xml::Document& doc) {
   TaxIndex idx;
   idx.width_ = doc.names()->size();
   idx.sets_.resize(doc.num_nodes());
+  size_t recomputed = 0;
+  idx.BuildSubtree(doc.root(), idx.width_, &recomputed);
+  idx.elements_ = recomputed;
+  return idx;
+}
 
-  // Post-order accumulation: children ids are larger than parents', so a
-  // reverse id sweep visits children first.
-  for (int32_t id = doc.num_nodes() - 1; id >= 0; --id) {
-    const xml::Node* n = doc.node(id);
+void TaxIndex::RecomputeFromChildren(const xml::Node* n, size_t width) {
+  DynamicBitset bits(width);
+  for (const xml::Node* c = n->first_child; c != nullptr;
+       c = c->next_sibling) {
+    if (!c->is_element()) continue;
+    bits.Set(static_cast<size_t>(c->label));
+    bits.UnionWithZeroExt(sets_[c->node_id]);
+  }
+  sets_[n->node_id] = std::move(bits);
+}
+
+void TaxIndex::BuildSubtree(const xml::Node* subtree, size_t width,
+                            size_t* recomputed) {
+  // Post-order pointer walk (ids are not pre-order after updates, so the
+  // seed's reverse-id sweep would read children before they are final).
+  // nullptr marks "children done; fold the node below it".
+  std::vector<const xml::Node*> stack = {subtree};
+  std::vector<const xml::Node*> open;
+  while (!stack.empty()) {
+    const xml::Node* n = stack.back();
+    stack.pop_back();
+    if (n == nullptr) {
+      RecomputeFromChildren(open.back(), width);
+      ++*recomputed;
+      open.pop_back();
+      continue;
+    }
     if (!n->is_element()) continue;
-    ++idx.elements_;
-    DynamicBitset bits(idx.width_);
+    open.push_back(n);
+    stack.push_back(nullptr);
     for (const xml::Node* c = n->first_child; c != nullptr;
          c = c->next_sibling) {
-      if (!c->is_element()) continue;
-      bits.Set(static_cast<size_t>(c->label));
-      bits.UnionWith(idx.sets_[c->node_id]);
+      if (c->is_element()) stack.push_back(c);
     }
-    idx.sets_[id] = std::move(bits);
   }
-  return idx;
+}
+
+size_t TaxIndex::RepairAfterEdit(
+    const xml::Document& doc, const xml::Node* parent,
+    const std::vector<const xml::Node*>& new_subtrees,
+    const std::vector<int32_t>& retired_ids) {
+  const size_t width = doc.names()->size();
+  if (sets_.size() < static_cast<size_t>(doc.num_nodes())) {
+    sets_.resize(doc.num_nodes());
+  }
+  for (int32_t id : retired_ids) sets_[id] = DynamicBitset();
+  size_t recomputed = 0;
+  for (const xml::Node* s : new_subtrees) {
+    if (s->is_element()) BuildSubtree(s, width, &recomputed);
+  }
+  // Ancestor chain, bottom-up to the root. Children's sets are final:
+  // untouched children kept theirs, grafted ones were just built, and
+  // chains from other edits correct any overlap on their own pass.
+  for (const xml::Node* a = parent; a != nullptr; a = a->parent) {
+    RecomputeFromChildren(a, width);
+    ++recomputed;
+  }
+  elements_ = static_cast<size_t>(doc.num_elements());
+  if (width > width_) width_ = width;
+  return recomputed;
+}
+
+bool TaxIndex::EquivalentTo(const TaxIndex& other) const {
+  const size_t n = sets_.size() > other.sets_.size() ? sets_.size()
+                                                     : other.sets_.size();
+  static const DynamicBitset kEmpty;
+  for (size_t i = 0; i < n; ++i) {
+    const DynamicBitset& a = i < sets_.size() ? sets_[i] : kEmpty;
+    const DynamicBitset& b = i < other.sets_.size() ? other.sets_[i] : kEmpty;
+    if (!a.SameBits(b)) return false;
+  }
+  return true;
 }
 
 size_t TaxIndex::memory_bytes() const {

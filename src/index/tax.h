@@ -28,7 +28,8 @@ class TaxIndex {
  public:
   /// Builds the index for `doc`. Width is the name-table size at call
   /// time, so types from other documents sharing the table are
-  /// representable.
+  /// representable. Handles updated documents (retired ids, non-pre-order
+  /// id assignment) — the build is a pointer walk, not an id sweep.
   static TaxIndex Build(const xml::Document& doc);
 
   /// Descendant type set of the element with document id `node_id`
@@ -37,6 +38,29 @@ class TaxIndex {
     const DynamicBitset& b = sets_[node_id];
     return b.size() == 0 ? nullptr : &b;
   }
+
+  /// Incrementally repairs the index after a structural edit whose lowest
+  /// changed element is `parent` (docs/DESIGN.md §6.4): builds sets for
+  /// nodes the edit grafted in (ids beyond the previous id range, or
+  /// listed in `new_subtrees`), clears sets of retired ids, then
+  /// recomputes the descendant-type set of `parent` and of every ancestor
+  /// up to the root from their children's (now final) sets. Sets created
+  /// here use the *current* name-table width; untouched sets keep their
+  /// build-time width (the evaluator's prune test and DescendantTypes are
+  /// width-tolerant, and EquivalentTo compares bits, not widths).
+  ///
+  /// Call once per dirty parent of an edit script, after the script's
+  /// mutations; any call order is correct because every chain runs to the
+  /// root bottom-up. Returns the number of sets recomputed.
+  size_t RepairAfterEdit(const xml::Document& doc, const xml::Node* parent,
+                         const std::vector<const xml::Node*>& new_subtrees,
+                         const std::vector<int32_t>& retired_ids);
+
+  /// True iff both indexes assign the same descendant-type bits to the
+  /// same ids (width- and capacity-insensitive; retired/text slots count
+  /// as empty). The contract of the incremental-vs-rebuild differential
+  /// suite (E12).
+  bool EquivalentTo(const TaxIndex& other) const;
 
   /// Number of distinct element types representable (bitset width).
   size_t type_width() const { return width_; }
@@ -53,9 +77,17 @@ class TaxIndex {
   friend class TaxIo;
   TaxIndex() = default;
 
+  /// Recomputes one element's set from its children's sets (which must be
+  /// final) at width `width`.
+  void RecomputeFromChildren(const xml::Node* n, size_t width);
+  /// Builds sets for every element of a freshly grafted subtree
+  /// (post-order pointer walk) at width `width`.
+  void BuildSubtree(const xml::Node* subtree, size_t width, size_t* recomputed);
+
   size_t width_ = 0;
   size_t elements_ = 0;
-  // Indexed by document node id; text nodes hold empty (width 0) sets.
+  // Indexed by document node id; text nodes and retired ids hold empty
+  // (width 0) sets.
   std::vector<DynamicBitset> sets_;
 };
 

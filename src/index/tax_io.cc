@@ -17,27 +17,36 @@ std::string TaxIo::Encode(const TaxIndex& index) {
   PutVarint64(&out, index.sets_.size());
   PutVarint64(&out, index.elements_);
 
+  // Sets repaired after a name-table growth are wider than sets built
+  // before it (tax.h RepairAfterEdit); the on-disk form normalizes every
+  // set to the index width by zero-extension — bit positions are NameIds,
+  // so padding is lossless, and Decode's fixed words-per-set framing
+  // stays valid.
+  const size_t words_per_set = (index.width_ + 63) / 64;
   const DynamicBitset* prev = nullptr;
   for (const DynamicBitset& set : index.sets_) {
     if (set.size() == 0) {
       out.push_back(2);  // text node placeholder
       continue;
     }
-    if (prev != nullptr && set == *prev) {
+    if (prev != nullptr && set.SameBits(*prev)) {
       out.push_back(1);  // identical to previous element's set
       prev = &set;
       continue;
     }
     out.push_back(0);
     const std::vector<uint64_t>& words = set.words();
+    auto word_at = [&](size_t i) -> uint64_t {
+      return i < words.size() ? words[i] : 0;
+    };
     size_t i = 0;
-    while (i < words.size()) {
+    while (i < words_per_set) {
       size_t zeros = 0;
-      while (i + zeros < words.size() && words[i + zeros] == 0) ++zeros;
+      while (i + zeros < words_per_set && word_at(i + zeros) == 0) ++zeros;
       PutVarint64(&out, zeros);
       i += zeros;
       size_t lits = 0;
-      while (i + lits < words.size() && words[i + lits] != 0) ++lits;
+      while (i + lits < words_per_set && word_at(i + lits) != 0) ++lits;
       PutVarint64(&out, lits);
       for (size_t k = 0; k < lits; ++k) PutVarint64(&out, words[i + k]);
       i += lits;

@@ -7,8 +7,9 @@ namespace smoqe::rxpath {
 
 namespace {
 
-// Virtual document node sorts before everything else.
-int32_t IdOf(const xml::Node* n) { return n == nullptr ? -1 : n->node_id; }
+// Virtual document node sorts before everything else. Document order is
+// the `order` rank (== node_id until the document is updated).
+int32_t IdOf(const xml::Node* n) { return n == nullptr ? -1 : n->order; }
 
 }  // namespace
 

@@ -1,0 +1,148 @@
+#include "src/update/update_lang.h"
+
+#include <cctype>
+
+#include "src/common/strings.h"
+#include "src/rxpath/parser.h"
+#include "src/rxpath/printer.h"
+#include "src/xml/parser.h"
+#include "src/xml/serializer.h"
+
+namespace smoqe::update {
+
+namespace {
+
+/// Consumes a leading keyword (letters only) followed by at least one
+/// whitespace character (or end of input for keywords that may end the
+/// statement). Returns false without consuming on mismatch.
+bool EatKeyword(std::string_view* s, std::string_view kw) {
+  if (!StartsWith(*s, kw)) return false;
+  std::string_view rest = s->substr(kw.size());
+  if (!rest.empty() && !std::isspace(static_cast<unsigned char>(rest[0]))) {
+    return false;
+  }
+  *s = Trim(rest);
+  return true;
+}
+
+/// Offset of the first '<' outside single- or double-quoted path strings,
+/// or npos. This is where the XML fragment begins.
+size_t FragmentStart(std::string_view s) {
+  char quote = '\0';
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+    } else if (c == '\'' || c == '"') {
+      quote = c;
+    } else if (c == '<') {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+Result<std::unique_ptr<rxpath::PathExpr>> ParseTarget(std::string_view path) {
+  path = Trim(path);
+  if (path.empty()) {
+    return Status::ParseError("update statement has no target path");
+  }
+  return rxpath::ParseQuery(path);
+}
+
+Result<xml::Document> ParseFragment(std::string_view xml,
+                                    std::shared_ptr<xml::NameTable> names) {
+  xml::ParseOptions opts;
+  opts.names = std::move(names);
+  auto doc = xml::ParseDocument(xml, opts);
+  if (!doc.ok()) {
+    return doc.status().WithContext("update fragment");
+  }
+  return doc;
+}
+
+}  // namespace
+
+Result<UpdateStatement> ParseUpdate(std::string_view text,
+                                    std::shared_ptr<xml::NameTable> names) {
+  std::string_view s = Trim(text);
+  UpdateStatement stmt;
+  if (EatKeyword(&s, "insert")) {
+    if (!EatKeyword(&s, "into")) {
+      return Status::ParseError("expected 'into' after 'insert'");
+    }
+    stmt.kind = OpKind::kInsert;
+    size_t frag = FragmentStart(s);
+    if (frag == std::string_view::npos) {
+      return Status::ParseError("insert statement has no XML fragment");
+    }
+    SMOQE_ASSIGN_OR_RETURN(stmt.target, ParseTarget(s.substr(0, frag)));
+    SMOQE_ASSIGN_OR_RETURN(xml::Document fragment,
+                           ParseFragment(s.substr(frag), std::move(names)));
+    stmt.fragment.emplace(std::move(fragment));
+    return stmt;
+  }
+  if (EatKeyword(&s, "delete")) {
+    stmt.kind = OpKind::kDelete;
+    if (FragmentStart(s) != std::string_view::npos) {
+      return Status::ParseError("delete statement takes no XML fragment");
+    }
+    SMOQE_ASSIGN_OR_RETURN(stmt.target, ParseTarget(s));
+    return stmt;
+  }
+  if (EatKeyword(&s, "replace")) {
+    stmt.kind = OpKind::kReplace;
+    size_t frag = FragmentStart(s);
+    if (frag == std::string_view::npos) {
+      return Status::ParseError("replace statement has no XML fragment");
+    }
+    std::string_view head = Trim(s.substr(0, frag));
+    // The path must be followed by the keyword 'with' right before the
+    // fragment ("replace <path> with <xml>").
+    constexpr std::string_view kWith = "with";
+    if (head.size() < kWith.size() ||
+        head.substr(head.size() - kWith.size()) != kWith ||
+        (head.size() > kWith.size() &&
+         !std::isspace(static_cast<unsigned char>(
+             head[head.size() - kWith.size() - 1])))) {
+      return Status::ParseError("expected 'with' before the replacement "
+                                "fragment of a replace statement");
+    }
+    SMOQE_ASSIGN_OR_RETURN(
+        stmt.target, ParseTarget(head.substr(0, head.size() - kWith.size())));
+    SMOQE_ASSIGN_OR_RETURN(xml::Document fragment,
+                           ParseFragment(s.substr(frag), std::move(names)));
+    stmt.fragment.emplace(std::move(fragment));
+    return stmt;
+  }
+  return Status::ParseError(
+      "update statement must start with insert/delete/replace");
+}
+
+std::string ToString(const UpdateStatement& stmt) {
+  switch (stmt.kind) {
+    case OpKind::kInsert:
+      return "insert into " + rxpath::ToString(*stmt.target) + " " +
+             xml::SerializeDocument(*stmt.fragment);
+    case OpKind::kDelete:
+      return "delete " + rxpath::ToString(*stmt.target);
+    case OpKind::kReplace:
+      return "replace " + rxpath::ToString(*stmt.target) + " with " +
+             xml::SerializeDocument(*stmt.fragment);
+  }
+  return "";
+}
+
+const char* ToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInsert:
+      return "insert";
+    case OpKind::kDelete:
+      return "delete";
+    case OpKind::kReplace:
+      return "replace";
+  }
+  return "?";
+}
+
+}  // namespace smoqe::update

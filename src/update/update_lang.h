@@ -1,0 +1,66 @@
+/// \file
+/// \brief The secure-update language: surface syntax, AST and canonical
+/// printer (docs/QUERY_LANGUAGE.md "Updates", DESIGN.md §6.1).
+///
+/// Three statements, a thin layer over the Regular XPath parser:
+///
+///   insert into <path> <fragment>     append fragment under each target
+///   delete <path>                     remove each target subtree
+///   replace <path> with <fragment>    swap each target subtree
+///
+/// `<path>` is any Regular XPath expression (the same grammar queries
+/// use); `<fragment>` is a single well-formed element. The fragment
+/// starts at the first '<' outside the path's quoted strings, so paths
+/// with string literals — `delete //pname[text() = '<odd>']` — parse.
+///
+/// The printed form is canonical: the path is rendered by the rxpath
+/// printer and the fragment re-serialized compactly, so surface variants
+/// of one statement print identically (the same normalization queries get
+/// in the plan cache).
+
+#ifndef SMOQE_UPDATE_UPDATE_LANG_H_
+#define SMOQE_UPDATE_UPDATE_LANG_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/rxpath/ast.h"
+#include "src/xml/dom.h"
+#include "src/xml/name_table.h"
+
+namespace smoqe::update {
+
+enum class OpKind { kInsert, kDelete, kReplace };
+
+/// One parsed update statement.
+struct UpdateStatement {
+  OpKind kind = OpKind::kDelete;
+  /// Target path, in the vocabulary the statement is posed against (the
+  /// view schema for view updates, the document schema for direct ones).
+  std::unique_ptr<rxpath::PathExpr> target;
+  /// Parsed fragment (insert/replace only). Owns the fragment tree; the
+  /// applier grafts *copies*, so one statement can hit many targets.
+  std::optional<xml::Document> fragment;
+
+  UpdateStatement() = default;
+  UpdateStatement(UpdateStatement&&) = default;
+  UpdateStatement& operator=(UpdateStatement&&) = default;
+};
+
+/// Parses one update statement. The fragment is parsed against `names`
+/// (pass the engine's shared table so labels intern consistently); when
+/// `names` is null the fragment gets a private table.
+Result<UpdateStatement> ParseUpdate(std::string_view text,
+                                    std::shared_ptr<xml::NameTable> names = nullptr);
+
+/// Canonical rendering (round-trips through ParseUpdate).
+std::string ToString(const UpdateStatement& stmt);
+
+const char* ToString(OpKind kind);
+
+}  // namespace smoqe::update
+
+#endif  // SMOQE_UPDATE_UPDATE_LANG_H_

@@ -114,21 +114,89 @@ std::string NodeRef(const NameTable& names, const Node* n) {
          std::to_string(n->node_id) + ")";
 }
 
+/// Content check of one element shared by tree validation (real child
+/// list) and update simulation (hypothetical child list). `where` names
+/// the element in error messages; `automata` caches compiled content
+/// models per element type across calls.
+Status CheckContent(const ElementDecl& decl, const std::string& name,
+                    const std::vector<const std::string*>& child_names,
+                    bool has_text, const std::string& where,
+                    std::map<std::string, ContentAutomaton>* automata) {
+  switch (decl.content) {
+    case ContentKind::kEmpty:
+      if (has_text || !child_names.empty()) {
+        return Status::InvalidArgument(where + " must be EMPTY");
+      }
+      break;
+    case ContentKind::kAny:
+      break;
+    case ContentKind::kPcdata:
+      if (!child_names.empty()) {
+        return Status::InvalidArgument(
+            where + " is (#PCDATA) but has element children");
+      }
+      break;
+    case ContentKind::kMixed: {
+      for (const std::string* cn : child_names) {
+        bool ok = false;
+        for (const std::string& allowed : decl.mixed_names) {
+          if (allowed == *cn) {
+            ok = true;
+            break;
+          }
+        }
+        if (!ok) {
+          return Status::InvalidArgument(
+              where + ": child '" + *cn + "' not allowed in mixed content");
+        }
+      }
+      break;
+    }
+    case ContentKind::kChildren: {
+      if (has_text) {
+        return Status::InvalidArgument(
+            where + " has element content but contains text");
+      }
+      auto it = automata->find(name);
+      if (it == automata->end()) {
+        it = automata->emplace(name, ContentAutomaton(*decl.particle)).first;
+      }
+      if (!it->second.Matches(child_names)) {
+        return Status::InvalidArgument(
+            where + ": children do not match content model " +
+            decl.particle->ToString());
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
-Status ValidateDocument(const Document& doc, const Dtd& dtd,
-                        ValidateOptions options) {
-  const NameTable& names = *doc.names();
-  const Node* root = doc.root();
-  if (!dtd.root_name().empty() &&
-      names.NameOf(root->label) != dtd.root_name()) {
-    return Status::InvalidArgument("root element '" +
-                                   names.NameOf(root->label) +
-                                   "' does not match DTD root '" +
-                                   dtd.root_name() + "'");
-  }
-
+struct ContentModelCache::Impl {
   std::map<std::string, ContentAutomaton> automata;
+};
+
+ContentModelCache::ContentModelCache() : impl_(std::make_unique<Impl>()) {}
+ContentModelCache::~ContentModelCache() = default;
+
+/// Internal bridge: resolves the automata map a validation call should
+/// use — the caller's cache when given, a call-local map otherwise.
+struct ContentModelCacheAccess {
+  static std::map<std::string, ContentAutomaton>* Map(
+      ContentModelCache* cache,
+      std::map<std::string, ContentAutomaton>* local) {
+    return cache != nullptr ? &cache->impl_->automata : local;
+  }
+};
+
+Status ValidateSubtree(const Node* root, const NameTable& names,
+                       const Dtd& dtd, ValidateOptions options,
+                       ContentModelCache* cache) {
+  std::map<std::string, ContentAutomaton> local;
+  std::map<std::string, ContentAutomaton>* automata =
+      ContentModelCacheAccess::Map(cache, &local);
 
   // Iterative DFS over elements.
   std::vector<const Node*> stack = {root};
@@ -155,57 +223,8 @@ Status ValidateDocument(const Document& doc, const Dtd& dtd,
       }
     }
 
-    switch (decl->content) {
-      case ContentKind::kEmpty:
-        if (has_text || !child_names.empty()) {
-          return Status::InvalidArgument(NodeRef(names, n) +
-                                         " must be EMPTY");
-        }
-        break;
-      case ContentKind::kAny:
-        break;
-      case ContentKind::kPcdata:
-        if (!child_names.empty()) {
-          return Status::InvalidArgument(
-              NodeRef(names, n) + " is (#PCDATA) but has element children");
-        }
-        break;
-      case ContentKind::kMixed: {
-        for (const std::string* cn : child_names) {
-          bool ok = false;
-          for (const std::string& allowed : decl->mixed_names) {
-            if (allowed == *cn) {
-              ok = true;
-              break;
-            }
-          }
-          if (!ok) {
-            return Status::InvalidArgument(NodeRef(names, n) +
-                                           ": child '" + *cn +
-                                           "' not allowed in mixed content");
-          }
-        }
-        break;
-      }
-      case ContentKind::kChildren: {
-        if (has_text) {
-          return Status::InvalidArgument(
-              NodeRef(names, n) +
-              " has element content but contains text");
-        }
-        auto it = automata.find(name);
-        if (it == automata.end()) {
-          it = automata.emplace(name, ContentAutomaton(*decl->particle))
-                   .first;
-        }
-        if (!it->second.Matches(child_names)) {
-          return Status::InvalidArgument(
-              NodeRef(names, n) + ": children do not match content model " +
-              decl->particle->ToString());
-        }
-        break;
-      }
-    }
+    SMOQE_RETURN_IF_ERROR(CheckContent(*decl, name, child_names, has_text,
+                                       NodeRef(names, n), automata));
 
     if (options.check_attributes) {
       for (const AttrDecl& ad : decl->attrs) {
@@ -221,6 +240,38 @@ Status ValidateDocument(const Document& doc, const Dtd& dtd,
     }
   }
   return Status::OK();
+}
+
+Status ValidateDocument(const Document& doc, const Dtd& dtd,
+                        ValidateOptions options) {
+  const NameTable& names = *doc.names();
+  const Node* root = doc.root();
+  if (!dtd.root_name().empty() &&
+      names.NameOf(root->label) != dtd.root_name()) {
+    return Status::InvalidArgument("root element '" +
+                                   names.NameOf(root->label) +
+                                   "' does not match DTD root '" +
+                                   dtd.root_name() + "'");
+  }
+  return ValidateSubtree(root, names, dtd, options);
+}
+
+Status ValidateChildSequence(const Dtd& dtd, const std::string& parent_type,
+                             const std::vector<std::string>& child_types,
+                             bool has_text, ValidateOptions options,
+                             ContentModelCache* cache) {
+  const ElementDecl* decl = dtd.Find(parent_type);
+  if (decl == nullptr) {
+    if (options.allow_undeclared) return Status::OK();
+    return Status::InvalidArgument("undeclared element '" + parent_type + "'");
+  }
+  std::vector<const std::string*> child_names;
+  child_names.reserve(child_types.size());
+  for (const std::string& c : child_types) child_names.push_back(&c);
+  std::map<std::string, ContentAutomaton> local;
+  return CheckContent(*decl, parent_type, child_names, has_text,
+                      "element '" + parent_type + "'",
+                      ContentModelCacheAccess::Map(cache, &local));
 }
 
 }  // namespace smoqe::xml

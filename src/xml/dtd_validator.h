@@ -1,11 +1,34 @@
 #ifndef SMOQE_XML_DTD_VALIDATOR_H_
 #define SMOQE_XML_DTD_VALIDATOR_H_
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "src/common/status.h"
 #include "src/xml/dom.h"
 #include "src/xml/dtd.h"
 
 namespace smoqe::xml {
+
+/// \brief Opaque cache of compiled content-model automata, keyed by
+/// element type name. One validation call compiles each declaration it
+/// meets at most once regardless of the cache; pass one cache across
+/// *many* calls sharing one DTD (the update applier's insert-position
+/// scan probes the same parent repeatedly) to compile each model once
+/// overall. Never share a cache between different DTDs.
+class ContentModelCache {
+ public:
+  ContentModelCache();
+  ~ContentModelCache();
+  ContentModelCache(const ContentModelCache&) = delete;
+  ContentModelCache& operator=(const ContentModelCache&) = delete;
+
+ private:
+  friend struct ContentModelCacheAccess;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Options for validation.
 struct ValidateOptions {
@@ -23,6 +46,27 @@ struct ValidateOptions {
 /// Returns OK or the first violation with the node's document-order id.
 Status ValidateDocument(const Document& doc, const Dtd& dtd,
                         ValidateOptions options = {});
+
+/// Validates the subtree rooted at `root` without the document-root type
+/// check — `root` may be *any* declared element type. This is how the
+/// update subsystem checks an insert/replace fragment before grafting it
+/// (docs/DESIGN.md §6): the fragment must be internally valid; whether it
+/// fits at the graft point is ValidateChildSequence's question.
+/// `cache` (optional) shares compiled content models across calls.
+Status ValidateSubtree(const Node* root, const NameTable& names,
+                       const Dtd& dtd, ValidateOptions options = {},
+                       ContentModelCache* cache = nullptr);
+
+/// Checks a *hypothetical* child list of one `parent_type` element against
+/// its declaration: `child_types` is the would-be sequence of element
+/// child type names, `has_text` whether any text child would remain. Used
+/// by the update applier to revalidate an edit before mutating anything.
+/// For undeclared parents: error unless `options.allow_undeclared`.
+/// `cache` (optional) shares compiled content models across calls.
+Status ValidateChildSequence(const Dtd& dtd, const std::string& parent_type,
+                             const std::vector<std::string>& child_types,
+                             bool has_text, ValidateOptions options = {},
+                             ContentModelCache* cache = nullptr);
 
 }  // namespace smoqe::xml
 

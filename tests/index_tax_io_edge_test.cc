@@ -1,0 +1,97 @@
+// TaxIo edge cases: minimal documents, round-trips after name-table
+// growth (mixed-width sets from incremental repair), and persistence of
+// indexes carried across updates.
+
+#include <gtest/gtest.h>
+
+#include "src/index/tax.h"
+#include "src/index/tax_io.h"
+#include "src/update/applier.h"
+#include "src/update/update_lang.h"
+#include "tests/test_util.h"
+
+namespace smoqe::index {
+namespace {
+
+using testutil::MustDoc;
+using testutil::MustQuery;
+
+TaxIndex RoundTrip(const TaxIndex& idx) {
+  auto decoded = TaxIo::Decode(TaxIo::Encode(idx));
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return decoded.MoveValue();
+}
+
+TEST(TaxIoEdge, SingleElementDocument) {
+  xml::Document doc = MustDoc("<r/>");
+  TaxIndex idx = TaxIndex::Build(doc);
+  EXPECT_EQ(idx.num_elements(), 1u);
+  TaxIndex back = RoundTrip(idx);
+  EXPECT_EQ(back.num_elements(), 1u);
+  EXPECT_EQ(back.type_width(), idx.type_width());
+  EXPECT_TRUE(back.EquivalentTo(idx));
+  // The root's (empty) set survives as an indexed-but-empty set, distinct
+  // from a text slot.
+  ASSERT_NE(back.DescendantTypes(0), nullptr);
+  EXPECT_TRUE(back.DescendantTypes(0)->None());
+}
+
+TEST(TaxIoEdge, TextOnlyChildrenAndDeepChain) {
+  xml::Document doc = MustDoc("<a><b>t1</b><b>t2</b><c><c><c>x</c></c></c></a>");
+  TaxIndex idx = TaxIndex::Build(doc);
+  EXPECT_TRUE(RoundTrip(idx).EquivalentTo(idx));
+}
+
+TEST(TaxIoEdge, RoundTripAfterNameTableGrowth) {
+  auto names = xml::NameTable::Create();
+  xml::Document doc = MustDoc("<a><b><c>x</c></b></a>", names);
+  TaxIndex idx = TaxIndex::Build(doc);
+  const size_t width_before = idx.type_width();
+
+  // Graft a fragment whose labels are new to the table: the repaired
+  // sets are wider than the untouched ones (mixed-width index).
+  auto stmt = update::ParseUpdate("insert into a/b <d><e>y</e></d>", names);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto ids = testutil::NaiveIds(doc, *MustQuery("a/b"));
+  ASSERT_EQ(ids.size(), 1u);
+  update::ApplierOptions opts;
+  opts.tax = &idx;
+  update::UpdateApplier applier(&doc, opts);
+  auto stats = applier.Run({update::ResolvedEdit{
+      stmt->kind, doc.mutable_node(ids[0]), &*stmt->fragment}});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(idx.type_width(), width_before);
+
+  // The mixed-width index round-trips losslessly (encode normalizes by
+  // zero-extension) and still equals a from-scratch build.
+  TaxIndex back = RoundTrip(idx);
+  EXPECT_TRUE(back.EquivalentTo(idx));
+  EXPECT_TRUE(back.EquivalentTo(TaxIndex::Build(doc)));
+  // And the decoded index keeps answering: 'b' now has d and e below.
+  const DynamicBitset* b_set = back.DescendantTypes(ids[0]);
+  ASSERT_NE(b_set, nullptr);
+  EXPECT_TRUE(b_set->Test(static_cast<size_t>(names->Lookup("d"))));
+  EXPECT_TRUE(b_set->Test(static_cast<size_t>(names->Lookup("e"))));
+}
+
+TEST(TaxIoEdge, RetiredSlotsRoundTripAsEmpty) {
+  auto names = xml::NameTable::Create();
+  xml::Document doc = MustDoc("<a><b><c>x</c></b><b/></a>", names);
+  TaxIndex idx = TaxIndex::Build(doc);
+  auto ids = testutil::NaiveIds(doc, *MustQuery("a/b[c]"));
+  ASSERT_EQ(ids.size(), 1u);
+  update::ApplierOptions opts;
+  opts.tax = &idx;
+  update::UpdateApplier applier(&doc, opts);
+  auto stats = applier.Run(
+      {update::ResolvedEdit{update::OpKind::kDelete, doc.mutable_node(ids[0]),
+                            nullptr}});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(idx.DescendantTypes(ids[0]), nullptr);  // retired → unindexed
+  TaxIndex back = RoundTrip(idx);
+  EXPECT_TRUE(back.EquivalentTo(idx));
+  EXPECT_EQ(back.DescendantTypes(ids[0]), nullptr);
+}
+
+}  // namespace
+}  // namespace smoqe::index

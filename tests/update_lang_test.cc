@@ -1,0 +1,95 @@
+// Parser + canonical printer of the secure-update language
+// (src/update/update_lang.h): statement forms, fragment boundary
+// detection, error paths, and the print→parse round-trip.
+
+#include "src/update/update_lang.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rxpath/printer.h"
+#include "tests/test_util.h"
+
+namespace smoqe::update {
+namespace {
+
+UpdateStatement MustParse(std::string_view text) {
+  auto r = ParseUpdate(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(UpdateLang, ParsesInsert) {
+  UpdateStatement s = MustParse(
+      "insert into //patient <visit><treatment><medication>flu"
+      "</medication></treatment><date>d9</date></visit>");
+  EXPECT_EQ(s.kind, OpKind::kInsert);
+  EXPECT_EQ(rxpath::ToString(*s.target), "(*)*/patient");  // // desugars
+  ASSERT_TRUE(s.fragment.has_value());
+  EXPECT_EQ(s.fragment->names()->NameOf(s.fragment->root()->label), "visit");
+}
+
+TEST(UpdateLang, ParsesDelete) {
+  UpdateStatement s = MustParse("delete //patient[pname = 'Carol']");
+  EXPECT_EQ(s.kind, OpKind::kDelete);
+  EXPECT_FALSE(s.fragment.has_value());
+}
+
+TEST(UpdateLang, ParsesReplace) {
+  UpdateStatement s =
+      MustParse("replace //medication with <medication>cough</medication>");
+  EXPECT_EQ(s.kind, OpKind::kReplace);
+  EXPECT_EQ(rxpath::ToString(*s.target), "(*)*/medication");
+  ASSERT_TRUE(s.fragment.has_value());
+}
+
+TEST(UpdateLang, FragmentStartsOutsideQuotedStrings) {
+  // A '<' inside a path string literal must not start the fragment.
+  UpdateStatement s = MustParse("delete //pname[text() = '<odd>']");
+  EXPECT_EQ(s.kind, OpKind::kDelete);
+  UpdateStatement r = MustParse(
+      "replace //pname[text() = '<x>'] with <pname>y</pname>");
+  EXPECT_EQ(r.kind, OpKind::kReplace);
+  EXPECT_EQ(rxpath::ToString(*r.target), "(*)*/pname[text() = '<x>']");
+}
+
+TEST(UpdateLang, ErrorPaths) {
+  EXPECT_FALSE(ParseUpdate("upsert //a <b/>").ok());
+  EXPECT_FALSE(ParseUpdate("insert //a <b/>").ok());         // missing into
+  EXPECT_FALSE(ParseUpdate("insert into //a").ok());         // no fragment
+  EXPECT_FALSE(ParseUpdate("delete //a <b/>").ok());         // stray fragment
+  EXPECT_FALSE(ParseUpdate("replace //a <b/>").ok());        // missing with
+  EXPECT_FALSE(ParseUpdate("replace //a with").ok());        // no fragment
+  EXPECT_FALSE(ParseUpdate("replace with <b/>").ok());       // no path
+  EXPECT_FALSE(ParseUpdate("insert into //a <b><c></b>").ok());  // bad xml
+  EXPECT_FALSE(ParseUpdate("delete //a[").ok());             // bad path
+  EXPECT_FALSE(ParseUpdate("").ok());
+}
+
+TEST(UpdateLang, CanonicalPrintRoundTrips) {
+  const char* statements[] = {
+      "insert   into //patient[visit]   <pname>Zed</pname>",
+      "delete //patient[ pname = 'Bob' ]",
+      "replace hospital/patient/visit   with <visit><treatment>"
+      "<test>xray</test></treatment><date>d1</date></visit>",
+  };
+  for (const char* text : statements) {
+    UpdateStatement s = MustParse(text);
+    std::string canonical = ToString(s);
+    UpdateStatement again = MustParse(canonical);
+    EXPECT_EQ(canonical, ToString(again)) << text;
+    EXPECT_TRUE(s.target->Equals(*again.target)) << text;
+    EXPECT_EQ(s.kind, again.kind);
+  }
+}
+
+TEST(UpdateLang, SharesTheProvidedNameTable) {
+  auto names = xml::NameTable::Create();
+  auto r = ParseUpdate("insert into //a <b><c>t</c></b>", names);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->fragment->names().get(), names.get());
+  EXPECT_NE(names->Lookup("b"), xml::kNoName);
+  EXPECT_NE(names->Lookup("c"), xml::kNoName);
+}
+
+}  // namespace
+}  // namespace smoqe::update
