@@ -149,6 +149,13 @@ struct TrajectoryRow {
   std::string config;    ///< "opt_all" | "opt_none" | "no_dispatch" | ...
   uint64_t nodes = 0;
   uint64_t answers = 0;
+  /// Total parallelism the measured call was allowed (1 = serial; the
+  /// E13 thread sweep records one row per thread count). The estimators
+  /// below time *wall clock*, so for threads > 1 a row's nodes_per_sec is
+  /// aggregate throughput — comparisons are only meaningful against rows
+  /// with an explicit thread count, which is why the field is part of the
+  /// schema rather than smuggled into `config`.
+  uint64_t threads = 1;
   double ns_per_node = 0;
   double nodes_per_sec = 0;
   uint64_t max_active_pairs = 0;
@@ -247,13 +254,15 @@ class JsonReport {
           buf, n,
           "  {\"engine\": \"%s\", \"workload\": \"%s\", \"query\": \"%s\", "
           "\"config\": \"%s\", \"nodes\": %llu, \"answers\": %llu, "
+          "\"threads\": %llu, "
           "\"ns_per_node\": %.2f, \"nodes_per_sec\": %.0f, "
           "\"max_active_pairs\": %llu, \"guard_pool_entries\": %llu, "
           "\"guard_pool_hits\": %llu, \"run_dedup_probes\": %llu}",
           Escape(r.engine).c_str(), Escape(r.workload).c_str(),
           Escape(r.query).c_str(), Escape(r.config).c_str(),
           static_cast<unsigned long long>(r.nodes),
-          static_cast<unsigned long long>(r.answers), r.ns_per_node,
+          static_cast<unsigned long long>(r.answers),
+          static_cast<unsigned long long>(r.threads), r.ns_per_node,
           r.nodes_per_sec,
           static_cast<unsigned long long>(r.max_active_pairs),
           static_cast<unsigned long long>(r.guard_pool_entries),
@@ -321,6 +330,13 @@ double MeasureNsPerIter(Fn&& fn, int min_iters = 3,
 /// estimate of the code's actual cost — use it when a *ratio* of two
 /// measurements is the recorded result (bench_batch's speedup rows,
 /// where a single inflated window on either side skews the quotient).
+///
+/// Multi-threaded callables (bench_parallel's thread sweep): the sample
+/// is still wall clock, so the minimum estimates the best-case *parallel*
+/// latency — valid, but only comparable across rows that say how many
+/// threads they were allowed. Any report built on this estimator must
+/// fill TrajectoryRow::threads; a missing count renders as the serial
+/// default (1) and would silently overstate per-thread throughput.
 template <typename Fn>
 double MeasureMinNsPerIter(Fn&& fn, int min_iters = 5,
                            double min_seconds = 0.5) {

@@ -1,0 +1,156 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace smoqe {
+
+ThreadPool::ThreadPool(int threads) {
+  int total = threads > 0
+                  ? threads
+                  : static_cast<int>(std::thread::hardware_concurrency());
+  if (total < 1) total = 1;
+  const size_t workers = static_cast<size_t>(total - 1);
+  queues_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();  // no workers: degenerate pool runs inline
+    return;
+  }
+  const size_t q =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(fn));
+  }
+  {
+    // The increment must happen under wake_mu_ (like stop_ in the
+    // destructor): a worker that just evaluated the wait predicate as
+    // false but has not yet blocked would otherwise miss the notify and
+    // sleep over a queued task.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(size_t self) {
+  const size_t k = queues_.size();
+  for (size_t probe = 0; probe < k; ++probe) {
+    const size_t q = (self + probe) % k;
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(queues_[q]->mu);
+      if (queues_[q]->tasks.empty()) continue;
+      if (probe == 0) {
+        task = std::move(queues_[q]->tasks.back());  // own queue: LIFO
+        queues_[q]->tasks.pop_back();
+      } else {
+        task = std::move(queues_[q]->tasks.front());  // steal: FIFO
+        queues_[q]->tasks.pop_front();
+      }
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    task();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  while (true) {
+    if (RunOneTask(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// Shared claim-counter state of one ParallelFor. Heap-held so helper
+/// tasks left in a queue after completion (a saturated pool) touch valid
+/// memory when they finally run and find no iterations left.
+struct ForJob {
+  const std::function<void(size_t)>* body;
+  size_t n = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void DrainFor(const std::shared_ptr<ForJob>& job) {
+  while (true) {
+    const size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->n) return;
+    (*job->body)(i);
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == job->n) {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto job = std::make_shared<ForJob>();
+  job->body = &body;
+  job->n = n;
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([job] { DrainFor(job); });
+  }
+  DrainFor(job);  // the caller participates — nesting cannot deadlock
+  if (job->done.load(std::memory_order_acquire) != n) {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == n;
+    });
+  }
+}
+
+void ThreadPool::HelpWhileWaiting(Latch& latch) {
+  while (!latch.TryWait()) {
+    // Start probing at queue 0: external helpers have no own queue, so
+    // every pop is a steal; RunOneTask's FIFO steal order applies.
+    if (!RunOneTask(0)) std::this_thread::yield();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace smoqe

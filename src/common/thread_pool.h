@@ -1,0 +1,127 @@
+/// \file
+/// \brief Work-stealing thread pool backing the parallel query-serving
+/// layer (docs/DESIGN.md §7): `Smoqe::QueryBatch` fans DOM items and
+/// per-plan StAX advancement across it, and bench_parallel (E13) sweeps
+/// its size.
+
+#ifndef SMOQE_COMMON_THREAD_POOL_H_
+#define SMOQE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smoqe {
+
+/// \brief Countdown latch for fork/join sections (C++17 has no
+/// std::latch). CountDown may be called from any thread; Wait blocks the
+/// caller until the count reaches zero. The count is mutex-guarded (not a
+/// lock-free fast path) so that once Wait returns, no CountDown caller
+/// can still be touching the latch — a stack-allocated Latch may be
+/// destroyed immediately after Wait.
+class Latch {
+ public:
+  explicit Latch(size_t count) : count_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  /// Non-blocking: true iff the count has reached zero. For waiters that
+  /// must keep draining a pool instead of blocking (ThreadPool::
+  /// HelpWhileWaiting) — a blocked wait whose tasks sit in a queue
+  /// behind the waiter is a deadlock.
+  bool TryWait() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0;
+  }
+
+ private:
+  size_t count_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// \brief Work-stealing thread pool.
+///
+/// `threads` is the total parallelism including the calling thread, so a
+/// pool built with `threads == 1` spawns no workers and runs everything
+/// inline — the serial fallback needs no special casing. Each worker owns
+/// a deque: submissions land round-robin, a worker pops its own deque
+/// LIFO (cache-warm), and an idle worker steals FIFO from the others
+/// (oldest task first, the classic Blumofe–Leiserson discipline).
+///
+/// ParallelFor is the fork/join primitive the engine uses: the calling
+/// thread *participates* in the loop, so nested ParallelFor from inside a
+/// task can never deadlock — a saturated pool degrades to the caller
+/// draining its own iterations inline.
+class ThreadPool {
+ public:
+  /// `threads` = total parallelism (callers + workers). 0 means one per
+  /// hardware core (`std::thread::hardware_concurrency`).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism: worker threads + the calling thread.
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Enqueues `fn` for asynchronous execution. With no workers the call
+  /// runs `fn` inline before returning.
+  void Submit(std::function<void()> fn);
+
+  /// Runs `body(i)` for every i in [0, n), distributing iterations across
+  /// the workers via a shared claim counter; the calling thread helps.
+  /// Returns when every iteration has finished. `body` must be safe to
+  /// call concurrently from multiple threads.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Blocks until `latch` opens, executing queued pool tasks on the
+  /// calling thread in the meantime. The fork side of a fork/join that
+  /// *submitted* its work (rather than using ParallelFor) must wait this
+  /// way: a join that merely blocks can deadlock when every worker is
+  /// itself blocked in a join and the forked tasks sit unclaimed in the
+  /// queues — helping guarantees the waiter's own work cannot starve.
+  void HelpWhileWaiting(Latch& latch);
+
+  /// Process-wide default pool (hardware-sized), for callers without a
+  /// configured engine.
+  static ThreadPool& Shared();
+
+ private:
+  struct WorkQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops one task — own deque back first, then steals another queue's
+  /// front. Returns false when every deque is empty.
+  bool RunOneTask(size_t self);
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> next_queue_{0};
+};
+
+}  // namespace smoqe
+
+#endif  // SMOQE_COMMON_THREAD_POOL_H_

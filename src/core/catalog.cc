@@ -1,6 +1,23 @@
 #include "src/core/catalog.h"
 
+#include "src/xml/serializer.h"
+
 namespace smoqe::core {
+
+const std::string& DocumentSnapshot::text() const {
+  std::call_once(text_once_, [&] {
+    if (std::atomic_load_explicit(&text_, std::memory_order_acquire) ==
+        nullptr) {
+      std::atomic_store_explicit(
+          &text_,
+          std::shared_ptr<const std::string>(
+              std::make_shared<const std::string>(
+                  xml::SerializeDocument(*dom))),
+          std::memory_order_release);
+    }
+  });
+  return *std::atomic_load_explicit(&text_, std::memory_order_acquire);
+}
 
 Status Catalog::AddDocument(const std::string& name,
                             std::unique_ptr<DocumentEntry> doc) {

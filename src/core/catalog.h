@@ -8,7 +8,9 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 
 #include "src/common/status.h"
@@ -36,21 +38,82 @@ struct ViewCacheEntry {
   std::unique_ptr<view::AccessMap> access;  ///< null until first needed
 };
 
-/// A loaded document: the raw text (for StAX mode), the DOM, an optional
-/// TAX index, and the epoch-stamped caches derived from the tree.
+/// \brief One epoch's immutable view of a document: the tree, its TAX
+/// index, and (lazily) its serialized text — the shared-ownership handle
+/// readers pin for the whole of an evaluation (docs/DESIGN.md §7.1).
+///
+/// Everything reachable from a snapshot is immutable: `Smoqe::Update`
+/// clones the tree, mutates the clone, and publishes a *new* snapshot,
+/// so a reader that acquired this one can keep evaluating with no lock
+/// held. The snapshot (and the old tree with it) is retired by shared_ptr
+/// refcounting when the last such reader drops its handle.
+class DocumentSnapshot {
+ public:
+  /// `text` may be null: a streaming scan then serializes the tree on
+  /// first use (thread-safe, at most once per snapshot).
+  DocumentSnapshot(std::shared_ptr<const xml::Document> dom_,
+                   std::shared_ptr<const index::TaxIndex> tax_,
+                   std::shared_ptr<const std::string> text)
+      : dom(std::move(dom_)), tax(std::move(tax_)), epoch(dom->epoch()),
+        text_(std::move(text)) {}
+
+  const std::shared_ptr<const xml::Document> dom;
+  /// TAX index of `dom`, or null while none is built.
+  const std::shared_ptr<const index::TaxIndex> tax;
+  /// == dom->epoch(); denormalized because it keys every derived cache.
+  const uint64_t epoch;
+
+  /// Serialized XML of `dom` (StAX scans). Lazy and thread-safe; the
+  /// reference stays valid for the snapshot's lifetime.
+  const std::string& text() const;
+
+  /// The text if already materialized (load-time input or a prior
+  /// serialization), else null — successor snapshots of the same tree
+  /// inherit it without forcing a serialization.
+  std::shared_ptr<const std::string> text_if_ready() const {
+    return std::atomic_load_explicit(&text_, std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::once_flag text_once_;
+  mutable std::shared_ptr<const std::string> text_;
+};
+
+/// A loaded document: the published snapshot plus the mutable service
+/// state around it. Lock order (docs/DESIGN.md §7.2): writer_mu →
+/// caches_mu → snap_mu_; readers take only snap_mu_ (shared, for the
+/// duration of one pointer copy).
 struct DocumentEntry {
   DocumentEntry(std::string text_, xml::Document dom_)
-      : text(std::move(text_)), dom(std::move(dom_)) {}
+      : snapshot_(std::make_shared<const DocumentSnapshot>(
+            std::make_shared<const xml::Document>(std::move(dom_)), nullptr,
+            std::make_shared<const std::string>(std::move(text_)))) {}
 
-  std::string text;
-  xml::Document dom;
-  std::optional<index::TaxIndex> tax;
-  /// Document epoch `text` reflects. Starts at the load epoch (the
-  /// original input text); updates leave it stale and the facade
-  /// re-serializes lazily before the next streaming scan.
-  uint64_t text_epoch = 0;
-  /// Per-view caches, keyed by view name.
+  /// Pins the current snapshot. O(1); never blocks on a writer's clone /
+  /// validate / apply work — only on the pointer swap itself.
+  std::shared_ptr<const DocumentSnapshot> Acquire() const {
+    std::shared_lock<std::shared_mutex> lock(snap_mu_);
+    return snapshot_;
+  }
+
+  /// Publishes a successor snapshot (callers hold writer_mu).
+  void Publish(std::shared_ptr<const DocumentSnapshot> snap) {
+    std::unique_lock<std::shared_mutex> lock(snap_mu_);
+    snapshot_ = std::move(snap);
+  }
+
+  /// Serializes writers (Update, BuildIndex, LoadIndex): clone → mutate →
+  /// publish must not interleave.
+  std::mutex writer_mu;
+  /// Guards view_caches (materializations + access maps are shared
+  /// mutable service state, unlike the snapshots).
+  std::mutex caches_mu;
+  /// Per-view caches, keyed by view name. Guarded by caches_mu.
   std::map<std::string, ViewCacheEntry> view_caches;
+
+ private:
+  mutable std::shared_mutex snap_mu_;
+  std::shared_ptr<const DocumentSnapshot> snapshot_;
 };
 
 /// A registered view: derived definition plus the policy it came from.

@@ -6,31 +6,35 @@ std::shared_ptr<const CompiledPlan> PlanCache::Lookup(const Key& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->second;
 }
 
-void PlanCache::Insert(const Key& key,
-                       std::shared_ptr<const CompiledPlan> plan) {
+std::shared_ptr<const CompiledPlan> PlanCache::Insert(
+    const Key& key, std::shared_ptr<const CompiledPlan> plan) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    // A concurrent compile of the same key finished first; keep one.
-    it->second->second = std::move(plan);
+    // A concurrent compile of the same key finished first. Keep the
+    // incumbent — its pointer is already handed out and may be cached by
+    // callers — and hand it to this racer too; the duplicate compile is
+    // dropped here (shared_ptr frees it), nothing leaks.
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    return it->second->second;
   }
   lru_.emplace_front(key, std::move(plan));
   index_.emplace(key, lru_.begin());
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+  size_.store(lru_.size(), std::memory_order_relaxed);
+  return lru_.front().second;
 }
 
 size_t PlanCache::InvalidateView(std::string_view view) {
@@ -45,25 +49,28 @@ size_t PlanCache::InvalidateView(std::string_view view) {
       ++it;
     }
   }
-  invalidations_ += dropped;
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  size_.store(lru_.size(), std::memory_order_relaxed);
   return dropped;
 }
 
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  invalidations_ += lru_.size();
+  invalidations_.fetch_add(lru_.size(), std::memory_order_relaxed);
   index_.clear();
   lru_.clear();
+  size_.store(0, std::memory_order_relaxed);
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Counter reads are lock-free; a stats() racing ongoing operations sees
+  // a near-instant of the cache, which is all a monitoring read needs.
   PlanCacheStats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.evictions = evictions_;
-  s.invalidations = invalidations_;
-  s.size = lru_.size();
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.size = size_.load(std::memory_order_relaxed);
   s.capacity = capacity_;
   return s;
 }

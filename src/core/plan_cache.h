@@ -11,6 +11,7 @@
 #ifndef SMOQE_CORE_PLAN_CACHE_H_
 #define SMOQE_CORE_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -60,9 +61,15 @@ struct PlanCacheStats {
 ///  * the *normalized query* is the canonical printer rendering of the
 ///    parsed AST, so `//a [b]` and `//a[b]` share one plan.
 ///
-/// Lookup/Insert are guarded by a mutex (compilations happen outside the
-/// lock; plans are immutable shared_ptrs, so concurrent readers can
-/// evaluate a plan that eviction has already dropped from the table).
+/// Thread safety: the table (map + LRU list) is guarded by a mutex;
+/// compilations happen outside the lock, and plans are immutable
+/// shared_ptrs, so concurrent readers can keep evaluating a plan that
+/// eviction or invalidation already dropped from the table. The counters
+/// are relaxed atomics, not mutex state — `stats()` never contends with
+/// the hot Lookup path. When two threads miss on the same key and both
+/// compile, the first Insert wins and the second caller is handed the
+/// first's plan back (see Insert), so a race can neither leak an entry
+/// nor invalidate a pointer already handed out.
 class PlanCache {
  public:
   static constexpr size_t kDefaultCapacity = 256;
@@ -85,9 +92,13 @@ class PlanCache {
   /// Counts a hit or a miss.
   std::shared_ptr<const CompiledPlan> Lookup(const Key& key);
 
-  /// Inserts (or replaces) the plan for `key`, evicting the least
-  /// recently used entry when over capacity.
-  void Insert(const Key& key, std::shared_ptr<const CompiledPlan> plan);
+  /// Inserts the plan for `key`, evicting the least recently used entry
+  /// when over capacity, and returns the plan now cached under the key.
+  /// If a concurrent compile of the same key got there first, the cached
+  /// (first) plan is kept and returned — callers should adopt the return
+  /// value so every racer converges on one shared artifact.
+  std::shared_ptr<const CompiledPlan> Insert(
+      const Key& key, std::shared_ptr<const CompiledPlan> plan);
 
   /// Drops every plan compiled against view `view` (after a view
   /// redefinition or a change to its underlying DTD). Returns the number
@@ -112,14 +123,17 @@ class PlanCache {
 
   using LruList = std::list<std::pair<Key, std::shared_ptr<const CompiledPlan>>>;
 
-  mutable std::mutex mu_;
+  mutable std::mutex mu_;  // guards lru_ + index_ (not the counters)
   size_t capacity_;
   LruList lru_;  // front = most recently used
   std::unordered_map<Key, LruList::iterator, KeyHash> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t invalidations_ = 0;
+  // Relaxed atomics: exact per-op ordering is irrelevant, stats() must not
+  // serialize against hot lookups.
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<size_t> size_{0};
 };
 
 }  // namespace smoqe::core

@@ -1,6 +1,10 @@
 #include "src/core/smoqe.h"
 
+#include <algorithm>
+#include <map>
+#include <mutex>
 #include <set>
+#include <utility>
 
 #include "src/automata/mfa.h"
 #include "src/common/strings.h"
@@ -37,12 +41,30 @@ uint64_t ViewFingerprint(const view::ViewDefinition& def,
 
 }  // namespace
 
+Smoqe::Smoqe(EngineOptions options)
+    : names_(xml::NameTable::Create()),
+      options_(options),
+      plan_cache_(options.plan_cache_capacity) {
+  // A pool only exists when it can actually help: max_threads == 1 (or a
+  // 1-core host under the default) keeps the engine bit-for-bit serial.
+  const int resolved =
+      options_.max_threads > 0
+          ? options_.max_threads
+          : static_cast<int>(std::thread::hardware_concurrency());
+  if (resolved > 1) pool_ = std::make_unique<ThreadPool>(resolved);
+}
+
 Smoqe::Smoqe(size_t plan_cache_capacity)
-    : names_(xml::NameTable::Create()), plan_cache_(plan_cache_capacity) {}
+    : Smoqe([plan_cache_capacity] {
+        EngineOptions o;
+        o.plan_cache_capacity = plan_cache_capacity;
+        return o;
+      }()) {}
 
 Status Smoqe::RegisterDtd(const std::string& name, std::string_view dtd_text,
                           std::string_view root) {
   SMOQE_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::ParseDtd(dtd_text, root));
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   bool replaced =
       catalog_.PutDtd(name, std::make_unique<xml::Dtd>(std::move(dtd)));
   if (replaced) {
@@ -64,6 +86,7 @@ Status Smoqe::LoadDocument(const std::string& name,
   opts.names = names_;
   SMOQE_ASSIGN_OR_RETURN(xml::ParsedDocument parsed,
                          xml::ParseXml(xml_text, opts));
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   if (!parsed.doctype_internal_subset.empty() &&
       catalog_.FindDtd(name) == nullptr) {
     auto dtd = xml::ParseDtd(parsed.doctype_internal_subset,
@@ -81,25 +104,36 @@ Status Smoqe::LoadDocument(const std::string& name,
 Status Smoqe::GenerateDocument(const std::string& name,
                                const std::string& dtd_name, uint64_t seed,
                                size_t target_nodes) {
-  const xml::Dtd* dtd = catalog_.FindDtd(dtd_name);
-  if (dtd == nullptr) {
-    return Status::NotFound("DTD '" + dtd_name + "' is not registered");
-  }
   xml::GeneratorOptions opts;
   opts.seed = seed;
   opts.target_nodes = target_nodes;
   opts.names = names_;
-  SMOQE_ASSIGN_OR_RETURN(xml::Document doc,
-                         xml::GenerateDocument(*dtd, opts));
-  std::string text = xml::SerializeDocument(doc);
+  // Generate under the *shared* lock — the O(target_nodes) generation
+  // and serialization must not stall concurrent readers; only the DTD
+  // content has to be pinned against a concurrent RegisterDtd. The
+  // unique lock covers just the catalog insert.
+  std::optional<xml::Document> doc;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    const xml::Dtd* dtd = catalog_.FindDtd(dtd_name);
+    if (dtd == nullptr) {
+      return Status::NotFound("DTD '" + dtd_name + "' is not registered");
+    }
+    SMOQE_ASSIGN_OR_RETURN(xml::Document generated,
+                           xml::GenerateDocument(*dtd, opts));
+    doc.emplace(std::move(generated));
+  }
+  std::string text = xml::SerializeDocument(*doc);
   auto entry =
-      std::make_unique<DocumentEntry>(std::move(text), std::move(doc));
+      std::make_unique<DocumentEntry>(std::move(text), std::move(*doc));
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   return catalog_.AddDocument(name, std::move(entry));
 }
 
 Status Smoqe::DefineView(const std::string& view_name,
                          const std::string& dtd_name,
                          std::string_view policy_text) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   const xml::Dtd* dtd = catalog_.FindDtd(dtd_name);
   if (dtd == nullptr) {
     return Status::NotFound("DTD '" + dtd_name + "' is not registered");
@@ -125,6 +159,7 @@ Status Smoqe::DefineViewFromSpec(const std::string& view_name,
                                  const std::string& document_dtd_name) {
   SMOQE_ASSIGN_OR_RETURN(view::ViewDefinition def,
                          view::ParseViewSpecification(spec_text));
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   if (!document_dtd_name.empty()) {
     const xml::Dtd* dtd = catalog_.FindDtd(document_dtd_name);
     if (dtd == nullptr) {
@@ -144,6 +179,7 @@ Status Smoqe::DefineViewFromSpec(const std::string& view_name,
 }
 
 Result<std::string> Smoqe::ViewSchema(const std::string& view_name) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   const ViewEntry* view = catalog_.FindView(view_name);
   if (view == nullptr) {
     return Status::NotFound("view '" + view_name + "' is not registered");
@@ -153,6 +189,7 @@ Result<std::string> Smoqe::ViewSchema(const std::string& view_name) const {
 
 Result<std::string> Smoqe::ViewSpecification(
     const std::string& view_name) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   const ViewEntry* view = catalog_.FindView(view_name);
   if (view == nullptr) {
     return Status::NotFound("view '" + view_name + "' is not registered");
@@ -161,34 +198,52 @@ Result<std::string> Smoqe::ViewSpecification(
 }
 
 Status Smoqe::BuildIndex(const std::string& doc_name) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   DocumentEntry* doc = catalog_.FindDocument(doc_name);
   if (doc == nullptr) {
     return Status::NotFound("document '" + doc_name + "' is not loaded");
   }
-  doc->tax = index::TaxIndex::Build(doc->dom);
+  // Writer path: the successor snapshot shares the tree (and any already
+  // serialized text) and differs only in the index.
+  std::lock_guard<std::mutex> writer(doc->writer_mu);
+  std::shared_ptr<const DocumentSnapshot> base = doc->Acquire();
+  auto tax =
+      std::make_shared<const index::TaxIndex>(index::TaxIndex::Build(*base->dom));
+  doc->Publish(std::make_shared<const DocumentSnapshot>(
+      base->dom, std::move(tax), base->text_if_ready()));
   return Status::OK();
 }
 
 Status Smoqe::SaveIndex(const std::string& doc_name,
                         const std::string& path) const {
-  const DocumentEntry* doc = catalog_.FindDocument(doc_name);
-  if (doc == nullptr) {
-    return Status::NotFound("document '" + doc_name + "' is not loaded");
+  std::shared_ptr<const DocumentSnapshot> snap;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    const DocumentEntry* doc = catalog_.FindDocument(doc_name);
+    if (doc == nullptr) {
+      return Status::NotFound("document '" + doc_name + "' is not loaded");
+    }
+    snap = doc->Acquire();
   }
-  if (!doc->tax.has_value()) {
+  if (snap->tax == nullptr) {
     return Status::FailedPrecondition("document '" + doc_name +
                                       "' has no TAX index; call BuildIndex");
   }
-  return index::TaxIo::Save(*doc->tax, path);
+  return index::TaxIo::Save(*snap->tax, path);
 }
 
 Status Smoqe::LoadIndex(const std::string& doc_name, const std::string& path) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   DocumentEntry* doc = catalog_.FindDocument(doc_name);
   if (doc == nullptr) {
     return Status::NotFound("document '" + doc_name + "' is not loaded");
   }
   SMOQE_ASSIGN_OR_RETURN(index::TaxIndex idx, index::TaxIo::Load(path));
-  doc->tax = std::move(idx);
+  std::lock_guard<std::mutex> writer(doc->writer_mu);
+  std::shared_ptr<const DocumentSnapshot> base = doc->Acquire();
+  doc->Publish(std::make_shared<const DocumentSnapshot>(
+      base->dom, std::make_shared<const index::TaxIndex>(std::move(idx)),
+      base->text_if_ready()));
   return Status::OK();
 }
 
@@ -220,30 +275,37 @@ Result<Smoqe::PlanUse> Smoqe::GetPlan(std::string_view query_text,
 
   // Compile: direct queries compile as-is; view queries are rewritten to
   // an equivalent MFA over the underlying document (never materializing).
-  auto plan = std::make_shared<CompiledPlan>();
+  auto compiled = std::make_shared<CompiledPlan>();
   if (view == nullptr) {
-    SMOQE_ASSIGN_OR_RETURN(plan->mfa, automata::Mfa::Compile(*query, names_));
+    SMOQE_ASSIGN_OR_RETURN(compiled->mfa,
+                           automata::Mfa::Compile(*query, names_));
   } else {
     // Query assistance: flag labels that are not part of the schema the
     // user group sees (they can never match — typo or access attempt).
     rxpath::TypeCheckResult tc = rxpath::TypeCheck(
         *query, view->definition.view_dtd(), {}, /*from_document_node=*/true);
-    plan->unknown_labels.assign(tc.unknown_labels.begin(),
-                                tc.unknown_labels.end());
+    compiled->unknown_labels.assign(tc.unknown_labels.begin(),
+                                    tc.unknown_labels.end());
     SMOQE_ASSIGN_OR_RETURN(
-        plan->mfa, rewrite::RewriteToMfa(*query, view->definition, names_));
+        compiled->mfa, rewrite::RewriteToMfa(*query, view->definition, names_));
   }
-  if (!options.bypass_plan_cache) plan_cache_.Insert(key, plan);
+  std::shared_ptr<const CompiledPlan> plan = std::move(compiled);
+  if (!options.bypass_plan_cache) {
+    // Adopt whatever the cache keeps: if a concurrent compile of the same
+    // key won the race, every caller converges on the winner's plan.
+    plan = plan_cache_.Insert(key, std::move(plan));
+  }
   return PlanUse{std::move(plan), /*cache_hit=*/false};
 }
 
-Result<QueryAnswer> Smoqe::EvalCompiled(DocumentEntry* doc,
+Result<QueryAnswer> Smoqe::EvalCompiled(const DocumentSnapshot& snap,
                                         const std::string& doc_name,
                                         const PlanUse& pu,
                                         const QueryOptions& options) {
   const CompiledPlan& plan = *pu.plan;
   QueryAnswer out;
   out.unknown_labels = plan.unknown_labels;
+  out.doc_epoch = snap.epoch;
   if (options.explain) out.mfa_dump = plan.mfa.ToString();
 
   if (options.mode == EvalMode::kStax) {
@@ -251,32 +313,31 @@ Result<QueryAnswer> Smoqe::EvalCompiled(DocumentEntry* doc,
       return Status::InvalidArgument(
           "TAX requires DOM mode (the index addresses materialized nodes)");
     }
-    EnsureFreshText(doc);
     eval::StaxEvalOptions stax_opts;
     stax_opts.engine.trace = options.explain;
     SMOQE_ASSIGN_OR_RETURN(eval::StaxEvalResult r,
-                           eval::EvalHypeStax(plan.mfa, doc->text, stax_opts));
+                           eval::EvalHypeStax(plan.mfa, snap.text(), stax_opts));
     for (auto& a : r.answers) out.answers_xml.push_back(std::move(a.xml));
     out.stats = r.stats;
   } else {
     eval::DomEvalOptions dom_opts;
     dom_opts.engine.trace = options.explain;
     if (options.use_tax) {
-      if (!doc->tax.has_value()) {
+      if (snap.tax == nullptr) {
         return Status::FailedPrecondition(
             "document '" + doc_name + "' has no TAX index; call BuildIndex");
       }
-      dom_opts.tax = &*doc->tax;
+      dom_opts.tax = snap.tax.get();
     }
     SMOQE_ASSIGN_OR_RETURN(eval::DomEvalResult r,
-                           eval::EvalHypeDom(plan.mfa, doc->dom, dom_opts));
+                           eval::EvalHypeDom(plan.mfa, *snap.dom, dom_opts));
     for (const xml::Node* n : r.answers) {
       out.answers_xml.push_back(xml::SerializeNode(n, *names_));
       out.answer_ids.push_back(n->node_id);
     }
     out.stats = r.stats;
     if (options.explain && r.trace != nullptr) {
-      out.trace_tree = r.trace->RenderTree(doc->dom, r.nodes_by_engine_id);
+      out.trace_tree = r.trace->RenderTree(*snap.dom, r.nodes_by_engine_id);
     }
   }
   out.stats.plan_cache_hits = pu.cache_hit ? 1 : 0;
@@ -287,64 +348,62 @@ Result<QueryAnswer> Smoqe::EvalCompiled(DocumentEntry* doc,
 Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
                                  std::string_view query_text,
                                  const QueryOptions& options) {
-  DocumentEntry* doc = catalog_.FindDocument(doc_name);
-  if (doc == nullptr) {
-    return Status::NotFound("document '" + doc_name + "' is not loaded");
+  std::shared_ptr<const DocumentSnapshot> snap;
+  PlanUse plan;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    DocumentEntry* doc = catalog_.FindDocument(doc_name);
+    if (doc == nullptr) {
+      return Status::NotFound("document '" + doc_name + "' is not loaded");
+    }
+    SMOQE_ASSIGN_OR_RETURN(plan, GetPlan(query_text, options));
+    snap = doc->Acquire();
   }
-  SMOQE_ASSIGN_OR_RETURN(PlanUse plan, GetPlan(query_text, options));
-  return EvalCompiled(doc, doc_name, plan, options);
+  // No lock held during evaluation: the snapshot is pinned, the plan is
+  // immutable and shared.
+  return EvalCompiled(*snap, doc_name, plan, options);
 }
 
-Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
-    const std::string& doc_name, const std::vector<BatchQueryItem>& items) {
-  DocumentEntry* doc = catalog_.FindDocument(doc_name);
-  if (doc == nullptr) {
-    return Status::NotFound("document '" + doc_name + "' is not loaded");
-  }
-
-  // Resolve every plan and check every evaluation precondition first, so
-  // a bad item fails the whole call before any evaluation work happens.
-  std::vector<PlanUse> plans;
-  plans.reserve(items.size());
+Status Smoqe::EvalBatchOnSnapshot(const DocumentSnapshot& snap,
+                                  const std::string& doc_name,
+                                  const std::vector<BatchQueryItem>& items,
+                                  const std::vector<PlanUse>& plans,
+                                  const std::vector<size_t>& sel,
+                                  const std::vector<size_t>& error_ids,
+                                  std::vector<QueryAnswer>* out) {
   std::vector<size_t> stax_items;
-  for (size_t i = 0; i < items.size(); ++i) {
-    auto plan = GetPlan(items[i].query, items[i].options);
-    if (!plan.ok()) {
-      return plan.status().WithContext("batch item " + std::to_string(i));
-    }
-    plans.push_back(std::move(*plan));
-    if (items[i].options.mode == EvalMode::kStax) {
-      if (items[i].options.use_tax) {
-        return Status::InvalidArgument(
-            "batch item " + std::to_string(i) +
-            ": TAX requires DOM mode (the index addresses materialized "
-            "nodes)");
-      }
-      stax_items.push_back(i);
-    } else if (items[i].options.use_tax && !doc->tax.has_value()) {
-      return Status::FailedPrecondition(
-          "batch item " + std::to_string(i) + ": document '" + doc_name +
-          "' has no TAX index; call BuildIndex");
-    }
+  std::vector<size_t> dom_items;
+  for (size_t i : sel) {
+    (items[i].options.mode == EvalMode::kStax ? stax_items : dom_items)
+        .push_back(i);
   }
 
-  std::vector<QueryAnswer> out(items.size());
-
-  // All streaming items share one forward scan of the document text.
+  // All streaming items share one forward scan of the document text; with
+  // a pool, per-plan advancement fans out behind the shared tokenizer.
   if (!stax_items.empty()) {
-    EnsureFreshText(doc);
     eval::BatchEvaluator batch;
     for (size_t i : stax_items) {
       eval::EngineOptions engine;
       engine.trace = items[i].options.explain;
       batch.AddPlan(&plans[i].plan->mfa, engine);
     }
-    SMOQE_ASSIGN_OR_RETURN(std::vector<eval::StaxEvalResult> results,
-                           batch.Run(doc->text));
+    Result<std::vector<eval::StaxEvalResult>> results_or =
+        [&]() -> Result<std::vector<eval::StaxEvalResult>> {
+      if (ParallelEnabled()) {
+        eval::BatchParallelOptions par;
+        par.pool = pool_.get();
+        par.chunk_events = options_.stax_chunk_events;
+        return batch.RunParallel(snap.text(), par);
+      }
+      return batch.Run(snap.text());
+    }();
+    SMOQE_RETURN_IF_ERROR(results_or.status());
+    std::vector<eval::StaxEvalResult>& results = *results_or;
     for (size_t j = 0; j < stax_items.size(); ++j) {
       const size_t i = stax_items[j];
-      QueryAnswer& a = out[i];
+      QueryAnswer& a = (*out)[i];
       a.unknown_labels = plans[i].plan->unknown_labels;
+      a.doc_epoch = snap.epoch;
       if (items[i].options.explain) a.mfa_dump = plans[i].plan->mfa.ToString();
       for (auto& ans : results[j].answers) {
         a.answers_xml.push_back(std::move(ans.xml));
@@ -356,50 +415,194 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
   }
 
   // DOM-mode items evaluate per item — the tree is already amortized
-  // across them, and TAX/trace address materialized nodes.
-  for (size_t i = 0; i < items.size(); ++i) {
-    if (items[i].options.mode == EvalMode::kStax) continue;
-    auto answer = EvalCompiled(doc, doc_name, plans[i], items[i].options);
-    if (!answer.ok()) {
-      return answer.status().WithContext("batch item " + std::to_string(i));
+  // across them, and TAX/trace address materialized nodes. Items are
+  // independent, so they fan out across the pool.
+  if (!dom_items.empty()) {
+    std::vector<Status> statuses(dom_items.size(), Status::OK());
+    auto eval_one = [&](size_t j) {
+      const size_t i = dom_items[j];
+      auto answer = EvalCompiled(snap, doc_name, plans[i], items[i].options);
+      if (answer.ok()) {
+        (*out)[i] = std::move(*answer);
+      } else {
+        statuses[j] = answer.status();
+      }
+    };
+    if (ParallelEnabled() && dom_items.size() > 1) {
+      pool_->ParallelFor(dom_items.size(), eval_one);
+    } else {
+      for (size_t j = 0; j < dom_items.size(); ++j) eval_one(j);
     }
-    out[i] = std::move(*answer);
+    for (size_t j = 0; j < dom_items.size(); ++j) {
+      if (!statuses[j].ok()) {
+        return statuses[j].WithContext(
+            "batch item " + std::to_string(error_ids[dom_items[j]]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
+    const std::string& doc_name, const std::vector<BatchQueryItem>& items) {
+  std::shared_ptr<const DocumentSnapshot> snap;
+  std::vector<PlanUse> plans;
+  plans.reserve(items.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    DocumentEntry* doc = catalog_.FindDocument(doc_name);
+    if (doc == nullptr) {
+      return Status::NotFound("document '" + doc_name + "' is not loaded");
+    }
+    snap = doc->Acquire();
+    // Resolve every plan and check every evaluation precondition first, so
+    // a bad item fails the whole call before any evaluation work happens.
+    for (size_t i = 0; i < items.size(); ++i) {
+      auto plan = GetPlan(items[i].query, items[i].options);
+      if (!plan.ok()) {
+        return plan.status().WithContext("batch item " + std::to_string(i));
+      }
+      plans.push_back(std::move(*plan));
+      if (items[i].options.mode == EvalMode::kStax) {
+        if (items[i].options.use_tax) {
+          return Status::InvalidArgument(
+              "batch item " + std::to_string(i) +
+              ": TAX requires DOM mode (the index addresses materialized "
+              "nodes)");
+        }
+      } else if (items[i].options.use_tax && snap->tax == nullptr) {
+        return Status::FailedPrecondition(
+            "batch item " + std::to_string(i) + ": document '" + doc_name +
+            "' has no TAX index; call BuildIndex");
+      }
+    }
+  }
+
+  std::vector<QueryAnswer> out(items.size());
+  std::vector<size_t> all(items.size());
+  for (size_t i = 0; i < items.size(); ++i) all[i] = i;
+  SMOQE_RETURN_IF_ERROR(
+      EvalBatchOnSnapshot(*snap, doc_name, items, plans, all, all, &out));
+  return out;
+}
+
+Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMulti(
+    const std::vector<DocBatchItem>& items) {
+  // Group items by document (first-appearance order) and pin one snapshot
+  // per document, so each group is internally a QueryBatch.
+  struct Group {
+    std::string doc_name;
+    std::shared_ptr<const DocumentSnapshot> snap;
+    std::vector<BatchQueryItem> items;
+    std::vector<size_t> original;  // index into the caller's vector
+  };
+  std::vector<Group> groups;
+  std::map<std::string, size_t> group_of;
+  std::vector<std::vector<PlanUse>> plans;  // parallel to groups
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    for (size_t i = 0; i < items.size(); ++i) {
+      auto [it, inserted] = group_of.emplace(items[i].doc, groups.size());
+      if (inserted) {
+        DocumentEntry* doc = catalog_.FindDocument(items[i].doc);
+        if (doc == nullptr) {
+          return Status::NotFound("document '" + items[i].doc +
+                                  "' is not loaded")
+              .WithContext("batch item " + std::to_string(i));
+        }
+        groups.push_back(Group{items[i].doc, doc->Acquire(), {}, {}});
+      }
+      Group& g = groups[it->second];
+      g.items.push_back(BatchQueryItem{items[i].query, items[i].options});
+      g.original.push_back(i);
+    }
+    plans.resize(groups.size());
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      Group& g = groups[gi];
+      for (size_t j = 0; j < g.items.size(); ++j) {
+        auto plan = GetPlan(g.items[j].query, g.items[j].options);
+        if (!plan.ok()) {
+          return plan.status().WithContext(
+              "batch item " + std::to_string(g.original[j]));
+        }
+        plans[gi].push_back(std::move(*plan));
+        const QueryOptions& o = g.items[j].options;
+        if (o.mode == EvalMode::kStax && o.use_tax) {
+          return Status::InvalidArgument(
+              "batch item " + std::to_string(g.original[j]) +
+              ": TAX requires DOM mode (the index addresses materialized "
+              "nodes)");
+        }
+        if (o.mode == EvalMode::kDom && o.use_tax &&
+            g.snap->tax == nullptr) {
+          return Status::FailedPrecondition(
+              "batch item " + std::to_string(g.original[j]) + ": document '" +
+              g.doc_name + "' has no TAX index; call BuildIndex");
+        }
+      }
+    }
+  }
+
+  std::vector<QueryAnswer> out(items.size());
+  std::vector<Status> statuses(groups.size(), Status::OK());
+  auto eval_group = [&](size_t gi) {
+    Group& g = groups[gi];
+    std::vector<QueryAnswer> group_out(g.items.size());
+    std::vector<size_t> sel(g.items.size());
+    for (size_t j = 0; j < sel.size(); ++j) sel[j] = j;
+    Status s = EvalBatchOnSnapshot(*g.snap, g.doc_name, g.items, plans[gi],
+                                   sel, g.original, &group_out);
+    if (!s.ok()) {
+      statuses[gi] = std::move(s);
+      return;
+    }
+    for (size_t j = 0; j < g.items.size(); ++j) {
+      out[g.original[j]] = std::move(group_out[j]);
+    }
+  };
+  // Independent documents evaluate concurrently; within a group the usual
+  // QueryBatch parallelism applies (nested ParallelFor is deadlock-free —
+  // the pool's fork/join helps while waiting).
+  if (ParallelEnabled() && groups.size() > 1) {
+    pool_->ParallelFor(groups.size(), eval_group);
+  } else {
+    for (size_t gi = 0; gi < groups.size(); ++gi) eval_group(gi);
+  }
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    if (!statuses[gi].ok()) {
+      return statuses[gi].WithContext("document '" + groups[gi].doc_name +
+                                      "'");
+    }
   }
   return out;
 }
 
-void Smoqe::EnsureFreshText(DocumentEntry* doc) {
-  if (doc->text_epoch == doc->dom.epoch()) return;
-  doc->text = xml::SerializeDocument(doc->dom);
-  doc->text_epoch = doc->dom.epoch();
-}
-
-Result<ViewCacheEntry*> Smoqe::GetViewCache(DocumentEntry* doc,
-                                            const std::string& view_name,
-                                            const ViewEntry* view,
-                                            bool* cache_hit) {
+Result<ViewCacheEntry*> Smoqe::GetViewCacheLocked(DocumentEntry* doc,
+                                                  const DocumentSnapshot& snap,
+                                                  const std::string& view_name,
+                                                  const ViewEntry* view,
+                                                  bool* cache_hit) {
   ViewCacheEntry& cache = doc->view_caches[view_name];
-  const uint64_t epoch = doc->dom.epoch();
   if (cache.mv.has_value() && cache.fingerprint == view->fingerprint &&
-      cache.mv_epoch == epoch) {
+      cache.mv_epoch == snap.epoch) {
     if (cache_hit != nullptr) *cache_hit = true;
     return &cache;
   }
   SMOQE_ASSIGN_OR_RETURN(view::MaterializedView mv,
-                         view::Materialize(view->definition, doc->dom));
+                         view::Materialize(view->definition, *snap.dom));
   if (cache.fingerprint != view->fingerprint) {
     cache.access.reset();  // access maps are per-policy too
   }
   cache.fingerprint = view->fingerprint;
-  cache.mv_epoch = epoch;
+  cache.mv_epoch = snap.epoch;
   cache.mv.emplace(std::move(mv));
   if (cache_hit != nullptr) *cache_hit = false;
   return &cache;
 }
 
-Result<const view::AccessMap*> Smoqe::GetAccessMap(DocumentEntry* doc,
-                                                   const std::string& view_name,
-                                                   const ViewEntry* view) {
+Result<const view::AccessMap*> Smoqe::GetAccessMapLocked(
+    DocumentEntry* doc, const DocumentSnapshot& snap,
+    const std::string& view_name, const ViewEntry* view) {
   if (view->policy == nullptr) {
     return Status::FailedPrecondition(
         "view '" + view_name +
@@ -407,12 +610,11 @@ Result<const view::AccessMap*> Smoqe::GetAccessMap(DocumentEntry* doc,
         "require a policy-derived view");
   }
   ViewCacheEntry& cache = doc->view_caches[view_name];
-  const uint64_t epoch = doc->dom.epoch();
   if (cache.access == nullptr || cache.fingerprint != view->fingerprint ||
-      cache.access_epoch != epoch) {
+      cache.access_epoch != snap.epoch) {
     cache.access = std::make_unique<view::AccessMap>(
-        view::AccessMap::Compute(*view->policy, doc->dom));
-    cache.access_epoch = epoch;
+        view::AccessMap::Compute(*view->policy, *snap.dom));
+    cache.access_epoch = snap.epoch;
     if (cache.fingerprint != view->fingerprint) {
       cache.mv.reset();  // fingerprint owner changed; drop the sibling cache
       cache.fingerprint = view->fingerprint;
@@ -423,17 +625,24 @@ Result<const view::AccessMap*> Smoqe::GetAccessMap(DocumentEntry* doc,
 
 Result<MaterializedViewAnswer> Smoqe::MaterializeView(
     const std::string& doc_name, const std::string& view_name) {
-  DocumentEntry* doc = catalog_.FindDocument(doc_name);
+  DocumentEntry* doc = nullptr;
+  const ViewEntry* view = nullptr;
+  std::shared_ptr<const DocumentSnapshot> snap;
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  doc = catalog_.FindDocument(doc_name);
   if (doc == nullptr) {
     return Status::NotFound("document '" + doc_name + "' is not loaded");
   }
-  const ViewEntry* view = catalog_.FindView(view_name);
+  view = catalog_.FindView(view_name);
   if (view == nullptr) {
     return Status::NotFound("view '" + view_name + "' is not registered");
   }
+  snap = doc->Acquire();
   bool cache_hit = false;
-  SMOQE_ASSIGN_OR_RETURN(ViewCacheEntry * cache,
-                         GetViewCache(doc, view_name, view, &cache_hit));
+  std::lock_guard<std::mutex> caches(doc->caches_mu);
+  SMOQE_ASSIGN_OR_RETURN(
+      ViewCacheEntry * cache,
+      GetViewCacheLocked(doc, *snap, view_name, view, &cache_hit));
   MaterializedViewAnswer out;
   out.xml = xml::SerializeDocument(cache->mv->document);
   out.cache_hit = cache_hit;
@@ -442,24 +651,31 @@ Result<MaterializedViewAnswer> Smoqe::MaterializeView(
 }
 
 Result<std::string> Smoqe::DocumentXml(const std::string& doc_name) const {
-  const DocumentEntry* doc = catalog_.FindDocument(doc_name);
-  if (doc == nullptr) {
-    return Status::NotFound("document '" + doc_name + "' is not loaded");
+  std::shared_ptr<const DocumentSnapshot> snap;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    const DocumentEntry* doc = catalog_.FindDocument(doc_name);
+    if (doc == nullptr) {
+      return Status::NotFound("document '" + doc_name + "' is not loaded");
+    }
+    snap = doc->Acquire();
   }
-  return xml::SerializeDocument(doc->dom);
+  return xml::SerializeDocument(*snap->dom);
 }
 
 Result<uint64_t> Smoqe::DocumentEpoch(const std::string& doc_name) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   const DocumentEntry* doc = catalog_.FindDocument(doc_name);
   if (doc == nullptr) {
     return Status::NotFound("document '" + doc_name + "' is not loaded");
   }
-  return doc->dom.epoch();
+  return doc->Acquire()->epoch;
 }
 
 Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
                                    std::string_view update_text,
                                    const UpdateOptions& options) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   DocumentEntry* doc = catalog_.FindDocument(doc_name);
   if (doc == nullptr) {
     return Status::NotFound("document '" + doc_name + "' is not loaded");
@@ -490,13 +706,17 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
     dtd = catalog_.FindDtd(doc_name);
   }
 
-  // Resolve the target set to document nodes. View updates resolve in the
-  // view's virtual document (via the epoch-cached materialization and its
-  // provenance); direct updates resolve on the document itself.
-  std::vector<update::ResolvedEdit> script;
+  // One writer at a time per document; readers are never blocked — they
+  // stay pinned to the base snapshot for as long as they need it.
+  std::lock_guard<std::mutex> writer(doc->writer_mu);
+  std::shared_ptr<const DocumentSnapshot> base = doc->Acquire();
+
+  // Resolve the target set to document node ids. View updates resolve in
+  // the view's virtual document (via the epoch-cached materialization and
+  // its provenance); direct updates resolve on the document itself.
   std::set<int32_t> target_ids;
   if (view == nullptr) {
-    rxpath::NaiveEvaluator eval(doc->dom);
+    rxpath::NaiveEvaluator eval(*base->dom);
     for (const xml::Node* n : eval.Eval(*stmt.target)) {
       target_ids.insert(n->node_id);
     }
@@ -507,114 +727,129 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
           "' was registered from a specification, not a policy; updates "
           "require a policy-derived view");
     }
-    SMOQE_ASSIGN_OR_RETURN(ViewCacheEntry * cache,
-                           GetViewCache(doc, options.view, view, nullptr));
+    std::lock_guard<std::mutex> caches(doc->caches_mu);
+    SMOQE_ASSIGN_OR_RETURN(
+        ViewCacheEntry * cache,
+        GetViewCacheLocked(doc, *base, options.view, view, nullptr));
     rxpath::NaiveEvaluator eval(cache->mv->document);
     for (const xml::Node* n : eval.Eval(*stmt.target)) {
       int32_t src = cache->mv->source_node_id[n->node_id];
       if (src >= 0) target_ids.insert(src);
     }
   }
-  const xml::Document* fragment =
-      stmt.fragment.has_value() ? &*stmt.fragment : nullptr;
-  for (int32_t id : target_ids) {
-    script.push_back(
-        update::ResolvedEdit{stmt.kind, doc->dom.mutable_node(id), fragment});
-  }
 
   UpdateResult out;
   out.canonical = update::ToString(stmt);
-  out.stats.targets = script.size();
-  out.stats.doc_epoch = doc->dom.epoch();
-  if (script.empty()) return out;  // nothing selected: a successful no-op
+  out.stats.targets = target_ids.size();
+  out.stats.doc_epoch = base->epoch;
+  if (target_ids.empty()) return out;  // nothing selected: a successful no-op
+
+  // Copy-on-write: every check and mutation below runs against a private
+  // clone; the published snapshot is untouched until the final Publish.
+  // Ids, orders and the epoch survive the clone, so id-keyed caches
+  // (access maps, provenance) computed at the base epoch apply verbatim.
+  xml::Document clone = base->dom->Clone();
+  const xml::Document* fragment =
+      stmt.fragment.has_value() ? &*stmt.fragment : nullptr;
+  std::vector<update::ResolvedEdit> script;
+  for (int32_t id : target_ids) {
+    script.push_back(
+        update::ResolvedEdit{stmt.kind, clone.mutable_node(id), fragment});
+  }
 
   // Authorize (view updates only), then validate — both before any
   // mutation, so a rejected or invalid update leaves everything intact.
   if (view != nullptr) {
-    SMOQE_ASSIGN_OR_RETURN(const view::AccessMap* access,
-                           GetAccessMap(doc, options.view, view));
-    SMOQE_RETURN_IF_ERROR(update::AuthorizeScript(*view->policy, *access,
-                                                  doc->dom, script));
+    std::lock_guard<std::mutex> caches(doc->caches_mu);
+    SMOQE_ASSIGN_OR_RETURN(
+        const view::AccessMap* access,
+        GetAccessMapLocked(doc, *base, options.view, view));
+    SMOQE_RETURN_IF_ERROR(
+        update::AuthorizeScript(*view->policy, *access, clone, script));
   }
 
+  std::optional<index::TaxIndex> tax_copy;
+  if (base->tax != nullptr) tax_copy.emplace(*base->tax);
   update::ApplierOptions apply_opts;
   apply_opts.dtd = dtd;
-  apply_opts.tax = doc->tax.has_value() ? &*doc->tax : nullptr;
+  apply_opts.tax = tax_copy.has_value() ? &*tax_copy : nullptr;
   apply_opts.rebuild_tax = options.rebuild_tax;
-  update::UpdateApplier applier(&doc->dom, apply_opts);
+  update::UpdateApplier applier(&clone, apply_opts);
   if (options.dry_run) {
     SMOQE_RETURN_IF_ERROR(applier.Validate(script));
-    return out;
+    return out;  // the clone is discarded; nothing was published
   }
 
   // View-cache retention (DESIGN.md §6.5): decide per *fresh* cached view
   // BEFORE mutating — the test walks subtrees the update removes. A cache
   // survives iff its policy is qualifier-free and the whole effect region
   // is hidden from that view; everything else goes stale via the epoch.
-  const uint64_t pre_epoch = doc->dom.epoch();
   std::vector<std::string> retain;
-  for (auto& [name, cache] : doc->view_caches) {
-    if (!cache.mv.has_value() || cache.mv_epoch != pre_epoch) continue;
-    const ViewEntry* v = catalog_.FindView(name);
-    if (v == nullptr || v->fingerprint != cache.fingerprint ||
-        v->policy == nullptr || v->policy->HasConditions()) {
-      continue;
-    }
-    auto access = GetAccessMap(doc, name, v);
-    if (!access.ok()) continue;
-    bool irrelevant = true;
-    for (const update::ResolvedEdit& e : script) {
-      if (e.kind != update::OpKind::kInsert &&
-          !(*access)->SubtreeHidden(e.target)) {
-        irrelevant = false;
-        break;
+  {
+    std::lock_guard<std::mutex> caches(doc->caches_mu);
+    for (auto& [name, cache] : doc->view_caches) {
+      if (!cache.mv.has_value() || cache.mv_epoch != base->epoch) continue;
+      const ViewEntry* v = catalog_.FindView(name);
+      if (v == nullptr || v->fingerprint != cache.fingerprint ||
+          v->policy == nullptr || v->policy->HasConditions()) {
+        continue;
       }
-      if (e.kind != update::OpKind::kDelete) {
-        // The grafted fragment must be entirely hidden from this view:
-        // with a qualifier-free policy that reduces to "the graft edge or
-        // an inherited Deny hides every fragment node". Walk the fragment
-        // simulating edge annotations from the graft parent's status.
-        const xml::Node* graft_parent =
-            e.kind == update::OpKind::kInsert ? e.target : e.target->parent;
-        if (graft_parent == nullptr) {
-          irrelevant = false;  // replacing the root is never irrelevant
+      auto access = GetAccessMapLocked(doc, *base, name, v);
+      if (!access.ok()) continue;
+      bool irrelevant = true;
+      for (const update::ResolvedEdit& e : script) {
+        if (e.kind != update::OpKind::kInsert &&
+            !(*access)->SubtreeHidden(e.target)) {
+          irrelevant = false;
           break;
         }
-        const xml::NameTable& names = *doc->dom.names();
-        const xml::NameTable& fnames = *e.fragment->names();
-        struct Item {
-          const std::string* parent_name;
-          const xml::Node* node;
-          bool visible;
-        };
-        std::vector<Item> stack = {
-            {&names.NameOf(graft_parent->label), e.fragment->root(),
-             (*access)->visible(graft_parent->node_id)}};
-        while (irrelevant && !stack.empty()) {
-          Item it = stack.back();
-          stack.pop_back();
-          const std::string& child_name = fnames.NameOf(it.node->label);
-          const view::Annotation* ann =
-              v->policy->Find(*it.parent_name, child_name);
-          bool child_visible = it.visible;
-          if (ann != nullptr) {
-            child_visible = ann->kind == view::AnnKind::kAllow;
-          }
-          if (child_visible) {
-            irrelevant = false;
+        if (e.kind != update::OpKind::kDelete) {
+          // The grafted fragment must be entirely hidden from this view:
+          // with a qualifier-free policy that reduces to "the graft edge or
+          // an inherited Deny hides every fragment node". Walk the fragment
+          // simulating edge annotations from the graft parent's status.
+          const xml::Node* graft_parent =
+              e.kind == update::OpKind::kInsert ? e.target : e.target->parent;
+          if (graft_parent == nullptr) {
+            irrelevant = false;  // replacing the root is never irrelevant
             break;
           }
-          for (const xml::Node* c = it.node->first_child; c != nullptr;
-               c = c->next_sibling) {
-            if (c->is_element()) {
-              stack.push_back({&child_name, c, child_visible});
+          const xml::NameTable& names = *clone.names();
+          const xml::NameTable& fnames = *e.fragment->names();
+          struct Item {
+            const std::string* parent_name;
+            const xml::Node* node;
+            bool visible;
+          };
+          std::vector<Item> stack = {
+              {&names.NameOf(graft_parent->label), e.fragment->root(),
+               (*access)->visible(graft_parent->node_id)}};
+          while (irrelevant && !stack.empty()) {
+            Item it = stack.back();
+            stack.pop_back();
+            const std::string& child_name = fnames.NameOf(it.node->label);
+            const view::Annotation* ann =
+                v->policy->Find(*it.parent_name, child_name);
+            bool child_visible = it.visible;
+            if (ann != nullptr) {
+              child_visible = ann->kind == view::AnnKind::kAllow;
+            }
+            if (child_visible) {
+              irrelevant = false;
+              break;
+            }
+            for (const xml::Node* c = it.node->first_child; c != nullptr;
+                 c = c->next_sibling) {
+              if (c->is_element()) {
+                stack.push_back({&child_name, c, child_visible});
+              }
             }
           }
+          if (!irrelevant) break;
         }
-        if (!irrelevant) break;
       }
+      if (irrelevant) retain.push_back(name);
     }
-    if (irrelevant) retain.push_back(name);
   }
 
   SMOQE_ASSIGN_OR_RETURN(update::ApplyStats applied, applier.Run(script));
@@ -624,31 +859,47 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
   out.stats.nodes_deleted = applied.nodes_deleted;
   out.stats.tax_sets_recomputed = applied.tax_sets_recomputed;
   out.stats.tax_rebuilt = applied.tax_rebuilt ? 1 : 0;
-  out.stats.doc_epoch = doc->dom.epoch();
+  const uint64_t new_epoch = clone.epoch();
+  out.stats.doc_epoch = new_epoch;
+
+  // Publish the successor snapshot. Readers that acquired the base keep
+  // it alive until they finish; the base tree is then freed by refcount.
+  std::shared_ptr<const index::TaxIndex> new_tax;
+  if (tax_copy.has_value()) {
+    new_tax = std::make_shared<const index::TaxIndex>(std::move(*tax_copy));
+  }
+  doc->Publish(std::make_shared<const DocumentSnapshot>(
+      std::make_shared<const xml::Document>(std::move(clone)),
+      std::move(new_tax), nullptr));
 
   // Epoch bookkeeping of the derived caches: retained materializations
   // jump to the new epoch; everything else is now stale and rebuilds on
   // next use (the access maps always go stale — node-level statuses can
   // change whenever the tree does).
-  for (const std::string& name : retain) {
-    doc->view_caches[name].mv_epoch = doc->dom.epoch();
-  }
-  for (const auto& [name, cache] : doc->view_caches) {
-    if (!cache.mv.has_value()) continue;
-    if (cache.mv_epoch == doc->dom.epoch()) {
-      ++out.stats.view_caches_retained;
-    } else if (cache.mv_epoch == pre_epoch) {
-      ++out.stats.view_caches_invalidated;
+  {
+    std::lock_guard<std::mutex> caches(doc->caches_mu);
+    for (const std::string& name : retain) {
+      doc->view_caches[name].mv_epoch = new_epoch;
+    }
+    for (const auto& [name, cache] : doc->view_caches) {
+      if (!cache.mv.has_value()) continue;
+      if (cache.mv_epoch == new_epoch) {
+        ++out.stats.view_caches_retained;
+      } else if (cache.mv_epoch == base->epoch) {
+        ++out.stats.view_caches_invalidated;
+      }
     }
   }
   return out;
 }
 
 std::vector<std::string> Smoqe::DocumentNames() const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   return catalog_.DocumentNames();
 }
 
 std::vector<std::string> Smoqe::ViewNames() const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   return catalog_.ViewNames();
 }
 

@@ -1,19 +1,22 @@
 /// \file
 /// \brief The SMOQE engine facade (paper Fig. 1): DTD / document / view
 /// registration and query evaluation, with compiled plans cached per
-/// (view, query) and multi-query batches sharing one document scan
-/// (docs/DESIGN.md §1, §5).
+/// (view, query), multi-query batches sharing one document scan, and
+/// batch evaluation parallelized over a thread pool against epoch-pinned
+/// document snapshots (docs/DESIGN.md §1, §5, §7).
 
 #ifndef SMOQE_CORE_SMOQE_H_
 #define SMOQE_CORE_SMOQE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/counters.h"
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/core/catalog.h"
 #include "src/core/plan_cache.h"
 #include "src/xml/name_table.h"
@@ -23,6 +26,24 @@ namespace smoqe::core {
 /// Evaluation mode (paper §2, "XML documents"): DOM loads the tree into
 /// memory; StAX streams the raw text in one forward scan.
 enum class EvalMode { kDom, kStax };
+
+/// Engine-wide options (docs/DESIGN.md §7.4): service-layer knobs that
+/// apply to every call on one Smoqe instance.
+struct EngineOptions {
+  /// Compiled query plans kept hot (LRU beyond it).
+  size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
+  /// Total parallelism of QueryBatch / QueryBatchMulti evaluation,
+  /// including the calling thread: 0 = one per hardware core, 1 = fully
+  /// serial (no pool is created; every call behaves like PR 3's engine).
+  int max_threads = 0;
+  /// Master switch for batch parallelism — with it off the pool is never
+  /// consulted even when `max_threads` permits one (the E13 ablation and
+  /// differential-testing knob). Query() is always serial.
+  bool parallel_batch = true;
+  /// Events per tokenizer chunk of the parallel StAX batch driver (the
+  /// fork/join grain behind the shared tokenizer).
+  size_t stax_chunk_events = 4096;
+};
 
 /// Per-query options.
 struct QueryOptions {
@@ -46,6 +67,10 @@ struct QueryAnswer {
   /// DOM node ids of the answers (DOM mode only).
   std::vector<int32_t> answer_ids;
   EvalStats stats;
+  /// Document epoch of the snapshot the query evaluated against. Every
+  /// answer reflects exactly this epoch — a query concurrent with updates
+  /// never sees a torn tree (docs/DESIGN.md §7.1).
+  uint64_t doc_epoch = 0;
   /// Static-analysis notes: labels the query mentions that do not exist
   /// in the schema it was posed against (view DTD for view queries) —
   /// such steps can never match. iSMOQE-style query assistance.
@@ -60,6 +85,14 @@ struct QueryAnswer {
 /// different entries may pose different views (users/roles), which is the
 /// batch evaluator's whole point.
 struct BatchQueryItem {
+  std::string query;
+  QueryOptions options;
+};
+
+/// One query of a QueryBatchMulti call: a BatchQueryItem plus the
+/// document it targets.
+struct DocBatchItem {
+  std::string doc;
   std::string query;
   QueryOptions options;
 };
@@ -126,10 +159,20 @@ struct MaterializedViewAnswer {
 ///
 /// All documents, automata and indexes share one name table, so label
 /// comparisons are integer compares end-to-end.
+///
+/// Thread safety (docs/DESIGN.md §7): every public method may be called
+/// concurrently from any thread. Readers (Query, QueryBatch,
+/// MaterializeView, the inspection getters) pin an epoch-stamped document
+/// snapshot and never block on writers; Update clones, mutates the clone,
+/// and atomically publishes the successor snapshot, so the old epoch's
+/// readers finish on the old tree and the retired tree is freed when its
+/// last reader drops it.
 class Smoqe {
  public:
+  explicit Smoqe(EngineOptions options);
+
   /// `plan_cache_capacity` bounds the number of compiled query plans kept
-  /// hot (LRU beyond it).
+  /// hot (LRU beyond it). All other EngineOptions keep their defaults.
   explicit Smoqe(size_t plan_cache_capacity = PlanCache::kDefaultCapacity);
 
   /// Registers a DTD under `name`, replacing any previous registration.
@@ -170,7 +213,8 @@ class Smoqe {
   /// The full view specification (view DTD + σ), for inspection.
   Result<std::string> ViewSpecification(const std::string& view_name) const;
 
-  /// Builds the TAX index for a loaded document.
+  /// Builds the TAX index for a loaded document (publishes a successor
+  /// snapshot carrying the index; the tree and epoch are unchanged).
   Status BuildIndex(const std::string& doc_name);
   /// Persists / restores a TAX index (compressed, see index::TaxIo).
   Status SaveIndex(const std::string& doc_name, const std::string& path) const;
@@ -191,9 +235,19 @@ class Smoqe {
   /// All StAX-mode items share a single streaming pass of the document
   /// (DESIGN.md §5.2); DOM-mode items evaluate per item (the tree is
   /// already amortized). Every item's compile goes through the plan
-  /// cache.
+  /// cache. With parallelism enabled (EngineOptions::max_threads ≠ 1),
+  /// DOM items fan out across the pool and the shared StAX scan fans its
+  /// per-plan engine advancement out behind one tokenizer (§7.3); the
+  /// whole batch evaluates against one pinned snapshot either way.
   Result<std::vector<QueryAnswer>> QueryBatch(
       const std::string& doc_name, const std::vector<BatchQueryItem>& items);
+
+  /// Evaluates queries against *many* documents in one call: items are
+  /// grouped by document, each group pins its document's snapshot, and
+  /// independent documents evaluate concurrently across the pool (each
+  /// group internally like QueryBatch). Answers line up with `items`.
+  Result<std::vector<QueryAnswer>> QueryBatchMulti(
+      const std::vector<DocBatchItem>& items);
 
   /// Applies one update statement (`insert into p f` / `delete p` /
   /// `replace p with f`, docs/QUERY_LANGUAGE.md "Updates") to a loaded
@@ -203,8 +257,10 @@ class Smoqe {
   /// a rejected update returns PermissionDenied naming the violated
   /// annotation and leaves document, TAX index, caches and epoch
   /// untouched. Accepted updates apply atomically (DTD-revalidated before
-  /// any mutation), bump the document epoch, repair the TAX index
-  /// incrementally and retain/invalidate materialized-view caches.
+  /// any mutation) to a *clone* of the current snapshot, repair the TAX
+  /// index incrementally, retain/invalidate materialized-view caches, and
+  /// publish the clone as the new snapshot with a bumped epoch —
+  /// concurrent readers finish undisturbed on the old one (§7.1).
   Result<UpdateResult> Update(const std::string& doc_name,
                               std::string_view update_text,
                               const UpdateOptions& options = {});
@@ -231,6 +287,11 @@ class Smoqe {
   PlanCache& plan_cache() { return plan_cache_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
 
+  const EngineOptions& options() const { return options_; }
+  /// The batch-evaluation pool, or null when the engine is serial
+  /// (max_threads == 1, or a 1-core host with max_threads == 0).
+  ThreadPool* pool() { return pool_.get(); }
+
  private:
   /// A plan resolved for one query: the (possibly shared) compiled
   /// artifact plus whether it came from the cache.
@@ -239,35 +300,62 @@ class Smoqe {
     bool cache_hit = false;
   };
 
+  /// True when batch calls should fan out across the pool.
+  bool ParallelEnabled() const {
+    return pool_ != nullptr && options_.parallel_batch;
+  }
+
   /// Parses + normalizes `query_text` and returns its compiled plan,
-  /// consulting the cache unless `options.bypass_plan_cache`.
+  /// consulting the cache unless `options.bypass_plan_cache`. Caller
+  /// holds catalog_mu_ (shared suffices).
   Result<PlanUse> GetPlan(std::string_view query_text,
                           const QueryOptions& options);
 
-  /// Evaluates a resolved plan over a loaded document (single query).
-  Result<QueryAnswer> EvalCompiled(DocumentEntry* doc,
+  /// Evaluates a resolved plan over a pinned snapshot (single query).
+  /// Takes no lock; safe on any thread.
+  Result<QueryAnswer> EvalCompiled(const DocumentSnapshot& snap,
                                    const std::string& doc_name,
                                    const PlanUse& plan,
                                    const QueryOptions& options);
 
-  /// The view's materialized-view cache over `doc`, rebuilt if stale
-  /// (fingerprint or epoch mismatch). `cache_hit` reports which happened.
-  Result<ViewCacheEntry*> GetViewCache(DocumentEntry* doc,
-                                       const std::string& view_name,
-                                       const ViewEntry* view, bool* cache_hit);
+  /// QueryBatch's evaluation phase over one pinned snapshot: `sel` holds
+  /// the item indices of this group; answers land in out[sel[j]].
+  /// `error_ids` maps an `items` index to the index the *caller* knows
+  /// it by (identity for QueryBatch; the original positions for
+  /// QueryBatchMulti's per-document groups), so "batch item N" error
+  /// contexts always name the caller's numbering.
+  Status EvalBatchOnSnapshot(const DocumentSnapshot& snap,
+                             const std::string& doc_name,
+                             const std::vector<BatchQueryItem>& items,
+                             const std::vector<PlanUse>& plans,
+                             const std::vector<size_t>& sel,
+                             const std::vector<size_t>& error_ids,
+                             std::vector<QueryAnswer>* out);
 
-  /// The view's node-level access map over `doc`, recomputed if stale.
-  Result<const view::AccessMap*> GetAccessMap(DocumentEntry* doc,
-                                              const std::string& view_name,
-                                              const ViewEntry* view);
+  /// The view's materialized-view cache over the snapshot's epoch,
+  /// rebuilt if stale (fingerprint or epoch mismatch). Caller holds
+  /// doc->caches_mu; `cache_hit` reports which happened.
+  Result<ViewCacheEntry*> GetViewCacheLocked(DocumentEntry* doc,
+                                             const DocumentSnapshot& snap,
+                                             const std::string& view_name,
+                                             const ViewEntry* view,
+                                             bool* cache_hit);
 
-  /// Re-serializes `doc->text` when updates made it stale (StAX scans
-  /// must see the current tree).
-  void EnsureFreshText(DocumentEntry* doc);
+  /// The view's node-level access map at the snapshot's epoch, recomputed
+  /// if stale. Caller holds doc->caches_mu.
+  Result<const view::AccessMap*> GetAccessMapLocked(
+      DocumentEntry* doc, const DocumentSnapshot& snap,
+      const std::string& view_name, const ViewEntry* view);
 
   std::shared_ptr<xml::NameTable> names_;
+  EngineOptions options_;
+  /// Guards the catalog maps and the in-place-replaced ViewEntry/Dtd
+  /// objects: registration ops take it unique, everything else shared.
+  /// Never held during evaluation (snapshots are pinned first).
+  mutable std::shared_mutex catalog_mu_;
   Catalog catalog_;
   PlanCache plan_cache_;
+  std::unique_ptr<ThreadPool> pool_;  // null when serial
 };
 
 }  // namespace smoqe::core

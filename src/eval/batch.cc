@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <utility>
 
 #include "src/common/strings.h"
 #include "src/eval/engine.h"
@@ -32,6 +33,28 @@ class StaxAttrs : public AttrProvider {
   const xml::NameTable& names_;
 };
 
+/// Attribute view over a slice of a chunk's decoded attributes (the
+/// parallel driver's analogue of StaxAttrs).
+class SliceAttrs : public AttrProvider {
+ public:
+  SliceAttrs(const xml::StaxAttr* begin, const xml::StaxAttr* end,
+             const xml::NameTable& names)
+      : begin_(begin), end_(end), names_(names) {}
+
+  const char* Find(xml::NameId name) const override {
+    const std::string& want = names_.NameOf(name);
+    for (const xml::StaxAttr* a = begin_; a != end_; ++a) {
+      if (a->name == want) return a->value.c_str();
+    }
+    return nullptr;
+  }
+
+ private:
+  const xml::StaxAttr* begin_;
+  const xml::StaxAttr* end_;
+  const xml::NameTable& names_;
+};
+
 /// An in-flight subtree capture, keyed by the driver's document pre-order
 /// node id. One capture per staged element regardless of how many plans
 /// staged it — the serialized bytes are demultiplexed at FinishDocument.
@@ -41,24 +64,95 @@ struct Capture {
   std::string buffer;
 };
 
-// Appends "<name a="v"" without the closing '>', which is emitted lazily
-// so empty elements serialize as "<name/>" exactly like the DOM
-// serializer (captures and SerializeNode must agree byte-for-byte).
-void AppendOpenTag(const xml::StaxReader& reader, std::string* out) {
-  *out += '<';
-  *out += reader.name();
-  for (const xml::StaxAttr& a : reader.attrs()) {
-    *out += ' ';
-    *out += a.name;
-    *out += "=\"";
-    *out += XmlEscape(a.value);
-    *out += '"';
+/// \brief The shared answer-capture state machine, factored out so the
+/// serial scan (Run) and the parallel merge (RunParallel) produce
+/// byte-identical captures by construction.
+///
+/// Start tags are held open ("<name a=\"v\"" without the '>') and closed
+/// lazily, so empty elements serialize as "<name/>" exactly like the DOM
+/// serializer (captures and SerializeNode must agree byte-for-byte).
+class CaptureStream {
+ public:
+  /// `staged` says some plan put this element in its Cans at Enter.
+  void StartElement(const std::string& name,
+                    const xml::StaxAttr* attrs_begin,
+                    const xml::StaxAttr* attrs_end, int depth,
+                    int32_t node_id, bool staged) {
+    if (captures_.empty() && !staged) return;
+    if (tag_open_) {
+      for (Capture& c : captures_) c.buffer += '>';
+      tag_open_ = false;
+    }
+    open_tag_.clear();
+    open_tag_ += '<';
+    open_tag_ += name;
+    for (const xml::StaxAttr* a = attrs_begin; a != attrs_end; ++a) {
+      open_tag_ += ' ';
+      open_tag_ += a->name;
+      open_tag_ += "=\"";
+      open_tag_ += XmlEscape(a->value);
+      open_tag_ += '"';
+    }
+    for (Capture& c : captures_) c.buffer += open_tag_;
+    if (staged) {
+      Capture c;
+      c.node_id = node_id;
+      c.open_depth = depth;
+      c.buffer = open_tag_;
+      captures_.push_back(std::move(c));
+    }
+    tag_open_ = true;  // captures_ is non-empty here by construction
   }
-}
+
+  void Text(std::string_view raw) {
+    if (captures_.empty()) return;
+    if (tag_open_) {
+      for (Capture& c : captures_) c.buffer += '>';
+      tag_open_ = false;
+    }
+    std::string escaped = XmlEscape(raw);
+    for (Capture& c : captures_) c.buffer += escaped;
+  }
+
+  void EndElement(const std::string& name, int depth) {
+    if (tag_open_) {
+      // The closing element is empty: finish it as a self-closing tag.
+      for (Capture& c : captures_) c.buffer += "/>";
+      tag_open_ = false;
+    } else {
+      for (Capture& c : captures_) {
+        c.buffer += "</";
+        c.buffer += name;
+        c.buffer += '>';
+      }
+    }
+    size_t buffered = 0;
+    for (const Capture& c : captures_) buffered += c.buffer.size();
+    peak_buffered_ = std::max(peak_buffered_, buffered);
+    if (!captures_.empty() && captures_.back().open_depth == depth + 1) {
+      finished_.emplace(captures_.back().node_id,
+                        std::move(captures_.back().buffer));
+      captures_.pop_back();
+    }
+  }
+
+  const std::map<int32_t, std::string>& finished() const { return finished_; }
+  size_t peak_buffered() const { return peak_buffered_; }
+
+ private:
+  std::vector<Capture> captures_;
+  std::map<int32_t, std::string> finished_;
+  size_t peak_buffered_ = 0;
+  bool tag_open_ = false;  // captures have an unclosed start tag pending
+  std::string open_tag_;   // scratch; reused across start events
+};
 
 /// Per-plan evaluation state: the plan's own engine (runs, guards,
 /// frames) plus the skip window and the engine-id → document-node map
 /// used to demultiplex shared captures back into per-plan answers.
+/// Confinement (DESIGN.md §7): under RunParallel each PlanState is
+/// advanced by exactly one worker per chunk; the driver thread reads
+/// `staged_events` only after the chunk's join.
 struct PlanState {
   PlanState(const automata::Mfa& mfa, const EngineOptions& engine_options)
       : engine(mfa, engine_options) {}
@@ -76,7 +170,177 @@ struct PlanState {
   /// plan; only candidates are recorded, keeping streaming memory
   /// O(candidates) — not O(document) — like the captures themselves.
   std::vector<std::pair<int32_t, int32_t>> candidate_nodes;
+  /// Chunk-local indexes of start events this plan staged (parallel
+  /// driver only; cleared per chunk, read by the driver after the join).
+  std::vector<uint32_t> staged_events;
 };
+
+/// One decoded event of a tokenizer chunk.
+struct TokEvent {
+  xml::StaxEvent kind;
+  int depth;
+  xml::NameId label = xml::kNoName;  ///< start elements
+  int32_t node_id = -1;              ///< start elements
+  uint32_t attr_begin = 0;           ///< start elements: [begin, end) into
+  uint32_t attr_end = 0;             ///<   TokChunk::attrs
+  uint32_t str = 0;  ///< start/end: element name; text: raw text
+};
+
+/// A chunk of decoded, interned events — the unit of fork/join work the
+/// parallel driver hands to plan groups. Buffers are reused across
+/// refills.
+struct TokChunk {
+  std::vector<TokEvent> events;
+  std::vector<xml::StaxAttr> attrs;
+  std::vector<std::string> strings;
+
+  void Clear() {
+    events.clear();
+    attrs.clear();
+    strings.clear();
+  }
+};
+
+/// Decodes up to `max_events` events into `out` (cleared first). Start
+/// labels are interned here, on the driver thread — workers only ever
+/// read the name table. Returns true once kEndDocument was consumed.
+Result<bool> FillChunk(xml::StaxReader& reader, xml::NameTable* names,
+                       int32_t* next_node_id, size_t max_events,
+                       TokChunk* out) {
+  out->Clear();
+  while (out->events.size() < max_events) {
+    SMOQE_ASSIGN_OR_RETURN(xml::StaxEvent ev, reader.Next());
+    switch (ev) {
+      case xml::StaxEvent::kStartDocument:
+        continue;
+      case xml::StaxEvent::kEndDocument:
+        return true;
+      case xml::StaxEvent::kStartElement: {
+        TokEvent e;
+        e.kind = ev;
+        e.depth = reader.depth();
+        e.label = names->Intern(reader.name());
+        e.node_id = (*next_node_id)++;
+        e.attr_begin = static_cast<uint32_t>(out->attrs.size());
+        for (const xml::StaxAttr& a : reader.attrs()) out->attrs.push_back(a);
+        e.attr_end = static_cast<uint32_t>(out->attrs.size());
+        e.str = static_cast<uint32_t>(out->strings.size());
+        out->strings.push_back(reader.name());
+        out->events.push_back(e);
+        break;
+      }
+      case xml::StaxEvent::kEndElement: {
+        TokEvent e;
+        e.kind = ev;
+        e.depth = reader.depth();
+        e.str = static_cast<uint32_t>(out->strings.size());
+        out->strings.push_back(reader.name());
+        out->events.push_back(e);
+        break;
+      }
+      case xml::StaxEvent::kCharacters: {
+        TokEvent e;
+        e.kind = ev;
+        e.depth = reader.depth();
+        e.str = static_cast<uint32_t>(out->strings.size());
+        out->strings.push_back(reader.text());
+        out->events.push_back(e);
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+/// Advances one plan through a whole chunk — the same per-plan logic the
+/// serial scan applies per event, so the engine sees an identical
+/// Enter/Text/Leave sequence.
+void AdvancePlanOverChunk(PlanState& ps, const TokChunk& chunk,
+                          const xml::NameTable& names) {
+  ps.staged_events.clear();
+  for (uint32_t i = 0; i < chunk.events.size(); ++i) {
+    const TokEvent& ev = chunk.events[i];
+    switch (ev.kind) {
+      case xml::StaxEvent::kStartElement: {
+        if (ps.skip_depth >= 0) {
+          ps.engine.mutable_stats()->nodes_pruned += 1;
+          break;
+        }
+        SliceAttrs attrs(chunk.attrs.data() + ev.attr_begin,
+                         chunk.attrs.data() + ev.attr_end, names);
+        size_t candidates_before = ps.engine.cans().node_count();
+        int32_t engine_id = ps.engine.next_id();
+        HypeEngine::EnterResult r = ps.engine.Enter(ev.label, attrs);
+        if (ps.engine.cans().node_count() > candidates_before) {
+          ps.staged_events.push_back(i);
+          ps.candidate_nodes.emplace_back(engine_id, ev.node_id);
+        }
+        if (r.can_skip_subtree) {
+          ps.skip_depth = ev.depth;
+          ps.skip_needs_text = r.needs_direct_text;
+        }
+        break;
+      }
+      case xml::StaxEvent::kCharacters: {
+        if (ps.skip_depth >= 0) {
+          if (ps.skip_needs_text && ev.depth == ps.skip_depth) {
+            ps.engine.Text(chunk.strings[ev.str]);
+          }
+        } else {
+          ps.engine.Text(chunk.strings[ev.str]);
+        }
+        break;
+      }
+      case xml::StaxEvent::kEndElement: {
+        if (ps.skip_depth >= 0) {
+          if (ev.depth == ps.skip_depth - 1) {
+            ps.engine.Leave();  // the Leave matching the skip root's Enter
+            ps.skip_depth = -1;
+          }
+        } else {
+          ps.engine.Leave();
+        }
+        break;
+      }
+      case xml::StaxEvent::kStartDocument:
+      case xml::StaxEvent::kEndDocument:
+        break;  // never stored in chunks
+    }
+  }
+}
+
+/// Demultiplexes each plan's answer ids into serialized answers via its
+/// candidate map and the shared finished-capture table.
+Result<std::vector<StaxEvalResult>> AssembleResults(
+    std::vector<std::unique_ptr<PlanState>>& states,
+    const CaptureStream& cap) {
+  std::vector<StaxEvalResult> results(states.size());
+  for (size_t k = 0; k < states.size(); ++k) {
+    PlanState& ps = *states[k];
+    const std::vector<int32_t>& ids = ps.engine.FinishDocument();
+    StaxEvalResult& out = results[k];
+    for (int32_t id : ids) {
+      // Answers are candidates, so the binary search always lands.
+      auto cand = std::lower_bound(ps.candidate_nodes.begin(),
+                                   ps.candidate_nodes.end(),
+                                   std::make_pair(id, INT32_MIN));
+      auto it = cand == ps.candidate_nodes.end() || cand->first != id
+                    ? cap.finished().end()
+                    : cap.finished().find(cand->second);
+      if (it == cap.finished().end()) {
+        return Status::Internal("plan " + std::to_string(k) + " answer " +
+                                std::to_string(id) + " was never captured");
+      }
+      out.answers.push_back(StaxAnswer{id, it->second});
+    }
+    out.stats = ps.engine.stats();
+    // The capture footprint is shared by the whole batch; every plan
+    // reports the pass-wide peak.
+    out.stats.buffered_bytes = cap.peak_buffered();
+    out.stats.batch_plans = states.size();
+  }
+  return results;
+}
 
 }  // namespace
 
@@ -112,10 +376,7 @@ Result<std::vector<StaxEvalResult>> BatchEvaluator::Run(
   }
   size_t live_plans = states.size();  // plans not currently skipping
 
-  std::vector<Capture> captures;
-  std::map<int32_t, std::string> finished_captures;
-  size_t peak_buffered = 0;
-  bool tag_open = false;  // captures have an unclosed start tag pending
+  CaptureStream cap;
   int32_t next_node_id = 0;
 
   while (true) {
@@ -155,21 +416,9 @@ Result<std::vector<StaxEvalResult>> BatchEvaluator::Run(
             ps->engine.mutable_stats()->nodes_pruned += 1;
           }
         }
-        // Close the enclosing element's pending start tag, serialize our
-        // start tag into surrounding captures, then maybe start our own.
-        if (tag_open) {
-          for (Capture& c : captures) c.buffer += '>';
-          tag_open = false;
-        }
-        for (Capture& c : captures) AppendOpenTag(reader, &c.buffer);
-        if (stage_capture) {
-          Capture c;
-          c.node_id = node_id;
-          c.open_depth = depth;
-          AppendOpenTag(reader, &c.buffer);
-          captures.push_back(std::move(c));
-        }
-        if (!captures.empty()) tag_open = true;
+        cap.StartElement(reader.name(), reader.attrs().data(),
+                         reader.attrs().data() + reader.attrs().size(), depth,
+                         node_id, stage_capture);
         break;
       }
       case xml::StaxEvent::kCharacters: {
@@ -182,36 +431,11 @@ Result<std::vector<StaxEvalResult>> BatchEvaluator::Run(
             ps->engine.Text(reader.text());
           }
         }
-        if (!captures.empty()) {
-          if (tag_open) {
-            for (Capture& c : captures) c.buffer += '>';
-            tag_open = false;
-          }
-          std::string escaped = XmlEscape(reader.text());
-          for (Capture& c : captures) c.buffer += escaped;
-        }
+        cap.Text(reader.text());
         break;
       }
       case xml::StaxEvent::kEndElement: {
-        if (tag_open) {
-          // The closing element is empty: finish it as a self-closing tag.
-          for (Capture& c : captures) c.buffer += "/>";
-          tag_open = false;
-        } else {
-          for (Capture& c : captures) {
-            c.buffer += "</";
-            c.buffer += reader.name();
-            c.buffer += '>';
-          }
-        }
-        size_t buffered = 0;
-        for (const Capture& c : captures) buffered += c.buffer.size();
-        peak_buffered = std::max(peak_buffered, buffered);
-        if (!captures.empty() && captures.back().open_depth == depth + 1) {
-          finished_captures.emplace(captures.back().node_id,
-                                    std::move(captures.back().buffer));
-          captures.pop_back();
-        }
+        cap.EndElement(reader.name(), depth);
         for (auto& ps : states) {
           if (ps->skip_depth >= 0) {
             if (depth == ps->skip_depth - 1) {
@@ -225,37 +449,120 @@ Result<std::vector<StaxEvalResult>> BatchEvaluator::Run(
         }
         break;
       }
-      case xml::StaxEvent::kEndDocument: {
-        std::vector<StaxEvalResult> results(states.size());
-        for (size_t k = 0; k < states.size(); ++k) {
-          PlanState& ps = *states[k];
-          const std::vector<int32_t>& ids = ps.engine.FinishDocument();
-          StaxEvalResult& out = results[k];
-          for (int32_t id : ids) {
-            // Answers are candidates, so the binary search always lands.
-            auto cand = std::lower_bound(
-                ps.candidate_nodes.begin(), ps.candidate_nodes.end(),
-                std::make_pair(id, INT32_MIN));
-            auto it = cand == ps.candidate_nodes.end() || cand->first != id
-                          ? finished_captures.end()
-                          : finished_captures.find(cand->second);
-            if (it == finished_captures.end()) {
-              return Status::Internal("plan " + std::to_string(k) +
-                                      " answer " + std::to_string(id) +
-                                      " was never captured");
-            }
-            out.answers.push_back(StaxAnswer{id, it->second});
-          }
-          out.stats = ps.engine.stats();
-          // The capture footprint is shared by the whole batch; every
-          // plan reports the pass-wide peak.
-          out.stats.buffered_bytes = peak_buffered;
-          out.stats.batch_plans = states.size();
-        }
-        return results;
-      }
+      case xml::StaxEvent::kEndDocument:
+        return AssembleResults(states, cap);
     }
   }
+}
+
+Result<std::vector<StaxEvalResult>> BatchEvaluator::RunParallel(
+    std::string_view xml, const BatchParallelOptions& par) const {
+  ThreadPool& pool = par.pool != nullptr ? *par.pool : ThreadPool::Shared();
+  // Workers advance plans while the caller tokenizes, so parallelism
+  // needs at least one worker and two plans to group.
+  const size_t workers = static_cast<size_t>(pool.thread_count()) - 1;
+  if (workers == 0 || plans_.size() < 2) return Run(xml);
+
+  xml::NameTable* names = plans_[0].mfa->names().get();
+  for (const Plan& p : plans_) {
+    if (p.mfa->names().get() != names) {
+      return Status::InvalidArgument(
+          "batch plans must share one name table (compile every query "
+          "against the same corpus)");
+    }
+  }
+
+  std::vector<std::unique_ptr<PlanState>> states;
+  states.reserve(plans_.size());
+  for (const Plan& p : plans_) {
+    states.push_back(std::make_unique<PlanState>(*p.mfa, p.engine));
+  }
+
+  // Contiguous plan stripes, one per worker task.
+  const size_t groups = std::min(workers, states.size());
+  auto group_range = [&](size_t g) {
+    const size_t per = states.size() / groups;
+    const size_t extra = states.size() % groups;
+    const size_t begin = g * per + std::min(g, extra);
+    return std::make_pair(begin, begin + per + (g < extra ? 1 : 0));
+  };
+
+  xml::StaxOptions stax_options;
+  stax_options.skip_whitespace_text = options_.skip_whitespace_text;
+  xml::StaxReader reader(xml, stax_options);
+
+  const size_t chunk_events = par.chunk_events == 0 ? 4096 : par.chunk_events;
+  TokChunk cur, next;
+  int32_t next_node_id = 0;
+  SMOQE_ASSIGN_OR_RETURN(
+      bool eof, FillChunk(reader, names, &next_node_id, chunk_events, &cur));
+
+  CaptureStream cap;
+  std::vector<uint8_t> staged;
+  while (!cur.events.empty()) {
+    // Fork: each group advances its plans through `cur`…
+    Latch join(groups);
+    for (size_t g = 0; g < groups; ++g) {
+      pool.Submit([&, g] {
+        auto [begin, end] = group_range(g);
+        for (size_t k = begin; k < end; ++k) {
+          AdvancePlanOverChunk(*states[k], cur, *names);
+        }
+        join.CountDown();
+      });
+    }
+    // …while the caller tokenizes the next chunk behind the same reader.
+    Status tok_status = Status::OK();
+    if (!eof) {
+      auto r = FillChunk(reader, names, &next_node_id, chunk_events, &next);
+      if (r.ok()) {
+        eof = *r;
+      } else {
+        tok_status = r.status();
+      }
+    } else {
+      next.Clear();
+    }
+    // Help-while-waiting: on a saturated pool (nested batches via
+    // QueryBatchMulti) the chunk tasks may be queued behind workers that
+    // are themselves waiting on their own chunks — the driver claims
+    // them itself rather than deadlock.
+    pool.HelpWhileWaiting(join);
+    if (!tok_status.ok()) return tok_status;
+
+    // Join: merge the groups' staging reports, then replay the shared
+    // capture stream for this chunk on the driver thread.
+    staged.assign(cur.events.size(), 0);
+    for (auto& ps : states) {
+      for (uint32_t i : ps->staged_events) staged[i] = 1;
+    }
+    for (uint32_t i = 0; i < cur.events.size(); ++i) {
+      const TokEvent& ev = cur.events[i];
+      switch (ev.kind) {
+        case xml::StaxEvent::kStartElement:
+          cap.StartElement(cur.strings[ev.str],
+                           cur.attrs.data() + ev.attr_begin,
+                           cur.attrs.data() + ev.attr_end, ev.depth,
+                           ev.node_id, staged[i] != 0);
+          break;
+        case xml::StaxEvent::kCharacters:
+          cap.Text(cur.strings[ev.str]);
+          break;
+        case xml::StaxEvent::kEndElement:
+          cap.EndElement(cur.strings[ev.str], ev.depth);
+          break;
+        case xml::StaxEvent::kStartDocument:
+        case xml::StaxEvent::kEndDocument:
+          break;
+      }
+    }
+    std::swap(cur, next);
+  }
+
+  // Final Cans selection per plan is independent — fan it out too.
+  pool.ParallelFor(states.size(),
+                   [&](size_t k) { states[k]->engine.FinishDocument(); });
+  return AssembleResults(states, cap);
 }
 
 Result<std::vector<StaxEvalResult>> EvalHypeStaxBatch(

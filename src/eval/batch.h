@@ -1,6 +1,6 @@
 /// \file
 /// \brief Multi-query batch evaluation over a single StAX pass — the
-/// service-layer half of the evaluator (docs/DESIGN.md §5.2).
+/// service-layer half of the evaluator (docs/DESIGN.md §5.2, §7).
 ///
 /// N compiled plans (MFAs sharing one name table) are advanced in
 /// lockstep over one forward scan of the XML text: the event stream, the
@@ -9,6 +9,12 @@
 /// run sets and guards. Per-event cost therefore grows sublinearly in N —
 /// tokenization and capture serialization are paid once per document, not
 /// once per query (experiment E11, bench/bench_batch.cc).
+///
+/// RunParallel adds the second axis (experiment E13): one thread keeps
+/// the shared tokenizer, while per-plan engine advancement — the part
+/// that grows linearly in N — fans out across a thread pool in event
+/// chunks. Answers are byte-identical to Run (and to N sequential
+/// passes); only wall-clock changes.
 
 #ifndef SMOQE_EVAL_BATCH_H_
 #define SMOQE_EVAL_BATCH_H_
@@ -18,6 +24,7 @@
 
 #include "src/automata/mfa.h"
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/eval/hype_stax.h"
 
 namespace smoqe::eval {
@@ -26,6 +33,17 @@ namespace smoqe::eval {
 struct BatchStaxOptions {
   /// Drop all-whitespace text events (matches the DOM parser's default).
   bool skip_whitespace_text = true;
+};
+
+/// Knobs of the parallel batch driver (RunParallel).
+struct BatchParallelOptions {
+  /// Pool supplying the worker threads; nullptr uses ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+  /// Events decoded per tokenizer chunk. Each chunk is one fork/join
+  /// round: big enough to amortize the barrier, small enough that the
+  /// decoded-event buffer stays cache-resident. 4096 events ≈ a few
+  /// hundred KB.
+  size_t chunk_events = 4096;
 };
 
 /// \brief Runs many compiled plans over one streaming scan per document.
@@ -61,6 +79,17 @@ class BatchEvaluator {
   /// Evaluates every registered plan in one forward scan of `xml`.
   /// Result i holds plan i's answers in document order.
   Result<std::vector<StaxEvalResult>> Run(std::string_view xml) const;
+
+  /// Like Run, but plan advancement is parallel (docs/DESIGN.md §7.3):
+  /// the calling thread decodes events into chunks (and tokenizes chunk
+  /// k+1 while workers run chunk k), worker threads advance disjoint plan
+  /// groups through each chunk, and the caller replays the shared capture
+  /// stream after each join. Every engine sees exactly the event sequence
+  /// Run would deliver, so answers and per-plan stats are identical.
+  /// Falls back to Run when the pool has no workers or there are fewer
+  /// than two plans.
+  Result<std::vector<StaxEvalResult>> RunParallel(
+      std::string_view xml, const BatchParallelOptions& par = {}) const;
 
   size_t plan_count() const { return plans_.size(); }
 

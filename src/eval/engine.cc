@@ -26,31 +26,28 @@ const AttrProvider& AttrProvider::None() {
   return none;
 }
 
-// The attribute provider of the node currently being entered. Only valid
-// during Enter (and the constructor's virtual-document setup); accept tests
-// are the only consumers.
-static thread_local const AttrProvider* g_cur_attrs = nullptr;
-
 HypeEngine::HypeEngine(const automata::Mfa& mfa, EngineOptions options)
     : mfa_(mfa), options_(options), pool_(options.guard_interning) {
   if (options_.trace) trace_ = std::make_unique<TraceLog>();
-  // Virtual document node (the query context above the root).
+  // Virtual document node (the query context above the root). The
+  // attribute provider is threaded through every call that can reach an
+  // attribute accept test — never stashed in a global — so the engine is
+  // fully confined to its owning thread (docs/DESIGN.md §7).
   PushFrame(-1);
-  g_cur_attrs = &AttrProvider::None();
+  const AttrProvider& attrs = AttrProvider::None();
   for (const auto& [state, guard_preds] : mfa_.selection().initial) {
     Run r;
     r.is_selection = true;
     r.state = state;
-    r.guard = InstantiateSet(guard_preds);
+    r.guard = InstantiateSet(guard_preds, attrs);
     AddRun(r);
   }
   Frame& base = CurFrame();
   for (size_t i = 0; i < base.runs.size(); ++i) {
     Run r = base.runs[i];  // copy: the vector may grow/reallocate
-    EagerInstantiate(r);
-    HandleAccepts(r);
+    EagerInstantiate(r, attrs);
+    HandleAccepts(r, attrs);
   }
-  g_cur_attrs = nullptr;
 }
 
 HypeEngine::~HypeEngine() = default;
@@ -186,13 +183,14 @@ bool HypeEngine::AddRunHashed(Frame& cur, const Run& run) {
   return true;
 }
 
-GuardRef HypeEngine::InstantiateSet(const PredSet& preds) {
+GuardRef HypeEngine::InstantiateSet(const PredSet& preds,
+                                    const AttrProvider& attrs) {
   GuardRef g = GuardPool::kEmpty;
-  for (PredId p : preds) g = pool_.Merge(g, Instantiate(p));
+  for (PredId p : preds) g = pool_.Merge(g, Instantiate(p, attrs));
   return g;
 }
 
-InstId HypeEngine::Instantiate(PredId pred) {
+InstId HypeEngine::Instantiate(PredId pred, const AttrProvider& attrs) {
   Frame& cur = CurFrame();
   InstId existing = cur.FindInst(pred);
   if (existing >= 0) return existing;
@@ -223,20 +221,20 @@ InstId HypeEngine::Instantiate(PredId pred) {
       r.owner = id;
       r.leaf = static_cast<int>(leaf);
       r.state = state;
-      r.guard = InstantiateSet(guard_preds);
+      r.guard = InstantiateSet(guard_preds, attrs);
       ++stats_.obligations;
       AddRun(r);
     }
     // ε acceptance: the path can match the anchor itself.
     for (const PredSet& accept : ob.nfa.initial_accept_guards) {
-      GuardRef g = InstantiateSet(accept);
+      GuardRef g = InstantiateSet(accept, attrs);
       switch (ob.test.kind) {
         case AcceptTest::Kind::kExists:
           Witness(id, static_cast<int>(leaf), g);
           break;
         case AcceptTest::Kind::kAttrExists:
         case AcceptTest::Kind::kAttrEq: {
-          const char* v = g_cur_attrs->Find(ob.test.attr);
+          const char* v = attrs.Find(ob.test.attr);
           if (v != nullptr && (ob.test.kind == AcceptTest::Kind::kAttrExists ||
                                ob.test.value == v)) {
             Witness(id, static_cast<int>(leaf), g);
@@ -256,23 +254,23 @@ InstId HypeEngine::Instantiate(PredId pred) {
   return id;
 }
 
-void HypeEngine::EagerInstantiate(const Run& run) {
+void HypeEngine::EagerInstantiate(const Run& run, const AttrProvider& attrs) {
   const FlatNfa::State& st = NfaOf(run).states[run.state];
   if (options_.label_dispatch) {
     // Sealed union of the per-transition / per-accept pred sets; same
     // instances created (Instantiate dedups), one short list to walk.
-    for (PredId p : st.eager_preds) Instantiate(p);
+    for (PredId p : st.eager_preds) Instantiate(p, attrs);
     return;
   }
   for (const FlatNfa::Transition& t : st.trans) {
-    for (PredId p : t.src_preds) Instantiate(p);
+    for (PredId p : t.src_preds) Instantiate(p, attrs);
   }
   for (const PredSet& accept : st.accept_guards) {
-    for (PredId p : accept) Instantiate(p);
+    for (PredId p : accept) Instantiate(p, attrs);
   }
 }
 
-void HypeEngine::HandleAccepts(const Run& run) {
+void HypeEngine::HandleAccepts(const Run& run, const AttrProvider& attrs) {
   Frame& cur = CurFrame();
   const FlatNfa::State& st = NfaOf(run).states[run.state];
   for (const PredSet& accept : st.accept_guards) {
@@ -299,7 +297,7 @@ void HypeEngine::HandleAccepts(const Run& run) {
           break;
         case AcceptTest::Kind::kAttrExists:
         case AcceptTest::Kind::kAttrEq: {
-          const char* v = g_cur_attrs->Find(ob.test.attr);
+          const char* v = attrs.Find(ob.test.attr);
           if (v != nullptr && (ob.test.kind == AcceptTest::Kind::kAttrExists ||
                                ob.test.value == v)) {
             Witness(run.owner, run.leaf, g);
@@ -329,7 +327,8 @@ void HypeEngine::Witness(InstId owner, int leaf, GuardRef guard) {
 }
 
 void HypeEngine::AdvanceRun(const Frame& parent, const Run& r,
-                            const FlatNfa::Transition& t) {
+                            const FlatNfa::Transition& t,
+                            const AttrProvider& attrs) {
   // With interning the advanced run shares the parent's guard handle; the
   // un-interned engine copied the guard vector here on every transition, so
   // the ablation baseline reproduces that allocate-and-copy.
@@ -341,7 +340,7 @@ void HypeEngine::AdvanceRun(const Frame& parent, const Run& r,
     g = pool_.Merge(g, inst);
   }
   // dst predicates anchor at this node.
-  for (PredId p : t.dst_preds) g = pool_.Merge(g, Instantiate(p));
+  for (PredId p : t.dst_preds) g = pool_.Merge(g, Instantiate(p, attrs));
   Run nr;
   nr.is_selection = r.is_selection;
   nr.ob = r.ob;
@@ -362,7 +361,6 @@ HypeEngine::EnterResult HypeEngine::Enter(xml::NameId label,
 
   Frame& cur = PushFrame(id);
   Frame& parent = stack_[depth_ - 2];
-  g_cur_attrs = &attrs;
 
   // Phase 1: advance runs from the parent frame across this label. With
   // label dispatch, the transitions that can match are read off the
@@ -376,10 +374,10 @@ HypeEngine::EnterResult HypeEngine::Enter(xml::NameId label,
       stats_.dispatch_wildcard_hits +=
           static_cast<uint64_t>(st.wildcard_trans.size());
       for (const int32_t* p = b; p != e; ++p) {
-        AdvanceRun(parent, r, st.trans[static_cast<size_t>(*p)]);
+        AdvanceRun(parent, r, st.trans[static_cast<size_t>(*p)], attrs);
       }
       for (int32_t ti : st.wildcard_trans) {
-        AdvanceRun(parent, r, st.trans[static_cast<size_t>(ti)]);
+        AdvanceRun(parent, r, st.trans[static_cast<size_t>(ti)], attrs);
       }
     }
   } else {
@@ -388,7 +386,7 @@ HypeEngine::EnterResult HypeEngine::Enter(xml::NameId label,
       stats_.dispatch_scan_steps += static_cast<uint64_t>(st.trans.size());
       for (const FlatNfa::Transition& t : st.trans) {
         if (!t.test.Matches(label)) continue;
-        AdvanceRun(parent, r, t);
+        AdvanceRun(parent, r, t, attrs);
       }
     }
   }
@@ -397,10 +395,9 @@ HypeEngine::EnterResult HypeEngine::Enter(xml::NameId label,
   // may append further obligation runs, which are processed in turn.
   for (size_t i = 0; i < cur.runs.size(); ++i) {
     Run r = cur.runs[i];  // copy: vector may reallocate
-    EagerInstantiate(r);
-    HandleAccepts(r);
+    EagerInstantiate(r, attrs);
+    HandleAccepts(r, attrs);
   }
-  g_cur_attrs = nullptr;
 
   stats_.max_active_pairs =
       std::max<uint64_t>(stats_.max_active_pairs, cur.runs.size());

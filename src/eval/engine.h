@@ -184,10 +184,15 @@ class HypeEngine {
   const automata::FlatNfa& NfaOf(const Run& r) const;
 
   /// Instantiates `pred` at the current frame (dedup), launching its
-  /// obligation runs; returns the instance id.
-  InstId Instantiate(automata::PredId pred);
+  /// obligation runs; returns the instance id. `attrs` is the attribute
+  /// provider of the node being entered — threaded explicitly through the
+  /// whole Enter call path (never stashed in a global), so every piece of
+  /// engine state is confined to this object and a HypeEngine can run on
+  /// any thread of a parallel batch (docs/DESIGN.md §7).
+  InstId Instantiate(automata::PredId pred, const AttrProvider& attrs);
 
-  GuardRef InstantiateSet(const automata::PredSet& preds);
+  GuardRef InstantiateSet(const automata::PredSet& preds,
+                          const AttrProvider& attrs);
 
   /// Pushes a run into the current frame with per-key dominance pruning;
   /// returns true if it survived as new work.
@@ -199,14 +204,15 @@ class HypeEngine {
 
   /// Advances `r` (active at `parent`) across `t` into the current frame.
   void AdvanceRun(const Frame& parent, const Run& r,
-                  const automata::FlatNfa::Transition& t);
+                  const automata::FlatNfa::Transition& t,
+                  const AttrProvider& attrs);
 
   /// Handles acceptance of `run` at the current frame.
-  void HandleAccepts(const Run& run);
+  void HandleAccepts(const Run& run, const AttrProvider& attrs);
 
   /// Eagerly instantiates predicates the run may charge at this node
   /// (transition src_preds and accept guards).
-  void EagerInstantiate(const Run& run);
+  void EagerInstantiate(const Run& run, const AttrProvider& attrs);
 
   void Witness(InstId owner, int leaf, GuardRef guard);
   void ResolveFrame(Frame* frame);

@@ -73,6 +73,55 @@ Node* Document::ImportSubtree(const Node* src, const Document& src_doc) {
   return copy_root;
 }
 
+Document Document::Clone() const {
+  Document out;
+  out.names_ = names_;
+  out.arena_ = std::make_unique<Arena>();
+  out.num_elements_ = num_elements_;
+  out.epoch_ = epoch_;
+  out.nodes_.assign(nodes_.size(), nullptr);
+  // Pass 1: allocate every live node's copy so pointer fix-up can go
+  // through the id map regardless of tree order.
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id] != nullptr) out.nodes_[id] = out.arena_->New<Node>();
+  }
+  // Pass 2: copy fields, rewrite links via ids, copy text/attrs into the
+  // new arena. Ids, orders and the epoch carry over verbatim — id-keyed
+  // side structures (TAX sets, provenance, access maps) built against the
+  // original remain valid against the clone.
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const Node* s = nodes_[id];
+    if (s == nullptr) continue;
+    Node* n = out.nodes_[id];
+    n->kind = s->kind;
+    n->label = s->label;
+    n->node_id = s->node_id;
+    n->order = s->order;
+    n->subtree_end = s->subtree_end;
+    n->parent = s->parent ? out.nodes_[s->parent->node_id] : nullptr;
+    n->first_child =
+        s->first_child ? out.nodes_[s->first_child->node_id] : nullptr;
+    n->next_sibling =
+        s->next_sibling ? out.nodes_[s->next_sibling->node_id] : nullptr;
+    if (s->text != nullptr) {
+      n->text = out.arena_->CopyString(s->text, std::strlen(s->text));
+    }
+    if (s->num_attrs > 0) {
+      Attr* arr = static_cast<Attr*>(
+          out.arena_->Allocate(sizeof(Attr) * s->num_attrs, alignof(Attr)));
+      for (uint32_t i = 0; i < s->num_attrs; ++i) {
+        arr[i].name = s->attrs[i].name;
+        arr[i].value = out.arena_->CopyString(s->attrs[i].value,
+                                              std::strlen(s->attrs[i].value));
+      }
+      n->attrs = arr;
+      n->num_attrs = s->num_attrs;
+    }
+  }
+  out.root_ = root_ ? out.nodes_[root_->node_id] : nullptr;
+  return out;
+}
+
 void Document::AttachChild(Node* parent, Node* child, size_t elem_pos) {
   child->parent = parent;
   child->next_sibling = nullptr;

@@ -107,6 +107,15 @@ class Document {
   /// Approximate heap footprint of the tree (arena bytes).
   size_t memory_bytes() const { return arena_->bytes_reserved(); }
 
+  /// Deep copy into a fresh arena, preserving *everything* observable:
+  /// node ids (including retired slots), order/subtree_end ranks, the
+  /// epoch, attributes and text, and the shared name table. This is the
+  /// copy-on-write primitive of the snapshot layer (docs/DESIGN.md §7):
+  /// `Smoqe::Update` clones the published snapshot, mutates the clone, and
+  /// publishes it, so readers pinned to the old tree never observe a
+  /// half-applied edit. O(document).
+  Document Clone() const;
+
   /// Concatenation of the *direct* text children of `e` (XPath string value
   /// restricted to depth one, which is the semantics SMOQE predicates use).
   static std::string DirectText(const Node* e);

@@ -3,22 +3,28 @@
 namespace smoqe::xml {
 
 NameId NameTable::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(name);
   if (it != index_.end()) return it->second;
-  NameId id = static_cast<NameId>(names_.size());
-  // Deque-like stability: we store strings in a vector, so a rehash of
-  // index_ is fine (keys view into the heap buffers of the strings), but a
-  // reallocation of names_ moves the std::string objects. Small-string
-  // optimization would invalidate views, so force heap allocation for short
-  // names by reserving capacity beyond the SSO threshold.
-  std::string owned(name);
-  if (owned.capacity() < sizeof(std::string)) owned.reserve(sizeof(std::string));
-  names_.push_back(std::move(owned));
-  index_.emplace(std::string_view(names_.back()), id);
+  const size_t idx = size_.load(std::memory_order_relaxed);
+  const int c = ChunkOf(idx);
+  if (chunks_[c].load(std::memory_order_relaxed) == nullptr) {
+    chunk_owner_[c] = std::make_unique<std::string[]>(ChunkCapacity(c));
+    chunks_[c].store(chunk_owner_[c].get(), std::memory_order_release);
+  }
+  std::string* slot =
+      chunks_[c].load(std::memory_order_relaxed) + (idx - ChunkBase(c));
+  *slot = std::string(name);
+  // The string object never moves (chunks are fixed arrays), so views into
+  // it — the index key — stay valid even for SSO-resident names.
+  NameId id = static_cast<NameId>(idx);
+  index_.emplace(std::string_view(*slot), id);
+  size_.store(idx + 1, std::memory_order_release);
   return id;
 }
 
 NameId NameTable::Lookup(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(name);
   return it == index_.end() ? kNoName : it->second;
 }

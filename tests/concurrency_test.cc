@@ -1,0 +1,451 @@
+// Concurrency differential suite (docs/DESIGN.md §7): parallel execution
+// must be *invisible* except in wall-clock —
+//
+//  * N threads of Query / QueryBatch against one document produce answers
+//    byte-identical to sequential evaluation;
+//  * the parallel StAX batch driver (RunParallel) is byte-identical to
+//    the serial shared scan, chunk boundaries included;
+//  * readers racing an updater each see one consistent epoch: every
+//    answer matches the sequential reference answers *of the epoch the
+//    reader reports* — a torn snapshot would mismatch every reference;
+//  * the plan cache under concurrent compiles of one key converges every
+//    caller on a single shared plan, with nothing leaked or replaced.
+//
+// The engine is built with max_threads = 4 even on small CI hosts so the
+// pool paths run regardless of core count; under the TSan CI job this
+// suite is the main race detector.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/automata/mfa.h"
+#include "src/core/smoqe.h"
+#include "src/eval/batch.h"
+#include "src/rxpath/parser.h"
+#include "src/workload/workloads.h"
+#include "src/xml/serializer.h"
+#include "tests/test_util.h"
+
+namespace smoqe::core {
+namespace {
+
+using testutil::kHospitalDoc;
+
+EngineOptions ParallelOptions() {
+  EngineOptions o;
+  o.max_threads = 4;
+  o.stax_chunk_events = 64;  // force multi-chunk scans on small documents
+  return o;
+}
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Smoqe>(ParallelOptions());
+    ASSERT_TRUE(
+        engine_->RegisterDtd("hospital", testutil::kHospitalDtd, "hospital")
+            .ok());
+    ASSERT_TRUE(engine_->LoadDocument("ward", kHospitalDoc).ok());
+    ASSERT_TRUE(engine_
+                    ->DefineView("autism-group", "hospital",
+                                 workload::kHospitalPolicyAutism)
+                    .ok());
+    ASSERT_TRUE(engine_
+                    ->DefineView("research-group", "hospital",
+                                 workload::kHospitalPolicyResearch)
+                    .ok());
+    // A bigger generated document so scans outlast a few context switches.
+    ASSERT_TRUE(
+        engine_->GenerateDocument("gen", "hospital", /*seed=*/7, 4000).ok());
+  }
+
+  std::unique_ptr<Smoqe> engine_;
+};
+
+std::vector<BatchQueryItem> ServiceMix() {
+  std::vector<BatchQueryItem> items;
+  auto add = [&](const char* q, const char* view, EvalMode mode) {
+    BatchQueryItem it;
+    it.query = q;
+    it.options.view = view;
+    it.options.mode = mode;
+    items.push_back(std::move(it));
+  };
+  add("hospital/patient/pname", "", EvalMode::kDom);
+  add("//medication", "", EvalMode::kStax);
+  add("//patient[visit/treatment/medication = 'autism']/pname", "",
+      EvalMode::kStax);
+  add("hospital/patient/treatment/medication", "autism-group", EvalMode::kDom);
+  add("//treatment", "research-group", EvalMode::kStax);
+  add("//visit/date", "", EvalMode::kStax);
+  add("//patient[not(visit/treatment/test)]/pname", "", EvalMode::kDom);
+  add("//pname | //date", "", EvalMode::kStax);
+  return items;
+}
+
+TEST_F(ConcurrencyTest, ThreadedQueriesMatchSequential) {
+  const std::vector<BatchQueryItem> mix = ServiceMix();
+  // Sequential reference, per item.
+  std::vector<std::vector<std::string>> expected;
+  for (const BatchQueryItem& it : mix) {
+    auto r = engine_->Query("gen", it.query, it.options);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected.push_back(r->answers_xml);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const size_t q = static_cast<size_t>(t + i) % mix.size();
+        auto r = engine_->Query("gen", mix[q].query, mix[q].options);
+        if (!r.ok() || r->answers_xml != expected[q]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, ParallelQueryBatchMatchesPerItemQueries) {
+  const std::vector<BatchQueryItem> mix = ServiceMix();
+  auto batch = engine_->QueryBatch("gen", mix);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), mix.size());
+  for (size_t i = 0; i < mix.size(); ++i) {
+    auto single = engine_->Query("gen", mix[i].query, mix[i].options);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*batch)[i].answers_xml, single->answers_xml) << "item " << i;
+    EXPECT_EQ((*batch)[i].doc_epoch, single->doc_epoch);
+  }
+}
+
+TEST_F(ConcurrencyTest, ConcurrentQueryBatchesMatchSequential) {
+  const std::vector<BatchQueryItem> mix = ServiceMix();
+  auto reference = engine_->QueryBatch("gen", mix);
+  ASSERT_TRUE(reference.ok());
+
+  constexpr int kThreads = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 4; ++i) {
+        auto r = engine_->QueryBatch("gen", mix);
+        if (!r.ok() || r->size() != reference->size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t k = 0; k < r->size(); ++k) {
+          if ((*r)[k].answers_xml != (*reference)[k].answers_xml) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, QueryBatchMultiMatchesPerDocQueries) {
+  std::vector<DocBatchItem> items;
+  for (const BatchQueryItem& it : ServiceMix()) {
+    items.push_back(DocBatchItem{"gen", it.query, it.options});
+    items.push_back(DocBatchItem{"ward", it.query, it.options});
+  }
+  auto multi = engine_->QueryBatchMulti(items);
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  ASSERT_EQ(multi->size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto single = engine_->Query(items[i].doc, items[i].query,
+                                 items[i].options);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*multi)[i].answers_xml, single->answers_xml) << "item " << i;
+  }
+}
+
+TEST_F(ConcurrencyTest, QueryBatchMultiUnknownDocumentNamesItem) {
+  std::vector<DocBatchItem> items;
+  items.push_back(DocBatchItem{"gen", "//pname", {}});
+  items.push_back(DocBatchItem{"nope", "//pname", {}});
+  auto r = engine_->QueryBatchMulti(items);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("batch item 1"), std::string::npos);
+}
+
+// The readers-during-update contract: every reader answer is *exactly*
+// the sequential answer of the epoch the reader reports. A torn snapshot
+// (half-applied update, stale TAX row, text of a different epoch) would
+// produce an answer set matching no epoch.
+TEST_F(ConcurrencyTest, ReadersDuringUpdateSeeOneConsistentEpoch) {
+  constexpr int kUpdates = 6;
+  const std::string probe = "//medication";
+  const std::string update_stmt =
+      "insert into hospital/patient "
+      "<visit><treatment><medication>conc</medication></treatment>"
+      "<date>dX</date></visit>";
+
+  // Sequential reference: replay the same update sequence on a serial
+  // engine, recording the probe's answers at every epoch.
+  std::map<uint64_t, std::vector<std::string>> expected;
+  {
+    Smoqe ref(/*plan_cache_capacity=*/64);
+    ASSERT_TRUE(
+        ref.RegisterDtd("hospital", testutil::kHospitalDtd, "hospital").ok());
+    ASSERT_TRUE(ref.LoadDocument("ward", kHospitalDoc).ok());
+    auto record = [&] {
+      auto r = ref.Query("ward", probe);
+      ASSERT_TRUE(r.ok());
+      expected[r->doc_epoch] = r->answers_xml;
+    };
+    record();
+    for (int u = 0; u < kUpdates; ++u) {
+      auto ur = ref.Update("ward", update_stmt);
+      ASSERT_TRUE(ur.ok()) << ur.status().ToString();
+      record();
+    }
+  }
+  ASSERT_EQ(expected.size(), static_cast<size_t>(kUpdates) + 1);
+
+  // Concurrent run: one writer, several DOM + StAX readers.
+  std::atomic<bool> done{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> reads{0};
+  auto reader = [&](EvalMode mode) {
+    QueryOptions opts;
+    opts.mode = mode;
+    while (!done.load(std::memory_order_acquire)) {
+      auto r = engine_->Query("ward", probe, opts);
+      if (!r.ok()) {
+        mismatches.fetch_add(1);
+        continue;
+      }
+      reads.fetch_add(1);
+      auto it = expected.find(r->doc_epoch);
+      if (it == expected.end() || it->second != r->answers_xml) {
+        mismatches.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> readers;
+  readers.emplace_back(reader, EvalMode::kDom);
+  readers.emplace_back(reader, EvalMode::kDom);
+  readers.emplace_back(reader, EvalMode::kStax);
+  readers.emplace_back(reader, EvalMode::kStax);
+
+  uint64_t final_epoch = 0;
+  for (int u = 0; u < kUpdates; ++u) {
+    auto ur = engine_->Update("ward", update_stmt);
+    ASSERT_TRUE(ur.ok()) << ur.status().ToString();
+    final_epoch = ur->stats.doc_epoch;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(reads.load(), 0);
+  EXPECT_EQ(final_epoch, static_cast<uint64_t>(kUpdates));
+  // After the writer finishes, readers see the final epoch's answers.
+  auto last = engine_->Query("ward", probe);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->doc_epoch, final_epoch);
+  EXPECT_EQ(last->answers_xml, expected[final_epoch]);
+}
+
+TEST_F(ConcurrencyTest, ConcurrentCompilesConvergeOnOneCachedPlan) {
+  engine_->plan_cache().Clear();
+  const std::vector<std::string> queries = {
+      "//patient[visit/treatment/test]/pname",
+      "hospital/patient/visit/treatment/medication",
+      "//patient[parent]/pname",
+  };
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string& q = queries[static_cast<size_t>(t) % queries.size()];
+      auto r = engine_->Query("ward", q);
+      if (!r.ok()) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  PlanCacheStats stats = engine_->plan_cache().stats();
+  // All racers accounted for, and the cache kept exactly one entry per
+  // distinct query (the losing compiles were dropped, not inserted).
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.size, queries.size());
+  // Repeat queries now all hit.
+  for (const std::string& q : queries) {
+    auto r = engine_->Query("ward", q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->stats.plan_cache_hits, 1u);
+  }
+}
+
+TEST(PlanCacheRaceTest, SecondInsertKeepsIncumbentPlan) {
+  PlanCache cache(8);
+  PlanCache::Key key;
+  key.normalized_query = "//a";
+  auto first = std::make_shared<const CompiledPlan>();
+  auto second = std::make_shared<const CompiledPlan>();
+  EXPECT_EQ(cache.Insert(key, first).get(), first.get());
+  // Simulated lost race: the later Insert must hand back the incumbent.
+  EXPECT_EQ(cache.Insert(key, second).get(), first.get());
+  EXPECT_EQ(cache.Lookup(key).get(), first.get());
+  EXPECT_EQ(cache.stats().size, 1u);
+}
+
+// Eval-layer differential: the chunked parallel StAX driver against the
+// serial shared scan, byte-for-byte, across chunk-boundary shapes.
+TEST(BatchParallelTest, RunParallelMatchesRunByteForByte) {
+  auto names = xml::NameTable::Create();
+  auto doc = workload::GenHospital(/*seed=*/11, 3000, names);
+  ASSERT_TRUE(doc.ok());
+  const std::string text = xml::SerializeDocument(*doc);
+
+  const std::vector<std::string> queries = {
+      "hospital/patient/pname",
+      "//medication",
+      "//patient[visit/treatment/medication = 'autism']/pname",
+      "//visit/date",
+      "//patient[not(visit/treatment/test)]/pname",
+      "//pname | //date",
+      "//treatment[medication]",
+      "//patient[.//medication = 'autism']/pname",
+  };
+  std::vector<std::unique_ptr<automata::Mfa>> mfas;
+  eval::BatchEvaluator batch;
+  for (const std::string& q : queries) {
+    auto parsed = rxpath::ParseQuery(q);
+    ASSERT_TRUE(parsed.ok());
+    auto mfa = automata::Mfa::Compile(**parsed, names);
+    ASSERT_TRUE(mfa.ok());
+    mfas.push_back(std::make_unique<automata::Mfa>(mfa.MoveValue()));
+    batch.AddPlan(mfas.back().get());
+  }
+
+  auto serial = batch.Run(text);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  ThreadPool pool(4);
+  for (size_t chunk : {size_t{7}, size_t{256}, size_t{1 << 20}}) {
+    eval::BatchParallelOptions par;
+    par.pool = &pool;
+    par.chunk_events = chunk;
+    auto parallel = batch.RunParallel(text, par);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_EQ(parallel->size(), serial->size());
+    for (size_t k = 0; k < serial->size(); ++k) {
+      const auto& s = (*serial)[k];
+      const auto& p = (*parallel)[k];
+      ASSERT_EQ(p.answers.size(), s.answers.size())
+          << "plan " << k << " chunk " << chunk;
+      for (size_t a = 0; a < s.answers.size(); ++a) {
+        EXPECT_EQ(p.answers[a].engine_id, s.answers[a].engine_id);
+        EXPECT_EQ(p.answers[a].xml, s.answers[a].xml)
+            << "plan " << k << " answer " << a << " chunk " << chunk;
+      }
+      // Per-plan engine work is identical, not merely equivalent.
+      EXPECT_EQ(p.stats.nodes_visited, s.stats.nodes_visited);
+      EXPECT_EQ(p.stats.nodes_pruned, s.stats.nodes_pruned);
+      EXPECT_EQ(p.stats.cans_entries, s.stats.cans_entries);
+      EXPECT_EQ(p.stats.buffered_bytes, s.stats.buffered_bytes);
+    }
+  }
+}
+
+TEST(BatchParallelTest, NestedRunParallelOnSaturatedPoolCompletes) {
+  // Regression: RunParallel joins by helping (HelpWhileWaiting). With a
+  // blocking join, two nested batches on a 1-worker pool deadlock — the
+  // worker blocks in its own join while the other batch's chunk tasks
+  // sit unclaimed in the queue.
+  auto names = xml::NameTable::Create();
+  auto doc = workload::GenHospital(/*seed=*/5, 600, names);
+  ASSERT_TRUE(doc.ok());
+  const std::string text = xml::SerializeDocument(*doc);
+  std::vector<std::unique_ptr<automata::Mfa>> mfas;
+  eval::BatchEvaluator batch;
+  for (const char* q : {"//medication", "//visit/date",
+                        "hospital/patient/pname", "//treatment"}) {
+    auto parsed = rxpath::ParseQuery(q);
+    ASSERT_TRUE(parsed.ok());
+    auto mfa = automata::Mfa::Compile(**parsed, names);
+    ASSERT_TRUE(mfa.ok());
+    mfas.push_back(std::make_unique<automata::Mfa>(mfa.MoveValue()));
+    batch.AddPlan(mfas.back().get());
+  }
+  auto serial = batch.Run(text);
+  ASSERT_TRUE(serial.ok());
+
+  ThreadPool pool(2);  // one worker: maximum contention for the queue
+  eval::BatchParallelOptions par;
+  par.pool = &pool;
+  par.chunk_events = 16;
+  std::atomic<int> mismatches{0};
+  pool.ParallelFor(3, [&](size_t) {
+    auto r = batch.RunParallel(text, par);
+    if (!r.ok() || r->size() != serial->size()) {
+      mismatches.fetch_add(1);
+      return;
+    }
+    for (size_t k = 0; k < r->size(); ++k) {
+      if ((*r)[k].answers.size() != (*serial)[k].answers.size()) {
+        mismatches.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(BatchParallelTest, SerialEngineOptionMatchesParallelEngine) {
+  // The facade-level differential knob: identical batches through a
+  // serial engine (max_threads = 1) and a parallel one.
+  auto make_engine = [&](int threads) {
+    EngineOptions o;
+    o.max_threads = threads;
+    o.stax_chunk_events = 32;
+    auto e = std::make_unique<Smoqe>(o);
+    EXPECT_TRUE(
+        e->RegisterDtd("hospital", testutil::kHospitalDtd, "hospital").ok());
+    EXPECT_TRUE(e->GenerateDocument("gen", "hospital", /*seed=*/3, 2000).ok());
+    return e;
+  };
+  auto serial = make_engine(1);
+  auto parallel = make_engine(4);
+  EXPECT_EQ(serial->pool(), nullptr);
+  ASSERT_NE(parallel->pool(), nullptr);
+
+  std::vector<BatchQueryItem> mix = ServiceMix();
+  // Drop the view items — these engines define no views.
+  mix.erase(std::remove_if(mix.begin(), mix.end(),
+                           [](const BatchQueryItem& it) {
+                             return !it.options.view.empty();
+                           }),
+            mix.end());
+  auto rs = serial->QueryBatch("gen", mix);
+  auto rp = parallel->QueryBatch("gen", mix);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rp.ok());
+  ASSERT_EQ(rs->size(), rp->size());
+  for (size_t i = 0; i < rs->size(); ++i) {
+    EXPECT_EQ((*rs)[i].answers_xml, (*rp)[i].answers_xml) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace smoqe::core
