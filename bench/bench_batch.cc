@@ -158,11 +158,32 @@ void WriteBatchTrajectory(const char* path) {
         auto r = eval::EvalHypeStaxBatch(plans, text);
         Corpus::Check(r.ok(), "batch eval");
       });
+      // Per-call latency distribution of the same two pipelines (§8:
+      // the serving-layer tail, which the min above deliberately hides).
+      const bench::LatencyPercentiles seq_pct =
+          bench::MeasureLatencyPercentiles(
+              [&] {
+                for (const automata::Mfa* mfa : plans) {
+                  auto r = eval::EvalHypeStax(*mfa, text);
+                  Corpus::Check(r.ok(), "sequential eval");
+                }
+              },
+              /*min_iters=*/20, /*min_seconds=*/0.2);
+      const bench::LatencyPercentiles batch_pct =
+          bench::MeasureLatencyPercentiles(
+              [&] {
+                auto r = eval::EvalHypeStaxBatch(plans, text);
+                Corpus::Check(r.ok(), "batch eval");
+              },
+              /*min_iters=*/20, /*min_seconds=*/0.2);
 
       const std::string mix_id = "mix" + std::to_string(n);
       for (bool batch : {false, true}) {
         double ns = batch ? batch_ns : seq_ns;
+        const bench::LatencyPercentiles& pct = batch ? batch_pct : seq_pct;
         bench::TrajectoryRow row;
+        row.p50_ns = pct.p50_ns;
+        row.p99_ns = pct.p99_ns;
         row.engine = batch ? "hype_stax_batch" : "hype_stax_seq";
         row.workload = "hospital";
         row.query = mix_id;

@@ -229,6 +229,14 @@ void WriteParallelTrajectory(const char* path) {
         Corpus::Check(r.ok(), "stax trajectory eval");
       });
       if (threads == 1) ns_1t = stax_ns;
+      const bench::LatencyPercentiles stax_pct =
+          bench::MeasureLatencyPercentiles(
+              [&] {
+                auto r =
+                    threads > 1 ? batch.RunParallel(text, par) : batch.Run(text);
+                Corpus::Check(r.ok(), "stax trajectory eval");
+              },
+              /*min_iters=*/20, /*min_seconds=*/0.2);
 
       bench::TrajectoryRow row;
       row.engine = "parallel_stax_batch";
@@ -240,6 +248,8 @@ void WriteParallelTrajectory(const char* path) {
       row.ns_per_node = stax_ns / static_cast<double>(nodes);
       row.nodes_per_sec = static_cast<double>(kMixSize) *
                           static_cast<double>(nodes) * 1e9 / stax_ns;
+      row.p50_ns = stax_pct.p50_ns;
+      row.p99_ns = stax_pct.p99_ns;
       report.Add(std::move(row));
 
       // DOM batch through the facade (items fan out across the pool).
@@ -249,6 +259,13 @@ void WriteParallelTrajectory(const char* path) {
         auto r = engine->QueryBatch("ward", items);
         Corpus::Check(r.ok(), "dom trajectory eval");
       });
+      const bench::LatencyPercentiles dom_pct =
+          bench::MeasureLatencyPercentiles(
+              [&] {
+                auto r = engine->QueryBatch("ward", items);
+                Corpus::Check(r.ok(), "dom trajectory eval");
+              },
+              /*min_iters=*/20, /*min_seconds=*/0.2);
       bench::TrajectoryRow dom_row;
       dom_row.engine = "parallel_dom_batch";
       dom_row.workload = "hospital";
@@ -259,6 +276,8 @@ void WriteParallelTrajectory(const char* path) {
       dom_row.ns_per_node = dom_ns / static_cast<double>(nodes);
       dom_row.nodes_per_sec = static_cast<double>(kMixSize) *
                               static_cast<double>(nodes) * 1e9 / dom_ns;
+      dom_row.p50_ns = dom_pct.p50_ns;
+      dom_row.p99_ns = dom_pct.p99_ns;
       report.Add(std::move(dom_row));
 
       // Read/write mix: reader rounds timed under a continuous background

@@ -13,6 +13,7 @@
 #include "src/automata/mfa.h"
 #include "src/common/counters.h"
 #include "src/rxpath/parser.h"
+#include "src/telemetry/metrics.h"
 #include "src/workload/workloads.h"
 #include "src/xml/serializer.h"
 
@@ -158,6 +159,12 @@ struct TrajectoryRow {
   uint64_t threads = 1;
   double ns_per_node = 0;
   double nodes_per_sec = 0;
+  /// Per-call latency distribution (0 when the row records only a mean):
+  /// median and tail of the repeated timed calls, from the same samples
+  /// the mean came from. The batch/parallel rows fill these — tail
+  /// latency is the serving-layer metric a mean hides.
+  double p50_ns = 0;
+  double p99_ns = 0;
   uint64_t max_active_pairs = 0;
   uint64_t guard_pool_entries = 0;
   uint64_t guard_pool_hits = 0;
@@ -256,6 +263,7 @@ class JsonReport {
           "\"config\": \"%s\", \"nodes\": %llu, \"answers\": %llu, "
           "\"threads\": %llu, "
           "\"ns_per_node\": %.2f, \"nodes_per_sec\": %.0f, "
+          "\"p50_ns\": %.0f, \"p99_ns\": %.0f, "
           "\"max_active_pairs\": %llu, \"guard_pool_entries\": %llu, "
           "\"guard_pool_hits\": %llu, \"run_dedup_probes\": %llu}",
           Escape(r.engine).c_str(), Escape(r.workload).c_str(),
@@ -263,7 +271,7 @@ class JsonReport {
           static_cast<unsigned long long>(r.nodes),
           static_cast<unsigned long long>(r.answers),
           static_cast<unsigned long long>(r.threads), r.ns_per_node,
-          r.nodes_per_sec,
+          r.nodes_per_sec, r.p50_ns, r.p99_ns,
           static_cast<unsigned long long>(r.max_active_pairs),
           static_cast<unsigned long long>(r.guard_pool_entries),
           static_cast<unsigned long long>(r.guard_pool_hits),
@@ -358,6 +366,40 @@ double MeasureMinNsPerIter(Fn&& fn, int min_iters = 5,
     ++iters;
   } while (iters < min_iters || total < min_seconds);
   return best * 1e9;
+}
+
+/// Latency distribution of repeated timed calls: median and p99 over the
+/// same kind of sample stream MeasureMinNsPerIter takes the minimum of.
+/// Samples land in a telemetry::Histogram (the subsystem's own
+/// log-bucketed quantiles, ≤6.25% relative error), so the bench numbers
+/// and a production DumpMetrics read the same way.
+struct LatencyPercentiles {
+  double p50_ns = 0;
+  double p99_ns = 0;
+};
+
+template <typename Fn>
+LatencyPercentiles MeasureLatencyPercentiles(Fn&& fn, int min_iters = 50,
+                                             double min_seconds = 0.5) {
+  using Clock = std::chrono::steady_clock;
+  auto warm_start = Clock::now();
+  do {
+    fn();
+  } while (std::chrono::duration<double>(Clock::now() - warm_start).count() <
+           0.01);
+  telemetry::Histogram hist;
+  double total = 0;
+  int iters = 0;
+  do {
+    auto t0 = Clock::now();
+    fn();
+    const double s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    hist.Record(static_cast<uint64_t>(s * 1e9));
+    total += s;
+    ++iters;
+  } while (iters < min_iters || total < min_seconds);
+  return {hist.Quantile(0.5), hist.Quantile(0.99)};
 }
 
 /// Whether the post-benchmark JSON trajectory sweep should run. On by

@@ -1,6 +1,33 @@
 #include "src/common/counters.h"
 
+#include <algorithm>
+
 namespace smoqe {
+
+void EvalStats::MergeFrom(const EvalStats& other) {
+  nodes_visited += other.nodes_visited;
+  subtrees_pruned += other.subtrees_pruned;
+  nodes_pruned += other.nodes_pruned;
+  cans_entries += other.cans_entries;
+  answers += other.answers;
+  pred_instances += other.pred_instances;
+  obligations += other.obligations;
+  max_active_pairs = std::max(max_active_pairs, other.max_active_pairs);
+  tree_passes += other.tree_passes;
+  aux_passes += other.aux_passes;
+  buffered_bytes = std::max(buffered_bytes, other.buffered_bytes);
+  dispatch_label_hits += other.dispatch_label_hits;
+  dispatch_wildcard_hits += other.dispatch_wildcard_hits;
+  dispatch_scan_steps += other.dispatch_scan_steps;
+  guard_pool_entries += other.guard_pool_entries;
+  guard_pool_hits += other.guard_pool_hits;
+  guard_pool_misses += other.guard_pool_misses;
+  run_dedup_probes += other.run_dedup_probes;
+  runs_deduped += other.runs_deduped;
+  plan_cache_hits += other.plan_cache_hits;
+  plan_cache_misses += other.plan_cache_misses;
+  batch_plans += other.batch_plans;
+}
 
 std::string EvalStats::ToString() const {
   std::string s;

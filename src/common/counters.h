@@ -46,6 +46,14 @@ struct EvalStats {
 
   void Reset() { *this = EvalStats(); }
 
+  /// Folds another evaluation's stats into this one, making `this` the
+  /// batch-level aggregate: additive counters sum; the two peak values
+  /// (`max_active_pairs`, and `buffered_bytes`, which reports a shared
+  /// capture footprint in batch mode) take the max. Used by
+  /// `Smoqe::QueryBatch` so batch stats equal the sum of per-plan stats
+  /// regardless of serial vs parallel execution.
+  void MergeFrom(const EvalStats& other);
+
   /// One-line rendering for examples and debugging.
   std::string ToString() const;
 };

@@ -29,17 +29,49 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+void ThreadPool::AttachTelemetry(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    tm_task_wait_ns_.store(nullptr, std::memory_order_release);
+    tm_queue_depth_.store(nullptr, std::memory_order_release);
+    tm_steals_.store(nullptr, std::memory_order_release);
+    tm_executed_.store(nullptr, std::memory_order_release);
+    tm_submitted_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  tm_submitted_.store(&registry->GetCounter("pool.tasks_submitted"),
+                      std::memory_order_release);
+  tm_executed_.store(&registry->GetCounter("pool.tasks_executed"),
+                     std::memory_order_release);
+  tm_steals_.store(&registry->GetCounter("pool.steals"),
+                   std::memory_order_release);
+  tm_queue_depth_.store(&registry->GetGauge("pool.queue_depth"),
+                        std::memory_order_release);
+  tm_task_wait_ns_.store(&registry->GetHistogram("pool.task_wait_ns"),
+                         std::memory_order_release);
+}
+
 void ThreadPool::Submit(std::function<void()> fn) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (auto* c = tm_submitted_.load(std::memory_order_acquire)) c->Add();
   if (workers_.empty()) {
     fn();  // no workers: degenerate pool runs inline
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    if (auto* c = tm_executed_.load(std::memory_order_acquire)) c->Add();
     return;
+  }
+  Task task;
+  task.fn = std::move(fn);
+  if (tm_task_wait_ns_.load(std::memory_order_acquire) != nullptr) {
+    task.enqueued = std::chrono::steady_clock::now();
+    task.timed = true;
   }
   const size_t q =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
     std::lock_guard<std::mutex> lock(queues_[q]->mu);
-    queues_[q]->tasks.push_back(std::move(fn));
+    queues_[q]->tasks.push_back(std::move(task));
   }
+  if (auto* g = tm_queue_depth_.load(std::memory_order_acquire)) g->Add(1);
   {
     // The increment must happen under wake_mu_ (like stop_ in the
     // destructor): a worker that just evaluated the wait predicate as
@@ -55,7 +87,7 @@ bool ThreadPool::RunOneTask(size_t self) {
   const size_t k = queues_.size();
   for (size_t probe = 0; probe < k; ++probe) {
     const size_t q = (self + probe) % k;
-    std::function<void()> task;
+    Task task;
     {
       std::lock_guard<std::mutex> lock(queues_[q]->mu);
       if (queues_[q]->tasks.empty()) continue;
@@ -67,8 +99,23 @@ bool ThreadPool::RunOneTask(size_t self) {
         queues_[q]->tasks.pop_front();
       }
     }
+    if (probe != 0) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      if (auto* c = tm_steals_.load(std::memory_order_acquire)) c->Add();
+    }
+    if (auto* g = tm_queue_depth_.load(std::memory_order_acquire)) g->Add(-1);
+    if (task.timed) {
+      if (auto* h = tm_task_wait_ns_.load(std::memory_order_acquire)) {
+        const auto wait = std::chrono::steady_clock::now() - task.enqueued;
+        h->Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(wait)
+                .count()));
+      }
+    }
     pending_.fetch_sub(1, std::memory_order_acq_rel);
-    task();
+    task.fn();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    if (auto* c = tm_executed_.load(std::memory_order_acquire)) c->Add();
     return true;
   }
   return false;

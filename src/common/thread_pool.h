@@ -8,6 +8,7 @@
 #define SMOQE_COMMON_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -16,6 +17,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/telemetry/metrics.h"
 
 namespace smoqe {
 
@@ -102,10 +105,41 @@ class ThreadPool {
   /// configured engine.
   static ThreadPool& Shared();
 
+  /// Lifetime totals, always collected (relaxed atomics — approximate
+  /// cross-counter consistency, exact totals once the pool is quiescent).
+  struct Stats {
+    uint64_t submitted = 0;  ///< tasks handed to Submit (incl. inline runs)
+    uint64_t executed = 0;   ///< tasks that have finished running
+    uint64_t steals = 0;     ///< pops from another worker's deque
+  };
+  Stats stats() const {
+    Stats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.executed = executed_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Mirrors pool activity into `registry` from now on (docs/DESIGN.md
+  /// §8.4): counters `pool.tasks_submitted` / `pool.tasks_executed` /
+  /// `pool.steals`, gauge `pool.queue_depth`, histogram
+  /// `pool.task_wait_ns` (Submit-to-pop latency; tasks submitted before
+  /// attachment carry no timestamp and are not recorded). Safe to call
+  /// while the pool is running; nullptr detaches.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry);
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    /// Enqueue time; only stamped (and only read) when the wait-latency
+    /// histogram was attached at submit time.
+    std::chrono::steady_clock::time_point enqueued;
+    bool timed = false;
+  };
+
   struct WorkQueue {
     std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    std::deque<Task> tasks;
   };
 
   void WorkerLoop(size_t self);
@@ -120,6 +154,18 @@ class ThreadPool {
   std::atomic<size_t> pending_{0};
   std::atomic<bool> stop_{false};
   std::atomic<size_t> next_queue_{0};
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> steals_{0};
+  // Attached-registry metrics; release-stored by AttachTelemetry,
+  // acquire-loaded on use so a worker that sees the pointer also sees the
+  // metric object it points at.
+  std::atomic<telemetry::Counter*> tm_submitted_{nullptr};
+  std::atomic<telemetry::Counter*> tm_executed_{nullptr};
+  std::atomic<telemetry::Counter*> tm_steals_{nullptr};
+  std::atomic<telemetry::Gauge*> tm_queue_depth_{nullptr};
+  std::atomic<telemetry::Histogram*> tm_task_wait_ns_{nullptr};
 };
 
 }  // namespace smoqe

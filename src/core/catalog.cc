@@ -4,6 +4,9 @@
 
 namespace smoqe::core {
 
+std::atomic<int64_t> DocumentSnapshot::s_live_{0};
+std::atomic<int64_t> DocumentSnapshot::s_created_{0};
+
 const std::string& DocumentSnapshot::text() const {
   std::call_once(text_once_, [&] {
     if (std::atomic_load_explicit(&text_, std::memory_order_acquire) ==

@@ -6,6 +6,7 @@
 #ifndef SMOQE_CORE_CATALOG_H_
 #define SMOQE_CORE_CATALOG_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -55,7 +56,27 @@ class DocumentSnapshot {
                    std::shared_ptr<const index::TaxIndex> tax_,
                    std::shared_ptr<const std::string> text)
       : dom(std::move(dom_)), tax(std::move(tax_)), epoch(dom->epoch()),
-        text_(std::move(text)) {}
+        text_(std::move(text)) {
+    s_created_.fetch_add(1, std::memory_order_relaxed);
+    s_live_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  ~DocumentSnapshot() { s_live_.fetch_sub(1, std::memory_order_relaxed); }
+
+  DocumentSnapshot(const DocumentSnapshot&) = delete;
+  DocumentSnapshot& operator=(const DocumentSnapshot&) = delete;
+
+  /// Process-wide count of snapshots currently alive — i.e. published
+  /// ones plus superseded epochs still pinned by in-flight readers. The
+  /// `snapshot.live` gauge; a persistently growing value means some
+  /// reader is holding snapshots across epochs.
+  static int64_t LiveCount() {
+    return s_live_.load(std::memory_order_relaxed);
+  }
+  /// Process-wide count of snapshots ever created (the churn rate).
+  static int64_t CreatedCount() {
+    return s_created_.load(std::memory_order_relaxed);
+  }
 
   const std::shared_ptr<const xml::Document> dom;
   /// TAX index of `dom`, or null while none is built.
@@ -75,6 +96,9 @@ class DocumentSnapshot {
   }
 
  private:
+  static std::atomic<int64_t> s_live_;
+  static std::atomic<int64_t> s_created_;
+
   mutable std::once_flag text_once_;
   mutable std::shared_ptr<const std::string> text_;
 };

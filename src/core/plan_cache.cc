@@ -2,14 +2,35 @@
 
 namespace smoqe::core {
 
+void PlanCache::AttachTelemetry(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    hits_.store(&own_hits_, std::memory_order_release);
+    misses_.store(&own_misses_, std::memory_order_release);
+    evictions_.store(&own_evictions_, std::memory_order_release);
+    invalidations_.store(&own_invalidations_, std::memory_order_release);
+    size_.store(&own_size_, std::memory_order_release);
+    return;
+  }
+  hits_.store(&registry->GetCounter("plan_cache.hits"),
+              std::memory_order_release);
+  misses_.store(&registry->GetCounter("plan_cache.misses"),
+                std::memory_order_release);
+  evictions_.store(&registry->GetCounter("plan_cache.evictions"),
+                   std::memory_order_release);
+  invalidations_.store(&registry->GetCounter("plan_cache.invalidations"),
+                       std::memory_order_release);
+  size_.store(&registry->GetGauge("plan_cache.size"),
+              std::memory_order_release);
+}
+
 std::shared_ptr<const CompiledPlan> PlanCache::Lookup(const Key& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.load(std::memory_order_acquire)->Add();
     return nullptr;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.load(std::memory_order_acquire)->Add();
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->second;
 }
@@ -31,9 +52,10 @@ std::shared_ptr<const CompiledPlan> PlanCache::Insert(
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.load(std::memory_order_acquire)->Add();
   }
-  size_.store(lru_.size(), std::memory_order_relaxed);
+  size_.load(std::memory_order_acquire)
+      ->Set(static_cast<int64_t>(lru_.size()));
   return lru_.front().second;
 }
 
@@ -49,28 +71,30 @@ size_t PlanCache::InvalidateView(std::string_view view) {
       ++it;
     }
   }
-  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
-  size_.store(lru_.size(), std::memory_order_relaxed);
+  invalidations_.load(std::memory_order_acquire)->Add(dropped);
+  size_.load(std::memory_order_acquire)
+      ->Set(static_cast<int64_t>(lru_.size()));
   return dropped;
 }
 
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  invalidations_.fetch_add(lru_.size(), std::memory_order_relaxed);
+  invalidations_.load(std::memory_order_acquire)->Add(lru_.size());
   index_.clear();
   lru_.clear();
-  size_.store(0, std::memory_order_relaxed);
+  size_.load(std::memory_order_acquire)->Set(0);
 }
 
 PlanCacheStats PlanCache::stats() const {
   // Counter reads are lock-free; a stats() racing ongoing operations sees
   // a near-instant of the cache, which is all a monitoring read needs.
   PlanCacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.invalidations = invalidations_.load(std::memory_order_relaxed);
-  s.size = size_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_acquire)->Value();
+  s.misses = misses_.load(std::memory_order_acquire)->Value();
+  s.evictions = evictions_.load(std::memory_order_acquire)->Value();
+  s.invalidations = invalidations_.load(std::memory_order_acquire)->Value();
+  s.size = static_cast<size_t>(
+      size_.load(std::memory_order_acquire)->Value());
   s.capacity = capacity_;
   return s;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/automata/mfa.h"
+#include "src/telemetry/metrics.h"
 
 namespace smoqe::core {
 
@@ -110,6 +111,14 @@ class PlanCache {
 
   PlanCacheStats stats() const;
 
+  /// Redirects the cache's counters into `registry` (docs/DESIGN.md §8.4):
+  /// `plan_cache.hits` / `.misses` / `.evictions` / `.invalidations`
+  /// counters and the `plan_cache.size` gauge. Counts accumulated before
+  /// attachment stay in the private counters and stop being reported, so
+  /// attach at construction time (as `Smoqe` does). nullptr re-targets
+  /// the private counters.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry);
+
  private:
   struct KeyHash {
     size_t operator()(const Key& k) const {
@@ -127,13 +136,19 @@ class PlanCache {
   size_t capacity_;
   LruList lru_;  // front = most recently used
   std::unordered_map<Key, LruList::iterator, KeyHash> index_;
-  // Relaxed atomics: exact per-op ordering is irrelevant, stats() must not
-  // serialize against hot lookups.
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> invalidations_{0};
-  std::atomic<size_t> size_{0};
+  // Sharded telemetry counters (relaxed atomics underneath): exact per-op
+  // ordering is irrelevant, stats() must not serialize against hot
+  // lookups. The cache owns a private set; AttachTelemetry re-targets the
+  // pointers at registry-owned metrics (release/acquire so a reader that
+  // sees the new pointer sees the object behind it).
+  telemetry::Counter own_hits_, own_misses_, own_evictions_,
+      own_invalidations_;
+  telemetry::Gauge own_size_;
+  std::atomic<telemetry::Counter*> hits_{&own_hits_};
+  std::atomic<telemetry::Counter*> misses_{&own_misses_};
+  std::atomic<telemetry::Counter*> evictions_{&own_evictions_};
+  std::atomic<telemetry::Counter*> invalidations_{&own_invalidations_};
+  std::atomic<telemetry::Gauge*> size_{&own_size_};
 };
 
 }  // namespace smoqe::core

@@ -1,6 +1,7 @@
 #include "src/core/smoqe.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <set>
@@ -39,7 +40,40 @@ uint64_t ViewFingerprint(const view::ViewDefinition& def,
   return Fnv1a64(def.ToString()) ^ (Fnv1a64(dtd_name) * 0x9e3779b97f4a7c15ull);
 }
 
+/// Nanoseconds elapsed since `t0` (facade-call latency sampling).
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 }  // namespace
+
+Smoqe::FacadeMetrics::FacadeMetrics(tel::MetricsRegistry& reg)
+    : query_count(&reg.GetCounter("query.count")),
+      query_errors(&reg.GetCounter("query.errors")),
+      query_answers(&reg.GetCounter("query.answers")),
+      query_latency_ns(&reg.GetHistogram("query.latency_ns")),
+      query_epoch_lag(&reg.GetHistogram("query.epoch_lag")),
+      batch_count(&reg.GetCounter("batch.count")),
+      batch_errors(&reg.GetCounter("batch.errors")),
+      batch_items(&reg.GetCounter("batch.items")),
+      batch_latency_ns(&reg.GetHistogram("batch.latency_ns")),
+      batch_plans_per_scan(&reg.GetHistogram("batch.plans_per_scan")),
+      batch_chunk_ns(&reg.GetHistogram("batch.chunk_ns")),
+      eval_nodes_visited(&reg.GetCounter("eval.nodes_visited")),
+      eval_subtrees_pruned(&reg.GetCounter("eval.subtrees_pruned")),
+      eval_answers(&reg.GetCounter("eval.answers")),
+      update_count(&reg.GetCounter("update.count")),
+      update_accepted(&reg.GetCounter("update.accepted")),
+      update_rejected(&reg.GetCounter("update.rejected")),
+      update_errors(&reg.GetCounter("update.errors")),
+      update_latency_ns(&reg.GetHistogram("update.latency_ns")),
+      update_tax_repair_ns(&reg.GetHistogram("update.tax_repair_ns")),
+      update_tax_rebuild_ns(&reg.GetHistogram("update.tax_rebuild_ns")),
+      update_nodes_inserted(&reg.GetCounter("update.nodes_inserted")),
+      update_nodes_deleted(&reg.GetCounter("update.nodes_deleted")) {}
 
 Smoqe::Smoqe(EngineOptions options)
     : names_(xml::NameTable::Create()),
@@ -52,6 +86,12 @@ Smoqe::Smoqe(EngineOptions options)
           ? options_.max_threads
           : static_cast<int>(std::thread::hardware_concurrency());
   if (resolved > 1) pool_ = std::make_unique<ThreadPool>(resolved);
+  if (options_.telemetry.enabled) {
+    telemetry_ = std::make_unique<tel::Telemetry>(options_.telemetry);
+    tm_ = std::make_unique<FacadeMetrics>(telemetry_->registry());
+    plan_cache_.AttachTelemetry(&telemetry_->registry());
+    if (pool_ != nullptr) pool_->AttachTelemetry(&telemetry_->registry());
+  }
 }
 
 Smoqe::Smoqe(size_t plan_cache_capacity)
@@ -248,9 +288,13 @@ Status Smoqe::LoadIndex(const std::string& doc_name, const std::string& path) {
 }
 
 Result<Smoqe::PlanUse> Smoqe::GetPlan(std::string_view query_text,
-                                      const QueryOptions& options) {
-  SMOQE_ASSIGN_OR_RETURN(std::unique_ptr<rxpath::PathExpr> query,
-                         rxpath::ParseQuery(query_text));
+                                      const QueryOptions& options,
+                                      tel::Trace* tr) {
+  std::unique_ptr<rxpath::PathExpr> query;
+  {
+    tel::SpanScope span(tr, "parse");
+    SMOQE_ASSIGN_OR_RETURN(query, rxpath::ParseQuery(query_text));
+  }
 
   const ViewEntry* view = nullptr;
   PlanCache::Key key;
@@ -268,6 +312,7 @@ Result<Smoqe::PlanUse> Smoqe::GetPlan(std::string_view query_text,
   key.normalized_query = rxpath::ToString(*query);
 
   if (!options.bypass_plan_cache) {
+    tel::SpanScope span(tr, "cache_lookup");
     if (std::shared_ptr<const CompiledPlan> hit = plan_cache_.Lookup(key)) {
       return PlanUse{std::move(hit), /*cache_hit=*/true};
     }
@@ -277,9 +322,11 @@ Result<Smoqe::PlanUse> Smoqe::GetPlan(std::string_view query_text,
   // an equivalent MFA over the underlying document (never materializing).
   auto compiled = std::make_shared<CompiledPlan>();
   if (view == nullptr) {
+    tel::SpanScope span(tr, "compile");
     SMOQE_ASSIGN_OR_RETURN(compiled->mfa,
                            automata::Mfa::Compile(*query, names_));
   } else {
+    tel::SpanScope span(tr, "rewrite");
     // Query assistance: flag labels that are not part of the schema the
     // user group sees (they can never match — typo or access attempt).
     rxpath::TypeCheckResult tc = rxpath::TypeCheck(
@@ -301,7 +348,8 @@ Result<Smoqe::PlanUse> Smoqe::GetPlan(std::string_view query_text,
 Result<QueryAnswer> Smoqe::EvalCompiled(const DocumentSnapshot& snap,
                                         const std::string& doc_name,
                                         const PlanUse& pu,
-                                        const QueryOptions& options) {
+                                        const QueryOptions& options,
+                                        tel::Trace* tr) {
   const CompiledPlan& plan = *pu.plan;
   QueryAnswer out;
   out.unknown_labels = plan.unknown_labels;
@@ -315,6 +363,9 @@ Result<QueryAnswer> Smoqe::EvalCompiled(const DocumentSnapshot& snap,
     }
     eval::StaxEvalOptions stax_opts;
     stax_opts.engine.trace = options.explain;
+    // The streaming pass captures answer subtrees as it scans, so
+    // evaluation and materialization are one span here.
+    tel::SpanScope span(tr, "evaluate");
     SMOQE_ASSIGN_OR_RETURN(eval::StaxEvalResult r,
                            eval::EvalHypeStax(plan.mfa, snap.text(), stax_opts));
     for (auto& a : r.answers) out.answers_xml.push_back(std::move(a.xml));
@@ -329,11 +380,18 @@ Result<QueryAnswer> Smoqe::EvalCompiled(const DocumentSnapshot& snap,
       }
       dom_opts.tax = snap.tax.get();
     }
-    SMOQE_ASSIGN_OR_RETURN(eval::DomEvalResult r,
-                           eval::EvalHypeDom(plan.mfa, *snap.dom, dom_opts));
-    for (const xml::Node* n : r.answers) {
-      out.answers_xml.push_back(xml::SerializeNode(n, *names_));
-      out.answer_ids.push_back(n->node_id);
+    eval::DomEvalResult r;
+    {
+      tel::SpanScope span(tr, "evaluate");
+      SMOQE_ASSIGN_OR_RETURN(r,
+                             eval::EvalHypeDom(plan.mfa, *snap.dom, dom_opts));
+    }
+    {
+      tel::SpanScope span(tr, "materialize");
+      for (const xml::Node* n : r.answers) {
+        out.answers_xml.push_back(xml::SerializeNode(n, *names_));
+        out.answer_ids.push_back(n->node_id);
+      }
     }
     out.stats = r.stats;
     if (options.explain && r.trace != nullptr) {
@@ -345,9 +403,31 @@ Result<QueryAnswer> Smoqe::EvalCompiled(const DocumentSnapshot& snap,
   return out;
 }
 
-Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
-                                 std::string_view query_text,
-                                 const QueryOptions& options) {
+void Smoqe::FoldEvalStats(const EvalStats& stats) {
+  tm_->eval_nodes_visited->Add(stats.nodes_visited);
+  tm_->eval_subtrees_pruned->Add(stats.subtrees_pruned);
+  tm_->eval_answers->Add(stats.answers);
+}
+
+void Smoqe::AppendQueryAudit(const std::string& doc_name,
+                             const std::string& view_name,
+                             std::string_view query_text, uint64_t doc_epoch,
+                             uint64_t trace_id) {
+  tel::AuditRecord rec;
+  rec.kind = tel::AuditKind::kQueryRewrite;
+  rec.view = view_name;
+  rec.doc = doc_name;
+  rec.doc_epoch = doc_epoch;
+  rec.statement = std::string(query_text);
+  rec.allowed = true;  // the rewrite itself is the enforcement
+  rec.trace_id = trace_id;
+  telemetry_->audit().Append(std::move(rec));
+}
+
+Result<QueryAnswer> Smoqe::QueryImpl(const std::string& doc_name,
+                                     std::string_view query_text,
+                                     const QueryOptions& options,
+                                     tel::Trace* tr) {
   std::shared_ptr<const DocumentSnapshot> snap;
   PlanUse plan;
   {
@@ -356,12 +436,58 @@ Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
     if (doc == nullptr) {
       return Status::NotFound("document '" + doc_name + "' is not loaded");
     }
-    SMOQE_ASSIGN_OR_RETURN(plan, GetPlan(query_text, options));
+    SMOQE_ASSIGN_OR_RETURN(plan, GetPlan(query_text, options, tr));
     snap = doc->Acquire();
   }
   // No lock held during evaluation: the snapshot is pinned, the plan is
   // immutable and shared.
-  return EvalCompiled(*snap, doc_name, plan, options);
+  return EvalCompiled(*snap, doc_name, plan, options, tr);
+}
+
+Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
+                                 std::string_view query_text,
+                                 const QueryOptions& options) {
+  if (telemetry_ == nullptr) {
+    return QueryImpl(doc_name, query_text, options, nullptr);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<tel::Trace> trace = telemetry_->MaybeBeginTrace("query");
+  tel::Trace* tr = trace.get();
+  if (tr != nullptr) {
+    tr->SetAttr("doc", doc_name);
+    tr->SetAttr("query", std::string(query_text));
+    if (!options.view.empty()) tr->SetAttr("view", options.view);
+    tr->SetAttr("mode", options.mode == EvalMode::kStax ? "stax" : "dom");
+  }
+
+  Result<QueryAnswer> result = QueryImpl(doc_name, query_text, options, tr);
+
+  tm_->query_count->Add();
+  tm_->query_latency_ns->Record(ElapsedNs(t0));
+  if (result.ok()) {
+    QueryAnswer& a = *result;
+    if (tr != nullptr) a.trace_id = tr->id();
+    tm_->query_answers->Add(a.answers_xml.size());
+    FoldEvalStats(a.stats);
+    // Epoch lag: how far the published document moved past the snapshot
+    // this query answered from (0 = answered the newest epoch).
+    Result<uint64_t> cur = DocumentEpoch(doc_name);
+    if (cur.ok() && *cur >= a.doc_epoch) {
+      tm_->query_epoch_lag->Record(*cur - a.doc_epoch);
+    }
+    if (!options.view.empty()) {
+      AppendQueryAudit(doc_name, options.view, query_text, a.doc_epoch,
+                       a.trace_id);
+    }
+  } else {
+    tm_->query_errors->Add();
+  }
+  if (tr != nullptr) {
+    tr->SetAttr("status",
+                result.ok() ? "ok" : result.status().ToString());
+    telemetry_->traces().Finish(trace);
+  }
+  return result;
 }
 
 Status Smoqe::EvalBatchOnSnapshot(const DocumentSnapshot& snap,
@@ -370,7 +496,8 @@ Status Smoqe::EvalBatchOnSnapshot(const DocumentSnapshot& snap,
                                   const std::vector<PlanUse>& plans,
                                   const std::vector<size_t>& sel,
                                   const std::vector<size_t>& error_ids,
-                                  std::vector<QueryAnswer>* out) {
+                                  std::vector<QueryAnswer>* out,
+                                  tel::Trace* tr) {
   std::vector<size_t> stax_items;
   std::vector<size_t> dom_items;
   for (size_t i : sel) {
@@ -381,18 +508,23 @@ Status Smoqe::EvalBatchOnSnapshot(const DocumentSnapshot& snap,
   // All streaming items share one forward scan of the document text; with
   // a pool, per-plan advancement fans out behind the shared tokenizer.
   if (!stax_items.empty()) {
+    if (tm_ != nullptr) {
+      tm_->batch_plans_per_scan->Record(stax_items.size());
+    }
     eval::BatchEvaluator batch;
     for (size_t i : stax_items) {
       eval::EngineOptions engine;
       engine.trace = items[i].options.explain;
       batch.AddPlan(&plans[i].plan->mfa, engine);
     }
+    tel::SpanScope span(tr, "evaluate.stax_scan");
     Result<std::vector<eval::StaxEvalResult>> results_or =
         [&]() -> Result<std::vector<eval::StaxEvalResult>> {
       if (ParallelEnabled()) {
         eval::BatchParallelOptions par;
         par.pool = pool_.get();
         par.chunk_events = options_.stax_chunk_events;
+        par.chunk_ns = tm_ != nullptr ? tm_->batch_chunk_ns : nullptr;
         return batch.RunParallel(snap.text(), par);
       }
       return batch.Run(snap.text());
@@ -418,10 +550,16 @@ Status Smoqe::EvalBatchOnSnapshot(const DocumentSnapshot& snap,
   // across them, and TAX/trace address materialized nodes. Items are
   // independent, so they fan out across the pool.
   if (!dom_items.empty()) {
+    tel::SpanScope dom_span(tr, "evaluate.dom_items");
     std::vector<Status> statuses(dom_items.size(), Status::OK());
     auto eval_one = [&](size_t j) {
       const size_t i = dom_items[j];
-      auto answer = EvalCompiled(snap, doc_name, plans[i], items[i].options);
+      // Per-item child spans come from EvalCompiled (evaluate /
+      // materialize), parented under the shared dom_items span; workers
+      // append concurrently, which Trace supports.
+      tel::SpanScope item_span(tr, "item", dom_span.index());
+      auto answer =
+          EvalCompiled(snap, doc_name, plans[i], items[i].options, tr);
       if (answer.ok()) {
         (*out)[i] = std::move(*answer);
       } else {
@@ -443,8 +581,9 @@ Status Smoqe::EvalBatchOnSnapshot(const DocumentSnapshot& snap,
   return Status::OK();
 }
 
-Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
-    const std::string& doc_name, const std::vector<BatchQueryItem>& items) {
+Result<std::vector<QueryAnswer>> Smoqe::QueryBatchImpl(
+    const std::string& doc_name, const std::vector<BatchQueryItem>& items,
+    tel::Trace* tr) {
   std::shared_ptr<const DocumentSnapshot> snap;
   std::vector<PlanUse> plans;
   plans.reserve(items.size());
@@ -457,8 +596,9 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
     snap = doc->Acquire();
     // Resolve every plan and check every evaluation precondition first, so
     // a bad item fails the whole call before any evaluation work happens.
+    tel::SpanScope span(tr, "compile_items");
     for (size_t i = 0; i < items.size(); ++i) {
-      auto plan = GetPlan(items[i].query, items[i].options);
+      auto plan = GetPlan(items[i].query, items[i].options, nullptr);
       if (!plan.ok()) {
         return plan.status().WithContext("batch item " + std::to_string(i));
       }
@@ -482,12 +622,57 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
   std::vector<size_t> all(items.size());
   for (size_t i = 0; i < items.size(); ++i) all[i] = i;
   SMOQE_RETURN_IF_ERROR(
-      EvalBatchOnSnapshot(*snap, doc_name, items, plans, all, all, &out));
+      EvalBatchOnSnapshot(*snap, doc_name, items, plans, all, all, &out, tr));
   return out;
 }
 
-Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMulti(
-    const std::vector<DocBatchItem>& items) {
+Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
+    const std::string& doc_name, const std::vector<BatchQueryItem>& items) {
+  if (telemetry_ == nullptr) return QueryBatchImpl(doc_name, items, nullptr);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<tel::Trace> trace =
+      telemetry_->MaybeBeginTrace("query_batch");
+  tel::Trace* tr = trace.get();
+  if (tr != nullptr) {
+    tr->SetAttr("doc", doc_name);
+    tr->SetAttr("items", std::to_string(items.size()));
+  }
+
+  Result<std::vector<QueryAnswer>> result =
+      QueryBatchImpl(doc_name, items, tr);
+
+  tm_->batch_count->Add();
+  tm_->batch_items->Add(items.size());
+  tm_->batch_latency_ns->Record(ElapsedNs(t0));
+  if (result.ok()) {
+    // Batch-level stats are the MergeFrom fold of the per-item stats
+    // (identical under serial and parallel execution — asserted in the
+    // concurrency suite); only the fold touches the registry.
+    EvalStats agg;
+    for (size_t i = 0; i < result->size(); ++i) {
+      QueryAnswer& a = (*result)[i];
+      if (tr != nullptr) a.trace_id = tr->id();
+      agg.MergeFrom(a.stats);
+      if (!items[i].options.view.empty()) {
+        AppendQueryAudit(doc_name, items[i].options.view, items[i].query,
+                         a.doc_epoch, a.trace_id);
+      }
+    }
+    FoldEvalStats(agg);
+    tm_->query_answers->Add(agg.answers);
+  } else {
+    tm_->batch_errors->Add();
+  }
+  if (tr != nullptr) {
+    tr->SetAttr("status",
+                result.ok() ? "ok" : result.status().ToString());
+    telemetry_->traces().Finish(trace);
+  }
+  return result;
+}
+
+Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMultiImpl(
+    const std::vector<DocBatchItem>& items, tel::Trace* tr) {
   // Group items by document (first-appearance order) and pin one snapshot
   // per document, so each group is internally a QueryBatch.
   struct Group {
@@ -520,7 +705,7 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMulti(
     for (size_t gi = 0; gi < groups.size(); ++gi) {
       Group& g = groups[gi];
       for (size_t j = 0; j < g.items.size(); ++j) {
-        auto plan = GetPlan(g.items[j].query, g.items[j].options);
+        auto plan = GetPlan(g.items[j].query, g.items[j].options, nullptr);
         if (!plan.ok()) {
           return plan.status().WithContext(
               "batch item " + std::to_string(g.original[j]));
@@ -551,7 +736,7 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMulti(
     std::vector<size_t> sel(g.items.size());
     for (size_t j = 0; j < sel.size(); ++j) sel[j] = j;
     Status s = EvalBatchOnSnapshot(*g.snap, g.doc_name, g.items, plans[gi],
-                                   sel, g.original, &group_out);
+                                   sel, g.original, &group_out, tr);
     if (!s.ok()) {
       statuses[gi] = std::move(s);
       return;
@@ -575,6 +760,44 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMulti(
     }
   }
   return out;
+}
+
+Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMulti(
+    const std::vector<DocBatchItem>& items) {
+  if (telemetry_ == nullptr) return QueryBatchMultiImpl(items, nullptr);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<tel::Trace> trace =
+      telemetry_->MaybeBeginTrace("query_batch_multi");
+  tel::Trace* tr = trace.get();
+  if (tr != nullptr) tr->SetAttr("items", std::to_string(items.size()));
+
+  Result<std::vector<QueryAnswer>> result = QueryBatchMultiImpl(items, tr);
+
+  tm_->batch_count->Add();
+  tm_->batch_items->Add(items.size());
+  tm_->batch_latency_ns->Record(ElapsedNs(t0));
+  if (result.ok()) {
+    EvalStats agg;
+    for (size_t i = 0; i < result->size(); ++i) {
+      QueryAnswer& a = (*result)[i];
+      if (tr != nullptr) a.trace_id = tr->id();
+      agg.MergeFrom(a.stats);
+      if (!items[i].options.view.empty()) {
+        AppendQueryAudit(items[i].doc, items[i].options.view, items[i].query,
+                         a.doc_epoch, a.trace_id);
+      }
+    }
+    FoldEvalStats(agg);
+    tm_->query_answers->Add(agg.answers);
+  } else {
+    tm_->batch_errors->Add();
+  }
+  if (tr != nullptr) {
+    tr->SetAttr("status",
+                result.ok() ? "ok" : result.status().ToString());
+    telemetry_->traces().Finish(trace);
+  }
+  return result;
 }
 
 Result<ViewCacheEntry*> Smoqe::GetViewCacheLocked(DocumentEntry* doc,
@@ -672,16 +895,20 @@ Result<uint64_t> Smoqe::DocumentEpoch(const std::string& doc_name) const {
   return doc->Acquire()->epoch;
 }
 
-Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
-                                   std::string_view update_text,
-                                   const UpdateOptions& options) {
+Result<UpdateResult> Smoqe::UpdateImpl(const std::string& doc_name,
+                                       std::string_view update_text,
+                                       const UpdateOptions& options,
+                                       tel::Trace* tr) {
   std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   DocumentEntry* doc = catalog_.FindDocument(doc_name);
   if (doc == nullptr) {
     return Status::NotFound("document '" + doc_name + "' is not loaded");
   }
-  SMOQE_ASSIGN_OR_RETURN(update::UpdateStatement stmt,
-                         update::ParseUpdate(update_text, names_));
+  update::UpdateStatement stmt;
+  {
+    tel::SpanScope span(tr, "parse");
+    SMOQE_ASSIGN_OR_RETURN(stmt, update::ParseUpdate(update_text, names_));
+  }
 
   const ViewEntry* view = nullptr;
   if (!options.view.empty()) {
@@ -715,26 +942,29 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
   // the view's virtual document (via the epoch-cached materialization and
   // its provenance); direct updates resolve on the document itself.
   std::set<int32_t> target_ids;
-  if (view == nullptr) {
-    rxpath::NaiveEvaluator eval(*base->dom);
-    for (const xml::Node* n : eval.Eval(*stmt.target)) {
-      target_ids.insert(n->node_id);
-    }
-  } else {
-    if (view->policy == nullptr) {
-      return Status::FailedPrecondition(
-          "view '" + options.view +
-          "' was registered from a specification, not a policy; updates "
-          "require a policy-derived view");
-    }
-    std::lock_guard<std::mutex> caches(doc->caches_mu);
-    SMOQE_ASSIGN_OR_RETURN(
-        ViewCacheEntry * cache,
-        GetViewCacheLocked(doc, *base, options.view, view, nullptr));
-    rxpath::NaiveEvaluator eval(cache->mv->document);
-    for (const xml::Node* n : eval.Eval(*stmt.target)) {
-      int32_t src = cache->mv->source_node_id[n->node_id];
-      if (src >= 0) target_ids.insert(src);
+  {
+    tel::SpanScope span(tr, "resolve");
+    if (view == nullptr) {
+      rxpath::NaiveEvaluator eval(*base->dom);
+      for (const xml::Node* n : eval.Eval(*stmt.target)) {
+        target_ids.insert(n->node_id);
+      }
+    } else {
+      if (view->policy == nullptr) {
+        return Status::FailedPrecondition(
+            "view '" + options.view +
+            "' was registered from a specification, not a policy; updates "
+            "require a policy-derived view");
+      }
+      std::lock_guard<std::mutex> caches(doc->caches_mu);
+      SMOQE_ASSIGN_OR_RETURN(
+          ViewCacheEntry * cache,
+          GetViewCacheLocked(doc, *base, options.view, view, nullptr));
+      rxpath::NaiveEvaluator eval(cache->mv->document);
+      for (const xml::Node* n : eval.Eval(*stmt.target)) {
+        int32_t src = cache->mv->source_node_id[n->node_id];
+        if (src >= 0) target_ids.insert(src);
+      }
     }
   }
 
@@ -760,6 +990,7 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
   // Authorize (view updates only), then validate — both before any
   // mutation, so a rejected or invalid update leaves everything intact.
   if (view != nullptr) {
+    tel::SpanScope span(tr, "authorize");
     std::lock_guard<std::mutex> caches(doc->caches_mu);
     SMOQE_ASSIGN_OR_RETURN(
         const view::AccessMap* access,
@@ -776,6 +1007,7 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
   apply_opts.rebuild_tax = options.rebuild_tax;
   update::UpdateApplier applier(&clone, apply_opts);
   if (options.dry_run) {
+    tel::SpanScope span(tr, "validate");
     SMOQE_RETURN_IF_ERROR(applier.Validate(script));
     return out;  // the clone is discarded; nothing was published
   }
@@ -852,7 +1084,22 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
     }
   }
 
-  SMOQE_ASSIGN_OR_RETURN(update::ApplyStats applied, applier.Run(script));
+  update::ApplyStats applied;
+  {
+    tel::SpanScope span(tr, "apply");
+    const auto apply_t0 = std::chrono::steady_clock::now();
+    SMOQE_ASSIGN_OR_RETURN(applied, applier.Run(script));
+    if (tm_ != nullptr) {
+      // The repair-vs-rebuild split (DESIGN.md §6.4) is the metric that
+      // tells whether incremental TAX maintenance pays off in practice.
+      const int64_t apply_ns = ElapsedNs(apply_t0);
+      if (applied.tax_rebuilt) {
+        tm_->update_tax_rebuild_ns->Record(apply_ns);
+      } else {
+        tm_->update_tax_repair_ns->Record(apply_ns);
+      }
+    }
+  }
   out.stats.edits_applied = applied.edits_applied;
   out.stats.edits_dropped = applied.edits_dropped;
   out.stats.nodes_inserted = applied.nodes_inserted;
@@ -864,6 +1111,7 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
 
   // Publish the successor snapshot. Readers that acquired the base keep
   // it alive until they finish; the base tree is then freed by refcount.
+  tel::SpanScope publish_span(tr, "publish");
   std::shared_ptr<const index::TaxIndex> new_tax;
   if (tax_copy.has_value()) {
     new_tax = std::make_shared<const index::TaxIndex>(std::move(*tax_copy));
@@ -891,6 +1139,94 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
     }
   }
   return out;
+}
+
+Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
+                                   std::string_view update_text,
+                                   const UpdateOptions& options) {
+  if (telemetry_ == nullptr) {
+    return UpdateImpl(doc_name, update_text, options, nullptr);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<tel::Trace> trace = telemetry_->MaybeBeginTrace("update");
+  tel::Trace* tr = trace.get();
+  if (tr != nullptr) {
+    tr->SetAttr("doc", doc_name);
+    if (!options.view.empty()) tr->SetAttr("view", options.view);
+    if (options.dry_run) tr->SetAttr("dry_run", "true");
+  }
+  Result<UpdateResult> result =
+      UpdateImpl(doc_name, update_text, options, tr);
+  tm_->update_count->Add(1);
+  tm_->update_latency_ns->Record(ElapsedNs(t0));
+  if (result.ok()) {
+    tm_->update_accepted->Add(1);
+    tm_->update_nodes_inserted->Add(
+        static_cast<int64_t>(result->stats.nodes_inserted));
+    tm_->update_nodes_deleted->Add(
+        static_cast<int64_t>(result->stats.nodes_deleted));
+    if (!options.view.empty()) {
+      tel::AuditRecord rec;
+      rec.kind = tel::AuditKind::kUpdateAccept;
+      rec.view = options.view;
+      rec.doc = doc_name;
+      rec.doc_epoch = result->stats.doc_epoch;
+      rec.statement = std::string(update_text);
+      rec.allowed = true;
+      rec.trace_id = tr != nullptr ? tr->id() : 0;
+      telemetry_->audit().Append(std::move(rec));
+    }
+  } else if (result.status().code() == StatusCode::kPermissionDenied) {
+    // Every security denial leaves exactly one audit record carrying the
+    // evaluator's explain string verbatim (tested differentially against
+    // the returned Status in tests/telemetry_facade_test.cc).
+    tm_->update_rejected->Add(1);
+    tel::AuditRecord rec;
+    rec.kind = tel::AuditKind::kUpdateReject;
+    rec.view = options.view;
+    rec.doc = doc_name;
+    Result<uint64_t> epoch = DocumentEpoch(doc_name);
+    rec.doc_epoch = epoch.ok() ? *epoch : 0;
+    rec.statement = std::string(update_text);
+    rec.allowed = false;
+    rec.explain = result.status().message();
+    rec.trace_id = tr != nullptr ? tr->id() : 0;
+    telemetry_->audit().Append(std::move(rec));
+  } else {
+    tm_->update_errors->Add(1);
+  }
+  if (tr != nullptr) {
+    tr->SetAttr("status", result.ok() ? "ok" : result.status().ToString());
+    telemetry_->traces().Finish(trace);
+  }
+  return result;
+}
+
+std::string Smoqe::DumpMetrics(tel::DumpFormat format) const {
+  if (telemetry_ == nullptr) {
+    return format == tel::DumpFormat::kJson ? "{}\n" : "";
+  }
+  tel::MetricsRegistry& reg = telemetry_->registry();
+  // Pull-time gauges: cheap process-wide facts sampled at dump time
+  // rather than maintained on the hot path.
+  reg.GetGauge("snapshot.live").Set(DocumentSnapshot::LiveCount());
+  reg.GetGauge("snapshot.created").Set(DocumentSnapshot::CreatedCount());
+  reg.GetGauge("audit.total")
+      .Set(static_cast<int64_t>(telemetry_->audit().total()));
+  reg.GetGauge("audit.dropped")
+      .Set(static_cast<int64_t>(telemetry_->audit().dropped()));
+  reg.GetGauge("trace.finished")
+      .Set(static_cast<int64_t>(telemetry_->traces().finished_count()));
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    for (const std::string& name : catalog_.DocumentNames()) {
+      const DocumentEntry* doc = catalog_.FindDocument(name);
+      if (doc == nullptr) continue;
+      reg.GetGauge("doc.epoch." + name)
+          .Set(static_cast<int64_t>(doc->Acquire()->epoch));
+    }
+  }
+  return reg.Render(format);
 }
 
 std::vector<std::string> Smoqe::DocumentNames() const {

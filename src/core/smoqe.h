@@ -19,9 +19,14 @@
 #include "src/common/thread_pool.h"
 #include "src/core/catalog.h"
 #include "src/core/plan_cache.h"
+#include "src/telemetry/telemetry.h"
 #include "src/xml/name_table.h"
 
 namespace smoqe::core {
+
+/// Short alias so the facade can name telemetry types next to its
+/// `telemetry()` accessor without ambiguity.
+namespace tel = ::smoqe::telemetry;
 
 /// Evaluation mode (paper §2, "XML documents"): DOM loads the tree into
 /// memory; StAX streams the raw text in one forward scan.
@@ -43,6 +48,12 @@ struct EngineOptions {
   /// Events per tokenizer chunk of the parallel StAX batch driver (the
   /// fork/join grain behind the shared tokenizer).
   size_t stax_chunk_events = 4096;
+  /// Telemetry (docs/DESIGN.md §8): metrics registry + trace recorder +
+  /// security audit log, on by default. `telemetry.enabled = false`
+  /// removes all instrumentation (no registry exists; DumpMetrics renders
+  /// empty). The bench-verified overhead budget of the default-on state
+  /// is <2% on the hot query path (bench_telemetry, E14).
+  tel::TelemetryOptions telemetry;
 };
 
 /// Per-query options.
@@ -79,6 +90,9 @@ struct QueryAnswer {
   std::string mfa_dump;
   /// iSMOQE-style annotated document tree (DOM + explain only).
   std::string trace_tree;
+  /// Telemetry trace id of this call (0 when telemetry is off or the call
+  /// was not sampled); look it up via `Smoqe::telemetry()->traces()`.
+  uint64_t trace_id = 0;
 };
 
 /// One query of a QueryBatch call: the query text plus its own options —
@@ -292,6 +306,19 @@ class Smoqe {
   /// (max_threads == 1, or a 1-core host with max_threads == 0).
   ThreadPool* pool() { return pool_.get(); }
 
+  /// The engine's telemetry bundle (metrics + traces + audit log), or
+  /// null when `EngineOptions::telemetry.enabled` is false.
+  tel::Telemetry* telemetry() { return telemetry_.get(); }
+  const tel::Telemetry* telemetry() const { return telemetry_.get(); }
+
+  /// Renders every metric of this engine — query/update/cache/pool/
+  /// snapshot — as JSON or Prometheus text exposition (docs/DESIGN.md
+  /// §8.5). Sampled gauges (live snapshots, per-document epochs, audit
+  /// totals) are refreshed first, so a dump is always current. With
+  /// telemetry off, returns "{}\n" (JSON) or "" (Prometheus).
+  std::string DumpMetrics(
+      tel::DumpFormat format = tel::DumpFormat::kJson) const;
+
  private:
   /// A plan resolved for one query: the (possibly shared) compiled
   /// artifact plus whether it came from the cache.
@@ -305,18 +332,75 @@ class Smoqe {
     return pool_ != nullptr && options_.parallel_batch;
   }
 
+  /// Hot-path facade metrics, resolved once at construction so the
+  /// per-call cost is pointer increments, never a registry lookup. Null
+  /// (the struct, not the fields) when telemetry is off.
+  struct FacadeMetrics {
+    explicit FacadeMetrics(tel::MetricsRegistry& reg);
+
+    tel::Counter* query_count;
+    tel::Counter* query_errors;
+    tel::Counter* query_answers;
+    tel::Histogram* query_latency_ns;
+    tel::Histogram* query_epoch_lag;
+    tel::Counter* batch_count;
+    tel::Counter* batch_errors;
+    tel::Counter* batch_items;
+    tel::Histogram* batch_latency_ns;
+    tel::Histogram* batch_plans_per_scan;
+    tel::Histogram* batch_chunk_ns;
+    tel::Counter* eval_nodes_visited;
+    tel::Counter* eval_subtrees_pruned;
+    tel::Counter* eval_answers;
+    tel::Counter* update_count;
+    tel::Counter* update_accepted;
+    tel::Counter* update_rejected;
+    tel::Counter* update_errors;
+    tel::Histogram* update_latency_ns;
+    tel::Histogram* update_tax_repair_ns;
+    tel::Histogram* update_tax_rebuild_ns;
+    tel::Counter* update_nodes_inserted;
+    tel::Counter* update_nodes_deleted;
+  };
+
   /// Parses + normalizes `query_text` and returns its compiled plan,
   /// consulting the cache unless `options.bypass_plan_cache`. Caller
-  /// holds catalog_mu_ (shared suffices).
+  /// holds catalog_mu_ (shared suffices). `tr` (nullable) receives the
+  /// parse / cache_lookup / compile / rewrite spans.
   Result<PlanUse> GetPlan(std::string_view query_text,
-                          const QueryOptions& options);
+                          const QueryOptions& options, tel::Trace* tr);
 
   /// Evaluates a resolved plan over a pinned snapshot (single query).
   /// Takes no lock; safe on any thread.
   Result<QueryAnswer> EvalCompiled(const DocumentSnapshot& snap,
                                    const std::string& doc_name,
                                    const PlanUse& plan,
-                                   const QueryOptions& options);
+                                   const QueryOptions& options,
+                                   tel::Trace* tr);
+
+  /// The untelemetered bodies of the public calls; the public methods are
+  /// thin wrappers that time the call, fold its stats into the registry,
+  /// append audit records, and finish the trace.
+  Result<QueryAnswer> QueryImpl(const std::string& doc_name,
+                                std::string_view query_text,
+                                const QueryOptions& options, tel::Trace* tr);
+  Result<std::vector<QueryAnswer>> QueryBatchImpl(
+      const std::string& doc_name, const std::vector<BatchQueryItem>& items,
+      tel::Trace* tr);
+  Result<std::vector<QueryAnswer>> QueryBatchMultiImpl(
+      const std::vector<DocBatchItem>& items, tel::Trace* tr);
+  Result<UpdateResult> UpdateImpl(const std::string& doc_name,
+                                  std::string_view update_text,
+                                  const UpdateOptions& options,
+                                  tel::Trace* tr);
+
+  /// Folds one call's EvalStats aggregate into the eval.* counters.
+  void FoldEvalStats(const EvalStats& stats);
+  /// Appends the kQueryRewrite audit record of a successful view query.
+  void AppendQueryAudit(const std::string& doc_name,
+                        const std::string& view_name,
+                        std::string_view query_text, uint64_t doc_epoch,
+                        uint64_t trace_id);
 
   /// QueryBatch's evaluation phase over one pinned snapshot: `sel` holds
   /// the item indices of this group; answers land in out[sel[j]].
@@ -330,7 +414,7 @@ class Smoqe {
                              const std::vector<PlanUse>& plans,
                              const std::vector<size_t>& sel,
                              const std::vector<size_t>& error_ids,
-                             std::vector<QueryAnswer>* out);
+                             std::vector<QueryAnswer>* out, tel::Trace* tr);
 
   /// The view's materialized-view cache over the snapshot's epoch,
   /// rebuilt if stale (fingerprint or epoch mismatch). Caller holds
@@ -349,6 +433,10 @@ class Smoqe {
 
   std::shared_ptr<xml::NameTable> names_;
   EngineOptions options_;
+  /// Declared before plan_cache_ and pool_ (whose metrics point into the
+  /// registry) so it is destroyed after them.
+  std::unique_ptr<tel::Telemetry> telemetry_;  // null when disabled
+  std::unique_ptr<FacadeMetrics> tm_;          // null when disabled
   /// Guards the catalog maps and the in-place-replaced ViewEntry/Dtd
   /// objects: registration ops take it unique, everything else shared.
   /// Never held during evaluation (snapshots are pinned first).

@@ -1,6 +1,7 @@
 #include "src/eval/batch.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -500,6 +501,9 @@ Result<std::vector<StaxEvalResult>> BatchEvaluator::RunParallel(
   CaptureStream cap;
   std::vector<uint8_t> staged;
   while (!cur.events.empty()) {
+    const auto chunk_t0 = par.chunk_ns != nullptr
+                              ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point();
     // Fork: each group advances its plans through `cur`…
     Latch join(groups);
     for (size_t g = 0; g < groups; ++g) {
@@ -556,6 +560,12 @@ Result<std::vector<StaxEvalResult>> BatchEvaluator::RunParallel(
           break;
       }
     }
+    if (par.chunk_ns != nullptr) {
+      par.chunk_ns->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - chunk_t0)
+              .count()));
+    }
     std::swap(cur, next);
   }
 
@@ -563,6 +573,13 @@ Result<std::vector<StaxEvalResult>> BatchEvaluator::RunParallel(
   pool.ParallelFor(states.size(),
                    [&](size_t k) { states[k]->engine.FinishDocument(); });
   return AssembleResults(states, cap);
+}
+
+EvalStats BatchEvaluator::AggregateStats(
+    const std::vector<StaxEvalResult>& results) {
+  EvalStats total;
+  for (const StaxEvalResult& r : results) total.MergeFrom(r.stats);
+  return total;
 }
 
 Result<std::vector<StaxEvalResult>> EvalHypeStaxBatch(

@@ -26,6 +26,7 @@
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/eval/hype_stax.h"
+#include "src/telemetry/metrics.h"
 
 namespace smoqe::eval {
 
@@ -44,6 +45,10 @@ struct BatchParallelOptions {
   /// decoded-event buffer stays cache-resident. 4096 events ≈ a few
   /// hundred KB.
   size_t chunk_events = 4096;
+  /// Optional telemetry sink: wall-clock nanoseconds of each fork/join
+  /// round (submit → capture replay done) is Record()ed here, one sample
+  /// per chunk. Null = no timing taken.
+  telemetry::Histogram* chunk_ns = nullptr;
 };
 
 /// \brief Runs many compiled plans over one streaming scan per document.
@@ -92,6 +97,12 @@ class BatchEvaluator {
       std::string_view xml, const BatchParallelOptions& par = {}) const;
 
   size_t plan_count() const { return plans_.size(); }
+
+  /// Folds the per-plan stats of one batch into a single batch-level
+  /// EvalStats via EvalStats::MergeFrom — identical for Run and
+  /// RunParallel since the per-plan stats are (asserted in the
+  /// concurrency suite).
+  static EvalStats AggregateStats(const std::vector<StaxEvalResult>& results);
 
  private:
   struct Plan {

@@ -1,0 +1,95 @@
+/// \file
+/// \brief Security audit log (docs/DESIGN.md §8.3): a bounded structured
+/// record of every authorization decision the engine makes — query
+/// rewrites under a security view, and update scripts accepted or
+/// rejected by view authorization, with the human-readable explain string
+/// the rejection carried.
+///
+/// The log answers "who was denied what, and why" after the fact, which
+/// the paper's security-view model implies but never materializes: the
+/// rewriting module silently guarantees queries never see hidden data,
+/// and PR 4's update authorizer rejects with an explanation — this layer
+/// keeps those decisions. Invariant (tested differentially): every
+/// kPermissionDenied returned by `Smoqe::Update` has exactly one
+/// kUpdateReject record whose explain equals the status message.
+
+#ifndef SMOQE_TELEMETRY_AUDIT_H_
+#define SMOQE_TELEMETRY_AUDIT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace smoqe::telemetry {
+
+/// What kind of authorization decision a record captures.
+enum class AuditKind {
+  kQueryRewrite,  ///< query rewritten under a view (always allowed; the
+                  ///< rewrite itself is the enforcement)
+  kUpdateAccept,  ///< view-checked update script authorized and applied
+  kUpdateReject,  ///< update script rejected; `explain` says why
+};
+
+const char* AuditKindName(AuditKind kind);
+
+/// One authorization decision.
+struct AuditRecord {
+  uint64_t seq = 0;            ///< monotonically increasing, never reused
+  int64_t unix_micros = 0;     ///< wall-clock time of the decision
+  AuditKind kind = AuditKind::kQueryRewrite;
+  std::string view;            ///< security view (≙ role) the caller used
+  std::string doc;             ///< document the decision concerned
+  uint64_t doc_epoch = 0;      ///< document epoch at decision time
+  std::string statement;       ///< the query / update script text
+  bool allowed = false;
+  std::string explain;         ///< rejection reason ("" when allowed)
+  uint64_t trace_id = 0;       ///< trace of the call (0 = untraced)
+};
+
+/// Field filter for AuditLog::Query; unset fields match everything.
+struct AuditFilter {
+  const AuditKind* kind = nullptr;
+  const bool* allowed = nullptr;
+  std::string view;       ///< "" matches any view
+  std::string doc;        ///< "" matches any doc
+  uint64_t min_seq = 0;   ///< only records with seq >= min_seq
+};
+
+/// \brief Bounded FIFO of audit records. Append is mutex-guarded (audit
+/// events are per-call, not per-node, so this is off the hot path);
+/// eviction drops the oldest record but `dropped()` and the monotone seq
+/// keep the loss visible.
+class AuditLog {
+ public:
+  explicit AuditLog(size_t capacity = 4096);
+
+  /// Stamps seq + time and appends; returns the assigned seq.
+  uint64_t Append(AuditRecord record);
+
+  /// Records matching `filter`, oldest first.
+  std::vector<AuditRecord> Query(const AuditFilter& filter = {}) const;
+
+  /// Total records ever appended (including evicted ones).
+  uint64_t total() const { return next_seq_.load(std::memory_order_relaxed) - 1; }
+  /// Records evicted by the capacity bound.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// One record as a JSON object (used by smoqe-stat and tests).
+  static std::string RenderJson(const AuditRecord& record);
+
+ private:
+  const size_t capacity_;
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::deque<AuditRecord> records_;  // back = newest
+};
+
+}  // namespace smoqe::telemetry
+
+#endif  // SMOQE_TELEMETRY_AUDIT_H_

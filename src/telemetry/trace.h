@@ -1,0 +1,143 @@
+/// \file
+/// \brief Per-call trace spans and the ring-buffer recorder behind them
+/// (docs/DESIGN.md §8.2): every `Smoqe::Query` / `QueryBatch` / `Update`
+/// gets a trace id and nested timed spans for its pipeline stages
+/// (parse → cache_lookup → rewrite → evaluate → materialize, or
+/// parse → resolve → authorize → validate → apply → publish), so a slow
+/// call can be explained after the fact from the recorder.
+///
+/// A Trace is shared across the threads of one call (batch items record
+/// their spans from pool workers); span append is mutex-guarded — the
+/// granularity is pipeline stages, not per-node events, so the lock is
+/// nowhere near the hot path.
+
+#ifndef SMOQE_TELEMETRY_TRACE_H_
+#define SMOQE_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smoqe::telemetry {
+
+/// One finished (or still-open) span: times are nanoseconds relative to
+/// the trace's start, `parent` indexes the enclosing span (-1 = root
+/// level). Names are short stage labels ("evaluate", "item 3").
+struct SpanRecord {
+  std::string name;
+  int32_t parent = -1;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;  ///< 0 while the span is still open
+};
+
+/// \brief One call's trace: an id, a span list, and key=value attributes
+/// (doc, query, view, status…). Thread-safe; see file comment.
+class Trace {
+ public:
+  Trace(uint64_t id, std::string name);
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Opens a span under `parent` (-1 = top level) and returns its index.
+  int32_t BeginSpan(std::string name, int32_t parent = -1);
+  void EndSpan(int32_t index);
+
+  void SetAttr(const std::string& key, std::string value);
+
+  /// Total duration; stamped by TraceRecorder::Finish (0 until then).
+  uint64_t duration_ns() const { return duration_ns_; }
+  /// Wall-clock time the trace began (microseconds since the epoch).
+  int64_t start_unix_micros() const { return start_unix_micros_; }
+
+  /// Snapshot copies (the trace may still be appended to concurrently).
+  std::vector<SpanRecord> spans() const;
+  std::vector<std::pair<std::string, std::string>> attrs() const;
+
+ private:
+  friend class TraceRecorder;
+
+  uint64_t ElapsedNs() const;
+
+  const uint64_t id_;
+  const std::string name_;
+  const std::chrono::steady_clock::time_point t0_;
+  const int64_t start_unix_micros_;
+  uint64_t duration_ns_ = 0;  // written once by Finish, before publication
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+};
+
+/// RAII span: opens on construction, closes on destruction. A null trace
+/// makes every operation a no-op, so call sites need no telemetry-off
+/// branches.
+class SpanScope {
+ public:
+  SpanScope(Trace* trace, const char* name, int32_t parent = -1)
+      : trace_(trace),
+        index_(trace == nullptr ? -1 : trace->BeginSpan(name, parent)) {}
+  ~SpanScope() {
+    if (trace_ != nullptr) trace_->EndSpan(index_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Index of this span, for nesting children under it (-1 if no trace).
+  int32_t index() const { return index_; }
+
+ private:
+  Trace* trace_;
+  int32_t index_;
+};
+
+/// \brief Bounded ring buffer of finished traces with a query API and
+/// text / JSON renderers.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 256);
+
+  /// Starts a new trace (fresh id, clock running). The caller records
+  /// spans into it and hands it back to Finish.
+  std::shared_ptr<Trace> Begin(std::string name);
+
+  /// Stamps the duration and appends to the ring (evicting the oldest
+  /// trace when full).
+  void Finish(const std::shared_ptr<Trace>& trace);
+
+  /// The most recent `n` finished traces, newest first.
+  std::vector<std::shared_ptr<const Trace>> Recent(size_t n) const;
+  /// A finished trace by id, or null if evicted / never finished.
+  std::shared_ptr<const Trace> Find(uint64_t id) const;
+  /// The slowest retained trace (null when empty) — the "explain that
+  /// slow query" entry point.
+  std::shared_ptr<const Trace> Slowest() const;
+
+  uint64_t finished_count() const {
+    return finished_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return capacity_; }
+
+  /// Indented stage tree with durations, one line per span.
+  static std::string RenderText(const Trace& trace);
+  /// One JSON object: id, name, duration, attrs, spans.
+  static std::string RenderJson(const Trace& trace);
+
+ private:
+  const size_t capacity_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> finished_{0};
+  mutable std::mutex mu_;  // guards ring_
+  std::deque<std::shared_ptr<const Trace>> ring_;  // back = newest
+};
+
+}  // namespace smoqe::telemetry
+
+#endif  // SMOQE_TELEMETRY_TRACE_H_

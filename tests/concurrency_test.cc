@@ -369,6 +369,91 @@ TEST(BatchParallelTest, RunParallelMatchesRunByteForByte) {
   }
 }
 
+TEST(BatchParallelTest, AggregateStatsIdenticalSerialAndParallel) {
+  // Batch-level stats are the MergeFrom fold of the per-plan stats, and
+  // the fold must not depend on how the batch executed: the aggregate of
+  // a parallel run equals the aggregate of the serial run field by field.
+  auto names = xml::NameTable::Create();
+  auto doc = workload::GenHospital(/*seed=*/17, 2000, names);
+  ASSERT_TRUE(doc.ok());
+  const std::string text = xml::SerializeDocument(*doc);
+  std::vector<std::unique_ptr<automata::Mfa>> mfas;
+  eval::BatchEvaluator batch;
+  for (const char* q : {"//medication", "//visit/date",
+                        "hospital/patient/pname",
+                        "//patient[visit/treatment/test]/pname"}) {
+    auto parsed = rxpath::ParseQuery(q);
+    ASSERT_TRUE(parsed.ok());
+    auto mfa = automata::Mfa::Compile(**parsed, names);
+    ASSERT_TRUE(mfa.ok());
+    mfas.push_back(std::make_unique<automata::Mfa>(mfa.MoveValue()));
+    batch.AddPlan(mfas.back().get());
+  }
+  auto serial = batch.Run(text);
+  ASSERT_TRUE(serial.ok());
+
+  // The fold itself: additive fields sum, peak fields take the max.
+  const EvalStats agg = eval::BatchEvaluator::AggregateStats(*serial);
+  uint64_t visited = 0, answers = 0, cans = 0, peak_pairs = 0, buffered = 0;
+  for (const auto& r : *serial) {
+    visited += r.stats.nodes_visited;
+    answers += r.stats.answers;
+    cans += r.stats.cans_entries;
+    peak_pairs = std::max(peak_pairs, r.stats.max_active_pairs);
+    buffered = std::max(buffered, r.stats.buffered_bytes);
+  }
+  EXPECT_EQ(agg.nodes_visited, visited);
+  EXPECT_EQ(agg.answers, answers);
+  EXPECT_EQ(agg.cans_entries, cans);
+  EXPECT_EQ(agg.max_active_pairs, peak_pairs);
+  EXPECT_EQ(agg.buffered_bytes, buffered);
+
+  ThreadPool pool(4);
+  eval::BatchParallelOptions par;
+  par.pool = &pool;
+  par.chunk_events = 64;
+  auto parallel = batch.RunParallel(text, par);
+  ASSERT_TRUE(parallel.ok());
+  const EvalStats pagg = eval::BatchEvaluator::AggregateStats(*parallel);
+  EXPECT_EQ(pagg.nodes_visited, agg.nodes_visited);
+  EXPECT_EQ(pagg.answers, agg.answers);
+  EXPECT_EQ(pagg.cans_entries, agg.cans_entries);
+  EXPECT_EQ(pagg.obligations, agg.obligations);
+  EXPECT_EQ(pagg.max_active_pairs, agg.max_active_pairs);
+  EXPECT_EQ(pagg.buffered_bytes, agg.buffered_bytes);
+}
+
+TEST(BatchParallelTest, FacadeBatchCountersEqualAggregatedItemStats) {
+  // Facade invariant: after one QueryBatch, the engine's eval.* telemetry
+  // counters equal the MergeFrom aggregate of the per-answer stats — the
+  // registry and the returned answers tell one story.
+  EngineOptions o;
+  o.max_threads = 4;
+  o.stax_chunk_events = 64;
+  Smoqe engine(o);
+  ASSERT_TRUE(
+      engine.RegisterDtd("hospital", testutil::kHospitalDtd, "hospital").ok());
+  ASSERT_TRUE(engine.LoadDocument("ward", kHospitalDoc).ok());
+  std::vector<BatchQueryItem> items;
+  QueryOptions stax;
+  stax.mode = EvalMode::kStax;
+  items.push_back({"//medication", stax});
+  items.push_back({"//pname", stax});
+  items.push_back({"//visit/date", {}});  // DOM item on the pool
+  auto r = engine.QueryBatch("ward", items);
+  ASSERT_TRUE(r.ok());
+
+  EvalStats agg;
+  for (const QueryAnswer& a : *r) agg.MergeFrom(a.stats);
+  auto& reg = engine.telemetry()->registry();
+  EXPECT_EQ(reg.GetCounter("eval.nodes_visited").Value(), agg.nodes_visited);
+  EXPECT_EQ(reg.GetCounter("eval.answers").Value(), agg.answers);
+  EXPECT_EQ(reg.GetCounter("eval.subtrees_pruned").Value(),
+            agg.subtrees_pruned);
+  EXPECT_EQ(reg.GetCounter("query.answers").Value(), agg.answers);
+  EXPECT_EQ(reg.GetCounter("batch.items").Value(), items.size());
+}
+
 TEST(BatchParallelTest, NestedRunParallelOnSaturatedPoolCompletes) {
   // Regression: RunParallel joins by helping (HelpWhileWaiting). With a
   // blocking join, two nested batches on a 1-worker pool deadlock — the

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Validates smoqe-stat output: metrics JSON shape and cross-counter
+consistency, Prometheus exposition well-formedness, and the audit log's
+reject/accept accounting.
+
+Usage (CI runs all three against one smoqe_stat binary):
+    ./build/smoqe_stat --format json  | tools/check_metrics.py json
+    ./build/smoqe_stat --format prom  | tools/check_metrics.py prom
+    ./build/smoqe_stat --format audit | tools/check_metrics.py audit
+"""
+
+import json
+import re
+import sys
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+REQUIRED_COUNTERS = [
+    "query.count",
+    "query.errors",
+    "query.answers",
+    "batch.count",
+    "batch.items",
+    "update.count",
+    "update.accepted",
+    "update.rejected",
+    "plan_cache.hits",
+    "plan_cache.misses",
+    "pool.tasks_submitted",
+    "pool.tasks_executed",
+    "eval.nodes_visited",
+]
+
+REQUIRED_GAUGES = [
+    "plan_cache.size",
+    "pool.queue_depth",
+    "snapshot.live",
+    "snapshot.created",
+    "audit.total",
+    "audit.dropped",
+]
+
+REQUIRED_HISTOGRAMS = [
+    "query.latency_ns",
+    "update.latency_ns",
+    "batch.latency_ns",
+    "pool.task_wait_ns",
+]
+
+
+def check_json(data):
+    doc = json.loads(data)  # raises on malformed JSON
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc:
+            fail(f"missing section '{section}'")
+    c, g, h = doc["counters"], doc["gauges"], doc["histograms"]
+    for name in REQUIRED_COUNTERS:
+        if name not in c:
+            fail(f"missing counter '{name}'")
+    for name in REQUIRED_GAUGES:
+        if name not in g:
+            fail(f"missing gauge '{name}'")
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in h:
+            fail(f"missing histogram '{name}'")
+
+    # Cross-counter consistency: the workload's invariants.
+    if c["update.count"] != (
+        c["update.accepted"] + c["update.rejected"] + c["update.errors"]
+    ):
+        fail("update.count != accepted + rejected + errors")
+    if c["query.errors"] != 0:
+        fail("workload queries must not error")
+    if c["update.rejected"] < 1:
+        fail("workload must include a rejected update")
+    if c["pool.tasks_executed"] != c["pool.tasks_submitted"]:
+        fail("pool executed != submitted after quiescence")
+    if g["pool.queue_depth"] != 0:
+        fail("pool queue depth must be 0 after quiescence")
+    if g["audit.total"] < c["update.rejected"]:
+        fail("audit.total must cover every rejection")
+    if g["snapshot.live"] < 1 or g["snapshot.created"] < g["snapshot.live"]:
+        fail("snapshot gauges inconsistent")
+    # Histogram sanity: counts match the driving counters, quantiles are
+    # ordered, sums bound min/max.
+    if h["query.latency_ns"]["count"] != c["query.count"]:
+        fail("query.latency_ns count != query.count")
+    if h["update.latency_ns"]["count"] != c["update.count"]:
+        fail("update.latency_ns count != update.count")
+    for name, snap in h.items():
+        if snap["count"] == 0:
+            continue
+        if not (snap["min"] <= snap["p50"] * 1.07 and
+                snap["p50"] <= snap["p95"] + 1e-9 and
+                snap["p95"] <= snap["p99"] + 1e-9 and
+                snap["p99"] <= snap["max"] * 1.07):
+            fail(f"histogram '{name}' quantiles out of order: {snap}")
+        if snap["sum"] < snap["max"]:
+            fail(f"histogram '{name}' sum < max")
+    print(f"check_metrics: json OK ({len(c)} counters, {len(g)} gauges, "
+          f"{len(h)} histograms)")
+
+
+def check_prom(data):
+    typed = set()
+    sampled = set()
+    for line in data.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "summary"):
+                fail(f"bad TYPE line: {line}")
+            typed.add(parts[2])
+        elif line.startswith("#"):
+            continue
+        else:
+            m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+]+|NaN)$", line)
+            if not m:
+                fail(f"bad sample line: {line!r}")
+            name = m.group(1)
+            base = re.sub(r"_(count|sum)$", "", name)
+            sampled.add(base if base in typed or name not in typed else name)
+            sampled.add(name)
+    for required in ("smoqe_query_count", "smoqe_update_rejected",
+                     "smoqe_plan_cache_hits"):
+        if required not in sampled:
+            fail(f"missing sample '{required}'")
+    untyped = {s for s in sampled
+               if s not in typed and re.sub(r"_(count|sum)$", "", s) not in typed}
+    if untyped:
+        fail(f"samples without TYPE: {sorted(untyped)[:5]}")
+    print(f"check_metrics: prom OK ({len(typed)} metrics)")
+
+
+def check_audit(data):
+    records = json.loads(data)
+    if not isinstance(records, list) or not records:
+        fail("audit output must be a non-empty JSON array")
+    seqs = [r["seq"] for r in records]
+    if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+        fail("audit seq must be strictly increasing")
+    rejects = [r for r in records if r["kind"] == "update_reject"]
+    if not rejects:
+        fail("workload must leave at least one update_reject record")
+    for r in rejects:
+        if r["allowed"] or not r["explain"]:
+            fail(f"reject record without explain: {r}")
+    for r in records:
+        for key in ("seq", "kind", "view", "doc", "doc_epoch", "statement",
+                    "allowed", "explain", "trace_id", "unix_micros"):
+            if key not in r:
+                fail(f"record missing '{key}': {r}")
+        if r["allowed"] and r["explain"]:
+            fail(f"allowed record carries an explain: {r}")
+    print(f"check_metrics: audit OK ({len(records)} records, "
+          f"{len(rejects)} rejects)")
+
+
+def main():
+    if len(sys.argv) != 2 or sys.argv[1] not in ("json", "prom", "audit"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    data = sys.stdin.read()
+    {"json": check_json, "prom": check_prom, "audit": check_audit}[
+        sys.argv[1]
+    ](data)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
