@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/guardrail.h"
+
 namespace smoqe {
 
 /// \brief Bump allocator for DOM nodes and interned strings.
@@ -53,6 +55,13 @@ class Arena {
   /// Total bytes reserved from the system.
   size_t bytes_reserved() const { return bytes_reserved_; }
 
+  /// Charges every future block reservation against `budget` (nullptr
+  /// detaches). The arena cannot fail an allocation mid-bump, so an
+  /// over-budget Grow marks the budget exceeded and the owning request
+  /// unwinds at its next guard check — the fail-closed contract lives at
+  /// the request layer, not here.
+  void set_budget(MemoryBudget* budget) { budget_ = budget; }
+
  private:
   void Grow(size_t min_size) {
     size_t block = next_block_;
@@ -63,6 +72,7 @@ class Arena {
     cap_ = block;
     pos_ = 0;
     bytes_reserved_ += block;
+    if (budget_ != nullptr) budget_->Charge(block);
   }
 
   std::vector<std::unique_ptr<char[]>> blocks_;
@@ -72,6 +82,7 @@ class Arena {
   size_t next_block_ = 1 << 12;
   size_t bytes_used_ = 0;
   size_t bytes_reserved_ = 0;
+  MemoryBudget* budget_ = nullptr;
 };
 
 }  // namespace smoqe

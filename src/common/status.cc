@@ -26,6 +26,12 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kPermissionDenied:
       return "PermissionDenied";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kRejectedBusy:
+      return "RejectedBusy";
   }
   return "Unknown";
 }

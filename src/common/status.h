@@ -22,6 +22,9 @@ enum class StatusCode {
   kIOError,           ///< filesystem problem while persisting/loading an index
   kInternal,          ///< invariant violation inside the engine (a bug)
   kPermissionDenied,  ///< update rejected by the access-control policy
+  kDeadlineExceeded,  ///< per-request deadline expired before completion
+  kCancelled,         ///< request cancelled via its CancelToken
+  kRejectedBusy,      ///< admission control: engine at max pending requests
 };
 
 /// \brief Result of an operation that can fail; the library never throws.
@@ -60,6 +63,15 @@ class Status {
   }
   static Status PermissionDenied(std::string msg) {
     return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status RejectedBusy(std::string msg) {
+    return Status(StatusCode::kRejectedBusy, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

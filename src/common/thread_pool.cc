@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/guardrail.h"
+
 namespace smoqe {
 
 ThreadPool::ThreadPool(int threads) {
@@ -113,6 +115,12 @@ bool ThreadPool::RunOneTask(size_t self) {
       }
     }
     pending_.fetch_sub(1, std::memory_order_acq_rel);
+    // Fault site: a worker that claimed a task but stalls before running
+    // it — models a descheduled/oversubscribed worker. Callers must
+    // still complete correctly (fork/join waits, deadlines trip).
+    if (fault::At("pool.task")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
     task.fn();
     executed_.fetch_add(1, std::memory_order_relaxed);
     if (auto* c = tm_executed_.load(std::memory_order_acquire)) c->Add();

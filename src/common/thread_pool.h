@@ -120,6 +120,11 @@ class ThreadPool {
     return s;
   }
 
+  /// Tasks submitted but not yet started (queue depth). The facade's
+  /// admission gate reads this as its saturation signal; approximate by
+  /// nature (relaxed), which is fine for a load-shedding heuristic.
+  size_t pending() const { return pending_.load(std::memory_order_relaxed); }
+
   /// Mirrors pool activity into `registry` from now on (docs/DESIGN.md
   /// §8.4): counters `pool.tasks_submitted` / `pool.tasks_executed` /
   /// `pool.steals`, gauge `pool.queue_depth`, histogram

@@ -48,6 +48,14 @@ uint64_t ElapsedNs(std::chrono::steady_clock::time_point t0) {
           .count());
 }
 
+/// True for statuses that terminate the *request* (fail-closed guard
+/// semantics), as opposed to statuses that fail one batch item.
+bool IsGuardTermination(const Status& s) {
+  return s.code() == StatusCode::kDeadlineExceeded ||
+         s.code() == StatusCode::kResourceExhausted ||
+         s.code() == StatusCode::kCancelled;
+}
+
 }  // namespace
 
 Smoqe::FacadeMetrics::FacadeMetrics(tel::MetricsRegistry& reg)
@@ -73,7 +81,64 @@ Smoqe::FacadeMetrics::FacadeMetrics(tel::MetricsRegistry& reg)
       update_tax_repair_ns(&reg.GetHistogram("update.tax_repair_ns")),
       update_tax_rebuild_ns(&reg.GetHistogram("update.tax_rebuild_ns")),
       update_nodes_inserted(&reg.GetCounter("update.nodes_inserted")),
-      update_nodes_deleted(&reg.GetCounter("update.nodes_deleted")) {}
+      update_nodes_deleted(&reg.GetCounter("update.nodes_deleted")),
+      guard_deadline_exceeded(&reg.GetCounter("guard.deadline_exceeded")),
+      guard_budget_exceeded(&reg.GetCounter("guard.budget_exceeded")),
+      guard_admission_rejected(&reg.GetCounter("guard.admission_rejected")),
+      guard_cancelled(&reg.GetCounter("guard.cancelled")) {}
+
+Smoqe::Admission::Admission(Smoqe* engine)
+    : engine_(engine), admitted_(true) {
+  const int limit = engine->options_.max_pending_requests;
+  if (limit <= 0) return;  // unbounded: the gate compiles down to nothing
+  const int now = engine->inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (now > limit) {
+    engine->inflight_.fetch_sub(1, std::memory_order_relaxed);
+    admitted_ = false;
+  }
+}
+
+Smoqe::Admission::~Admission() {
+  if (engine_->options_.max_pending_requests > 0 && admitted_) {
+    engine_->inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+const Guardrail* Smoqe::MakeGuard(const RequestOptions& req,
+                                  MemoryBudget* budget,
+                                  Guardrail* guard) const {
+  const uint64_t deadline_ms =
+      req.deadline_ms != 0 ? req.deadline_ms : options_.default_deadline_ms;
+  const uint64_t max_bytes = req.max_memory_bytes != 0
+                                 ? req.max_memory_bytes
+                                 : options_.default_max_memory_bytes;
+  if (deadline_ms == 0 && max_bytes == 0 && req.cancel == nullptr) {
+    return nullptr;  // ungoverned: evaluators take their null-guard fast path
+  }
+  budget->Reset(max_bytes);
+  *guard = Guardrail(Deadline::After(deadline_ms), req.cancel,
+                     max_bytes != 0 ? budget : nullptr);
+  return guard;
+}
+
+const char* Smoqe::CountGuardOutcome(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      if (tm_ != nullptr) tm_->guard_deadline_exceeded->Add(1);
+      return "deadline";
+    case StatusCode::kResourceExhausted:
+      if (tm_ != nullptr) tm_->guard_budget_exceeded->Add(1);
+      return "budget";
+    case StatusCode::kRejectedBusy:
+      if (tm_ != nullptr) tm_->guard_admission_rejected->Add(1);
+      return "admission";
+    case StatusCode::kCancelled:
+      if (tm_ != nullptr) tm_->guard_cancelled->Add(1);
+      return "cancel";
+    default:
+      return nullptr;
+  }
+}
 
 Smoqe::Smoqe(EngineOptions options)
     : names_(xml::NameTable::Create()),
@@ -349,6 +414,7 @@ Result<QueryAnswer> Smoqe::EvalCompiled(const DocumentSnapshot& snap,
                                         const std::string& doc_name,
                                         const PlanUse& pu,
                                         const QueryOptions& options,
+                                        const Guardrail* guard,
                                         tel::Trace* tr) {
   const CompiledPlan& plan = *pu.plan;
   QueryAnswer out;
@@ -363,6 +429,7 @@ Result<QueryAnswer> Smoqe::EvalCompiled(const DocumentSnapshot& snap,
     }
     eval::StaxEvalOptions stax_opts;
     stax_opts.engine.trace = options.explain;
+    stax_opts.guard = guard;
     // The streaming pass captures answer subtrees as it scans, so
     // evaluation and materialization are one span here.
     tel::SpanScope span(tr, "evaluate");
@@ -373,6 +440,7 @@ Result<QueryAnswer> Smoqe::EvalCompiled(const DocumentSnapshot& snap,
   } else {
     eval::DomEvalOptions dom_opts;
     dom_opts.engine.trace = options.explain;
+    dom_opts.guard = guard;
     if (options.use_tax) {
       if (snap.tax == nullptr) {
         return Status::FailedPrecondition(
@@ -427,7 +495,10 @@ void Smoqe::AppendQueryAudit(const std::string& doc_name,
 Result<QueryAnswer> Smoqe::QueryImpl(const std::string& doc_name,
                                      std::string_view query_text,
                                      const QueryOptions& options,
-                                     tel::Trace* tr) {
+                                     const Guardrail* guard, tel::Trace* tr) {
+  // Entry check: a deadline that arrived expired (or a pre-cancelled
+  // token) fails before any parsing or locking.
+  if (guard != nullptr) SMOQE_RETURN_IF_ERROR(guard->Check());
   std::shared_ptr<const DocumentSnapshot> snap;
   PlanUse plan;
   {
@@ -441,14 +512,26 @@ Result<QueryAnswer> Smoqe::QueryImpl(const std::string& doc_name,
   }
   // No lock held during evaluation: the snapshot is pinned, the plan is
   // immutable and shared.
-  return EvalCompiled(*snap, doc_name, plan, options, tr);
+  return EvalCompiled(*snap, doc_name, plan, options, guard, tr);
 }
 
 Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
                                  std::string_view query_text,
-                                 const QueryOptions& options) {
+                                 const QueryOptions& options,
+                                 const RequestOptions& req) {
+  Admission slot(this);
+  if (!slot.ok()) {
+    Status busy = Status::RejectedBusy(
+        "engine is at max_pending_requests (" +
+        std::to_string(options_.max_pending_requests) + " in flight)");
+    CountGuardOutcome(busy);
+    return busy;
+  }
+  MemoryBudget budget;
+  Guardrail guard_storage;
+  const Guardrail* guard = MakeGuard(req, &budget, &guard_storage);
   if (telemetry_ == nullptr) {
-    return QueryImpl(doc_name, query_text, options, nullptr);
+    return QueryImpl(doc_name, query_text, options, guard, nullptr);
   }
   const auto t0 = std::chrono::steady_clock::now();
   std::shared_ptr<tel::Trace> trace = telemetry_->MaybeBeginTrace("query");
@@ -460,7 +543,8 @@ Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
     tr->SetAttr("mode", options.mode == EvalMode::kStax ? "stax" : "dom");
   }
 
-  Result<QueryAnswer> result = QueryImpl(doc_name, query_text, options, tr);
+  Result<QueryAnswer> result =
+      QueryImpl(doc_name, query_text, options, guard, tr);
 
   tm_->query_count->Add();
   tm_->query_latency_ns->Record(ElapsedNs(t0));
@@ -481,6 +565,10 @@ Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
     }
   } else {
     tm_->query_errors->Add();
+    const char* guard_kind = CountGuardOutcome(result.status());
+    if (tr != nullptr && guard_kind != nullptr) {
+      tr->SetAttr("guard", guard_kind);
+    }
   }
   if (tr != nullptr) {
     tr->SetAttr("status",
@@ -496,6 +584,7 @@ Status Smoqe::EvalBatchOnSnapshot(const DocumentSnapshot& snap,
                                   const std::vector<PlanUse>& plans,
                                   const std::vector<size_t>& sel,
                                   const std::vector<size_t>& error_ids,
+                                  const Guardrail* guard,
                                   std::vector<QueryAnswer>* out,
                                   tel::Trace* tr) {
   std::vector<size_t> stax_items;
@@ -511,7 +600,9 @@ Status Smoqe::EvalBatchOnSnapshot(const DocumentSnapshot& snap,
     if (tm_ != nullptr) {
       tm_->batch_plans_per_scan->Record(stax_items.size());
     }
-    eval::BatchEvaluator batch;
+    eval::BatchStaxOptions batch_opts;
+    batch_opts.guard = guard;
+    eval::BatchEvaluator batch(batch_opts);
     for (size_t i : stax_items) {
       eval::EngineOptions engine;
       engine.trace = items[i].options.explain;
@@ -559,7 +650,7 @@ Status Smoqe::EvalBatchOnSnapshot(const DocumentSnapshot& snap,
       // append concurrently, which Trace supports.
       tel::SpanScope item_span(tr, "item", dom_span.index());
       auto answer =
-          EvalCompiled(snap, doc_name, plans[i], items[i].options, tr);
+          EvalCompiled(snap, doc_name, plans[i], items[i].options, guard, tr);
       if (answer.ok()) {
         (*out)[i] = std::move(*answer);
       } else {
@@ -573,8 +664,13 @@ Status Smoqe::EvalBatchOnSnapshot(const DocumentSnapshot& snap,
     }
     for (size_t j = 0; j < dom_items.size(); ++j) {
       if (!statuses[j].ok()) {
-        return statuses[j].WithContext(
-            "batch item " + std::to_string(error_ids[dom_items[j]]));
+        const size_t i = dom_items[j];
+        Status st = statuses[j].WithContext(
+            "batch item " + std::to_string(error_ids[i]));
+        // A tripped request guardrail fails the whole call (fail-closed,
+        // no partial answer); anything else fails just this item.
+        if (IsGuardTermination(statuses[j])) return st;
+        (*out)[i].status = std::move(st);
       }
     }
   }
@@ -583,10 +679,13 @@ Status Smoqe::EvalBatchOnSnapshot(const DocumentSnapshot& snap,
 
 Result<std::vector<QueryAnswer>> Smoqe::QueryBatchImpl(
     const std::string& doc_name, const std::vector<BatchQueryItem>& items,
-    tel::Trace* tr) {
+    const Guardrail* guard, tel::Trace* tr) {
+  if (guard != nullptr) SMOQE_RETURN_IF_ERROR(guard->Check());
   std::shared_ptr<const DocumentSnapshot> snap;
-  std::vector<PlanUse> plans;
-  plans.reserve(items.size());
+  std::vector<PlanUse> plans(items.size());
+  std::vector<QueryAnswer> out(items.size());
+  std::vector<size_t> sel;  // items that compiled; the rest failed locally
+  sel.reserve(items.size());
   {
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
     DocumentEntry* doc = catalog_.FindDocument(doc_name);
@@ -594,41 +693,59 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatchImpl(
       return Status::NotFound("document '" + doc_name + "' is not loaded");
     }
     snap = doc->Acquire();
-    // Resolve every plan and check every evaluation precondition first, so
-    // a bad item fails the whole call before any evaluation work happens.
+    // Resolve plans and evaluation preconditions per item. An item that
+    // fails here (unknown view, parse error, TAX-mode conflict) fails
+    // *only itself*: its status lands in out[i].status and it is left
+    // out of the evaluation selection; the siblings still run.
     tel::SpanScope span(tr, "compile_items");
     for (size_t i = 0; i < items.size(); ++i) {
+      Status item_st = Status::OK();
       auto plan = GetPlan(items[i].query, items[i].options, nullptr);
       if (!plan.ok()) {
-        return plan.status().WithContext("batch item " + std::to_string(i));
+        item_st = plan.status();
+      } else if (items[i].options.mode == EvalMode::kStax &&
+                 items[i].options.use_tax) {
+        item_st = Status::InvalidArgument(
+            "TAX requires DOM mode (the index addresses materialized nodes)");
+      } else if (items[i].options.mode == EvalMode::kDom &&
+                 items[i].options.use_tax && snap->tax == nullptr) {
+        item_st = Status::FailedPrecondition(
+            "document '" + doc_name + "' has no TAX index; call BuildIndex");
       }
-      plans.push_back(std::move(*plan));
-      if (items[i].options.mode == EvalMode::kStax) {
-        if (items[i].options.use_tax) {
-          return Status::InvalidArgument(
-              "batch item " + std::to_string(i) +
-              ": TAX requires DOM mode (the index addresses materialized "
-              "nodes)");
-        }
-      } else if (items[i].options.use_tax && snap->tax == nullptr) {
-        return Status::FailedPrecondition(
-            "batch item " + std::to_string(i) + ": document '" + doc_name +
-            "' has no TAX index; call BuildIndex");
+      if (!item_st.ok()) {
+        out[i].status =
+            item_st.WithContext("batch item " + std::to_string(i));
+        continue;
       }
+      plans[i] = std::move(*plan);
+      sel.push_back(i);
     }
   }
 
-  std::vector<QueryAnswer> out(items.size());
-  std::vector<size_t> all(items.size());
-  for (size_t i = 0; i < items.size(); ++i) all[i] = i;
-  SMOQE_RETURN_IF_ERROR(
-      EvalBatchOnSnapshot(*snap, doc_name, items, plans, all, all, &out, tr));
+  std::vector<size_t> ids(items.size());
+  for (size_t i = 0; i < items.size(); ++i) ids[i] = i;
+  SMOQE_RETURN_IF_ERROR(EvalBatchOnSnapshot(*snap, doc_name, items, plans, sel,
+                                            ids, guard, &out, tr));
   return out;
 }
 
 Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
-    const std::string& doc_name, const std::vector<BatchQueryItem>& items) {
-  if (telemetry_ == nullptr) return QueryBatchImpl(doc_name, items, nullptr);
+    const std::string& doc_name, const std::vector<BatchQueryItem>& items,
+    const RequestOptions& req) {
+  Admission slot(this);
+  if (!slot.ok()) {
+    Status busy = Status::RejectedBusy(
+        "engine is at max_pending_requests (" +
+        std::to_string(options_.max_pending_requests) + " in flight)");
+    CountGuardOutcome(busy);
+    return busy;
+  }
+  MemoryBudget budget;
+  Guardrail guard_storage;
+  const Guardrail* guard = MakeGuard(req, &budget, &guard_storage);
+  if (telemetry_ == nullptr) {
+    return QueryBatchImpl(doc_name, items, guard, nullptr);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   std::shared_ptr<tel::Trace> trace =
       telemetry_->MaybeBeginTrace("query_batch");
@@ -639,7 +756,7 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
   }
 
   Result<std::vector<QueryAnswer>> result =
-      QueryBatchImpl(doc_name, items, tr);
+      QueryBatchImpl(doc_name, items, guard, tr);
 
   tm_->batch_count->Add();
   tm_->batch_items->Add(items.size());
@@ -647,11 +764,16 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
   if (result.ok()) {
     // Batch-level stats are the MergeFrom fold of the per-item stats
     // (identical under serial and parallel execution — asserted in the
-    // concurrency suite); only the fold touches the registry.
+    // concurrency suite); only the fold touches the registry. Items that
+    // failed locally contribute nothing — no stats, no audit record.
     EvalStats agg;
     for (size_t i = 0; i < result->size(); ++i) {
       QueryAnswer& a = (*result)[i];
       if (tr != nullptr) a.trace_id = tr->id();
+      if (!a.status.ok()) {
+        tm_->query_errors->Add();
+        continue;
+      }
       agg.MergeFrom(a.stats);
       if (!items[i].options.view.empty()) {
         AppendQueryAudit(doc_name, items[i].options.view, items[i].query,
@@ -662,6 +784,10 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
     tm_->query_answers->Add(agg.answers);
   } else {
     tm_->batch_errors->Add();
+    const char* guard_kind = CountGuardOutcome(result.status());
+    if (tr != nullptr && guard_kind != nullptr) {
+      tr->SetAttr("guard", guard_kind);
+    }
   }
   if (tr != nullptr) {
     tr->SetAttr("status",
@@ -672,7 +798,9 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
 }
 
 Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMultiImpl(
-    const std::vector<DocBatchItem>& items, tel::Trace* tr) {
+    const std::vector<DocBatchItem>& items, const Guardrail* guard,
+    tel::Trace* tr) {
+  if (guard != nullptr) SMOQE_RETURN_IF_ERROR(guard->Check());
   // Group items by document (first-appearance order) and pin one snapshot
   // per document, so each group is internally a QueryBatch.
   struct Group {
@@ -680,10 +808,12 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMultiImpl(
     std::shared_ptr<const DocumentSnapshot> snap;
     std::vector<BatchQueryItem> items;
     std::vector<size_t> original;  // index into the caller's vector
+    std::vector<size_t> sel;       // group positions that compiled
   };
   std::vector<Group> groups;
   std::map<std::string, size_t> group_of;
   std::vector<std::vector<PlanUse>> plans;  // parallel to groups
+  std::vector<QueryAnswer> out(items.size());
   {
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
     for (size_t i = 0; i < items.size(); ++i) {
@@ -695,53 +825,57 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMultiImpl(
                                   "' is not loaded")
               .WithContext("batch item " + std::to_string(i));
         }
-        groups.push_back(Group{items[i].doc, doc->Acquire(), {}, {}});
+        groups.push_back(Group{items[i].doc, doc->Acquire(), {}, {}, {}});
       }
       Group& g = groups[it->second];
       g.items.push_back(BatchQueryItem{items[i].query, items[i].options});
       g.original.push_back(i);
     }
+    // Per-item compile/precondition resolution — same semantics as
+    // QueryBatch: a bad item fails only itself (status in the caller's
+    // slot), an unknown document fails the call above.
     plans.resize(groups.size());
     for (size_t gi = 0; gi < groups.size(); ++gi) {
       Group& g = groups[gi];
+      plans[gi].resize(g.items.size());
       for (size_t j = 0; j < g.items.size(); ++j) {
-        auto plan = GetPlan(g.items[j].query, g.items[j].options, nullptr);
-        if (!plan.ok()) {
-          return plan.status().WithContext(
-              "batch item " + std::to_string(g.original[j]));
-        }
-        plans[gi].push_back(std::move(*plan));
         const QueryOptions& o = g.items[j].options;
-        if (o.mode == EvalMode::kStax && o.use_tax) {
-          return Status::InvalidArgument(
-              "batch item " + std::to_string(g.original[j]) +
-              ": TAX requires DOM mode (the index addresses materialized "
+        Status item_st = Status::OK();
+        auto plan = GetPlan(g.items[j].query, o, nullptr);
+        if (!plan.ok()) {
+          item_st = plan.status();
+        } else if (o.mode == EvalMode::kStax && o.use_tax) {
+          item_st = Status::InvalidArgument(
+              "TAX requires DOM mode (the index addresses materialized "
               "nodes)");
+        } else if (o.mode == EvalMode::kDom && o.use_tax &&
+                   g.snap->tax == nullptr) {
+          item_st = Status::FailedPrecondition(
+              "document '" + g.doc_name +
+              "' has no TAX index; call BuildIndex");
         }
-        if (o.mode == EvalMode::kDom && o.use_tax &&
-            g.snap->tax == nullptr) {
-          return Status::FailedPrecondition(
-              "batch item " + std::to_string(g.original[j]) + ": document '" +
-              g.doc_name + "' has no TAX index; call BuildIndex");
+        if (!item_st.ok()) {
+          out[g.original[j]].status = item_st.WithContext(
+              "batch item " + std::to_string(g.original[j]));
+          continue;
         }
+        plans[gi][j] = std::move(*plan);
+        g.sel.push_back(j);
       }
     }
   }
 
-  std::vector<QueryAnswer> out(items.size());
   std::vector<Status> statuses(groups.size(), Status::OK());
   auto eval_group = [&](size_t gi) {
     Group& g = groups[gi];
     std::vector<QueryAnswer> group_out(g.items.size());
-    std::vector<size_t> sel(g.items.size());
-    for (size_t j = 0; j < sel.size(); ++j) sel[j] = j;
     Status s = EvalBatchOnSnapshot(*g.snap, g.doc_name, g.items, plans[gi],
-                                   sel, g.original, &group_out, tr);
+                                   g.sel, g.original, guard, &group_out, tr);
     if (!s.ok()) {
       statuses[gi] = std::move(s);
       return;
     }
-    for (size_t j = 0; j < g.items.size(); ++j) {
+    for (size_t j : g.sel) {
       out[g.original[j]] = std::move(group_out[j]);
     }
   };
@@ -763,15 +897,29 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMultiImpl(
 }
 
 Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMulti(
-    const std::vector<DocBatchItem>& items) {
-  if (telemetry_ == nullptr) return QueryBatchMultiImpl(items, nullptr);
+    const std::vector<DocBatchItem>& items, const RequestOptions& req) {
+  Admission slot(this);
+  if (!slot.ok()) {
+    Status busy = Status::RejectedBusy(
+        "engine is at max_pending_requests (" +
+        std::to_string(options_.max_pending_requests) + " in flight)");
+    CountGuardOutcome(busy);
+    return busy;
+  }
+  MemoryBudget budget;
+  Guardrail guard_storage;
+  const Guardrail* guard = MakeGuard(req, &budget, &guard_storage);
+  if (telemetry_ == nullptr) {
+    return QueryBatchMultiImpl(items, guard, nullptr);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   std::shared_ptr<tel::Trace> trace =
       telemetry_->MaybeBeginTrace("query_batch_multi");
   tel::Trace* tr = trace.get();
   if (tr != nullptr) tr->SetAttr("items", std::to_string(items.size()));
 
-  Result<std::vector<QueryAnswer>> result = QueryBatchMultiImpl(items, tr);
+  Result<std::vector<QueryAnswer>> result =
+      QueryBatchMultiImpl(items, guard, tr);
 
   tm_->batch_count->Add();
   tm_->batch_items->Add(items.size());
@@ -781,6 +929,10 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMulti(
     for (size_t i = 0; i < result->size(); ++i) {
       QueryAnswer& a = (*result)[i];
       if (tr != nullptr) a.trace_id = tr->id();
+      if (!a.status.ok()) {
+        tm_->query_errors->Add();
+        continue;
+      }
       agg.MergeFrom(a.stats);
       if (!items[i].options.view.empty()) {
         AppendQueryAudit(items[i].doc, items[i].options.view, items[i].query,
@@ -791,6 +943,10 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMulti(
     tm_->query_answers->Add(agg.answers);
   } else {
     tm_->batch_errors->Add();
+    const char* guard_kind = CountGuardOutcome(result.status());
+    if (tr != nullptr && guard_kind != nullptr) {
+      tr->SetAttr("guard", guard_kind);
+    }
   }
   if (tr != nullptr) {
     tr->SetAttr("status",
@@ -898,7 +1054,9 @@ Result<uint64_t> Smoqe::DocumentEpoch(const std::string& doc_name) const {
 Result<UpdateResult> Smoqe::UpdateImpl(const std::string& doc_name,
                                        std::string_view update_text,
                                        const UpdateOptions& options,
+                                       const Guardrail* guard,
                                        tel::Trace* tr) {
+  if (guard != nullptr) SMOQE_RETURN_IF_ERROR(guard->Check());
   std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   DocumentEntry* doc = catalog_.FindDocument(doc_name);
   if (doc == nullptr) {
@@ -974,11 +1132,18 @@ Result<UpdateResult> Smoqe::UpdateImpl(const std::string& doc_name,
   out.stats.doc_epoch = base->epoch;
   if (target_ids.empty()) return out;  // nothing selected: a successful no-op
 
+  // Target resolution walked the whole document; re-check before the
+  // expensive clone.
+  if (guard != nullptr) SMOQE_RETURN_IF_ERROR(guard->Check());
+
   // Copy-on-write: every check and mutation below runs against a private
   // clone; the published snapshot is untouched until the final Publish.
   // Ids, orders and the epoch survive the clone, so id-keyed caches
   // (access maps, provenance) computed at the base epoch apply verbatim.
   xml::Document clone = base->dom->Clone();
+  // Post-clone growth (fragment grafts) charges the request budget; the
+  // clone itself is the document's standing footprint, not request-owned.
+  if (guard != nullptr) clone.set_memory_budget(guard->budget());
   const xml::Document* fragment =
       stmt.fragment.has_value() ? &*stmt.fragment : nullptr;
   std::vector<update::ResolvedEdit> script;
@@ -1005,6 +1170,7 @@ Result<UpdateResult> Smoqe::UpdateImpl(const std::string& doc_name,
   apply_opts.dtd = dtd;
   apply_opts.tax = tax_copy.has_value() ? &*tax_copy : nullptr;
   apply_opts.rebuild_tax = options.rebuild_tax;
+  apply_opts.guard = guard;
   update::UpdateApplier applier(&clone, apply_opts);
   if (options.dry_run) {
     tel::SpanScope span(tr, "validate");
@@ -1109,6 +1275,13 @@ Result<UpdateResult> Smoqe::UpdateImpl(const std::string& doc_name,
   const uint64_t new_epoch = clone.epoch();
   out.stats.doc_epoch = new_epoch;
 
+  // Last guard check *before Publish* — the fail-closed point. A trip
+  // here (deadline landing mid-apply, budget blown by a graft) discards
+  // the mutated clone and the shadow TAX copy; the published snapshot
+  // chain, caches and epoch are untouched.
+  if (guard != nullptr) SMOQE_RETURN_IF_ERROR(guard->Check());
+  clone.set_memory_budget(nullptr);  // the budget dies with this request
+
   // Publish the successor snapshot. Readers that acquired the base keep
   // it alive until they finish; the base tree is then freed by refcount.
   tel::SpanScope publish_span(tr, "publish");
@@ -1143,9 +1316,21 @@ Result<UpdateResult> Smoqe::UpdateImpl(const std::string& doc_name,
 
 Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
                                    std::string_view update_text,
-                                   const UpdateOptions& options) {
+                                   const UpdateOptions& options,
+                                   const RequestOptions& req) {
+  Admission slot(this);
+  if (!slot.ok()) {
+    Status busy = Status::RejectedBusy(
+        "engine is at max_pending_requests (" +
+        std::to_string(options_.max_pending_requests) + " in flight)");
+    CountGuardOutcome(busy);
+    return busy;
+  }
+  MemoryBudget budget;
+  Guardrail guard_storage;
+  const Guardrail* guard = MakeGuard(req, &budget, &guard_storage);
   if (telemetry_ == nullptr) {
-    return UpdateImpl(doc_name, update_text, options, nullptr);
+    return UpdateImpl(doc_name, update_text, options, guard, nullptr);
   }
   const auto t0 = std::chrono::steady_clock::now();
   std::shared_ptr<tel::Trace> trace = telemetry_->MaybeBeginTrace("update");
@@ -1156,7 +1341,7 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
     if (options.dry_run) tr->SetAttr("dry_run", "true");
   }
   Result<UpdateResult> result =
-      UpdateImpl(doc_name, update_text, options, tr);
+      UpdateImpl(doc_name, update_text, options, guard, tr);
   tm_->update_count->Add(1);
   tm_->update_latency_ns->Record(ElapsedNs(t0));
   if (result.ok()) {
@@ -1193,7 +1378,15 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
     rec.trace_id = tr != nullptr ? tr->id() : 0;
     telemetry_->audit().Append(std::move(rec));
   } else {
+    // Guard terminations land here by design: a deadline / budget /
+    // cancel trip is a resource outcome, not a security decision, so it
+    // counts as an error and an audit record is deliberately NOT written
+    // (docs/QUERY_LANGUAGE.md "Updates").
     tm_->update_errors->Add(1);
+    const char* guard_kind = CountGuardOutcome(result.status());
+    if (tr != nullptr && guard_kind != nullptr) {
+      tr->SetAttr("guard", guard_kind);
+    }
   }
   if (tr != nullptr) {
     tr->SetAttr("status", result.ok() ? "ok" : result.status().ToString());

@@ -8,6 +8,7 @@
 #ifndef SMOQE_CORE_SMOQE_H_
 #define SMOQE_CORE_SMOQE_H_
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "src/common/counters.h"
+#include "src/common/guardrail.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/core/catalog.h"
@@ -54,6 +56,37 @@ struct EngineOptions {
   /// empty). The bench-verified overhead budget of the default-on state
   /// is <2% on the hot query path (bench_telemetry, E14).
   tel::TelemetryOptions telemetry;
+  /// Engine-wide request-governance defaults (docs/DESIGN.md §9). A
+  /// request whose RequestOptions leaves a knob at 0 inherits the engine
+  /// default; 0 here too means ungoverned (no deadline / no cap).
+  uint64_t default_deadline_ms = 0;
+  uint64_t default_max_memory_bytes = 0;
+  /// Bounded admission gate: at most this many requests may be in flight
+  /// (Query/QueryBatch/QueryBatchMulti/Update) before further calls
+  /// fast-fail with RejectedBusy — before parsing, before taking any
+  /// lock, before touching the catalog. 0 = unbounded (no gate).
+  int max_pending_requests = 0;
+};
+
+/// Per-request resource governance (docs/DESIGN.md §9), accepted by
+/// Query / QueryBatch / QueryBatchMulti / Update. All knobs default to
+/// "inherit the engine default" — a default-constructed RequestOptions
+/// is byte-for-byte the pre-guardrail behavior.
+struct RequestOptions {
+  /// Wall-clock budget of the call in milliseconds, measured from entry
+  /// (steady clock). On expiry the request unwinds with DeadlineExceeded
+  /// and no partial answer. 0 = EngineOptions::default_deadline_ms.
+  uint64_t deadline_ms = 0;
+  /// Memory the request may charge (evaluator runs/frames, capture
+  /// buffers, update-clone arena blocks, TAX bitsets). On breach the
+  /// request unwinds with ResourceExhausted. Charging is amortized, so
+  /// the real high-water mark can overshoot by one charge quantum.
+  /// 0 = EngineOptions::default_max_memory_bytes.
+  uint64_t max_memory_bytes = 0;
+  /// Cooperative cancellation: the caller keeps the token (which must
+  /// outlive the call) and may Cancel() it from any thread; the request
+  /// unwinds with Cancelled at its next guard check. Null = none.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-query options.
@@ -93,6 +126,15 @@ struct QueryAnswer {
   /// Telemetry trace id of this call (0 when telemetry is off or the call
   /// was not sampled); look it up via `Smoqe::telemetry()->traces()`.
   uint64_t trace_id = 0;
+  /// Per-item status of batch calls. Query() never returns an answer
+  /// with a non-OK status (the call's Result carries the error), but
+  /// QueryBatch / QueryBatchMulti fail *per item*: a bad view, a parse
+  /// error or a TAX-mode conflict in one item leaves `status` non-OK
+  /// (its message names the item index) and every other field empty,
+  /// while the sibling items complete normally. Document-level failures
+  /// (unknown document, a tripped request guardrail) still fail the
+  /// whole call.
+  Status status = Status::OK();
 };
 
 /// One query of a QueryBatch call: the query text plus its own options —
@@ -239,9 +281,17 @@ class Smoqe {
   /// Compilation goes through the plan cache: repeat queries skip the
   /// rewrite → MFA → dispatch-sealing pipeline entirely (DESIGN.md §5.1);
   /// `answer.stats.plan_cache_hits/misses` says which happened.
+  /// `req` governs the call's resources (docs/DESIGN.md §9): deadline,
+  /// memory budget, cancellation — all engine-default by default. A
+  /// tripped guard unwinds with DeadlineExceeded / ResourceExhausted /
+  /// Cancelled and no partial answer; when the admission gate is full
+  /// the call fast-fails with RejectedBusy before doing any work. Guard
+  /// rejections are resource outcomes, not security decisions: they
+  /// produce no audit record.
   Result<QueryAnswer> Query(const std::string& doc_name,
                             std::string_view query_text,
-                            const QueryOptions& options = {});
+                            const QueryOptions& options = {},
+                            const RequestOptions& req = {});
 
   /// Evaluates many queries — typically from different users, so each
   /// item carries its own view — against one document. Answers line up
@@ -253,15 +303,26 @@ class Smoqe {
   /// DOM items fan out across the pool and the shared StAX scan fans its
   /// per-plan engine advancement out behind one tokenizer (§7.3); the
   /// whole batch evaluates against one pinned snapshot either way.
+  /// Error semantics: an item that fails on its own terms (unregistered
+  /// view, parse error, StAX+TAX conflict, missing index) fails *only
+  /// that item* — its answer's `status` is non-OK and names the item
+  /// index — while the other items evaluate normally. Whole-call errors
+  /// are reserved for document-level failures: unknown document, a
+  /// failed shared StAX scan, or this request's guardrail tripping
+  /// (deadline / budget / cancel / admission via `req`).
   Result<std::vector<QueryAnswer>> QueryBatch(
-      const std::string& doc_name, const std::vector<BatchQueryItem>& items);
+      const std::string& doc_name, const std::vector<BatchQueryItem>& items,
+      const RequestOptions& req = {});
 
   /// Evaluates queries against *many* documents in one call: items are
   /// grouped by document, each group pins its document's snapshot, and
   /// independent documents evaluate concurrently across the pool (each
   /// group internally like QueryBatch). Answers line up with `items`.
+  /// Per-item error semantics match QueryBatch (an unknown *document* is
+  /// still a whole-call error — it names a catalog problem, not an item
+  /// problem).
   Result<std::vector<QueryAnswer>> QueryBatchMulti(
-      const std::vector<DocBatchItem>& items);
+      const std::vector<DocBatchItem>& items, const RequestOptions& req = {});
 
   /// Applies one update statement (`insert into p f` / `delete p` /
   /// `replace p with f`, docs/QUERY_LANGUAGE.md "Updates") to a loaded
@@ -275,9 +336,16 @@ class Smoqe {
   /// index incrementally, retain/invalidate materialized-view caches, and
   /// publish the clone as the new snapshot with a bumped epoch —
   /// concurrent readers finish undisturbed on the old one (§7.1).
+  /// Guard semantics (docs/DESIGN.md §9): a deadline / budget / cancel
+  /// trip — even one landing mid-apply — aborts *before Publish*, so the
+  /// published snapshot chain, TAX index, caches and epoch are exactly
+  /// as if the call never happened. Guard rejections are not
+  /// authorization denials: they return their own status codes and
+  /// append no audit record.
   Result<UpdateResult> Update(const std::string& doc_name,
                               std::string_view update_text,
-                              const UpdateOptions& options = {});
+                              const UpdateOptions& options = {},
+                              const RequestOptions& req = {});
 
   /// Materializes a view of a document (cached per document epoch — the
   /// epoch-invalidation consumer updates exercise; queries still answer
@@ -361,6 +429,10 @@ class Smoqe {
     tel::Histogram* update_tax_rebuild_ns;
     tel::Counter* update_nodes_inserted;
     tel::Counter* update_nodes_deleted;
+    tel::Counter* guard_deadline_exceeded;
+    tel::Counter* guard_budget_exceeded;
+    tel::Counter* guard_admission_rejected;
+    tel::Counter* guard_cancelled;
   };
 
   /// Parses + normalizes `query_text` and returns its compiled plan,
@@ -371,31 +443,61 @@ class Smoqe {
                           const QueryOptions& options, tel::Trace* tr);
 
   /// Evaluates a resolved plan over a pinned snapshot (single query).
-  /// Takes no lock; safe on any thread.
+  /// Takes no lock; safe on any thread. `guard` (nullable) is polled by
+  /// the evaluator's event loop.
   Result<QueryAnswer> EvalCompiled(const DocumentSnapshot& snap,
                                    const std::string& doc_name,
                                    const PlanUse& plan,
                                    const QueryOptions& options,
-                                   tel::Trace* tr);
+                                   const Guardrail* guard, tel::Trace* tr);
 
   /// The untelemetered bodies of the public calls; the public methods are
-  /// thin wrappers that time the call, fold its stats into the registry,
-  /// append audit records, and finish the trace.
+  /// thin wrappers that admit the request, build its guardrail, time the
+  /// call, fold its stats into the registry, append audit records, and
+  /// finish the trace.
   Result<QueryAnswer> QueryImpl(const std::string& doc_name,
                                 std::string_view query_text,
-                                const QueryOptions& options, tel::Trace* tr);
+                                const QueryOptions& options,
+                                const Guardrail* guard, tel::Trace* tr);
   Result<std::vector<QueryAnswer>> QueryBatchImpl(
       const std::string& doc_name, const std::vector<BatchQueryItem>& items,
-      tel::Trace* tr);
+      const Guardrail* guard, tel::Trace* tr);
   Result<std::vector<QueryAnswer>> QueryBatchMultiImpl(
-      const std::vector<DocBatchItem>& items, tel::Trace* tr);
+      const std::vector<DocBatchItem>& items, const Guardrail* guard,
+      tel::Trace* tr);
   Result<UpdateResult> UpdateImpl(const std::string& doc_name,
                                   std::string_view update_text,
                                   const UpdateOptions& options,
-                                  tel::Trace* tr);
+                                  const Guardrail* guard, tel::Trace* tr);
 
   /// Folds one call's EvalStats aggregate into the eval.* counters.
   void FoldEvalStats(const EvalStats& stats);
+
+  /// RAII admission slot. `ok()` false means the gate was full and the
+  /// call must fast-fail with RejectedBusy; nothing to release then.
+  class Admission {
+   public:
+    explicit Admission(Smoqe* engine);
+    ~Admission();
+    Admission(const Admission&) = delete;
+    Admission& operator=(const Admission&) = delete;
+    bool ok() const { return admitted_; }
+
+   private:
+    Smoqe* engine_;
+    bool admitted_;
+  };
+
+  /// Resolves RequestOptions against the engine defaults into `budget` +
+  /// `guard` (stack storage owned by the caller). Returns nullptr — the
+  /// ungoverned fast path — when no knob is active.
+  const Guardrail* MakeGuard(const RequestOptions& req, MemoryBudget* budget,
+                             Guardrail* guard) const;
+
+  /// Counts a guard-terminated request into the guard.* counters and
+  /// returns the span annotation ("deadline" / "budget" / "admission" /
+  /// "cancel"), or nullptr for ordinary errors. Null-safe on tm_.
+  const char* CountGuardOutcome(const Status& status);
   /// Appends the kQueryRewrite audit record of a successful view query.
   void AppendQueryAudit(const std::string& doc_name,
                         const std::string& view_name,
@@ -408,12 +510,16 @@ class Smoqe {
   /// it by (identity for QueryBatch; the original positions for
   /// QueryBatchMulti's per-document groups), so "batch item N" error
   /// contexts always name the caller's numbering.
+  /// Item-local evaluation failures land in out[i].status; only
+  /// document-level failures (a failed shared StAX scan, a guard trip)
+  /// return non-OK.
   Status EvalBatchOnSnapshot(const DocumentSnapshot& snap,
                              const std::string& doc_name,
                              const std::vector<BatchQueryItem>& items,
                              const std::vector<PlanUse>& plans,
                              const std::vector<size_t>& sel,
                              const std::vector<size_t>& error_ids,
+                             const Guardrail* guard,
                              std::vector<QueryAnswer>* out, tel::Trace* tr);
 
   /// The view's materialized-view cache over the snapshot's epoch,
@@ -444,6 +550,8 @@ class Smoqe {
   Catalog catalog_;
   PlanCache plan_cache_;
   std::unique_ptr<ThreadPool> pool_;  // null when serial
+  /// Requests currently inside a public entry point (admission gate).
+  std::atomic<int> inflight_{0};
 };
 
 }  // namespace smoqe::core

@@ -102,6 +102,7 @@ class CaptureStream {
       c.buffer = open_tag_;
       captures_.push_back(std::move(c));
     }
+    appended_ += open_tag_.size() * captures_.size();
     tag_open_ = true;  // captures_ is non-empty here by construction
   }
 
@@ -113,6 +114,7 @@ class CaptureStream {
     }
     std::string escaped = XmlEscape(raw);
     for (Capture& c : captures_) c.buffer += escaped;
+    appended_ += escaped.size() * captures_.size();
   }
 
   void EndElement(const std::string& name, int depth) {
@@ -126,6 +128,7 @@ class CaptureStream {
         c.buffer += name;
         c.buffer += '>';
       }
+      appended_ += (name.size() + 3) * captures_.size();
     }
     size_t buffered = 0;
     for (const Capture& c : captures_) buffered += c.buffer.size();
@@ -139,11 +142,15 @@ class CaptureStream {
 
   const std::map<int32_t, std::string>& finished() const { return finished_; }
   size_t peak_buffered() const { return peak_buffered_; }
+  /// Monotone total of capture bytes written; drivers charge the delta
+  /// since their last guard tick into the request MemoryBudget.
+  uint64_t appended() const { return appended_; }
 
  private:
   std::vector<Capture> captures_;
   std::map<int32_t, std::string> finished_;
   size_t peak_buffered_ = 0;
+  uint64_t appended_ = 0;
   bool tag_open_ = false;  // captures have an unclosed start tag pending
   std::string open_tag_;   // scratch; reused across start events
 };
@@ -379,8 +386,17 @@ Result<std::vector<StaxEvalResult>> BatchEvaluator::Run(
 
   CaptureStream cap;
   int32_t next_node_id = 0;
+  GuardTicker ticker(options_.guard);
+  uint64_t charged_capture = 0;
 
   while (true) {
+    if (ticker.Due()) {
+      uint64_t bytes = cap.appended() - charged_capture;
+      charged_capture = cap.appended();
+      for (auto& ps : states) bytes += ps->engine.TakeAllocBytes();
+      options_.guard->ChargeBytes(bytes);
+      SMOQE_RETURN_IF_ERROR(ticker.Now());
+    }
     SMOQE_ASSIGN_OR_RETURN(xml::StaxEvent ev, reader.Next());
     const int depth = reader.depth();
 
@@ -451,6 +467,7 @@ Result<std::vector<StaxEvalResult>> BatchEvaluator::Run(
         break;
       }
       case xml::StaxEvent::kEndDocument:
+        SMOQE_RETURN_IF_ERROR(ticker.Now());
         return AssembleResults(states, cap);
     }
   }
@@ -500,6 +517,7 @@ Result<std::vector<StaxEvalResult>> BatchEvaluator::RunParallel(
 
   CaptureStream cap;
   std::vector<uint8_t> staged;
+  uint64_t charged_capture = 0;
   while (!cur.events.empty()) {
     const auto chunk_t0 = par.chunk_ns != nullptr
                               ? std::chrono::steady_clock::now()
@@ -565,6 +583,16 @@ Result<std::vector<StaxEvalResult>> BatchEvaluator::RunParallel(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - chunk_t0)
               .count()));
+    }
+    // Per-chunk guard tick on the driver thread — the workers have
+    // joined, so the engines' allocation counters are safe to drain. A
+    // chunk bounds deadline-detection latency to a few thousand events.
+    if (options_.guard != nullptr) {
+      uint64_t bytes = cap.appended() - charged_capture;
+      charged_capture = cap.appended();
+      for (auto& ps : states) bytes += ps->engine.TakeAllocBytes();
+      options_.guard->ChargeBytes(bytes);
+      SMOQE_RETURN_IF_ERROR(options_.guard->Check());
     }
     std::swap(cur, next);
   }

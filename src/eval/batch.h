@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/automata/mfa.h"
+#include "src/common/guardrail.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/eval/hype_stax.h"
@@ -34,6 +35,10 @@ namespace smoqe::eval {
 struct BatchStaxOptions {
   /// Drop all-whitespace text events (matches the DOM parser's default).
   bool skip_whitespace_text = true;
+  /// Per-request guardrail (deadline/cancel/budget); nullptr = ungoverned.
+  /// Checked at the scan loop (serial) / between chunks (parallel); a
+  /// tripped guard unwinds the whole batch — never partial answers.
+  const Guardrail* guard = nullptr;
 };
 
 /// Knobs of the parallel batch driver (RunParallel).

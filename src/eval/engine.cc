@@ -53,7 +53,10 @@ HypeEngine::HypeEngine(const automata::Mfa& mfa, EngineOptions options)
 HypeEngine::~HypeEngine() = default;
 
 HypeEngine::Frame& HypeEngine::PushFrame(int32_t id) {
-  if (depth_ == stack_.size()) stack_.emplace_back();
+  if (depth_ == stack_.size()) {
+    stack_.emplace_back();
+    alloc_bytes_ += sizeof(Frame);
+  }
   Frame& f = stack_[depth_++];
   f.Reset(id);
   // New epoch: every dedup-table slot of previous frames is now stale.
@@ -108,6 +111,7 @@ bool HypeEngine::AddRun(Run run) {
     }
   }
   cur.runs.push_back(run);
+  alloc_bytes_ += sizeof(Run);
   return true;
 }
 
@@ -171,6 +175,7 @@ bool HypeEngine::AddRunHashed(Frame& cur, const Run& run) {
       cur.run_next.push_back(dedup_head_[slot]);
       dedup_head_[slot] = static_cast<int32_t>(cur.runs.size());
       cur.runs.push_back(run);
+      alloc_bytes_ += sizeof(Run);
       return true;
     }
     slot = (slot + 1) & mask;
@@ -180,6 +185,7 @@ bool HypeEngine::AddRunHashed(Frame& cur, const Run& run) {
   dedup_head_[slot] = static_cast<int32_t>(cur.runs.size());
   cur.run_next.push_back(-1);
   cur.runs.push_back(run);
+  alloc_bytes_ += sizeof(Run);
   return true;
 }
 
@@ -202,6 +208,7 @@ InstId HypeEngine::Instantiate(PredId pred, const AttrProvider& attrs) {
   inst.anchor = cur.id;
   inst.leaf_witnesses.resize(p.leaf_obligations.size());
   instances_.push_back(std::move(inst));
+  alloc_bytes_ += sizeof(PredInstance);
   cur.inst_map.emplace_back(pred, id);
   cur.anchored.push_back(id);
   ++stats_.pred_instances;

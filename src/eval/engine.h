@@ -129,6 +129,16 @@ class HypeEngine {
   /// Engine id that will be assigned to the next entered element.
   int32_t next_id() const { return next_id_; }
 
+  /// Approximate bytes of run/instance/frame state allocated since the
+  /// last call; drivers drain this into the request's MemoryBudget at
+  /// their guard ticks (the engine itself stays guard-free — plain
+  /// counter, no atomics, so the hot path pays one add).
+  uint64_t TakeAllocBytes() {
+    uint64_t b = alloc_bytes_;
+    alloc_bytes_ = 0;
+    return b;
+  }
+
  private:
   struct Run {
     bool is_selection;
@@ -243,6 +253,7 @@ class HypeEngine {
   std::vector<int32_t> answers_;
   std::unique_ptr<TraceLog> trace_;
   int32_t next_id_ = 0;
+  uint64_t alloc_bytes_ = 0;  // drained by TakeAllocBytes()
   bool finished_ = false;
   size_t work_cursor_ = 0;  // worklist position within current frame's runs
 };

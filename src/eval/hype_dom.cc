@@ -31,9 +31,15 @@ Result<DomEvalResult> EvalHypeDom(const automata::Mfa& mfa,
 
   // Iterative DFS. nullptr entries are Leave markers for the enclosing
   // element; text nodes become Text events.
+  GuardTicker ticker(options.guard);
   std::vector<const xml::Node*> stack;
   stack.push_back(doc.root());
   while (!stack.empty()) {
+    if (ticker.Due()) {
+      options.guard->ChargeBytes(engine.TakeAllocBytes());
+      Status guard_st = ticker.Now();
+      if (!guard_st.ok()) return guard_st;
+    }
     const xml::Node* node = stack.back();
     stack.pop_back();
     if (node == nullptr) {

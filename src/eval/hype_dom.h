@@ -11,6 +11,7 @@
 
 #include "src/automata/mfa.h"
 #include "src/common/counters.h"
+#include "src/common/guardrail.h"
 #include "src/common/status.h"
 #include "src/eval/engine.h"
 #include "src/index/tax.h"
@@ -23,6 +24,9 @@ struct DomEvalOptions {
   /// TAX index of the document; enables type-aware subtree pruning.
   const index::TaxIndex* tax = nullptr;
   EngineOptions engine;
+  /// Per-request guardrail (deadline/cancel/budget); nullptr = ungoverned.
+  /// A tripped guard unwinds with its status — never a partial answer.
+  const Guardrail* guard = nullptr;
 };
 
 /// Result of a DOM-mode evaluation.

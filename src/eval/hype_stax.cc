@@ -15,6 +15,7 @@ Result<StaxEvalResult> EvalHypeStax(const automata::Mfa& mfa,
                                     const StaxEvalOptions& options) {
   BatchStaxOptions batch_options;
   batch_options.skip_whitespace_text = options.skip_whitespace_text;
+  batch_options.guard = options.guard;
   BatchEvaluator batch(batch_options);
   batch.AddPlan(&mfa, options.engine);
   SMOQE_ASSIGN_OR_RETURN(std::vector<StaxEvalResult> results, batch.Run(xml));

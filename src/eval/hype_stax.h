@@ -13,6 +13,7 @@
 
 #include "src/automata/mfa.h"
 #include "src/common/counters.h"
+#include "src/common/guardrail.h"
 #include "src/common/status.h"
 #include "src/eval/engine.h"
 
@@ -24,6 +25,8 @@ struct StaxEvalOptions {
   /// Drop text events that are all whitespace (matches the DOM parser's
   /// default, so the two modes agree).
   bool skip_whitespace_text = true;
+  /// Per-request guardrail; forwarded to the batch driver's scan loop.
+  const Guardrail* guard = nullptr;
 };
 
 /// One answer from a streaming evaluation.

@@ -5,11 +5,24 @@
 namespace smoqe::index {
 
 TaxIndex TaxIndex::Build(const xml::Document& doc) {
+  auto idx = Build(doc, nullptr);
+  // Unguarded build cannot fail (the walk only allocates).
+  return idx.MoveValue();
+}
+
+Result<TaxIndex> TaxIndex::Build(const xml::Document& doc,
+                                 const Guardrail* guard) {
   TaxIndex idx;
   idx.width_ = doc.names()->size();
   idx.sets_.resize(doc.num_nodes());
+  if (guard != nullptr) {
+    guard->ChargeBytes(idx.sets_.size() * sizeof(DynamicBitset));
+    SMOQE_RETURN_IF_ERROR(guard->Check());
+  }
   size_t recomputed = 0;
-  idx.BuildSubtree(doc.root(), idx.width_, &recomputed);
+  GuardTicker ticker(guard);
+  SMOQE_RETURN_IF_ERROR(
+      idx.BuildSubtree(doc.root(), idx.width_, &recomputed, &ticker));
   idx.elements_ = recomputed;
   return idx;
 }
@@ -25,14 +38,21 @@ void TaxIndex::RecomputeFromChildren(const xml::Node* n, size_t width) {
   sets_[n->node_id] = std::move(bits);
 }
 
-void TaxIndex::BuildSubtree(const xml::Node* subtree, size_t width,
-                            size_t* recomputed) {
+Status TaxIndex::BuildSubtree(const xml::Node* subtree, size_t width,
+                              size_t* recomputed, GuardTicker* ticker) {
   // Post-order pointer walk (ids are not pre-order after updates, so the
   // seed's reverse-id sweep would read children before they are final).
   // nullptr marks "children done; fold the node below it".
   std::vector<const xml::Node*> stack = {subtree};
   std::vector<const xml::Node*> open;
+  size_t charged = *recomputed;
   while (!stack.empty()) {
+    if (ticker != nullptr && ticker->Due()) {
+      // Each folded element owns a width-bit set; charge the new ones.
+      ticker->guard()->ChargeBytes((*recomputed - charged) * (width / 8));
+      charged = *recomputed;
+      SMOQE_RETURN_IF_ERROR(ticker->Now());
+    }
     const xml::Node* n = stack.back();
     stack.pop_back();
     if (n == nullptr) {
@@ -49,12 +69,27 @@ void TaxIndex::BuildSubtree(const xml::Node* subtree, size_t width,
       if (c->is_element()) stack.push_back(c);
     }
   }
+  return Status::OK();
 }
 
 size_t TaxIndex::RepairAfterEdit(
     const xml::Document& doc, const xml::Node* parent,
     const std::vector<const xml::Node*>& new_subtrees,
     const std::vector<int32_t>& retired_ids) {
+  auto r = RepairAfterEdit(doc, parent, new_subtrees, retired_ids, nullptr);
+  // Unguarded repair cannot fail (no guard, and the fault site only
+  // fires when a test armed it — tests that do use the guarded variant).
+  return r.ok() ? *r : 0;
+}
+
+Result<size_t> TaxIndex::RepairAfterEdit(
+    const xml::Document& doc, const xml::Node* parent,
+    const std::vector<const xml::Node*>& new_subtrees,
+    const std::vector<int32_t>& retired_ids, const Guardrail* guard) {
+  if (fault::At("tax.repair")) {
+    return Status::Internal("injected index-repair fault (tax.repair)");
+  }
+  GuardTicker ticker(guard);
   const size_t width = doc.names()->size();
   if (sets_.size() < static_cast<size_t>(doc.num_nodes())) {
     sets_.resize(doc.num_nodes());
@@ -62,12 +97,15 @@ size_t TaxIndex::RepairAfterEdit(
   for (int32_t id : retired_ids) sets_[id] = DynamicBitset();
   size_t recomputed = 0;
   for (const xml::Node* s : new_subtrees) {
-    if (s->is_element()) BuildSubtree(s, width, &recomputed);
+    if (s->is_element()) {
+      SMOQE_RETURN_IF_ERROR(BuildSubtree(s, width, &recomputed, &ticker));
+    }
   }
   // Ancestor chain, bottom-up to the root. Children's sets are final:
   // untouched children kept theirs, grafted ones were just built, and
   // chains from other edits correct any overlap on their own pass.
   for (const xml::Node* a = parent; a != nullptr; a = a->parent) {
+    SMOQE_RETURN_IF_ERROR(ticker.Tick());
     RecomputeFromChildren(a, width);
     ++recomputed;
   }

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "src/common/bitset.h"
+#include "src/common/guardrail.h"
+#include "src/common/status.h"
 #include "src/xml/dom.h"
 
 namespace smoqe::index {
@@ -32,6 +34,12 @@ class TaxIndex {
   /// id assignment) — the build is a pointer walk, not an id sweep.
   static TaxIndex Build(const xml::Document& doc);
 
+  /// Guarded build: ticks `guard` during the post-order walk and charges
+  /// the bitset bytes against its budget. A tripped guard abandons the
+  /// half-built index and returns the guard's status.
+  static Result<TaxIndex> Build(const xml::Document& doc,
+                                const Guardrail* guard);
+
   /// Descendant type set of the element with document id `node_id`
   /// (bits exclude the node's own label). Returns nullptr for text nodes.
   const DynamicBitset* DescendantTypes(int32_t node_id) const {
@@ -55,6 +63,16 @@ class TaxIndex {
   size_t RepairAfterEdit(const xml::Document& doc, const xml::Node* parent,
                          const std::vector<const xml::Node*>& new_subtrees,
                          const std::vector<int32_t>& retired_ids);
+
+  /// Guarded repair (the update path): same algorithm, plus guard ticks,
+  /// budget charging, and the "tax.repair" fault site. On error the
+  /// index is in an unspecified state — callers repair a throwaway copy
+  /// and publish only on success (smoqe.cc UpdateImpl does exactly that).
+  Result<size_t> RepairAfterEdit(const xml::Document& doc,
+                                 const xml::Node* parent,
+                                 const std::vector<const xml::Node*>& new_subtrees,
+                                 const std::vector<int32_t>& retired_ids,
+                                 const Guardrail* guard);
 
   /// True iff both indexes assign the same descendant-type bits to the
   /// same ids (width- and capacity-insensitive; retired/text slots count
@@ -81,8 +99,10 @@ class TaxIndex {
   /// final) at width `width`.
   void RecomputeFromChildren(const xml::Node* n, size_t width);
   /// Builds sets for every element of a freshly grafted subtree
-  /// (post-order pointer walk) at width `width`.
-  void BuildSubtree(const xml::Node* subtree, size_t width, size_t* recomputed);
+  /// (post-order pointer walk) at width `width`. `ticker` may be null
+  /// (unguarded); a tripped guard stops the walk mid-subtree.
+  Status BuildSubtree(const xml::Node* subtree, size_t width,
+                      size_t* recomputed, GuardTicker* ticker);
 
   size_t width_ = 0;
   size_t elements_ = 0;

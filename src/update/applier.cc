@@ -60,6 +60,9 @@ struct ParentProjection {
 
 Status UpdateApplier::Plan(const std::vector<ResolvedEdit>& script,
                            std::vector<PlannedEdit>* plan, uint64_t* dropped) {
+  if (options_.guard != nullptr) {
+    SMOQE_RETURN_IF_ERROR(options_.guard->Check());
+  }
   const xml::NameTable& names = *doc_->names();
   *dropped = 0;
 
@@ -162,6 +165,11 @@ Status UpdateApplier::Plan(const std::vector<ResolvedEdit>& script,
   };
 
   for (PlannedEdit& pe : *plan) {
+    // The insert-position scan is the plan phase's expensive loop
+    // (quadratic in children per insert) — check the guard per edit.
+    if (options_.guard != nullptr) {
+      SMOQE_RETURN_IF_ERROR(options_.guard->Check());
+    }
     xml::Node* affected = pe.edit.kind == OpKind::kInsert
                               ? pe.edit.target
                               : pe.edit.target->parent;
@@ -214,8 +222,8 @@ Status UpdateApplier::Validate(const std::vector<ResolvedEdit>& script) {
   return Plan(script, &plan, &dropped);
 }
 
-ApplyStats UpdateApplier::Commit(const std::vector<PlannedEdit>& plan,
-                                 uint64_t dropped) {
+Result<ApplyStats> UpdateApplier::Commit(const std::vector<PlannedEdit>& plan,
+                                         uint64_t dropped) {
   ApplyStats stats;
   stats.edits_dropped = dropped;
 
@@ -268,14 +276,18 @@ ApplyStats UpdateApplier::Commit(const std::vector<PlannedEdit>& plan,
 
   if (options_.tax != nullptr) {
     if (options_.rebuild_tax) {
-      *options_.tax = index::TaxIndex::Build(*doc_);
+      SMOQE_ASSIGN_OR_RETURN(*options_.tax,
+                             index::TaxIndex::Build(*doc_, options_.guard));
       stats.tax_rebuilt = true;
     } else {
       bool first = true;
       for (const auto& [parent, grafted] : dirty) {
-        stats.tax_sets_recomputed += options_.tax->RepairAfterEdit(
-            *doc_, parent, grafted,
-            first ? retired : std::vector<int32_t>());
+        SMOQE_ASSIGN_OR_RETURN(
+            size_t recomputed,
+            options_.tax->RepairAfterEdit(
+                *doc_, parent, grafted,
+                first ? retired : std::vector<int32_t>(), options_.guard));
+        stats.tax_sets_recomputed += recomputed;
         first = false;
       }
     }
@@ -287,6 +299,14 @@ Result<ApplyStats> UpdateApplier::Run(const std::vector<ResolvedEdit>& script) {
   std::vector<PlannedEdit> plan;
   uint64_t dropped = 0;
   SMOQE_RETURN_IF_ERROR(Plan(script, &plan, &dropped));
+  // The last point before mutation: a guard trip or the armed
+  // "update.apply" fault aborts with the document untouched.
+  if (options_.guard != nullptr) {
+    SMOQE_RETURN_IF_ERROR(options_.guard->Check());
+  }
+  if (fault::At("update.apply")) {
+    return Status::Internal("injected update-apply fault (update.apply)");
+  }
   return Commit(plan, dropped);
 }
 

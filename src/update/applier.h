@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/guardrail.h"
 #include "src/common/status.h"
 #include "src/index/tax.h"
 #include "src/update/update_lang.h"
@@ -57,6 +58,12 @@ struct ApplierOptions {
   /// Maintain TAX by full rebuild instead of ancestor-chain repair — the
   /// E12 differential/ablation knob.
   bool rebuild_tax = false;
+  /// Per-request guardrail, checked per edit while planning and again
+  /// before the commit. A guard trip (or an armed "update.apply" /
+  /// "tax.repair" fault) during the commit's TAX maintenance may leave
+  /// the *document object* mutated — the engine applies scripts to a
+  /// pre-publish clone, so the published snapshot chain stays untouched.
+  const Guardrail* guard = nullptr;
 };
 
 /// \brief Plans, validates and applies one edit script.
@@ -90,7 +97,8 @@ class UpdateApplier {
 
   Status Plan(const std::vector<ResolvedEdit>& script,
               std::vector<PlannedEdit>* plan, uint64_t* dropped);
-  ApplyStats Commit(const std::vector<PlannedEdit>& plan, uint64_t dropped);
+  Result<ApplyStats> Commit(const std::vector<PlannedEdit>& plan,
+                            uint64_t dropped);
 
   xml::Document* doc_;
   ApplierOptions options_;

@@ -107,6 +107,12 @@ class Document {
   /// Approximate heap footprint of the tree (arena bytes).
   size_t memory_bytes() const { return arena_->bytes_reserved(); }
 
+  /// Charges future node/string allocations of this document against
+  /// `budget` (nullptr detaches). Used by the update path: the engine
+  /// attaches the request budget to the pre-publish clone so fragment
+  /// grafts are charged, and detaches before publishing.
+  void set_memory_budget(MemoryBudget* budget) { arena_->set_budget(budget); }
+
   /// Deep copy into a fresh arena, preserving *everything* observable:
   /// node ids (including retired slots), order/subtree_end ranks, the
   /// epoch, attributes and text, and the shared name table. This is the

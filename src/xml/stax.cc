@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "src/common/guardrail.h"
 #include "src/common/strings.h"
 
 namespace smoqe::xml {
@@ -90,6 +91,15 @@ Status StaxReader::DecodeEntity(std::string* out) {
       code = code * static_cast<uint32_t>(base) + static_cast<uint32_t>(d);
       if (code > 0x10FFFF) return Error("character reference out of range");
     }
+    // XML 1.0 Char production: NUL, C0 controls (other than tab/LF/CR)
+    // and surrogate halves are not XML characters. Rejecting them here
+    // also protects downstream consumers that treat text as
+    // NUL-terminated C strings.
+    if (code == 0 ||
+        (code < 0x20 && code != 0x9 && code != 0xA && code != 0xD) ||
+        (code >= 0xD800 && code <= 0xDFFF)) {
+      return Error("character reference to an invalid XML character");
+    }
     // UTF-8 encode.
     if (code < 0x80) {
       *out += static_cast<char>(code);
@@ -128,6 +138,7 @@ Status StaxReader::ReadAttrValue(std::string* out) {
       return Status::OK();
     }
     if (c == '<') return Error("'<' not allowed in attribute value");
+    if (c == '\0') return Error("NUL byte in attribute value");
     if (c == '&') {
       Advance();
       SMOQE_RETURN_IF_ERROR(DecodeEntity(out));
@@ -222,6 +233,10 @@ Result<bool> StaxReader::ReadTextRun() {
       Advance();
       SMOQE_RETURN_IF_ERROR(DecodeEntity(&text_));
       nonspace = true;  // decoded entities count as content even if space
+    } else if (c == '\0') {
+      // Not an XML character, and it would silently truncate the text
+      // once stored as a C string in the document arena.
+      return Error("NUL byte in character data");
     } else {
       if (!std::isspace(static_cast<unsigned char>(c))) nonspace = true;
       text_ += c;
@@ -233,6 +248,9 @@ Result<bool> StaxReader::ReadTextRun() {
 }
 
 Result<StaxEvent> StaxReader::Next() {
+  if (fault::At("stax.read")) {
+    return Status::IOError("injected tokenizer fault (stax.read)");
+  }
   if (!started_) {
     started_ = true;
     return StaxEvent::kStartDocument;

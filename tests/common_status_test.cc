@@ -30,6 +30,19 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::RejectedBusy("x").code(), StatusCode::kRejectedBusy);
+}
+
+TEST(StatusTest, GuardrailCodeNamesRenderDistinctly) {
+  // The README error-semantics table keys off these renderings; a caller
+  // distinguishes retry-later (RejectedBusy) from shrink-the-request
+  // (DeadlineExceeded / ResourceExhausted) by them.
+  EXPECT_EQ(Status::DeadlineExceeded("m").ToString(), "DeadlineExceeded: m");
+  EXPECT_EQ(Status::Cancelled("m").ToString(), "Cancelled: m");
+  EXPECT_EQ(Status::RejectedBusy("m").ToString(), "RejectedBusy: m");
 }
 
 TEST(StatusTest, WithContextPrefixesMessage) {

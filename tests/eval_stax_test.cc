@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/automata/mfa.h"
+#include "src/core/smoqe.h"
 #include "src/eval/batch.h"
 #include "src/eval/hype_dom.h"
 #include "src/xml/serializer.h"
@@ -12,6 +13,10 @@ namespace smoqe::eval {
 namespace {
 
 using automata::Mfa;
+using core::BatchQueryItem;
+using core::EvalMode;
+using core::QueryOptions;
+using core::Smoqe;
 using testutil::kHospitalDoc;
 using testutil::MustDoc;
 using testutil::MustQuery;
@@ -184,6 +189,63 @@ TEST(BatchEvalTest, EmptyBatchIsNoop) {
   auto r = EvalHypeStaxBatch({}, "<a/>");
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->empty());
+}
+
+// Facade batch over the shared StAX scan: a failing item (parse error,
+// mode conflict) fails only itself; its siblings — including items that
+// ride the same streaming pass — still complete (ISSUE S3 / smoqe.h
+// QueryAnswer::status contract).
+TEST(BatchEvalTest, FacadeStaxBatchFailsPerItem) {
+  Smoqe engine;
+  ASSERT_TRUE(engine.LoadDocument("ward", kHospitalDoc).ok());
+
+  QueryOptions stax;
+  stax.mode = EvalMode::kStax;
+  QueryOptions stax_tax = stax;
+  stax_tax.use_tax = true;  // TAX is DOM-only: per-item conflict
+  std::vector<BatchQueryItem> items = {
+      {"//pname", stax},
+      {"a[[", stax},        // parse error
+      {"//pname", stax_tax},
+      {"//pname", {}},      // DOM item sharing the batch
+  };
+  auto r = engine.QueryBatch("ward", items);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 4u);
+
+  auto single = engine.Query("ward", "//pname", stax);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE((*r)[0].status.ok()) << (*r)[0].status.ToString();
+  EXPECT_EQ((*r)[0].answers_xml, single->answers_xml);
+
+  EXPECT_EQ((*r)[1].status.code(), StatusCode::kParseError);
+  EXPECT_NE((*r)[1].status.message().find("batch item 1"), std::string::npos)
+      << (*r)[1].status.ToString();
+  EXPECT_TRUE((*r)[1].answers_xml.empty());
+
+  EXPECT_EQ((*r)[2].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE((*r)[2].answers_xml.empty());
+
+  ASSERT_TRUE((*r)[3].status.ok()) << (*r)[3].status.ToString();
+  EXPECT_EQ((*r)[3].answers_xml, single->answers_xml)
+      << "DOM sibling must be unaffected by StAX item failures";
+}
+
+// An invalid StAX item must not poison the shared scan for later calls:
+// the next identical batch answers byte-identically.
+TEST(BatchEvalTest, FacadeStaxBatchRecoversAfterItemFailure) {
+  Smoqe engine;
+  ASSERT_TRUE(engine.LoadDocument("ward", kHospitalDoc).ok());
+  QueryOptions stax;
+  stax.mode = EvalMode::kStax;
+  std::vector<BatchQueryItem> bad = {{"//pname", stax}, {"][", stax}};
+  auto first = engine.QueryBatch("ward", bad);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE((*first)[1].status.ok());
+  auto second = engine.QueryBatch("ward", bad);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)[0].answers_xml, (*first)[0].answers_xml);
+  EXPECT_EQ((*second)[1].status.code(), (*first)[1].status.code());
 }
 
 }  // namespace

@@ -1,0 +1,152 @@
+// Mutation fuzzer over the two front-end parsers (ISSUE S2): random byte
+// flips of canonical-printed scripts must either parse or fail with a
+// clean ParseError — never crash, assert or return a mongrel status —
+// and every accepted mutant must satisfy the print → parse → print
+// fixpoint the plan cache's normalization relies on.
+//
+// Deterministic: a splitmix64-style generator seeded per mutation, so a
+// failure reproduces from the printed seed alone.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/rxpath/parser.h"
+#include "src/rxpath/printer.h"
+#include "src/update/update_lang.h"
+
+namespace smoqe {
+namespace {
+
+// Deterministic 64-bit mixer (no std::random — results must not depend
+// on the standard library's distribution implementations).
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Flips 1–3 bytes of `canonical` at seed-derived positions. Replacement
+// bytes are drawn from a pool biased toward syntax characters so mutants
+// explore the parser's state machine instead of failing at the lexer
+// every time.
+std::string Mutate(const std::string& canonical, uint64_t seed) {
+  static constexpr char kPool[] =
+      "()[]/*|='\"<> .,:!@#$%&-+abz019\t\n\x01\x7f\xff";
+  std::string s = canonical;
+  const int flips = 1 + static_cast<int>(Mix(seed) % 3);
+  for (int f = 0; f < flips; ++f) {
+    const uint64_t r = Mix(seed * 1315423911ull + f);
+    s[r % s.size()] = kPool[(r >> 32) % (sizeof(kPool) - 1)];
+  }
+  return s;
+}
+
+const std::vector<std::string>& QuerySeeds() {
+  static const std::vector<std::string> kSeeds = {
+      "//pname",
+      "hospital/patient/pname",
+      "hospital/patient[visit]/pname",
+      "//patient[visit/treatment/medication = 'autism']/pname",
+      "hospital/(patient/parent)*/pname",
+      "//treatment[test | medication]",
+      "hospital/patient[pname = 'Ann'][visit]/visit/date",
+      "(a/b)*/c[d = \"x\"]",
+  };
+  return kSeeds;
+}
+
+const std::vector<std::string>& UpdateSeeds() {
+  static const std::vector<std::string> kSeeds = {
+      "delete //treatment[medication = 'headache']",
+      "insert into hospital/patient <visit><treatment><medication>m"
+      "</medication></treatment><date>d</date></visit>",
+      "replace //pname with <pname>Zed</pname>",
+      "delete hospital/(patient/parent)*/pname",
+      "insert into //patient[visit] <parent><pname>P</pname></parent>",
+  };
+  return kSeeds;
+}
+
+TEST(ParserFuzzTest, RxpathMutantsParseOrFailCleanly) {
+  size_t accepted = 0, rejected = 0;
+  uint64_t mutation = 0;
+  for (const std::string& seed_text : QuerySeeds()) {
+    auto seed_ast = rxpath::ParseQuery(seed_text);
+    ASSERT_TRUE(seed_ast.ok()) << seed_text;
+    const std::string canonical = rxpath::ToString(**seed_ast);
+    // The canonical form itself must be a fixpoint before any mutation.
+    auto reparsed = rxpath::ParseQuery(canonical);
+    ASSERT_TRUE(reparsed.ok()) << canonical;
+    ASSERT_EQ(rxpath::ToString(**reparsed), canonical);
+
+    for (int i = 0; i < 2000; ++i, ++mutation) {
+      const std::string mutant = Mutate(canonical, mutation);
+      auto r = rxpath::ParseQuery(mutant);
+      if (!r.ok()) {
+        ++rejected;
+        ASSERT_EQ(r.status().code(), StatusCode::kParseError)
+            << "mutation " << mutation << " of \"" << canonical << "\" -> \""
+            << mutant << "\": " << r.status().ToString();
+        ASSERT_FALSE(r.status().message().empty());
+        continue;
+      }
+      ++accepted;
+      const std::string printed = rxpath::ToString(**r);
+      auto again = rxpath::ParseQuery(printed);
+      ASSERT_TRUE(again.ok())
+          << "canonical print of an accepted mutant must re-parse: \""
+          << mutant << "\" printed as \"" << printed << "\"";
+      ASSERT_EQ(rxpath::ToString(**again), printed)
+          << "print -> parse -> print must be a fixpoint (mutant \"" << mutant
+          << "\")";
+    }
+  }
+  // The mutator must actually exercise both outcomes.
+  EXPECT_GT(accepted, 100u);
+  EXPECT_GT(rejected, 100u);
+}
+
+TEST(ParserFuzzTest, UpdateMutantsParseOrFailCleanly) {
+  size_t accepted = 0, rejected = 0;
+  uint64_t mutation = 0x5eed;
+  for (const std::string& seed_text : UpdateSeeds()) {
+    auto seed_stmt = update::ParseUpdate(seed_text);
+    ASSERT_TRUE(seed_stmt.ok()) << seed_text << ": "
+                                << seed_stmt.status().ToString();
+    const std::string canonical = update::ToString(*seed_stmt);
+    auto reparsed = update::ParseUpdate(canonical);
+    ASSERT_TRUE(reparsed.ok()) << canonical;
+    ASSERT_EQ(update::ToString(*reparsed), canonical);
+
+    for (int i = 0; i < 2000; ++i, ++mutation) {
+      const std::string mutant = Mutate(canonical, mutation);
+      auto r = update::ParseUpdate(mutant);
+      if (!r.ok()) {
+        ++rejected;
+        ASSERT_EQ(r.status().code(), StatusCode::kParseError)
+            << "mutation " << mutation << " of \"" << canonical << "\" -> \""
+            << mutant << "\": " << r.status().ToString();
+        ASSERT_FALSE(r.status().message().empty());
+        continue;
+      }
+      ++accepted;
+      const std::string printed = update::ToString(*r);
+      auto again = update::ParseUpdate(printed);
+      ASSERT_TRUE(again.ok())
+          << "canonical print of an accepted mutant must re-parse: \""
+          << mutant << "\" printed as \"" << printed << "\"";
+      ASSERT_EQ(update::ToString(*again), printed)
+          << "print -> parse -> print must be a fixpoint (mutant \"" << mutant
+          << "\")";
+    }
+  }
+  EXPECT_GT(accepted, 100u);
+  EXPECT_GT(rejected, 100u);
+}
+
+}  // namespace
+}  // namespace smoqe

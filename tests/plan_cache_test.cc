@@ -257,27 +257,63 @@ TEST_F(SmoqePlanCacheTest, BatchMatchesSequentialAcrossRolesAndModes) {
 }
 
 TEST_F(SmoqePlanCacheTest, BatchErrorPaths) {
+  // An unknown *document* is a whole-call error — it names a catalog
+  // problem, not an item problem.
   EXPECT_EQ(engine_.QueryBatch("nodoc", {}).status().code(),
             StatusCode::kNotFound);
+  // Item-local failures fail only their item: the call succeeds, the bad
+  // item's answer carries its status (naming the item index), siblings
+  // evaluate normally.
+  BatchQueryItem good;
+  good.query = "//pname";
   BatchQueryItem bad;
   bad.query = "a[[";
-  EXPECT_EQ(engine_.QueryBatch("ward", {bad}).status().code(),
-            StatusCode::kParseError);
   BatchQueryItem noview;
   noview.query = "a";
   noview.options.view = "ghost";
-  EXPECT_EQ(engine_.QueryBatch("ward", {noview}).status().code(),
-            StatusCode::kNotFound);
   BatchQueryItem tax_stream;
   tax_stream.query = "a";
   tax_stream.options.mode = EvalMode::kStax;
   tax_stream.options.use_tax = true;
-  EXPECT_EQ(engine_.QueryBatch("ward", {tax_stream}).status().code(),
-            StatusCode::kInvalidArgument);
+  auto mixed = engine_.QueryBatch("ward", {good, bad, noview, tax_stream});
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  ASSERT_EQ(mixed->size(), 4u);
+  EXPECT_TRUE((*mixed)[0].status.ok());
+  EXPECT_FALSE((*mixed)[0].answers_xml.empty());
+  EXPECT_EQ((*mixed)[1].status.code(), StatusCode::kParseError);
+  EXPECT_NE((*mixed)[1].status.message().find("batch item 1"),
+            std::string::npos);
+  EXPECT_EQ((*mixed)[2].status.code(), StatusCode::kNotFound);
+  EXPECT_NE((*mixed)[2].status.message().find("batch item 2"),
+            std::string::npos);
+  EXPECT_EQ((*mixed)[3].status.code(), StatusCode::kInvalidArgument);
+  // Failed items produce nothing besides their status.
+  EXPECT_TRUE((*mixed)[1].answers_xml.empty());
+  EXPECT_TRUE((*mixed)[3].answers_xml.empty());
+  // The good item's answers match a standalone Query.
+  auto single = engine_.Query("ward", "//pname");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ((*mixed)[0].answers_xml, single->answers_xml);
+  // An all-bad batch still succeeds as a call.
+  auto all_bad = engine_.QueryBatch("ward", {bad, noview});
+  ASSERT_TRUE(all_bad.ok());
+  EXPECT_FALSE((*all_bad)[0].status.ok());
+  EXPECT_FALSE((*all_bad)[1].status.ok());
   // An empty batch is fine.
   auto empty = engine_.QueryBatch("ward", {});
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty->empty());
+  // QueryBatchMulti: same per-item semantics, whole-call on unknown doc.
+  DocBatchItem multi_good{"ward", "//pname", {}};
+  DocBatchItem multi_bad{"ward", "a[[", {}};
+  auto multi = engine_.QueryBatchMulti({multi_good, multi_bad});
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  EXPECT_TRUE((*multi)[0].status.ok());
+  EXPECT_EQ((*multi)[0].answers_xml, single->answers_xml);
+  EXPECT_EQ((*multi)[1].status.code(), StatusCode::kParseError);
+  DocBatchItem multi_nodoc{"nodoc", "a", {}};
+  EXPECT_EQ(engine_.QueryBatchMulti({multi_good, multi_nodoc}).status().code(),
+            StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -159,6 +159,112 @@ TEST(XmlParserTest, ErrorsMentionLineNumbers) {
       << r.status().ToString();
 }
 
+// --- malformed-input corpus (S1) ---
+//
+// Every entry must come back as ParseError — never an assert, a crash or
+// a silently truncated document. The corpus is drawn from mangling the
+// well-formed fixtures above: truncations, unterminated constructs, bad
+// entity references, attributes in the wrong lexical state.
+
+TEST(XmlParserTest, MalformedCorpusAlwaysParseError) {
+  const char* corpus[] = {
+      // Truncations of "<a x=\"1\"><b>text</b></a>" at every interesting
+      // lexical state.
+      "<",
+      "<a",
+      "<a ",
+      "<a x",
+      "<a x=",
+      "<a x=\"",
+      "<a x=\"1",
+      "<a x=\"1\"",
+      "<a x=\"1\"><b",
+      "<a x=\"1\"><b>text",
+      "<a x=\"1\"><b>text</b",
+      "<a x=\"1\"><b>text</b>",
+      "<a x=\"1\"><b>text</b></a",
+      // Unterminated block constructs.
+      "<a><![CDATA[never closed</a>",
+      "<a><!-- never closed</a>",
+      "<?xml version=\"1.0\"",
+      "<a><?pi never closed</a>",
+      "<!DOCTYPE hospital [<!ELEMENT hospital (p)*>",
+      "<!DOCTYPE hospital [<!ELEMENT hospital (p)*>]",
+      "<a attr=\"never closed></a>",
+      // Bad entity references.
+      "<a>&;</a>",
+      "<a>&#;</a>",
+      "<a>&#x;</a>",
+      "<a>&#xZZ;</a>",
+      "<a>&#99999999;</a>",
+      "<a>&toolongentityname;</a>",
+      "<a>&amp</a>",
+      "<a v='&'/>",
+      // Character references to non-XML characters.
+      "<a>&#0;</a>",
+      "<a>&#x0;</a>",
+      "<a>&#1;</a>",
+      "<a>&#x1F;</a>",
+      "<a>&#xD800;</a>",
+      "<a>&#xDFFF;</a>",
+      "<a v='&#0;'/>",
+      // Attribute machinery in the wrong state.
+      "<a =\"1\"/>",
+      "<a x \"1\"/>",
+      "<a x=1/>",
+      "<a x='1' x='1'/>",
+      "<a/ x='1'>",
+      "<a x='<'/>",
+      "</a>",
+      "<a></a x='1'>",
+      // Structural nonsense.
+      "<a><b/><a/>",
+      "<a/></a>",
+      "<![CDATA[x]]>",
+      "<a/><!DOCTYPE late [ ]>",
+      "<>",
+      "< a/>",
+  };
+  for (const char* doc : corpus) {
+    auto r = ParseDocument(doc);
+    ASSERT_FALSE(r.ok()) << "accepted malformed input: " << doc;
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError)
+        << doc << " -> " << r.status().ToString();
+  }
+}
+
+TEST(XmlParserTest, TruncationSweepNeverCrashes) {
+  // Every prefix of a fixture covering tags, attributes, text, CDATA,
+  // comments, PIs, DOCTYPE and entities must either parse (only the full
+  // input does) or fail cleanly with ParseError.
+  const std::string fixture =
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a (b)*>]>"
+      "<!-- c --><a x=\"1\" y='&amp;'><b>t&#65;</b><![CDATA[raw]]>"
+      "<?pi d?></a>";
+  for (size_t len = 0; len < fixture.size(); ++len) {
+    auto r = ParseDocument(fixture.substr(0, len));
+    ASSERT_FALSE(r.ok()) << "prefix of length " << len << " accepted";
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << "len " << len;
+  }
+  EXPECT_TRUE(ParseDocument(fixture).ok());
+}
+
+TEST(XmlParserTest, RejectsRawNulByte) {
+  std::string with_nul = "<a>xy</a>";
+  with_nul[4] = '\0';
+  EXPECT_FALSE(ParseDocument(with_nul).ok());
+  std::string attr_nul = "<a v='x'/>";
+  attr_nul[6] = '\0';
+  EXPECT_FALSE(ParseDocument(attr_nul).ok());
+}
+
+TEST(XmlParserTest, AcceptsValidControlCharacterReferences) {
+  // Tab, LF and CR are the C0 controls XML allows.
+  auto r = ParseDocument("<a>&#9;&#10;&#13;</a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Document::DirectText(r->root()), "\t\n\r");
+}
+
 // --- serializer round-trip ---
 
 TEST(XmlSerializerTest, CompactRoundTrip) {

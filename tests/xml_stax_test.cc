@@ -148,5 +148,67 @@ TEST(StaxTest, ErrorsSurfaceOnce) {
   EXPECT_EQ(e.status().code(), StatusCode::kParseError);
 }
 
+// --- malformed-input hardening (S1) ---
+
+// Drives the reader to completion or error; returns the first error.
+Status DrainToError(std::string_view doc) {
+  StaxReader r(doc);
+  while (true) {
+    auto e = r.Next();
+    if (!e.ok()) return e.status();
+    if (*e == StaxEvent::kEndDocument) return Status::OK();
+  }
+}
+
+TEST(StaxTest, MalformedInputIsCleanParseError) {
+  const char* corpus[] = {
+      "<a><![CDATA[never closed",
+      "<a><!-- never closed",
+      "<a><?pi never closed",
+      "<?xml version='1.0'",
+      "<!DOCTYPE a [<!ELEMENT a EMPTY>",
+      "<a b='unterminated",
+      "<a></a",
+      "<a><b x/></a>",
+      "<a>&#xFFFFFFFFFFFF;</a>",
+      "<a>&#xD800;</a>",
+      "<a>&#0;</a>",
+  };
+  for (const char* doc : corpus) {
+    Status st = DrainToError(doc);
+    ASSERT_FALSE(st.ok()) << "accepted malformed input: " << doc;
+    EXPECT_EQ(st.code(), StatusCode::kParseError)
+        << doc << " -> " << st.ToString();
+  }
+}
+
+TEST(StaxTest, TruncationSweepFailsCleanly) {
+  const std::string fixture =
+      "<!DOCTYPE a [<!ELEMENT a (b)*>]><a x='1'><b><![CDATA[z]]></b></a>";
+  for (size_t len = 0; len < fixture.size(); ++len) {
+    Status st = DrainToError(std::string_view(fixture).substr(0, len));
+    ASSERT_FALSE(st.ok()) << "prefix of length " << len << " accepted";
+    EXPECT_EQ(st.code(), StatusCode::kParseError) << "len " << len;
+  }
+  EXPECT_TRUE(DrainToError(fixture).ok());
+}
+
+TEST(StaxTest, RejectsNulBytesInContent) {
+  std::string text_nul = "<a>xy</a>";
+  text_nul[4] = '\0';
+  EXPECT_EQ(DrainToError(text_nul).code(), StatusCode::kParseError);
+  std::string attr_nul = "<a v='x'/>";
+  attr_nul[6] = '\0';
+  EXPECT_EQ(DrainToError(attr_nul).code(), StatusCode::kParseError);
+}
+
+TEST(StaxTest, SurrogateAndControlRefsRejectedInAttrValues) {
+  EXPECT_EQ(DrainToError("<a v='&#xDC00;'/>").code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(DrainToError("<a v='&#2;'/>").code(), StatusCode::kParseError);
+  // Tab/LF/CR refs remain legal in attribute values.
+  EXPECT_TRUE(DrainToError("<a v='&#9;&#xA;&#xD;'/>").ok());
+}
+
 }  // namespace
 }  // namespace smoqe::xml
