@@ -86,7 +86,13 @@ class Deadline {
   /// A deadline `ms` milliseconds from now; `ms == 0` means no deadline.
   static Deadline After(uint64_t ms) {
     Deadline d;
-    if (ms != 0) d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+    // Saturate: a deadline past ~10 years is indistinguishable from
+    // unlimited, and u64 garbage (e.g. a hostile wire value) must not
+    // overflow the clock's signed nanosecond representation.
+    constexpr uint64_t kMaxMs = 10ull * 365 * 24 * 3600 * 1000;
+    if (ms != 0 && ms <= kMaxMs) {
+      d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+    }
     return d;
   }
 

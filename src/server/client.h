@@ -1,0 +1,101 @@
+/// \file
+/// \brief libsmoqeclient: a blocking TCP client for the smoqed protocol
+/// (docs/PROTOCOL.md). Connect() performs the handshake — binding the
+/// role for the connection's lifetime — then typed calls encode one
+/// request frame, block for the response, and hand back the *decoded
+/// response struct* even when its wire code is an error: application-
+/// level failures (PermissionDenied, DeadlineExceeded, RejectedBusy…)
+/// are data the caller inspects, and the differential tests compare
+/// them byte-for-byte against library statuses. Only transport-level
+/// failures (socket error, malformed response, id mismatch) surface as
+/// a non-OK Result status.
+///
+/// The raw SendFrame()/ReceiveFrame() layer underneath is public so the
+/// pipelined tests and the fuzzer can put arbitrary bytes on the wire
+/// and still reuse the framing/decoding machinery.
+
+#ifndef SMOQE_SERVER_CLIENT_H_
+#define SMOQE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/server/protocol.h"
+
+namespace smoqe::server {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Role (= security view) to bind at handshake; "" = trusted direct
+  /// access, honored only by servers started with allow_direct.
+  std::string role;
+  /// Largest response frame this client will buffer.
+  size_t max_response_frame = kDefaultMaxResponseFrame;
+  /// Socket receive timeout per blocking read; 0 = wait forever.
+  /// Guards tests against a hung server (reads fail with IOError).
+  uint64_t recv_timeout_ms = 0;
+};
+
+/// One connection to a smoqed server. Not thread-safe: a client is one
+/// principal's conversation; concurrent callers each open their own.
+class Client {
+ public:
+  /// Connects and handshakes. A rejected handshake (bad role, version
+  /// mismatch, direct access disabled) comes back as the server's
+  /// rejection status via ToStatus — the connection is gone.
+  static Result<Client> Connect(const ClientOptions& options);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- typed request/response (one in flight; id managed internally) ---
+
+  /// `req.id` is overwritten with a fresh id; all other fields are sent
+  /// as given. Same for the other typed calls.
+  Result<QueryResponse> Query(QueryRequest req);
+  Result<QueryBatchResponse> QueryBatch(QueryBatchRequest req);
+  Result<UpdateResponse> Update(UpdateRequest req);
+  Result<StatResponse> Stat(StatFormat format = StatFormat::kJson);
+
+  // --- raw frame layer (pipelining, fuzzing) ---
+
+  /// Writes pre-encoded bytes (one or more complete frames — or, for
+  /// the fuzzer, deliberately broken ones) to the socket.
+  Status SendBytes(std::string_view bytes);
+  /// Blocks until one complete frame arrives. IOError on EOF/socket
+  /// error; InvalidArgument when the server's frame exceeds the bound.
+  Result<RawFrame> ReceiveFrame();
+
+  /// Fresh request id (monotonic per connection, starts at 1; the
+  /// handshake used id 0).
+  uint64_t NextId() { return ++last_id_; }
+
+  /// Server banner from the handshake.
+  const HelloResponse& hello() const { return hello_; }
+  const std::string& role() const { return role_; }
+  bool connected() const { return fd_ >= 0; }
+
+  /// Half-closes the write side (server sees EOF) without tearing down
+  /// the read side — the disconnect-mid-request test's tool.
+  void ShutdownWrite();
+  void Close();
+
+ private:
+  Client(int fd, size_t max_frame) : fd_(fd), frames_(max_frame) {}
+
+  int fd_ = -1;
+  FrameExtractor frames_;
+  uint64_t last_id_ = 0;
+  HelloResponse hello_;
+  std::string role_;
+};
+
+}  // namespace smoqe::server
+
+#endif  // SMOQE_SERVER_CLIENT_H_

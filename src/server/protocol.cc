@@ -1,0 +1,544 @@
+#include "src/server/protocol.h"
+
+#include <cstring>
+
+namespace smoqe::server {
+
+WireCode FromStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return WireCode::kOk;
+    case StatusCode::kInvalidArgument: return WireCode::kInvalidArgument;
+    case StatusCode::kParseError: return WireCode::kParseError;
+    case StatusCode::kNotFound: return WireCode::kNotFound;
+    case StatusCode::kAlreadyExists: return WireCode::kAlreadyExists;
+    case StatusCode::kFailedPrecondition: return WireCode::kFailedPrecondition;
+    case StatusCode::kResourceExhausted: return WireCode::kResourceExhausted;
+    case StatusCode::kIOError: return WireCode::kIOError;
+    case StatusCode::kInternal: return WireCode::kInternal;
+    case StatusCode::kPermissionDenied: return WireCode::kPermissionDenied;
+    case StatusCode::kDeadlineExceeded: return WireCode::kDeadlineExceeded;
+    case StatusCode::kCancelled: return WireCode::kCancelled;
+    case StatusCode::kRejectedBusy: return WireCode::kRejectedBusy;
+  }
+  return WireCode::kUnknown;
+}
+
+Status ToStatus(WireCode code, std::string message) {
+  switch (code) {
+    case WireCode::kOk: return Status::OK();
+    case WireCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case WireCode::kParseError: return Status::ParseError(std::move(message));
+    case WireCode::kNotFound: return Status::NotFound(std::move(message));
+    case WireCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case WireCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case WireCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case WireCode::kIOError: return Status::IOError(std::move(message));
+    case WireCode::kInternal: return Status::Internal(std::move(message));
+    case WireCode::kPermissionDenied:
+      return Status::PermissionDenied(std::move(message));
+    case WireCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case WireCode::kCancelled: return Status::Cancelled(std::move(message));
+    case WireCode::kRejectedBusy:
+      return Status::RejectedBusy(std::move(message));
+    case WireCode::kProtocolError:
+      return Status::Internal("protocol error: " + message);
+    case WireCode::kUnknown: break;
+  }
+  return Status::Internal("unknown wire code: " + message);
+}
+
+const char* WireCodeName(WireCode code) {
+  switch (code) {
+    case WireCode::kOk: return "OK";
+    case WireCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case WireCode::kParseError: return "PARSE_ERROR";
+    case WireCode::kNotFound: return "NOT_FOUND";
+    case WireCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case WireCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case WireCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case WireCode::kIOError: return "IO_ERROR";
+    case WireCode::kInternal: return "INTERNAL";
+    case WireCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case WireCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case WireCode::kCancelled: return "CANCELLED";
+    case WireCode::kRejectedBusy: return "REJECTED_BUSY";
+    case WireCode::kProtocolError: return "PROTOCOL_ERROR";
+    case WireCode::kUnknown: return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+bool IsRetryable(WireCode code) {
+  // RejectedBusy is the admission gate saying "later"; DeadlineExceeded
+  // and Cancelled describe this attempt, not the request — a retry with
+  // a fresh budget can succeed. Everything else is deterministic for
+  // the same request against the same state.
+  switch (code) {
+    case WireCode::kRejectedBusy:
+    case WireCode::kDeadlineExceeded:
+    case WireCode::kCancelled:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Primitive codec
+// ---------------------------------------------------------------------
+
+void Writer::PutU32(uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFF);
+  b[1] = static_cast<char>((v >> 8) & 0xFF);
+  b[2] = static_cast<char>((v >> 16) & 0xFF);
+  b[3] = static_cast<char>((v >> 24) & 0xFF);
+  buf_.append(b, 4);
+}
+
+void Writer::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v & 0xFFFFFFFFull));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void Writer::PutStr(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+std::string Frame(Opcode op, std::string_view body) {
+  std::string out;
+  const uint32_t len = static_cast<uint32_t>(body.size() + 1);
+  out.reserve(5 + body.size());
+  out.push_back(static_cast<char>(len & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.push_back(static_cast<char>((len >> 16) & 0xFF));
+  out.push_back(static_cast<char>((len >> 24) & 0xFF));
+  out.push_back(static_cast<char>(op));
+  out.append(body.data(), body.size());
+  return out;
+}
+
+bool Reader::GetU8(uint8_t* v) {
+  if (failed_ || data_.size() - pos_ < 1) {
+    failed_ = true;
+    return false;
+  }
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool Reader::GetU32(uint32_t* v) {
+  if (failed_ || data_.size() - pos_ < 4) {
+    failed_ = true;
+    return false;
+  }
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) |
+       (static_cast<uint32_t>(p[3]) << 24);
+  pos_ += 4;
+  return true;
+}
+
+bool Reader::GetU64(uint64_t* v) {
+  uint32_t lo = 0, hi = 0;
+  if (!GetU32(&lo) || !GetU32(&hi)) return false;
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool Reader::GetStr(std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(&len)) return false;
+  if (data_.size() - pos_ < len) {
+    failed_ = true;
+    return false;
+  }
+  s->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Frame extraction
+// ---------------------------------------------------------------------
+
+std::optional<RawFrame> FrameExtractor::Next() {
+  if (overflow_) return std::nullopt;
+  // Compact lazily: drop consumed prefix once it dominates the buffer,
+  // so a long-lived connection's buffer doesn't grow without bound while
+  // per-frame work stays O(frame).
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return std::nullopt;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buf_.data()) + consumed_;
+  const uint32_t len = static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24);
+  if (len < 1 || len > max_frame_) {
+    overflow_ = true;
+    return std::nullopt;
+  }
+  if (avail < 4 + static_cast<size_t>(len)) return std::nullopt;
+  RawFrame f;
+  f.opcode = p[4];
+  f.body.assign(buf_.data() + consumed_ + 5, len - 1);
+  consumed_ += 4 + len;
+  return f;
+}
+
+// ---------------------------------------------------------------------
+// Typed messages
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Shared head of every response body: id, code, and (on failure) the
+/// error string. Returns true when the caller should read the success
+/// payload that follows.
+void PutResponseHead(Writer& w, uint64_t id, WireCode code,
+                     std::string_view error) {
+  w.PutU64(id);
+  w.PutU8(static_cast<uint8_t>(code));
+  if (code != WireCode::kOk) w.PutStr(error);
+}
+
+bool GetResponseHead(Reader& r, uint64_t* id, WireCode* code,
+                     std::string* error) {
+  uint8_t c = 0;
+  if (!r.GetU64(id) || !r.GetU8(&c)) return false;
+  if (c > static_cast<uint8_t>(WireCode::kUnknown)) return false;
+  *code = static_cast<WireCode>(c);
+  if (*code != WireCode::kOk && !r.GetStr(error)) return false;
+  return true;
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed ") + what + " body");
+}
+
+}  // namespace
+
+std::string Encode(const HelloRequest& m) {
+  Writer w;
+  w.PutU64(m.id);
+  w.PutU32(m.version);
+  w.PutStr(m.role);
+  return Frame(Opcode::kHello, w.bytes());
+}
+
+Result<HelloRequest> DecodeHelloRequest(std::string_view body) {
+  HelloRequest m;
+  Reader r(body);
+  if (!r.GetU64(&m.id) || !r.GetU32(&m.version) || !r.GetStr(&m.role) ||
+      !r.AtEnd()) {
+    return Malformed("HELLO");
+  }
+  return m;
+}
+
+std::string Encode(const HelloResponse& m) {
+  Writer w;
+  w.PutU64(m.id);
+  w.PutU8(static_cast<uint8_t>(m.code));
+  w.PutStr(m.message);
+  return Frame(Opcode::kHelloOk, w.bytes());
+}
+
+Result<HelloResponse> DecodeHelloResponse(std::string_view body) {
+  HelloResponse m;
+  Reader r(body);
+  uint8_t code = 0;
+  if (!r.GetU64(&m.id) || !r.GetU8(&code) || !r.GetStr(&m.message) ||
+      !r.AtEnd() || code > static_cast<uint8_t>(WireCode::kUnknown)) {
+    return Malformed("HELLO_OK");
+  }
+  m.code = static_cast<WireCode>(code);
+  return m;
+}
+
+std::string Encode(const QueryRequest& m) {
+  Writer w;
+  w.PutU64(m.id);
+  w.PutStr(m.doc);
+  w.PutStr(m.query);
+  w.PutU8(static_cast<uint8_t>(m.mode));
+  w.PutU8(m.use_tax);
+  w.PutU64(m.deadline_ms);
+  w.PutU64(m.max_memory_bytes);
+  return Frame(Opcode::kQuery, w.bytes());
+}
+
+Result<QueryRequest> DecodeQueryRequest(std::string_view body) {
+  QueryRequest m;
+  Reader r(body);
+  uint8_t mode = 0;
+  if (!r.GetU64(&m.id) || !r.GetStr(&m.doc) || !r.GetStr(&m.query) ||
+      !r.GetU8(&mode) || !r.GetU8(&m.use_tax) || !r.GetU64(&m.deadline_ms) ||
+      !r.GetU64(&m.max_memory_bytes) || !r.AtEnd() || mode > 1) {
+    return Malformed("QUERY");
+  }
+  m.mode = static_cast<WireEvalMode>(mode);
+  return m;
+}
+
+std::string Encode(const QueryResponse& m) {
+  Writer w;
+  PutResponseHead(w, m.id, m.code, m.error);
+  if (m.code == WireCode::kOk) {
+    w.PutU64(m.doc_epoch);
+    w.PutU32(static_cast<uint32_t>(m.answers_xml.size()));
+    for (const std::string& a : m.answers_xml) w.PutStr(a);
+  }
+  return Frame(Opcode::kQueryResult, w.bytes());
+}
+
+Result<QueryResponse> DecodeQueryResponse(std::string_view body) {
+  QueryResponse m;
+  Reader r(body);
+  if (!GetResponseHead(r, &m.id, &m.code, &m.error)) {
+    return Malformed("QUERY_RESULT");
+  }
+  if (m.code == WireCode::kOk) {
+    uint32_t n = 0;
+    if (!r.GetU64(&m.doc_epoch) || !r.GetU32(&n)) {
+      return Malformed("QUERY_RESULT");
+    }
+    m.answers_xml.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string a;
+      if (!r.GetStr(&a)) return Malformed("QUERY_RESULT");
+      m.answers_xml.push_back(std::move(a));
+    }
+  }
+  if (!r.AtEnd()) return Malformed("QUERY_RESULT");
+  return m;
+}
+
+std::string Encode(const QueryBatchRequest& m) {
+  Writer w;
+  w.PutU64(m.id);
+  w.PutStr(m.doc);
+  w.PutU64(m.deadline_ms);
+  w.PutU64(m.max_memory_bytes);
+  w.PutU32(static_cast<uint32_t>(m.items.size()));
+  for (const BatchItem& it : m.items) {
+    w.PutStr(it.query);
+    w.PutU8(static_cast<uint8_t>(it.mode));
+    w.PutU8(it.use_tax);
+  }
+  return Frame(Opcode::kQueryBatch, w.bytes());
+}
+
+Result<QueryBatchRequest> DecodeQueryBatchRequest(std::string_view body) {
+  QueryBatchRequest m;
+  Reader r(body);
+  uint32_t n = 0;
+  if (!r.GetU64(&m.id) || !r.GetStr(&m.doc) || !r.GetU64(&m.deadline_ms) ||
+      !r.GetU64(&m.max_memory_bytes) || !r.GetU32(&n)) {
+    return Malformed("QUERY_BATCH");
+  }
+  // Each item needs ≥ 6 bytes; a hostile count dies here, not in reserve.
+  if (static_cast<size_t>(n) * 6 > body.size()) return Malformed("QUERY_BATCH");
+  m.items.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    BatchItem it;
+    uint8_t mode = 0;
+    if (!r.GetStr(&it.query) || !r.GetU8(&mode) || !r.GetU8(&it.use_tax) ||
+        mode > 1) {
+      return Malformed("QUERY_BATCH");
+    }
+    it.mode = static_cast<WireEvalMode>(mode);
+    m.items.push_back(std::move(it));
+  }
+  if (!r.AtEnd()) return Malformed("QUERY_BATCH");
+  return m;
+}
+
+std::string Encode(const QueryBatchResponse& m) {
+  Writer w;
+  PutResponseHead(w, m.id, m.code, m.error);
+  if (m.code == WireCode::kOk) {
+    w.PutU32(static_cast<uint32_t>(m.items.size()));
+    for (const BatchItemResult& it : m.items) {
+      w.PutU8(static_cast<uint8_t>(it.code));
+      if (it.code != WireCode::kOk) {
+        w.PutStr(it.error);
+        continue;
+      }
+      w.PutU64(it.doc_epoch);
+      w.PutU32(static_cast<uint32_t>(it.answers_xml.size()));
+      for (const std::string& a : it.answers_xml) w.PutStr(a);
+    }
+  }
+  return Frame(Opcode::kQueryBatchResult, w.bytes());
+}
+
+Result<QueryBatchResponse> DecodeQueryBatchResponse(std::string_view body) {
+  QueryBatchResponse m;
+  Reader r(body);
+  if (!GetResponseHead(r, &m.id, &m.code, &m.error)) {
+    return Malformed("QUERY_BATCH_RESULT");
+  }
+  if (m.code == WireCode::kOk) {
+    uint32_t n = 0;
+    if (!r.GetU32(&n)) return Malformed("QUERY_BATCH_RESULT");
+    if (static_cast<size_t>(n) > body.size()) {
+      return Malformed("QUERY_BATCH_RESULT");
+    }
+    m.items.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      BatchItemResult it;
+      uint8_t code = 0;
+      if (!r.GetU8(&code) || code > static_cast<uint8_t>(WireCode::kUnknown)) {
+        return Malformed("QUERY_BATCH_RESULT");
+      }
+      it.code = static_cast<WireCode>(code);
+      if (it.code != WireCode::kOk) {
+        if (!r.GetStr(&it.error)) return Malformed("QUERY_BATCH_RESULT");
+      } else {
+        uint32_t k = 0;
+        if (!r.GetU64(&it.doc_epoch) || !r.GetU32(&k)) {
+          return Malformed("QUERY_BATCH_RESULT");
+        }
+        for (uint32_t a = 0; a < k; ++a) {
+          std::string ans;
+          if (!r.GetStr(&ans)) return Malformed("QUERY_BATCH_RESULT");
+          it.answers_xml.push_back(std::move(ans));
+        }
+      }
+      m.items.push_back(std::move(it));
+    }
+  }
+  if (!r.AtEnd()) return Malformed("QUERY_BATCH_RESULT");
+  return m;
+}
+
+std::string Encode(const UpdateRequest& m) {
+  Writer w;
+  w.PutU64(m.id);
+  w.PutStr(m.doc);
+  w.PutStr(m.statement);
+  w.PutU8(m.dry_run);
+  w.PutU64(m.deadline_ms);
+  w.PutU64(m.max_memory_bytes);
+  return Frame(Opcode::kUpdate, w.bytes());
+}
+
+Result<UpdateRequest> DecodeUpdateRequest(std::string_view body) {
+  UpdateRequest m;
+  Reader r(body);
+  if (!r.GetU64(&m.id) || !r.GetStr(&m.doc) || !r.GetStr(&m.statement) ||
+      !r.GetU8(&m.dry_run) || !r.GetU64(&m.deadline_ms) ||
+      !r.GetU64(&m.max_memory_bytes) || !r.AtEnd()) {
+    return Malformed("UPDATE");
+  }
+  return m;
+}
+
+std::string Encode(const UpdateResponse& m) {
+  Writer w;
+  PutResponseHead(w, m.id, m.code, m.error);
+  if (m.code == WireCode::kOk) {
+    w.PutU64(m.doc_epoch);
+    w.PutStr(m.canonical);
+    w.PutU64(m.nodes_inserted);
+    w.PutU64(m.nodes_deleted);
+  }
+  return Frame(Opcode::kUpdateResult, w.bytes());
+}
+
+Result<UpdateResponse> DecodeUpdateResponse(std::string_view body) {
+  UpdateResponse m;
+  Reader r(body);
+  if (!GetResponseHead(r, &m.id, &m.code, &m.error)) {
+    return Malformed("UPDATE_RESULT");
+  }
+  if (m.code == WireCode::kOk) {
+    if (!r.GetU64(&m.doc_epoch) || !r.GetStr(&m.canonical) ||
+        !r.GetU64(&m.nodes_inserted) || !r.GetU64(&m.nodes_deleted)) {
+      return Malformed("UPDATE_RESULT");
+    }
+  }
+  if (!r.AtEnd()) return Malformed("UPDATE_RESULT");
+  return m;
+}
+
+std::string Encode(const StatRequest& m) {
+  Writer w;
+  w.PutU64(m.id);
+  w.PutU8(static_cast<uint8_t>(m.format));
+  return Frame(Opcode::kStat, w.bytes());
+}
+
+Result<StatRequest> DecodeStatRequest(std::string_view body) {
+  StatRequest m;
+  Reader r(body);
+  uint8_t fmt = 0;
+  if (!r.GetU64(&m.id) || !r.GetU8(&fmt) || !r.AtEnd() || fmt > 1) {
+    return Malformed("STAT");
+  }
+  m.format = static_cast<StatFormat>(fmt);
+  return m;
+}
+
+std::string Encode(const StatResponse& m) {
+  Writer w;
+  PutResponseHead(w, m.id, m.code, m.error);
+  if (m.code == WireCode::kOk) w.PutStr(m.payload);
+  return Frame(Opcode::kStatResult, w.bytes());
+}
+
+Result<StatResponse> DecodeStatResponse(std::string_view body) {
+  StatResponse m;
+  Reader r(body);
+  if (!GetResponseHead(r, &m.id, &m.code, &m.error)) {
+    return Malformed("STAT_RESULT");
+  }
+  if (m.code == WireCode::kOk && !r.GetStr(&m.payload)) {
+    return Malformed("STAT_RESULT");
+  }
+  if (!r.AtEnd()) return Malformed("STAT_RESULT");
+  return m;
+}
+
+std::string Encode(const ErrorResponse& m) {
+  Writer w;
+  w.PutU64(m.id);
+  w.PutU8(static_cast<uint8_t>(m.code));
+  w.PutStr(m.message);
+  return Frame(Opcode::kError, w.bytes());
+}
+
+Result<ErrorResponse> DecodeErrorResponse(std::string_view body) {
+  ErrorResponse m;
+  Reader r(body);
+  uint8_t code = 0;
+  if (!r.GetU64(&m.id) || !r.GetU8(&code) || !r.GetStr(&m.message) ||
+      !r.AtEnd() || code > static_cast<uint8_t>(WireCode::kUnknown)) {
+    return Malformed("ERROR");
+  }
+  m.code = static_cast<WireCode>(code);
+  return m;
+}
+
+uint64_t PeekRequestId(std::string_view body) {
+  uint64_t id = 0;
+  Reader r(body);
+  if (!r.GetU64(&id)) return 0;
+  return id;
+}
+
+}  // namespace smoqe::server

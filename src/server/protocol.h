@@ -1,0 +1,343 @@
+/// \file
+/// \brief The smoqed wire protocol (docs/PROTOCOL.md): a length-prefixed
+/// binary framing with a once-per-connection handshake that binds a role
+/// (= security view) to the session, then QUERY / QUERY_BATCH / UPDATE /
+/// STAT request frames and their typed responses.
+///
+/// Everything here is pure byte manipulation — no sockets, no engine —
+/// shared verbatim by the server, the client library, the CLI and the
+/// differential test harness, so "every byte of every response decodes
+/// to exactly the library answer" is checked through one codec.
+///
+/// Framing:
+///
+///     frame := u32 payload_len (LE) | u8 opcode | body
+///
+/// `payload_len` counts the opcode byte plus the body, so an empty frame
+/// has payload_len == 1. Integers are little-endian fixed width; strings
+/// are u32 length + raw bytes (no terminator). Frames larger than the
+/// receiver's bound are a protocol error (the stream cannot be resynced
+/// past an untrusted length, so the connection closes).
+
+#ifndef SMOQE_SERVER_PROTOCOL_H_
+#define SMOQE_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace smoqe::server {
+
+/// Protocol version exchanged in the handshake. Bumped on any frame
+/// layout change; the server rejects clients of a different version.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Default bound on a *request* frame (what the server will buffer for
+/// one frame before declaring the stream hostile).
+inline constexpr size_t kDefaultMaxRequestFrame = 1u << 20;  // 1 MiB
+/// Default bound on a *response* frame (what the client will buffer).
+/// Larger: answers carry serialized XML subtrees.
+inline constexpr size_t kDefaultMaxResponseFrame = 64u << 20;  // 64 MiB
+
+/// Request opcodes (client → server). Responses echo the request opcode
+/// with the top bit set; kError is the wire-level failure frame for
+/// requests that could not be decoded at all.
+enum class Opcode : uint8_t {
+  kHello = 0x01,
+  kQuery = 0x02,
+  kQueryBatch = 0x03,
+  kUpdate = 0x04,
+  kStat = 0x05,
+  kHelloOk = 0x81,
+  kQueryResult = 0x82,
+  kQueryBatchResult = 0x83,
+  kUpdateResult = 0x84,
+  kStatResult = 0x85,
+  kError = 0xFF,
+};
+
+/// Stable on-the-wire status codes (docs/PROTOCOL.md status table).
+/// These are part of the protocol contract — the numeric values never
+/// change even if core::StatusCode is reordered; FromStatus/ToStatus
+/// translate explicitly.
+enum class WireCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kParseError = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kIOError = 7,
+  kInternal = 8,
+  kPermissionDenied = 9,
+  kDeadlineExceeded = 10,
+  kCancelled = 11,
+  kRejectedBusy = 12,
+  /// Wire-level failure with no core::Status analogue: malformed frame,
+  /// unknown opcode, handshake violation, frame bound exceeded.
+  kProtocolError = 13,
+  kUnknown = 14,
+};
+
+/// Maps an engine status onto the wire (OK → kOk; anything the table
+/// doesn't name → kUnknown, never a crash).
+WireCode FromStatus(StatusCode code);
+/// Rebuilds a client-side Status carrying `message` for a wire code.
+/// kProtocolError / kUnknown come back as Internal — they name transport
+/// failures the library API has no vocabulary for.
+Status ToStatus(WireCode code, std::string message);
+/// Human-readable wire-code name ("OK", "REJECTED_BUSY", ...).
+const char* WireCodeName(WireCode code);
+/// Whether a client may retry the identical request and hope for a
+/// different outcome (docs/PROTOCOL.md "Retryability").
+bool IsRetryable(WireCode code);
+
+// ---------------------------------------------------------------------
+// Primitive codec
+// ---------------------------------------------------------------------
+
+/// Appends little-endian primitives and length-prefixed strings to a
+/// byte buffer. Building a frame: encode the body with a Writer, then
+/// Frame() wraps it with the length prefix and opcode.
+class Writer {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutStr(std::string_view s);
+
+  const std::string& bytes() const { return buf_; }
+  std::string MoveBytes() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Wraps an encoded body as one wire frame: u32 len | u8 opcode | body.
+std::string Frame(Opcode op, std::string_view body);
+
+/// Sequential decoder over one frame body. Every getter returns false —
+/// and poisons the reader — on underflow, so decode functions can check
+/// once at the end (`ok()`); a poisoned reader never reads past the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  /// Bounded string read: fails (cleanly) if the declared length runs
+  /// past the end of the frame, which is how truncated-inside-a-frame
+  /// mutants surface as protocol errors instead of overreads.
+  bool GetStr(std::string* s);
+
+  bool ok() const { return !failed_; }
+  /// True when the whole body was consumed — trailing garbage after a
+  /// well-formed body is also a protocol error.
+  bool AtEnd() const { return !failed_ && pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Frame extraction from a byte stream
+// ---------------------------------------------------------------------
+
+/// One complete frame lifted off the stream.
+struct RawFrame {
+  uint8_t opcode = 0;
+  std::string body;
+};
+
+/// Reassembles frames from arbitrarily fragmented reads (short reads
+/// across frame boundaries are the normal case on a socket — the unit
+/// test feeds one byte at a time). Append() buffers; Next() yields the
+/// next complete frame, nullopt when more bytes are needed, or a sticky
+/// error when the stream declared a frame larger than `max_frame` (no
+/// resync is possible past an untrusted length).
+class FrameExtractor {
+ public:
+  explicit FrameExtractor(size_t max_frame = kDefaultMaxRequestFrame)
+      : max_frame_(max_frame) {}
+
+  void Append(std::string_view bytes) { buf_.append(bytes); }
+
+  /// Next complete frame, if one is buffered. After an over-limit
+  /// length prefix, returns nullopt forever and `overflow()` is true.
+  std::optional<RawFrame> Next();
+
+  bool overflow() const { return overflow_; }
+  /// Bytes buffered but not yet consumed (for backpressure accounting).
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  size_t max_frame_;
+  std::string buf_;
+  size_t consumed_ = 0;  // prefix of buf_ already handed out as frames
+  bool overflow_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Typed messages
+// ---------------------------------------------------------------------
+
+/// Evaluation mode on the wire (mirrors core::EvalMode, stable values).
+enum class WireEvalMode : uint8_t { kDom = 0, kStax = 1 };
+
+/// HELLO — must be the first frame on a connection; binds the role.
+struct HelloRequest {
+  uint64_t id = 0;
+  uint32_t version = kProtocolVersion;
+  /// Security view the session acts as; "" = trusted direct access
+  /// (only honored when the server allows it).
+  std::string role;
+};
+
+struct HelloResponse {
+  uint64_t id = 0;
+  WireCode code = WireCode::kOk;
+  /// On kOk: server banner. Otherwise: the rejection explain.
+  std::string message;
+};
+
+/// QUERY — one Regular XPath query against one document, evaluated
+/// through the session's bound view.
+struct QueryRequest {
+  uint64_t id = 0;
+  std::string doc;
+  std::string query;
+  WireEvalMode mode = WireEvalMode::kDom;
+  uint8_t use_tax = 0;
+  /// Per-request guardrails, 0 = inherit the engine default.
+  uint64_t deadline_ms = 0;
+  uint64_t max_memory_bytes = 0;
+};
+
+struct QueryResponse {
+  uint64_t id = 0;
+  WireCode code = WireCode::kOk;
+  std::string error;  ///< set iff code != kOk
+  uint64_t doc_epoch = 0;
+  std::vector<std::string> answers_xml;
+};
+
+/// QUERY_BATCH — N queries of one session over one document in one call
+/// (all items share the bound view and one pinned snapshot).
+struct BatchItem {
+  std::string query;
+  WireEvalMode mode = WireEvalMode::kDom;
+  uint8_t use_tax = 0;
+};
+
+struct QueryBatchRequest {
+  uint64_t id = 0;
+  std::string doc;
+  uint64_t deadline_ms = 0;
+  uint64_t max_memory_bytes = 0;
+  std::vector<BatchItem> items;
+};
+
+/// Per-item outcome of a batch: item-local failures carry a code +
+/// error; sibling items still answer (core batch semantics, §S3).
+struct BatchItemResult {
+  WireCode code = WireCode::kOk;
+  std::string error;
+  uint64_t doc_epoch = 0;
+  std::vector<std::string> answers_xml;
+};
+
+struct QueryBatchResponse {
+  uint64_t id = 0;
+  WireCode code = WireCode::kOk;
+  std::string error;  ///< whole-call failure; items empty then
+  std::vector<BatchItemResult> items;
+};
+
+/// UPDATE — one update statement through the session's bound view.
+struct UpdateRequest {
+  uint64_t id = 0;
+  std::string doc;
+  std::string statement;
+  uint8_t dry_run = 0;
+  uint64_t deadline_ms = 0;
+  uint64_t max_memory_bytes = 0;
+};
+
+struct UpdateResponse {
+  uint64_t id = 0;
+  WireCode code = WireCode::kOk;
+  std::string error;
+  uint64_t doc_epoch = 0;
+  std::string canonical;
+  uint64_t nodes_inserted = 0;
+  uint64_t nodes_deleted = 0;
+};
+
+/// STAT — server + engine metrics dump (no role required).
+enum class StatFormat : uint8_t { kJson = 0, kPrometheus = 1 };
+
+struct StatRequest {
+  uint64_t id = 0;
+  StatFormat format = StatFormat::kJson;
+};
+
+struct StatResponse {
+  uint64_t id = 0;
+  WireCode code = WireCode::kOk;
+  std::string error;
+  std::string payload;
+};
+
+/// ERROR — wire-level failure frame: the request could not be decoded
+/// (or arrived before the handshake). `id` is the request id when the
+/// server could peek it, 0 otherwise.
+struct ErrorResponse {
+  uint64_t id = 0;
+  WireCode code = WireCode::kProtocolError;
+  std::string message;
+};
+
+// Encoders return a complete frame (length prefix included).
+std::string Encode(const HelloRequest& m);
+std::string Encode(const HelloResponse& m);
+std::string Encode(const QueryRequest& m);
+std::string Encode(const QueryResponse& m);
+std::string Encode(const QueryBatchRequest& m);
+std::string Encode(const QueryBatchResponse& m);
+std::string Encode(const UpdateRequest& m);
+std::string Encode(const UpdateResponse& m);
+std::string Encode(const StatRequest& m);
+std::string Encode(const StatResponse& m);
+std::string Encode(const ErrorResponse& m);
+
+// Decoders take one frame *body* (opcode already dispatched on) and
+// reject underflow, bound violations and trailing bytes with a clean
+// InvalidArgument — never UB, whatever the bytes.
+Result<HelloRequest> DecodeHelloRequest(std::string_view body);
+Result<HelloResponse> DecodeHelloResponse(std::string_view body);
+Result<QueryRequest> DecodeQueryRequest(std::string_view body);
+Result<QueryResponse> DecodeQueryResponse(std::string_view body);
+Result<QueryBatchRequest> DecodeQueryBatchRequest(std::string_view body);
+Result<QueryBatchResponse> DecodeQueryBatchResponse(std::string_view body);
+Result<UpdateRequest> DecodeUpdateRequest(std::string_view body);
+Result<UpdateResponse> DecodeUpdateResponse(std::string_view body);
+Result<StatRequest> DecodeStatRequest(std::string_view body);
+Result<StatResponse> DecodeStatResponse(std::string_view body);
+Result<ErrorResponse> DecodeErrorResponse(std::string_view body);
+
+/// Best-effort request id of any request frame body (every request body
+/// begins with the u64 id). Lets the server echo the id in ERROR frames
+/// for bodies it cannot fully decode. 0 when even that much is missing.
+uint64_t PeekRequestId(std::string_view body);
+
+}  // namespace smoqe::server
+
+#endif  // SMOQE_SERVER_PROTOCOL_H_

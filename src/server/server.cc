@@ -1,0 +1,715 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace smoqe::server {
+
+namespace {
+
+/// epoll user-data ids for the two non-connection fds; connection ids
+/// start above them.
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kEventFdTag = 1;
+constexpr uint64_t kFirstConnId = 2;
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Metrics::Metrics(core::Smoqe* engine) {
+  telemetry::Telemetry* tel = engine->telemetry();
+  if (tel == nullptr) return;
+  telemetry::MetricsRegistry& reg = tel->registry();
+  connections_opened = &reg.GetCounter("server.connections_opened");
+  connections_closed = &reg.GetCounter("server.connections_closed");
+  handshakes = &reg.GetCounter("server.handshakes");
+  handshake_failures = &reg.GetCounter("server.handshake_failures");
+  requests = &reg.GetCounter("server.requests");
+  responses_ok = &reg.GetCounter("server.responses_ok");
+  responses_error = &reg.GetCounter("server.responses_error");
+  protocol_errors = &reg.GetCounter("server.protocol_errors");
+  rejected_pipeline = &reg.GetCounter("server.rejected_pipeline");
+  disconnects_mid_request = &reg.GetCounter("server.disconnects_mid_request");
+  bytes_read = &reg.GetCounter("server.bytes_read");
+  bytes_written = &reg.GetCounter("server.bytes_written");
+  request_ns = &reg.GetHistogram("server.request_ns");
+}
+
+Server::Server(core::Smoqe* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)), metrics_(engine) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    Status s = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status s = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (!SetNonBlocking(listen_fd_)) return Errno("fcntl(listener)");
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (event_fd_ < 0) return Errno("eventfd");
+
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof ev);
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(listener)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kEventFdTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(eventfd)");
+  }
+
+  running_.store(true, std::memory_order_release);
+  started_ = true;
+  loop_thread_ = std::thread([this] { LoopMain(); });
+  const int workers = options_.workers < 1 ? 1 : options_.workers;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  started_ = false;
+  running_.store(false, std::memory_order_release);
+  WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop cancelled every session token on the way out, so workers
+  // stuck inside an engine call unwind at their next guard check.
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  // Single-threaded from here: release every fd.
+  conns_.clear();  // Connection dtor closes surviving fds
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (event_fd_ >= 0) ::close(event_fd_);
+  listen_fd_ = epoll_fd_ = event_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done_.clear();
+  }
+}
+
+void Server::WakeLoop() {
+  if (event_fd_ < 0) return;
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) still wakes the loop; nothing to do.
+  [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof one);
+}
+
+// ---------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------
+
+void Server::LoopMain() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; shut down rather than spin
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        HandleAccept();
+        continue;
+      }
+      if (tag == kEventFdTag) {
+        uint64_t drained;
+        while (::read(event_fd_, &drained, sizeof drained) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      std::shared_ptr<Connection> conn = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        if (conn->in_flight || !conn->pending.empty()) {
+          metrics_.Count(metrics_.disconnects_mid_request);
+        }
+        CloseConnection(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) HandleReadable(conn);
+      if (conn->fd >= 0 && (events[i].events & EPOLLOUT) != 0) {
+        HandleWritable(conn);
+      }
+    }
+    // Completions may have been posted while handling events (or the
+    // eventfd write raced our drain); always sweep.
+    DrainCompletions();
+  }
+  // Shutdown: stop the world. Cancelling the tokens unwinds any worker
+  // still inside the engine; fds are closed later by Stop() once every
+  // thread is joined (workers may still hold Connection refs).
+  for (auto& [id, conn] : conns_) {
+    if (conn->session != nullptr) conn->session->cancel_token().Cancel();
+  }
+}
+
+void Server::HandleAccept() {
+  for (;;) {
+    sockaddr_in peer;
+    socklen_t len = sizeof peer;
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (conns_.size() >= static_cast<size_t>(options_.max_connections) ||
+        !SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    auto conn = std::make_shared<Connection>(options_.max_request_frame);
+    conn->fd = fd;
+    // conn ids live above the listener/eventfd tags (wrap included).
+    if (next_conn_id_ < kFirstConnId) next_conn_id_ = kFirstConnId;
+    conn->conn_id = next_conn_id_++;
+
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof ev);
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->conn_id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      continue;  // conn dtor closes fd
+    }
+    conns_.emplace(conn->conn_id, conn);
+    metrics_.Count(metrics_.connections_opened);
+  }
+}
+
+void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof buf);
+    if (n > 0) {
+      metrics_.Count(metrics_.bytes_read, static_cast<uint64_t>(n));
+      conn->frames.Append(std::string_view(buf, static_cast<size_t>(n)));
+      if (static_cast<size_t>(n) < sizeof buf) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error: the peer is gone. Cancel in-flight work and
+    // reap — there is nobody left to flush to.
+    if (conn->in_flight || !conn->pending.empty()) {
+      metrics_.Count(metrics_.disconnects_mid_request);
+    }
+    CloseConnection(conn);
+    return;
+  }
+  ProcessFrames(conn);
+}
+
+void Server::ProcessFrames(const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0 || conn->close_after_flush) return;
+  while (auto frame = conn->frames.Next()) {
+    const Opcode op = static_cast<Opcode>(frame->opcode);
+    if (conn->session == nullptr) {
+      // First frame must be the handshake.
+      if (op != Opcode::kHello) {
+        metrics_.Count(metrics_.protocol_errors);
+        ErrorResponse err;
+        err.id = PeekRequestId(frame->body);
+        err.message = "handshake required before requests";
+        SendBytes(conn, Encode(err));
+        conn->close_after_flush = true;
+        break;
+      }
+      HandleHandshake(conn, *frame);
+      if (conn->close_after_flush || conn->fd < 0) break;
+      continue;
+    }
+    switch (op) {
+      case Opcode::kHello: {
+        // A second handshake would rebind the role mid-connection —
+        // exactly what the session model forbids.
+        metrics_.Count(metrics_.protocol_errors);
+        ErrorResponse err;
+        err.id = PeekRequestId(frame->body);
+        err.message = "duplicate handshake";
+        SendBytes(conn, Encode(err));
+        conn->close_after_flush = true;
+        break;
+      }
+      case Opcode::kQuery:
+      case Opcode::kQueryBatch:
+      case Opcode::kUpdate:
+      case Opcode::kStat: {
+        metrics_.Count(metrics_.requests);
+        if (conn->in_flight) {
+          if (conn->pending.size() >=
+              static_cast<size_t>(options_.max_pipeline)) {
+            metrics_.Count(metrics_.rejected_pipeline);
+            metrics_.Count(metrics_.responses_error);
+            SendBytes(conn, ErrorResponseFor(
+                                frame->opcode, PeekRequestId(frame->body),
+                                WireCode::kRejectedBusy,
+                                "connection pipeline full (max_pipeline)"));
+            break;
+          }
+          conn->pending.push_back(std::move(*frame));
+          break;
+        }
+        conn->in_flight = true;
+        {
+          std::lock_guard<std::mutex> lock(work_mu_);
+          work_.push_back(WorkItem{conn, std::move(*frame)});
+        }
+        work_cv_.notify_one();
+        break;
+      }
+      default: {
+        // Unknown opcode in a well-framed message: recoverable — the
+        // frame boundary is trusted, so skip it and answer the next one.
+        metrics_.Count(metrics_.protocol_errors);
+        ErrorResponse err;
+        err.id = PeekRequestId(frame->body);
+        err.message =
+            "unknown opcode " + std::to_string(static_cast<int>(frame->opcode));
+        SendBytes(conn, Encode(err));
+        break;
+      }
+    }
+    if (conn->close_after_flush || conn->fd < 0) break;
+  }
+  if (conn->fd >= 0 && conn->frames.overflow()) {
+    // Over-declared frame length: nothing after it can be trusted.
+    metrics_.Count(metrics_.protocol_errors);
+    ErrorResponse err;
+    err.message = "frame exceeds size limit";
+    SendBytes(conn, Encode(err));
+    conn->close_after_flush = true;
+  }
+  if (conn->fd >= 0 && conn->close_after_flush && !conn->in_flight &&
+      conn->wbuf_off >= conn->wbuf.size()) {
+    CloseConnection(conn);
+  }
+}
+
+void Server::HandleHandshake(const std::shared_ptr<Connection>& conn,
+                             const RawFrame& frame) {
+  auto hello = DecodeHelloRequest(frame.body);
+  HelloResponse resp;
+  if (!hello.ok()) {
+    metrics_.Count(metrics_.protocol_errors);
+    metrics_.Count(metrics_.handshake_failures);
+    ErrorResponse err;
+    err.message = "malformed HELLO";
+    SendBytes(conn, Encode(err));
+    conn->close_after_flush = true;
+    return;
+  }
+  resp.id = hello->id;
+  if (hello->version != kProtocolVersion) {
+    resp.code = WireCode::kFailedPrecondition;
+    resp.message = "protocol version mismatch: server speaks " +
+                   std::to_string(kProtocolVersion) + ", client sent " +
+                   std::to_string(hello->version);
+  } else if (hello->role.empty() && !options_.allow_direct) {
+    resp.code = WireCode::kPermissionDenied;
+    resp.message = "direct (viewless) access is disabled on this server";
+  } else {
+    auto session = core::Session::Open(engine_, hello->role);
+    if (!session.ok()) {
+      resp.code = FromStatus(session.status().code());
+      resp.message = session.status().message();
+    } else {
+      conn->session =
+          std::make_unique<core::Session>(session.MoveValue());
+      resp.code = WireCode::kOk;
+      resp.message = "smoqed protocol " + std::to_string(kProtocolVersion) +
+                     ", role '" + hello->role + "'";
+    }
+  }
+  if (resp.code == WireCode::kOk) {
+    metrics_.Count(metrics_.handshakes);
+  } else {
+    metrics_.Count(metrics_.handshake_failures);
+    conn->close_after_flush = true;
+  }
+  SendBytes(conn, Encode(resp));
+}
+
+void Server::SendBytes(const std::shared_ptr<Connection>& conn,
+                       std::string bytes) {
+  if (conn->fd < 0) return;
+  if (conn->wbuf_off >= conn->wbuf.size()) {
+    conn->wbuf = std::move(bytes);
+    conn->wbuf_off = 0;
+  } else {
+    conn->wbuf.append(bytes);
+  }
+  FlushWrites(conn);
+}
+
+void Server::FlushWrites(const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  while (conn->wbuf_off < conn->wbuf.size()) {
+    const ssize_t n = ::write(conn->fd, conn->wbuf.data() + conn->wbuf_off,
+                              conn->wbuf.size() - conn->wbuf_off);
+    if (n > 0) {
+      metrics_.Count(metrics_.bytes_written, static_cast<uint64_t>(n));
+      conn->wbuf_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn);  // EPIPE etc.: peer is gone
+    return;
+  }
+  if (conn->wbuf_off >= conn->wbuf.size()) {
+    conn->wbuf.clear();
+    conn->wbuf_off = 0;
+  }
+  UpdateEpollInterest(conn.get());
+}
+
+void Server::HandleWritable(const std::shared_ptr<Connection>& conn) {
+  FlushWrites(conn);
+  if (conn->fd >= 0 && conn->close_after_flush && !conn->in_flight &&
+      conn->wbuf_off >= conn->wbuf.size()) {
+    CloseConnection(conn);
+  }
+}
+
+void Server::UpdateEpollInterest(Connection* conn) {
+  if (conn->fd < 0) return;
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof ev);
+  ev.events = EPOLLIN;
+  if (conn->wbuf_off < conn->wbuf.size()) ev.events |= EPOLLOUT;
+  ev.data.u64 = conn->conn_id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void Server::DrainCompletions() {
+  std::vector<std::shared_ptr<Connection>> done;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done.swap(done_);
+  }
+  for (const std::shared_ptr<Connection>& conn : done) {
+    std::vector<std::string> out;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      out.swap(conn->outbox);
+    }
+    conn->in_flight = false;
+    if (conn->fd < 0) continue;  // disconnected while executing
+    for (std::string& frame : out) SendBytes(conn, std::move(frame));
+    if (conn->fd < 0) continue;  // write failure closed it
+    if (conn->close_after_flush) {
+      if (conn->wbuf_off >= conn->wbuf.size()) CloseConnection(conn);
+      continue;
+    }
+    if (!conn->pending.empty()) {
+      RawFrame next = std::move(conn->pending.front());
+      conn->pending.pop_front();
+      conn->in_flight = true;
+      {
+        std::lock_guard<std::mutex> lock(work_mu_);
+        work_.push_back(WorkItem{conn, std::move(next)});
+      }
+      work_cv_.notify_one();
+    }
+  }
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  if (conn->session != nullptr) conn->session->cancel_token().Cancel();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conn->fd = -1;
+  conn->dead = true;
+  conn->pending.clear();
+  conns_.erase(conn->conn_id);
+  metrics_.Count(metrics_.connections_closed);
+}
+
+// ---------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------
+
+void Server::WorkerMain() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this] {
+        return !work_.empty() || !running_.load(std::memory_order_acquire);
+      });
+      if (work_.empty()) {
+        if (!running_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      item = std::move(work_.front());
+      work_.pop_front();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string response = ExecuteRequest(*item.conn, item.frame);
+    if (metrics_.request_ns != nullptr) {
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      metrics_.request_ns->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+    }
+    {
+      std::lock_guard<std::mutex> lock(item.conn->out_mu);
+      item.conn->outbox.push_back(std::move(response));
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_.push_back(item.conn);
+    }
+    WakeLoop();
+  }
+}
+
+std::string Server::ErrorResponseFor(uint8_t opcode, uint64_t id,
+                                     WireCode code, std::string message) {
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kQuery: {
+      QueryResponse r;
+      r.id = id;
+      r.code = code;
+      r.error = std::move(message);
+      return Encode(r);
+    }
+    case Opcode::kQueryBatch: {
+      QueryBatchResponse r;
+      r.id = id;
+      r.code = code;
+      r.error = std::move(message);
+      return Encode(r);
+    }
+    case Opcode::kUpdate: {
+      UpdateResponse r;
+      r.id = id;
+      r.code = code;
+      r.error = std::move(message);
+      return Encode(r);
+    }
+    case Opcode::kStat: {
+      StatResponse r;
+      r.id = id;
+      r.code = code;
+      r.error = std::move(message);
+      return Encode(r);
+    }
+    default: {
+      ErrorResponse r;
+      r.id = id;
+      r.code = code;
+      r.message = std::move(message);
+      return Encode(r);
+    }
+  }
+}
+
+std::string Server::ExecuteRequest(Connection& conn, const RawFrame& frame) {
+  // A request can only reach a worker after the handshake bound the
+  // session, so `conn.session` is set; the loop never rebinds it.
+  core::Session& session = *conn.session;
+  switch (static_cast<Opcode>(frame.opcode)) {
+    case Opcode::kQuery: {
+      auto req = DecodeQueryRequest(frame.body);
+      if (!req.ok()) break;
+      return ExecuteQuery(session, *req);
+    }
+    case Opcode::kQueryBatch: {
+      auto req = DecodeQueryBatchRequest(frame.body);
+      if (!req.ok()) break;
+      return ExecuteQueryBatch(session, *req);
+    }
+    case Opcode::kUpdate: {
+      auto req = DecodeUpdateRequest(frame.body);
+      if (!req.ok()) break;
+      return ExecuteUpdate(session, *req);
+    }
+    case Opcode::kStat: {
+      auto req = DecodeStatRequest(frame.body);
+      if (!req.ok()) break;
+      return ExecuteStat(*req);
+    }
+    default:
+      break;  // unreachable: the loop routes only known opcodes here
+  }
+  // Known opcode, undecodable body: the frame boundary held, so the
+  // connection survives; the request itself is unanswerable.
+  metrics_.Count(metrics_.protocol_errors);
+  metrics_.Count(metrics_.responses_error);
+  return ErrorResponseFor(frame.opcode, PeekRequestId(frame.body),
+                          WireCode::kProtocolError, "malformed request body");
+}
+
+std::string Server::ExecuteQuery(core::Session& session,
+                                 const QueryRequest& req) {
+  core::SessionQueryOptions opts;
+  opts.mode = req.mode == WireEvalMode::kStax ? core::EvalMode::kStax
+                                              : core::EvalMode::kDom;
+  opts.use_tax = req.use_tax != 0;
+  auto r = session.Query(req.doc, req.query, opts, req.deadline_ms,
+                         req.max_memory_bytes);
+  QueryResponse resp;
+  resp.id = req.id;
+  if (!r.ok()) {
+    resp.code = FromStatus(r.status().code());
+    resp.error = r.status().message();
+    metrics_.Count(metrics_.responses_error);
+  } else {
+    resp.doc_epoch = r->doc_epoch;
+    resp.answers_xml = std::move(r->answers_xml);
+    metrics_.Count(metrics_.responses_ok);
+  }
+  return Encode(resp);
+}
+
+std::string Server::ExecuteQueryBatch(core::Session& session,
+                                      const QueryBatchRequest& req) {
+  std::vector<core::SessionBatchItem> items;
+  items.reserve(req.items.size());
+  for (const BatchItem& it : req.items) {
+    core::SessionBatchItem s;
+    s.query = it.query;
+    s.options.mode = it.mode == WireEvalMode::kStax ? core::EvalMode::kStax
+                                                    : core::EvalMode::kDom;
+    s.options.use_tax = it.use_tax != 0;
+    items.push_back(std::move(s));
+  }
+  auto r = session.QueryBatch(req.doc, items, req.deadline_ms,
+                              req.max_memory_bytes);
+  QueryBatchResponse resp;
+  resp.id = req.id;
+  if (!r.ok()) {
+    resp.code = FromStatus(r.status().code());
+    resp.error = r.status().message();
+    metrics_.Count(metrics_.responses_error);
+    return Encode(resp);
+  }
+  resp.items.reserve(r->size());
+  for (core::QueryAnswer& a : *r) {
+    BatchItemResult item;
+    if (!a.status.ok()) {
+      item.code = FromStatus(a.status.code());
+      item.error = a.status.message();
+    } else {
+      item.doc_epoch = a.doc_epoch;
+      item.answers_xml = std::move(a.answers_xml);
+    }
+    resp.items.push_back(std::move(item));
+  }
+  metrics_.Count(metrics_.responses_ok);
+  return Encode(resp);
+}
+
+std::string Server::ExecuteUpdate(core::Session& session,
+                                  const UpdateRequest& req) {
+  auto r = session.Update(req.doc, req.statement, req.dry_run != 0,
+                          req.deadline_ms, req.max_memory_bytes);
+  UpdateResponse resp;
+  resp.id = req.id;
+  if (!r.ok()) {
+    resp.code = FromStatus(r.status().code());
+    resp.error = r.status().message();
+    metrics_.Count(metrics_.responses_error);
+  } else {
+    resp.doc_epoch = r->stats.doc_epoch;
+    resp.canonical = std::move(r->canonical);
+    resp.nodes_inserted = r->stats.nodes_inserted;
+    resp.nodes_deleted = r->stats.nodes_deleted;
+    metrics_.Count(metrics_.responses_ok);
+  }
+  return Encode(resp);
+}
+
+std::string Server::ExecuteStat(const StatRequest& req) {
+  StatResponse resp;
+  resp.id = req.id;
+  resp.payload = engine_->DumpMetrics(req.format == StatFormat::kPrometheus
+                                          ? telemetry::DumpFormat::kPrometheus
+                                          : telemetry::DumpFormat::kJson);
+  metrics_.Count(metrics_.responses_ok);
+  return Encode(resp);
+}
+
+}  // namespace smoqe::server

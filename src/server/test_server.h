@@ -1,0 +1,54 @@
+/// \file
+/// \brief In-process server fixture for tests and benches: starts a
+/// smoqed Server on an ephemeral loopback port in the constructor, stops
+/// and joins it in the destructor. Header-only and GTest-free so both
+/// the test suites and bench_server can use it; callers check `ok()`
+/// (bind can fail in exotic sandboxes) before talking to `port()`.
+
+#ifndef SMOQE_SERVER_TEST_SERVER_H_
+#define SMOQE_SERVER_TEST_SERVER_H_
+
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/core/smoqe.h"
+#include "src/server/server.h"
+
+namespace smoqe::server {
+
+class TestServer {
+ public:
+  /// Test-friendly defaults: ephemeral port on 127.0.0.1 and direct
+  /// (viewless) sessions allowed — the differential harness needs the
+  /// library-equivalent direct role. Pass explicit options to override.
+  static ServerOptions DefaultOptions() {
+    ServerOptions o;
+    o.allow_direct = true;
+    return o;
+  }
+
+  /// Starts immediately; check ok() before use.
+  explicit TestServer(core::Smoqe* engine,
+                      ServerOptions options = DefaultOptions())
+      : server_(engine, std::move(options)) {
+    start_status_ = server_.Start();
+  }
+
+  ~TestServer() { server_.Stop(); }
+
+  TestServer(const TestServer&) = delete;
+  TestServer& operator=(const TestServer&) = delete;
+
+  bool ok() const { return start_status_.ok(); }
+  const Status& start_status() const { return start_status_; }
+  uint16_t port() const { return server_.port(); }
+  Server& server() { return server_; }
+
+ private:
+  Server server_;
+  Status start_status_;
+};
+
+}  // namespace smoqe::server
+
+#endif  // SMOQE_SERVER_TEST_SERVER_H_

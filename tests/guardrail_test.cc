@@ -35,6 +35,16 @@ TEST(DeadlineTest, DefaultAndZeroAreUnlimited) {
   EXPECT_FALSE(far.Expired());
 }
 
+TEST(DeadlineTest, HugeDeadlinesSaturateToUnlimited) {
+  // u64 garbage (the server fuzzer feeds mutated wire values straight
+  // into RequestOptions) must not overflow the clock's signed
+  // nanosecond representation — anything past ~10 years is unlimited.
+  EXPECT_TRUE(Deadline::After(~0ull).unlimited());
+  EXPECT_TRUE(Deadline::After(0xFF00000000000000ull).unlimited());
+  EXPECT_FALSE(Deadline::After(~0ull).Expired());
+  EXPECT_FALSE(Deadline::After(60'000).unlimited());
+}
+
 TEST(DeadlineTest, ExpiresAfterItsWindow) {
   Deadline d = Deadline::After(1);
   SleepMs(5);

@@ -1,0 +1,319 @@
+// Server concurrency/soak suite (ISSUE PR8 S2, extends the
+// concurrency_test epoch-differential pattern across the wire): N client
+// threads of pipelined requests race a live writer pushing updates
+// through the server, and every answer must match the sequential
+// library answer *for the epoch the response reports* — a torn snapshot
+// or a cross-connection buffer mixup would mismatch every reference.
+// Runs under the TSan and ASan CI jobs (named-suite lists in ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/session.h"
+#include "src/core/smoqe.h"
+#include "src/server/client.h"
+#include "src/server/test_server.h"
+#include "tests/server_test_util.h"
+#include "tests/test_util.h"
+
+namespace smoqe::server {
+namespace {
+
+using testutil2::Mix;
+using testutil2::ServerEngineOptions;
+using testutil2::SetupHospitalEngine;
+
+const char* const kRoles[] = {"", "autism-group", "research-group"};
+
+// Reader query mix: small enough to precompute per epoch, varied enough
+// to cover DOM, StAX and view rewriting.
+const char* const kQueries[] = {
+    "//pname",
+    "//treatment",
+    "hospital/patient/pname",
+    "//patient[visit/treatment/medication = 'autism']/pname",
+    "//visit/date",
+    "//treatment/(test | medication)",
+};
+constexpr int kModes = 2;  // DOM, StAX
+
+// Writer updates, all accepted under direct access, all on the ward.
+std::vector<std::string> WriterUpdates() {
+  std::vector<std::string> u;
+  for (int i = 0; i < 4; ++i) {
+    const std::string tag = std::to_string(i);
+    u.push_back(
+        "insert into hospital/patient[pname = 'Carol'] "
+        "<visit><treatment><test>t" + tag +
+        "</test></treatment><date>d" + tag + "</date></visit>");
+    u.push_back("delete //treatment[medication = 'flu']");
+    u.push_back(
+        "replace //treatment[medication = 'headache'] with "
+        "<treatment><medication>m" + tag + "</medication></treatment>");
+  }
+  return u;
+}
+
+struct RefAnswer {
+  WireCode code = WireCode::kOk;
+  std::string error;
+  std::vector<std::string> answers;
+};
+
+size_t SlotOf(size_t role, size_t query, int mode) {
+  return (role * (sizeof(kQueries) / sizeof(*kQueries)) + query) * kModes +
+         static_cast<size_t>(mode);
+}
+
+TEST(ServerConcurrencyTest, PipelinedReadersRacingAWriterStayEpochConsistent) {
+  // --- Reference: replay the whole update history sequentially on a
+  // twin engine, capturing per-epoch library answers for the full
+  // (role, query, mode) grid before any server traffic exists.
+  core::Smoqe ref(ServerEngineOptions());
+  SetupHospitalEngine(ref, /*gen_nodes=*/0);
+  const std::vector<std::string> updates = WriterUpdates();
+
+  constexpr size_t kNumRoles = sizeof(kRoles) / sizeof(*kRoles);
+  constexpr size_t kNumQueries = sizeof(kQueries) / sizeof(*kQueries);
+  // epoch → answers for every grid slot.
+  std::map<uint64_t, std::vector<RefAnswer>> by_epoch;
+  std::vector<uint64_t> epochs;
+
+  auto snapshot_epoch = [&] {
+    auto ep = ref.DocumentEpoch("ward");
+    ASSERT_TRUE(ep.ok());
+    std::vector<RefAnswer> grid(kNumRoles * kNumQueries * kModes);
+    for (size_t ri = 0; ri < kNumRoles; ++ri) {
+      auto session = core::Session::Open(&ref, kRoles[ri]);
+      ASSERT_TRUE(session.ok());
+      for (size_t qi = 0; qi < kNumQueries; ++qi) {
+        for (int mode = 0; mode < kModes; ++mode) {
+          core::SessionQueryOptions so;
+          so.mode = mode == 1 ? core::EvalMode::kStax : core::EvalMode::kDom;
+          auto r = session->Query("ward", kQueries[qi], so);
+          RefAnswer& slot = grid[SlotOf(ri, qi, mode)];
+          if (r.ok()) {
+            slot.answers = r->answers_xml;
+            ASSERT_EQ(r->doc_epoch, *ep) << "reference epoch drifted";
+          } else {
+            slot.code = FromStatus(r.status().code());
+            slot.error = r.status().message();
+          }
+        }
+      }
+    }
+    by_epoch.emplace(*ep, std::move(grid));
+    epochs.push_back(*ep);
+  };
+
+  snapshot_epoch();
+  std::vector<uint64_t> update_epochs;
+  for (const std::string& u : updates) {
+    auto session = core::Session::Open(&ref, "");
+    ASSERT_TRUE(session.ok());
+    auto r = session->Update("ward", u);
+    ASSERT_TRUE(r.ok()) << u << ": " << r.status().ToString();
+    update_epochs.push_back(r->stats.doc_epoch);
+    snapshot_epoch();
+  }
+
+  // --- The system under test: an identical engine behind a server.
+  core::Smoqe served(ServerEngineOptions());
+  SetupHospitalEngine(served, /*gen_nodes=*/0);
+  TestServer server(&served);
+  ASSERT_TRUE(server.ok()) << server.start_status().ToString();
+
+  constexpr int kReaders = 4;
+  constexpr int kWindows = 24;
+  constexpr int kWindow = 6;  // pipelined requests per window
+  std::atomic<int> mismatches{0};
+  std::atomic<int> transport_errors{0};
+  std::atomic<bool> writer_failed{false};
+  std::atomic<uint64_t> min_epoch_seen{~0ull}, max_epoch_seen{0};
+
+  std::vector<std::thread> threads;
+  // Live writer: pushes the same updates through the wire, paced so
+  // readers overlap several epochs.
+  threads.emplace_back([&] {
+    ClientOptions o;
+    o.port = server.port();
+    o.recv_timeout_ms = 30'000;
+    auto client = Client::Connect(o);
+    if (!client.ok()) {
+      writer_failed.store(true);
+      return;
+    }
+    for (size_t i = 0; i < updates.size(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      UpdateRequest u;
+      u.doc = "ward";
+      u.statement = updates[i];
+      auto r = client->Update(u);
+      if (!r.ok() || r->code != WireCode::kOk ||
+          r->doc_epoch != update_epochs[i]) {
+        writer_failed.store(true);
+        return;
+      }
+    }
+  });
+
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      const size_t role_idx = static_cast<size_t>(t) % kNumRoles;
+      ClientOptions o;
+      o.port = server.port();
+      o.role = kRoles[role_idx];
+      o.recv_timeout_ms = 30'000;
+      auto client = Client::Connect(o);
+      if (!client.ok()) {
+        transport_errors.fetch_add(1000);
+        return;
+      }
+      for (int w = 0; w < kWindows; ++w) {
+        // Pipeline a window of queries without reading between sends.
+        std::string burst;
+        std::vector<std::pair<uint64_t, size_t>> sent;  // id → grid slot
+        for (int i = 0; i < kWindow; ++i) {
+          const uint64_t r =
+              Mix(static_cast<uint64_t>(t) * 1'000'003 + w * 131 + i);
+          const size_t qi = r % kNumQueries;
+          const int mode = static_cast<int>(Mix(r) % kModes);
+          QueryRequest q;
+          q.id = client->NextId();
+          q.doc = "ward";
+          q.query = kQueries[qi];
+          q.mode = mode == 1 ? WireEvalMode::kStax : WireEvalMode::kDom;
+          burst += Encode(q);
+          sent.emplace_back(q.id, SlotOf(role_idx, qi, mode));
+        }
+        if (!client->SendBytes(burst).ok()) {
+          transport_errors.fetch_add(1);
+          return;
+        }
+        for (const auto& [id, slot] : sent) {
+          auto frame = client->ReceiveFrame();
+          if (!frame.ok() ||
+              frame->opcode != static_cast<uint8_t>(Opcode::kQueryResult)) {
+            transport_errors.fetch_add(1);
+            return;
+          }
+          auto resp = DecodeQueryResponse(frame->body);
+          if (!resp.ok() || resp->id != id) {
+            transport_errors.fetch_add(1);
+            return;
+          }
+          if (resp->code != WireCode::kOk) {
+            // Errors are epoch-independent in this mix; compare against
+            // any reference epoch's slot.
+            const RefAnswer& e = by_epoch.begin()->second[slot];
+            if (resp->code != e.code || resp->error != e.error) {
+              mismatches.fetch_add(1);
+            }
+            continue;
+          }
+          auto it = by_epoch.find(resp->doc_epoch);
+          if (it == by_epoch.end()) {
+            mismatches.fetch_add(1);  // answered at an epoch that never existed
+            continue;
+          }
+          if (resp->answers_xml != it->second[slot].answers) {
+            mismatches.fetch_add(1);
+          }
+          uint64_t seen = min_epoch_seen.load();
+          while (resp->doc_epoch < seen &&
+                 !min_epoch_seen.compare_exchange_weak(seen, resp->doc_epoch)) {
+          }
+          seen = max_epoch_seen.load();
+          while (resp->doc_epoch > seen &&
+                 !max_epoch_seen.compare_exchange_weak(seen, resp->doc_epoch)) {
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_FALSE(writer_failed.load());
+  EXPECT_EQ(transport_errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  // The soak must actually have raced the writer: answers from more
+  // than one epoch. (The writer paces at ~3ms/update; 4 readers × 24
+  // windows comfortably straddle that.)
+  EXPECT_GT(max_epoch_seen.load(), min_epoch_seen.load())
+      << "readers never overlapped an update; soak was sequential";
+
+  // Postcondition: both engines converged to the same document.
+  auto se = served.DocumentEpoch("ward");
+  auto re = ref.DocumentEpoch("ward");
+  ASSERT_TRUE(se.ok() && re.ok());
+  EXPECT_EQ(*se, *re);
+  auto sx = served.DocumentXml("ward");
+  auto rx = ref.DocumentXml("ward");
+  ASSERT_TRUE(sx.ok() && rx.ok());
+  EXPECT_EQ(*sx, *rx);
+}
+
+// Many short-lived concurrent connections: churn (connect, one request,
+// disconnect) across threads must never cross responses between
+// connections or leak sessions. A smoke against fd/session lifecycle
+// races under TSan.
+TEST(ServerConcurrencyTest, ConnectionChurnKeepsResponsesIsolated) {
+  core::Smoqe served(ServerEngineOptions());
+  SetupHospitalEngine(served, /*gen_nodes=*/0);
+  TestServer server(&served);
+  ASSERT_TRUE(server.ok());
+
+  // Sequential references per role (static document).
+  std::vector<std::vector<std::string>> expected;
+  for (const char* role : kRoles) {
+    auto session = core::Session::Open(&served, role);
+    ASSERT_TRUE(session.ok());
+    auto r = session->Query("ward", "//treatment");
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r->answers_xml);
+  }
+
+  constexpr int kThreads = 6;
+  constexpr int kIters = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const size_t role_idx =
+            (static_cast<size_t>(t) + static_cast<size_t>(i)) % 3;
+        ClientOptions o;
+        o.port = server.port();
+        o.role = kRoles[role_idx];
+        o.recv_timeout_ms = 30'000;
+        auto client = Client::Connect(o);
+        if (!client.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        QueryRequest q;
+        q.doc = "ward";
+        q.query = "//treatment";
+        auto r = client->Query(q);
+        if (!r.ok() || r->code != WireCode::kOk ||
+            r->answers_xml != expected[role_idx]) {
+          failures.fetch_add(1);
+        }
+        // Half the threads vanish without closing politely.
+        if ((t + i) % 2 == 0) client->ShutdownWrite();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace smoqe::server

@@ -1,0 +1,317 @@
+// Wire-codec unit suite (docs/PROTOCOL.md): every typed message must
+// survive encode → frame-extract → decode byte-identically; the frame
+// extractor must reassemble frames from arbitrarily fragmented reads
+// (delivered one byte at a time here — the socket worst case); hostile
+// bodies (truncation, trailing garbage, over-declared lengths, bad enum
+// values) must fail with a clean status, never UB. The status-code table
+// is pinned value-by-value: it is the protocol contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/server/protocol.h"
+
+namespace smoqe::server {
+namespace {
+
+QueryRequest SampleQuery() {
+  QueryRequest q;
+  q.id = 42;
+  q.doc = "ward";
+  q.query = "//patient[visit/treatment/medication = 'autism']/pname";
+  q.mode = WireEvalMode::kStax;
+  q.use_tax = 1;
+  q.deadline_ms = 1500;
+  q.max_memory_bytes = 1u << 20;
+  return q;
+}
+
+QueryBatchRequest SampleBatch() {
+  QueryBatchRequest b;
+  b.id = 7;
+  b.doc = "ward";
+  b.deadline_ms = 250;
+  b.items.push_back({"//pname", WireEvalMode::kDom, 0});
+  b.items.push_back({"//treatment", WireEvalMode::kStax, 1});
+  b.items.push_back({"", WireEvalMode::kDom, 0});  // empty query survives
+  return b;
+}
+
+/// Runs one encoded frame through the extractor and hands back the body.
+RawFrame Extract(const std::string& frame) {
+  FrameExtractor ex;
+  ex.Append(frame);
+  auto raw = ex.Next();
+  EXPECT_TRUE(raw.has_value());
+  EXPECT_FALSE(ex.Next().has_value()) << "one frame in, one frame out";
+  return raw.value_or(RawFrame{});
+}
+
+TEST(ServerProtocolTest, HelloRoundtrip) {
+  HelloRequest m;
+  m.id = 1;
+  m.version = kProtocolVersion;
+  m.role = "nurses";
+  RawFrame raw = Extract(Encode(m));
+  EXPECT_EQ(raw.opcode, static_cast<uint8_t>(Opcode::kHello));
+  auto d = DecodeHelloRequest(raw.body);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->id, 1u);
+  EXPECT_EQ(d->version, kProtocolVersion);
+  EXPECT_EQ(d->role, "nurses");
+
+  HelloResponse r;
+  r.id = 1;
+  r.code = WireCode::kPermissionDenied;
+  r.message = "direct access disabled";
+  RawFrame rr = Extract(Encode(r));
+  EXPECT_EQ(rr.opcode, static_cast<uint8_t>(Opcode::kHelloOk));
+  auto dr = DecodeHelloResponse(rr.body);
+  ASSERT_TRUE(dr.ok());
+  EXPECT_EQ(dr->code, WireCode::kPermissionDenied);
+  EXPECT_EQ(dr->message, "direct access disabled");
+}
+
+TEST(ServerProtocolTest, QueryRoundtrip) {
+  const QueryRequest q = SampleQuery();
+  RawFrame raw = Extract(Encode(q));
+  EXPECT_EQ(raw.opcode, static_cast<uint8_t>(Opcode::kQuery));
+  auto d = DecodeQueryRequest(raw.body);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->id, q.id);
+  EXPECT_EQ(d->doc, q.doc);
+  EXPECT_EQ(d->query, q.query);
+  EXPECT_EQ(d->mode, q.mode);
+  EXPECT_EQ(d->use_tax, q.use_tax);
+  EXPECT_EQ(d->deadline_ms, q.deadline_ms);
+  EXPECT_EQ(d->max_memory_bytes, q.max_memory_bytes);
+
+  QueryResponse resp;
+  resp.id = q.id;
+  resp.doc_epoch = 3;
+  resp.answers_xml = {"<pname>Alice</pname>", "<pname>Bob</pname>", ""};
+  RawFrame rr = Extract(Encode(resp));
+  auto dr = DecodeQueryResponse(rr.body);
+  ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+  EXPECT_EQ(dr->code, WireCode::kOk);
+  EXPECT_EQ(dr->doc_epoch, 3u);
+  EXPECT_EQ(dr->answers_xml, resp.answers_xml);
+}
+
+TEST(ServerProtocolTest, BatchRoundtrip) {
+  const QueryBatchRequest b = SampleBatch();
+  RawFrame raw = Extract(Encode(b));
+  auto d = DecodeQueryBatchRequest(raw.body);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  ASSERT_EQ(d->items.size(), 3u);
+  EXPECT_EQ(d->items[1].query, "//treatment");
+  EXPECT_EQ(d->items[1].mode, WireEvalMode::kStax);
+  EXPECT_EQ(d->items[1].use_tax, 1);
+
+  QueryBatchResponse resp;
+  resp.id = b.id;
+  BatchItemResult okitem;
+  okitem.doc_epoch = 9;
+  okitem.answers_xml = {"<a/>", "<b/>"};
+  BatchItemResult baditem;
+  baditem.code = WireCode::kParseError;
+  baditem.error = "batch item 1: unexpected '['";
+  resp.items = {okitem, baditem};
+  RawFrame rr = Extract(Encode(resp));
+  auto dr = DecodeQueryBatchResponse(rr.body);
+  ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+  ASSERT_EQ(dr->items.size(), 2u);
+  EXPECT_EQ(dr->items[0].answers_xml, okitem.answers_xml);
+  EXPECT_EQ(dr->items[1].code, WireCode::kParseError);
+  EXPECT_EQ(dr->items[1].error, baditem.error);
+}
+
+TEST(ServerProtocolTest, UpdateStatErrorRoundtrip) {
+  UpdateRequest u;
+  u.id = 11;
+  u.doc = "ward";
+  u.statement = "delete //treatment[medication = 'headache']";
+  u.dry_run = 1;
+  RawFrame raw = Extract(Encode(u));
+  auto d = DecodeUpdateRequest(raw.body);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->statement, u.statement);
+  EXPECT_EQ(d->dry_run, 1);
+
+  UpdateResponse ur;
+  ur.id = 11;
+  ur.doc_epoch = 4;
+  ur.canonical = "delete //treatment[medication = 'headache']";
+  ur.nodes_inserted = 0;
+  ur.nodes_deleted = 3;
+  auto dur = DecodeUpdateResponse(Extract(Encode(ur)).body);
+  ASSERT_TRUE(dur.ok());
+  EXPECT_EQ(dur->nodes_deleted, 3u);
+  EXPECT_EQ(dur->canonical, ur.canonical);
+
+  StatRequest st;
+  st.id = 12;
+  st.format = StatFormat::kPrometheus;
+  auto dst = DecodeStatRequest(Extract(Encode(st)).body);
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(dst->format, StatFormat::kPrometheus);
+
+  ErrorResponse err;
+  err.id = 13;
+  err.code = WireCode::kProtocolError;
+  err.message = "unknown opcode 66";
+  auto derr = DecodeErrorResponse(Extract(Encode(err)).body);
+  ASSERT_TRUE(derr.ok());
+  EXPECT_EQ(derr->id, 13u);
+  EXPECT_EQ(derr->message, err.message);
+}
+
+// The satellite contract: a request delivered one byte at a time — the
+// socket fragmentation worst case — reassembles byte-identically, and no
+// prefix short of the full frame yields anything.
+TEST(ServerProtocolTest, OneByteAtATimeReassembly) {
+  const std::string f1 = Encode(SampleQuery());
+  const std::string f2 = Encode(SampleBatch());
+  const std::string stream = f1 + f2;
+
+  FrameExtractor ex;
+  std::vector<RawFrame> out;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ex.Append(std::string_view(&stream[i], 1));
+    while (auto raw = ex.Next()) out.push_back(std::move(*raw));
+    const size_t fed = i + 1;
+    const size_t want = fed < f1.size() ? 0u : fed < stream.size() ? 1u : 2u;
+    EXPECT_EQ(out.size(), want) << "after byte " << fed;
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].opcode, static_cast<uint8_t>(Opcode::kQuery));
+  EXPECT_EQ(out[1].opcode, static_cast<uint8_t>(Opcode::kQueryBatch));
+  auto q = DecodeQueryRequest(out[0].body);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->query, SampleQuery().query);
+  auto b = DecodeQueryBatchRequest(out[1].body);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->items.size(), 3u);
+}
+
+TEST(ServerProtocolTest, OverflowIsStickyAndUnderDeclaredIsnt) {
+  // Length prefix declaring more than max_frame: sticky overflow.
+  FrameExtractor small(/*max_frame=*/16);
+  Writer w;
+  w.PutU32(1000);  // declared payload
+  w.PutU8(static_cast<uint8_t>(Opcode::kQuery));
+  small.Append(w.bytes());
+  EXPECT_FALSE(small.Next().has_value());
+  EXPECT_TRUE(small.overflow());
+  small.Append(std::string(64, 'x'));
+  EXPECT_FALSE(small.Next().has_value()) << "no resync past a bad length";
+
+  // payload_len == 0 cannot even hold the opcode: also hostile.
+  FrameExtractor zero(16);
+  Writer wz;
+  wz.PutU32(0);
+  zero.Append(wz.bytes());
+  EXPECT_FALSE(zero.Next().has_value());
+  EXPECT_TRUE(zero.overflow());
+
+  // A frame exactly at the bound is fine.
+  FrameExtractor at(/*max_frame=*/6);
+  at.Append(Frame(Opcode::kStat, "12345"));
+  auto raw = at.Next();
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(raw->body, "12345");
+  EXPECT_FALSE(at.overflow());
+}
+
+TEST(ServerProtocolTest, HostileBodiesFailCleanly) {
+  const std::string good = Extract(Encode(SampleQuery())).body;
+  // Every strict prefix of a valid body must be rejected (truncation
+  // inside a frame), and the full body must not tolerate trailing bytes.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    auto d = DecodeQueryRequest(std::string_view(good.data(), cut));
+    EXPECT_FALSE(d.ok()) << "prefix length " << cut << " decoded";
+  }
+  std::string trailing = good + "x";
+  EXPECT_FALSE(DecodeQueryRequest(trailing).ok());
+
+  // A string length running past the end of the body must fail, not read
+  // out of bounds.
+  Writer w;
+  w.PutU64(1);
+  w.PutU32(0xFFFFFFFFu);  // doc "length"
+  EXPECT_FALSE(DecodeQueryRequest(w.bytes()).ok());
+
+  // Bad enum values are protocol errors, not silent truncations.
+  QueryRequest q = SampleQuery();
+  std::string body = Extract(Encode(q)).body;
+  // mode byte sits after id(8) + doc(4+4) + query(4+54): flip it to 7.
+  const size_t mode_off = 8 + 4 + q.doc.size() + 4 + q.query.size();
+  ASSERT_LT(mode_off, body.size());
+  body[mode_off] = 7;
+  EXPECT_FALSE(DecodeQueryRequest(body).ok());
+
+  // A batch declaring more items than its bytes could possibly hold.
+  Writer wb;
+  wb.PutU64(1);
+  wb.PutStr("ward");
+  wb.PutU64(0);
+  wb.PutU64(0);
+  wb.PutU32(0x10000000u);  // item count
+  EXPECT_FALSE(DecodeQueryBatchRequest(wb.bytes()).ok());
+}
+
+TEST(ServerProtocolTest, StatusTableIsPinned) {
+  // Wire values are the protocol contract — reordering core::StatusCode
+  // must not change them.
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kOk)), 0);
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kInvalidArgument)), 1);
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kParseError)), 2);
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kNotFound)), 3);
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kAlreadyExists)), 4);
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kFailedPrecondition)), 5);
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kResourceExhausted)), 6);
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kIOError)), 7);
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kInternal)), 8);
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kPermissionDenied)), 9);
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kDeadlineExceeded)), 10);
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kCancelled)), 11);
+  EXPECT_EQ(static_cast<int>(FromStatus(StatusCode::kRejectedBusy)), 12);
+
+  // Round trip through ToStatus for every engine-expressible code.
+  for (int c = 0; c <= static_cast<int>(StatusCode::kRejectedBusy); ++c) {
+    const StatusCode code = static_cast<StatusCode>(c);
+    const WireCode wire = FromStatus(code);
+    const Status back = ToStatus(wire, "msg");
+    if (code == StatusCode::kOk) {
+      EXPECT_TRUE(back.ok());
+    } else {
+      EXPECT_EQ(back.code(), code) << WireCodeName(wire);
+      EXPECT_EQ(back.message(), "msg");
+    }
+  }
+  // Transport-only codes come back as Internal.
+  EXPECT_EQ(ToStatus(WireCode::kProtocolError, "m").code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(ToStatus(WireCode::kUnknown, "m").code(), StatusCode::kInternal);
+
+  // Retryability: only backpressure and time-slicing outcomes.
+  EXPECT_TRUE(IsRetryable(WireCode::kRejectedBusy));
+  EXPECT_TRUE(IsRetryable(WireCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsRetryable(WireCode::kCancelled));
+  EXPECT_FALSE(IsRetryable(WireCode::kOk));
+  EXPECT_FALSE(IsRetryable(WireCode::kPermissionDenied));
+  EXPECT_FALSE(IsRetryable(WireCode::kParseError));
+  EXPECT_FALSE(IsRetryable(WireCode::kProtocolError));
+}
+
+TEST(ServerProtocolTest, PeekRequestIdBestEffort) {
+  EXPECT_EQ(PeekRequestId(Extract(Encode(SampleQuery())).body), 42u);
+  EXPECT_EQ(PeekRequestId(""), 0u);
+  EXPECT_EQ(PeekRequestId("abc"), 0u) << "fewer than 8 bytes";
+}
+
+}  // namespace
+}  // namespace smoqe::server

@@ -1,0 +1,186 @@
+#ifndef SMOQE_TESTS_SERVER_TEST_UTIL_H_
+#define SMOQE_TESTS_SERVER_TEST_UTIL_H_
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/core/smoqe.h"
+#include "src/server/protocol.h"
+#include "src/workload/workloads.h"
+#include "tests/test_util.h"
+
+namespace smoqe::server::testutil2 {
+
+/// Identical catalog on every engine the server suites compare: the
+/// hand-written ward, a generated document, and the two workload views.
+/// Twin engines built by calling this twice are byte-for-byte equivalent,
+/// which is what makes "server response ≡ library answer" checkable.
+inline void SetupHospitalEngine(core::Smoqe& engine,
+                                size_t gen_nodes = 4000) {
+  ASSERT_TRUE(
+      engine.RegisterDtd("hospital", smoqe::testutil::kHospitalDtd, "hospital")
+          .ok());
+  ASSERT_TRUE(engine.LoadDocument("ward", smoqe::testutil::kHospitalDoc).ok());
+  ASSERT_TRUE(engine
+                  .DefineView("autism-group", "hospital",
+                              workload::kHospitalPolicyAutism)
+                  .ok());
+  ASSERT_TRUE(engine
+                  .DefineView("research-group", "hospital",
+                              workload::kHospitalPolicyResearch)
+                  .ok());
+  if (gen_nodes > 0) {
+    ASSERT_TRUE(
+        engine.GenerateDocument("gen", "hospital", /*seed=*/7, gen_nodes)
+            .ok());
+  }
+}
+
+inline core::EngineOptions ServerEngineOptions() {
+  core::EngineOptions o;
+  o.max_threads = 4;
+  return o;
+}
+
+/// Deterministic splitmix64-style mixer shared by the randomized
+/// differential and the frame fuzzer (same idiom as parser_fuzz_test).
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// A bare TCP connection speaking raw bytes — no handshake help, no
+/// protocol discipline. The tool for testing what the server does to
+/// clients that break the rules (pre-handshake requests, bad versions,
+/// mutated frames, truncation, mid-request disconnects).
+class RawConn {
+ public:
+  RawConn() = default;
+  ~RawConn() { Close(); }
+  RawConn(RawConn&& o) noexcept : fd_(o.fd_), frames_(std::move(o.frames_)) {
+    o.fd_ = -1;
+  }
+  RawConn& operator=(RawConn&& o) noexcept {
+    if (this != &o) {
+      Close();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+      frames_ = std::move(o.frames_);
+    }
+    return *this;
+  }
+  RawConn(const RawConn&) = delete;
+  RawConn& operator=(const RawConn&) = delete;
+
+  bool Dial(uint16_t port) {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      Close();
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    frames_ = FrameExtractor(kDefaultMaxResponseFrame);
+    return true;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(std::string_view bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  /// Outcome of one bounded receive attempt.
+  enum class RecvResult { kFrame, kClosed, kTimeout };
+
+  /// Waits up to `timeout_ms` for one complete frame. kClosed = server
+  /// closed the connection (a legal response to fatal protocol errors);
+  /// kTimeout = nothing arrived — the caller decides if that's a hang.
+  RecvResult Recv(RawFrame* out, int timeout_ms) {
+    for (;;) {
+      if (auto f = frames_.Next()) {
+        *out = std::move(*f);
+        return RecvResult::kFrame;
+      }
+      if (frames_.overflow() || fd_ < 0) return RecvResult::kClosed;
+      pollfd p{fd_, POLLIN, 0};
+      const int pr = ::poll(&p, 1, timeout_ms);
+      if (pr == 0) return RecvResult::kTimeout;
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return RecvResult::kClosed;
+      }
+      char buf[65536];
+      const ssize_t n = ::read(fd_, buf, sizeof buf);
+      if (n > 0) {
+        frames_.Append(std::string_view(buf, static_cast<size_t>(n)));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return RecvResult::kClosed;
+    }
+  }
+
+  void CloseWrite() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  FrameExtractor frames_{kDefaultMaxResponseFrame};
+};
+
+/// Performs a well-formed handshake on a RawConn; returns false unless
+/// the server answered kOk within the timeout.
+inline bool RawHandshake(RawConn& conn, const std::string& role) {
+  HelloRequest hello;
+  hello.id = 0;
+  hello.role = role;
+  if (!conn.Send(Encode(hello))) return false;
+  RawFrame frame;
+  if (conn.Recv(&frame, 5000) != RawConn::RecvResult::kFrame) return false;
+  if (frame.opcode != static_cast<uint8_t>(Opcode::kHelloOk)) return false;
+  auto resp = DecodeHelloResponse(frame.body);
+  return resp.ok() && resp->code == WireCode::kOk;
+}
+
+}  // namespace smoqe::server::testutil2
+
+#endif  // SMOQE_TESTS_SERVER_TEST_UTIL_H_

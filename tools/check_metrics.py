@@ -7,6 +7,11 @@ Usage (CI runs all three against one smoqe_stat binary):
     ./build/smoqe_stat --format json  | tools/check_metrics.py json
     ./build/smoqe_stat --format prom  | tools/check_metrics.py prom
     ./build/smoqe_stat --format audit | tools/check_metrics.py audit
+
+The `server` mode validates a STAT frame's JSON payload fetched from a
+live smoqed (the server smoke job): the server.* serving-layer metrics
+must be present and consistent with the traffic the smoke just sent:
+    ./build/smoqe_cli stat --port $PORT | tools/check_metrics.py server
 """
 
 import json
@@ -162,14 +167,70 @@ def check_audit(data):
           f"{len(rejects)} rejects)")
 
 
+SERVER_COUNTERS = [
+    "server.connections_opened",
+    "server.connections_closed",
+    "server.handshakes",
+    "server.handshake_failures",
+    "server.requests",
+    "server.responses_ok",
+    "server.responses_error",
+    "server.protocol_errors",
+    "server.rejected_pipeline",
+    "server.disconnects_mid_request",
+    "server.bytes_read",
+    "server.bytes_written",
+]
+
+
+def check_server(data):
+    doc = json.loads(data)
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc:
+            fail(f"missing section '{section}'")
+    c, h = doc["counters"], doc["histograms"]
+    for name in SERVER_COUNTERS:
+        if name not in c:
+            fail(f"missing server counter '{name}'")
+    if "server.request_ns" not in h:
+        fail("missing histogram 'server.request_ns'")
+    # The dump itself travelled over the wire, so the serving layer
+    # cannot be idle in its own report.
+    if c["server.connections_opened"] < 1:
+        fail("a served stat dump implies >=1 connection")
+    if c["server.handshakes"] < 1:
+        fail("a served stat dump implies >=1 handshake")
+    if c["server.requests"] < 1:
+        fail("a served stat dump implies >=1 request")
+    if c["server.bytes_read"] < 1 or c["server.bytes_written"] < 1:
+        fail("byte counters must reflect the smoke traffic")
+    # The in-flight STAT request is counted as received but not yet
+    # answered when the dump is taken, hence >= rather than ==.
+    if c["server.requests"] < c["server.responses_ok"] + c[
+        "server.responses_error"
+    ]:
+        fail("more responses than requests")
+    if c["server.connections_opened"] < c["server.connections_closed"]:
+        fail("more connections closed than opened")
+    if h["server.request_ns"]["count"] > c["server.requests"]:
+        fail("request_ns samples exceed request count")
+    print(f"check_metrics: server OK "
+          f"(requests={c['server.requests']}, "
+          f"handshake_failures={c['server.handshake_failures']})")
+
+
 def main():
-    if len(sys.argv) != 2 or sys.argv[1] not in ("json", "prom", "audit"):
+    modes = {
+        "json": check_json,
+        "prom": check_prom,
+        "audit": check_audit,
+        "server": check_server,
+    }
+    if len(sys.argv) != 2 or sys.argv[1] not in modes:
         print(__doc__, file=sys.stderr)
         return 2
     data = sys.stdin.read()
-    {"json": check_json, "prom": check_prom, "audit": check_audit}[
-        sys.argv[1]
-    ](data)
+    modes[sys.argv[1]](data)
     return 0
 
 

@@ -1,0 +1,158 @@
+// smoqe-cli: command-line client for a running smoqed (docs/PROTOCOL.md).
+//
+//   smoqe-cli --port P [--host H] [--role R] query  DOC QUERY [--stax] [--tax]
+//   smoqe-cli --port P [--host H] [--role R] update DOC STATEMENT [--dry-run]
+//   smoqe-cli --port P [--host H]            stat   [--format json|prom]
+//   common: [--deadline MS] [--max-memory BYTES] [--timeout MS]
+//
+// Exit codes (asserted by the CI smoke job):
+//   0  server answered OK
+//   1  server answered with an application error (PERMISSION_DENIED,
+//      DEADLINE_EXCEEDED, REJECTED_BUSY, ...) — printed to stderr
+//   2  usage error
+//   3  transport failure (connect/handshake/socket/decode)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/server/client.h"
+
+namespace {
+
+using smoqe::server::Client;
+using smoqe::server::ClientOptions;
+using smoqe::server::StatFormat;
+using smoqe::server::WireCode;
+using smoqe::server::WireCodeName;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: smoqe-cli --port P [--host H] [--role R] [--timeout MS]\n"
+      "                 [--deadline MS] [--max-memory BYTES] COMMAND ...\n"
+      "  query  DOC QUERY [--stax] [--tax]\n"
+      "  update DOC STATEMENT [--dry-run]\n"
+      "  stat   [--format json|prom]\n");
+  return 2;
+}
+
+int Transport(const char* what, const smoqe::Status& status) {
+  std::fprintf(stderr, "smoqe-cli: %s: %s\n", what,
+               status.ToString().c_str());
+  return 3;
+}
+
+int AppError(WireCode code, const std::string& message) {
+  std::fprintf(stderr, "smoqe-cli: %s: %s\n", WireCodeName(code),
+               message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientOptions options;
+  uint64_t deadline_ms = 0;
+  uint64_t max_memory = 0;
+  std::string command;
+  std::vector<std::string> positional;
+  bool stax = false, tax = false, dry_run = false;
+  std::string stat_format = "json";
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--host") == 0 && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (std::strcmp(arg, "--port") == 0 && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(arg, "--role") == 0 && i + 1 < argc) {
+      options.role = argv[++i];
+    } else if (std::strcmp(arg, "--timeout") == 0 && i + 1 < argc) {
+      options.recv_timeout_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--deadline") == 0 && i + 1 < argc) {
+      deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--max-memory") == 0 && i + 1 < argc) {
+      max_memory = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--stax") == 0) {
+      stax = true;
+    } else if (std::strcmp(arg, "--tax") == 0) {
+      tax = true;
+    } else if (std::strcmp(arg, "--dry-run") == 0) {
+      dry_run = true;
+    } else if (std::strcmp(arg, "--format") == 0 && i + 1 < argc) {
+      stat_format = argv[++i];
+    } else if (arg[0] == '-') {
+      return Usage();
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (options.port == 0 || command.empty()) return Usage();
+
+  auto client = Client::Connect(options);
+  if (!client.ok()) return Transport("connect", client.status());
+
+  if (command == "query") {
+    if (positional.size() != 2) return Usage();
+    smoqe::server::QueryRequest req;
+    req.doc = positional[0];
+    req.query = positional[1];
+    req.mode = stax ? smoqe::server::WireEvalMode::kStax
+                    : smoqe::server::WireEvalMode::kDom;
+    req.use_tax = tax ? 1 : 0;
+    req.deadline_ms = deadline_ms;
+    req.max_memory_bytes = max_memory;
+    auto resp = client->Query(std::move(req));
+    if (!resp.ok()) return Transport("query", resp.status());
+    if (resp->code != WireCode::kOk) return AppError(resp->code, resp->error);
+    std::fprintf(stdout, "<!-- epoch %llu, %zu answers -->\n",
+                 static_cast<unsigned long long>(resp->doc_epoch),
+                 resp->answers_xml.size());
+    for (const std::string& xml : resp->answers_xml) {
+      std::fprintf(stdout, "%s\n", xml.c_str());
+    }
+    return 0;
+  }
+
+  if (command == "update") {
+    if (positional.size() != 2) return Usage();
+    smoqe::server::UpdateRequest req;
+    req.doc = positional[0];
+    req.statement = positional[1];
+    req.dry_run = dry_run ? 1 : 0;
+    req.deadline_ms = deadline_ms;
+    req.max_memory_bytes = max_memory;
+    auto resp = client->Update(std::move(req));
+    if (!resp.ok()) return Transport("update", resp.status());
+    if (resp->code != WireCode::kOk) return AppError(resp->code, resp->error);
+    std::fprintf(stdout, "%s epoch %llu: +%llu nodes, -%llu nodes\n",
+                 dry_run ? "dry-run ok;" : "applied;",
+                 static_cast<unsigned long long>(resp->doc_epoch),
+                 static_cast<unsigned long long>(resp->nodes_inserted),
+                 static_cast<unsigned long long>(resp->nodes_deleted));
+    return 0;
+  }
+
+  if (command == "stat") {
+    if (!positional.empty()) return Usage();
+    StatFormat format;
+    if (stat_format == "json") {
+      format = StatFormat::kJson;
+    } else if (stat_format == "prom") {
+      format = StatFormat::kPrometheus;
+    } else {
+      return Usage();
+    }
+    auto resp = client->Stat(format);
+    if (!resp.ok()) return Transport("stat", resp.status());
+    if (resp->code != WireCode::kOk) return AppError(resp->code, resp->error);
+    std::fputs(resp->payload.c_str(), stdout);
+    return 0;
+  }
+
+  return Usage();
+}
