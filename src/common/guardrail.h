@@ -185,9 +185,23 @@ class Guardrail {
   Guardrail(Deadline deadline, const CancelToken* cancel, MemoryBudget* budget)
       : deadline_(deadline), cancel_(cancel), budget_(budget) {}
 
+  // Copying re-targets a guard at a new request (the facade reuses one
+  // stack slot per call); the tick tally belongs to the request, so it
+  // restarts at zero rather than following the configuration.
+  Guardrail(const Guardrail& o)
+      : deadline_(o.deadline_), cancel_(o.cancel_), budget_(o.budget_) {}
+  Guardrail& operator=(const Guardrail& o) {
+    deadline_ = o.deadline_;
+    cancel_ = o.cancel_;
+    budget_ = o.budget_;
+    checks_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Full check (one clock read when a deadline is set). Order matters
   /// for determinism in tests: cancellation, then budget, then deadline.
   Status Check() const {
+    checks_.fetch_add(1, std::memory_order_relaxed);
     if (cancel_ != nullptr && cancel_->cancelled()) {
       return Status::Cancelled("request cancelled");
     }
@@ -215,10 +229,18 @@ class Guardrail {
   const Deadline& deadline() const { return deadline_; }
   MemoryBudget* budget() const { return budget_; }
 
+  /// How many times Check() ran for this request — the "guard ticks"
+  /// figure a PROFILE reports, proving the amortized polling actually
+  /// polled (GuardTicker makes this ~events/256, not ~events).
+  uint64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+
  private:
   Deadline deadline_;
   const CancelToken* cancel_ = nullptr;
   MemoryBudget* budget_ = nullptr;
+  // Counted in const Check(): the guardrail is logically immutable, the
+  // tally is observability. Relaxed — it is read after the request ends.
+  mutable std::atomic<uint64_t> checks_{0};
 };
 
 /// Amortizes Guardrail::Check over an event loop: a null-guard fast

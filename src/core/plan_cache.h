@@ -37,6 +37,10 @@ struct CompiledPlan {
   /// Labels the query mentions that are outside the schema it was posed
   /// against (iSMOQE query assistance; recomputing needs the view DTD).
   std::vector<std::string> unknown_labels;
+  /// Canonical printer rendering of the query this plan was compiled
+  /// from — the cache key's query component, kept on the artifact so
+  /// PROFILE can report "what actually ran" without re-parsing.
+  std::string normalized_query;
 };
 
 /// Aggregate cache counters (monotonic over the cache's lifetime).

@@ -24,12 +24,14 @@ Result<Session> Session::Open(Smoqe* engine, std::string role) {
   return Session(engine, std::move(role));
 }
 
-RequestOptions Session::MakeRequest(uint64_t deadline_ms,
-                                    uint64_t max_memory) const {
+RequestOptions Session::MakeRequest(const SessionRequestOptions& opts) const {
   RequestOptions req;
-  req.deadline_ms = deadline_ms;
-  req.max_memory_bytes = max_memory;
+  req.deadline_ms = opts.deadline_ms;
+  req.max_memory_bytes = opts.max_memory_bytes;
   req.cancel = cancel_.get();
+  req.trace_id = opts.trace_id;
+  req.profile = opts.profile;
+  req.trace = opts.trace;
   return req;
 }
 
@@ -38,17 +40,35 @@ Result<QueryAnswer> Session::Query(const std::string& doc,
                                    const SessionQueryOptions& options,
                                    uint64_t deadline_ms,
                                    uint64_t max_memory_bytes) {
+  SessionRequestOptions req;
+  req.deadline_ms = deadline_ms;
+  req.max_memory_bytes = max_memory_bytes;
+  return Query(doc, query, options, req);
+}
+
+Result<QueryAnswer> Session::Query(const std::string& doc,
+                                   std::string_view query,
+                                   const SessionQueryOptions& options,
+                                   const SessionRequestOptions& req) {
   QueryOptions qo;
   qo.view = role_;
   qo.mode = options.mode;
   qo.use_tax = options.use_tax;
-  return engine_->Query(doc, query, qo,
-                        MakeRequest(deadline_ms, max_memory_bytes));
+  return engine_->Query(doc, query, qo, MakeRequest(req));
 }
 
 Result<std::vector<QueryAnswer>> Session::QueryBatch(
     const std::string& doc, const std::vector<SessionBatchItem>& items,
     uint64_t deadline_ms, uint64_t max_memory_bytes) {
+  SessionRequestOptions req;
+  req.deadline_ms = deadline_ms;
+  req.max_memory_bytes = max_memory_bytes;
+  return QueryBatch(doc, items, req);
+}
+
+Result<std::vector<QueryAnswer>> Session::QueryBatch(
+    const std::string& doc, const std::vector<SessionBatchItem>& items,
+    const SessionRequestOptions& req) {
   std::vector<BatchQueryItem> batch;
   batch.reserve(items.size());
   for (const SessionBatchItem& it : items) {
@@ -59,19 +79,26 @@ Result<std::vector<QueryAnswer>> Session::QueryBatch(
     b.options.use_tax = it.options.use_tax;
     batch.push_back(std::move(b));
   }
-  return engine_->QueryBatch(doc, batch,
-                             MakeRequest(deadline_ms, max_memory_bytes));
+  return engine_->QueryBatch(doc, batch, MakeRequest(req));
 }
 
 Result<UpdateResult> Session::Update(const std::string& doc,
                                      std::string_view statement, bool dry_run,
                                      uint64_t deadline_ms,
                                      uint64_t max_memory_bytes) {
+  SessionRequestOptions req;
+  req.deadline_ms = deadline_ms;
+  req.max_memory_bytes = max_memory_bytes;
+  return Update(doc, statement, dry_run, req);
+}
+
+Result<UpdateResult> Session::Update(const std::string& doc,
+                                     std::string_view statement, bool dry_run,
+                                     const SessionRequestOptions& req) {
   UpdateOptions uo;
   uo.view = role_;
   uo.dry_run = dry_run;
-  return engine_->Update(doc, statement, uo,
-                         MakeRequest(deadline_ms, max_memory_bytes));
+  return engine_->Update(doc, statement, uo, MakeRequest(req));
 }
 
 }  // namespace smoqe::core

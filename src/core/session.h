@@ -38,6 +38,20 @@ struct SessionBatchItem {
   SessionQueryOptions options;
 };
 
+/// Request-scoped governance + observability knobs a session caller may
+/// set (all RequestOptions semantics; 0/false/null = engine default).
+/// The view is still *not* here — that is the whole point of a session.
+struct SessionRequestOptions {
+  uint64_t deadline_ms = 0;
+  uint64_t max_memory_bytes = 0;
+  /// Wire trace-context adoption: the caller's trace id, and whether a
+  /// structured profile should ride back with the answer.
+  uint64_t trace_id = 0;
+  bool profile = false;
+  /// Externally owned trace (smoqed's worker) — see RequestOptions::trace.
+  std::shared_ptr<tel::Trace> trace;
+};
+
 /// \brief A role-bound handle on a Smoqe engine.
 ///
 /// `role` is the security-view name the principal authenticated as; the
@@ -73,11 +87,19 @@ class Session {
                             const SessionQueryOptions& options = {},
                             uint64_t deadline_ms = 0,
                             uint64_t max_memory_bytes = 0);
+  /// Full-options overload (trace adoption, PROFILE).
+  Result<QueryAnswer> Query(const std::string& doc, std::string_view query,
+                            const SessionQueryOptions& options,
+                            const SessionRequestOptions& req);
 
   /// Batch of queries, all through the bound view, one pinned snapshot.
   Result<std::vector<QueryAnswer>> QueryBatch(
       const std::string& doc, const std::vector<SessionBatchItem>& items,
       uint64_t deadline_ms = 0, uint64_t max_memory_bytes = 0);
+  /// Full-options overload (trace adoption, PROFILE).
+  Result<std::vector<QueryAnswer>> QueryBatch(
+      const std::string& doc, const std::vector<SessionBatchItem>& items,
+      const SessionRequestOptions& req);
 
   /// Update through the bound view (authorized against its annotations;
   /// a direct session is trusted). Empty dtd_name = facade default.
@@ -85,11 +107,16 @@ class Session {
                               std::string_view statement, bool dry_run = false,
                               uint64_t deadline_ms = 0,
                               uint64_t max_memory_bytes = 0);
+  /// Full-options overload (trace adoption; profiles never ride on
+  /// update results — the flag only forces span recording).
+  Result<UpdateResult> Update(const std::string& doc,
+                              std::string_view statement, bool dry_run,
+                              const SessionRequestOptions& req);
 
  private:
   Session(Smoqe* engine, std::string role);
 
-  RequestOptions MakeRequest(uint64_t deadline_ms, uint64_t max_memory) const;
+  RequestOptions MakeRequest(const SessionRequestOptions& req) const;
 
   Smoqe* engine_;
   std::string role_;

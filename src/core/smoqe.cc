@@ -56,6 +56,35 @@ bool IsGuardTermination(const Status& s) {
          s.code() == StatusCode::kCancelled;
 }
 
+/// Flattens a finished call into the PROFILE model: the trace's span
+/// list becomes the stage tree (same indices, so parent links carry
+/// over verbatim), and the guard's tick tally rides along. `tr` may be
+/// null (slow-log capture of an unsampled call) — the profile then has
+/// no stages but still carries timing and identity.
+tel::Profile MakeProfile(const char* op, const std::string& doc,
+                         const std::string& view, std::string_view statement,
+                         uint64_t total_ns, const Guardrail* guard,
+                         const tel::Trace* tr) {
+  tel::Profile p;
+  p.op = op;
+  p.doc = doc;
+  p.view = view;
+  p.statement = std::string(statement);
+  p.total_ns = total_ns;
+  if (guard != nullptr) p.guard_ticks = guard->checks();
+  if (tr != nullptr) {
+    p.trace_id = tr->id();
+    for (const tel::SpanRecord& s : tr->spans()) {
+      tel::ProfileStage st;
+      st.name = s.name;
+      st.parent = s.parent;
+      st.ns = s.end_ns >= s.start_ns ? s.end_ns - s.start_ns : 0;
+      p.stages.push_back(std::move(st));
+    }
+  }
+  return p;
+}
+
 }  // namespace
 
 Smoqe::FacadeMetrics::FacadeMetrics(tel::MetricsRegistry& reg)
@@ -119,6 +148,19 @@ const Guardrail* Smoqe::MakeGuard(const RequestOptions& req,
   *guard = Guardrail(Deadline::After(deadline_ms), req.cancel,
                      max_bytes != 0 ? budget : nullptr);
   return guard;
+}
+
+std::shared_ptr<tel::Trace> Smoqe::PickTrace(const char* name,
+                                             const RequestOptions& req,
+                                             bool* external) {
+  *external = req.trace != nullptr;
+  if (*external) return req.trace;
+  if (req.trace_id != 0 || req.profile) {
+    // An explicit correlation id or a PROFILE request must always
+    // record — sampling would make the surface flaky for the caller.
+    return telemetry_->traces().Begin(name, req.trace_id);
+  }
+  return telemetry_->MaybeBeginTrace(name);
 }
 
 const char* Smoqe::CountGuardOutcome(const Status& status) {
@@ -401,6 +443,7 @@ Result<Smoqe::PlanUse> Smoqe::GetPlan(std::string_view query_text,
     SMOQE_ASSIGN_OR_RETURN(
         compiled->mfa, rewrite::RewriteToMfa(*query, view->definition, names_));
   }
+  compiled->normalized_query = key.normalized_query;
   std::shared_ptr<const CompiledPlan> plan = std::move(compiled);
   if (!options.bypass_plan_cache) {
     // Adopt whatever the cache keeps: if a concurrent compile of the same
@@ -495,7 +538,8 @@ void Smoqe::AppendQueryAudit(const std::string& doc_name,
 Result<QueryAnswer> Smoqe::QueryImpl(const std::string& doc_name,
                                      std::string_view query_text,
                                      const QueryOptions& options,
-                                     const Guardrail* guard, tel::Trace* tr) {
+                                     const Guardrail* guard, tel::Trace* tr,
+                                     bool want_canonical) {
   // Entry check: a deadline that arrived expired (or a pre-cancelled
   // token) fails before any parsing or locking.
   if (guard != nullptr) SMOQE_RETURN_IF_ERROR(guard->Check());
@@ -512,7 +556,12 @@ Result<QueryAnswer> Smoqe::QueryImpl(const std::string& doc_name,
   }
   // No lock held during evaluation: the snapshot is pinned, the plan is
   // immutable and shared.
-  return EvalCompiled(*snap, doc_name, plan, options, guard, tr);
+  Result<QueryAnswer> out =
+      EvalCompiled(*snap, doc_name, plan, options, guard, tr);
+  if (out.ok() && want_canonical) {
+    out->canonical_query = plan.plan->normalized_query;
+  }
+  return out;
 }
 
 Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
@@ -534,7 +583,8 @@ Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
     return QueryImpl(doc_name, query_text, options, guard, nullptr);
   }
   const auto t0 = std::chrono::steady_clock::now();
-  std::shared_ptr<tel::Trace> trace = telemetry_->MaybeBeginTrace("query");
+  bool external = false;
+  std::shared_ptr<tel::Trace> trace = PickTrace("query", req, &external);
   tel::Trace* tr = trace.get();
   if (tr != nullptr) {
     tr->SetAttr("doc", doc_name);
@@ -544,10 +594,11 @@ Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
   }
 
   Result<QueryAnswer> result =
-      QueryImpl(doc_name, query_text, options, guard, tr);
+      QueryImpl(doc_name, query_text, options, guard, tr, req.profile);
 
+  const uint64_t elapsed_ns = ElapsedNs(t0);
   tm_->query_count->Add();
-  tm_->query_latency_ns->Record(ElapsedNs(t0));
+  tm_->query_latency_ns->Record(elapsed_ns);
   if (result.ok()) {
     QueryAnswer& a = *result;
     if (tr != nullptr) a.trace_id = tr->id();
@@ -570,10 +621,32 @@ Result<QueryAnswer> Smoqe::Query(const std::string& doc_name,
       tr->SetAttr("guard", guard_kind);
     }
   }
+  // PROFILE / slow-query capture — on every outcome, so failures are
+  // debuggable too (an error's profile carries the stages that ran up
+  // to the failure point and empty stats).
+  const uint64_t threshold_ns =
+      options_.slow_query_threshold_ms * 1000000ull;
+  const bool slow =
+      telemetry_->slow().enabled() && elapsed_ns >= threshold_ns;
+  const bool want_profile = req.profile && result.ok();
+  if (slow || want_profile) {
+    tel::Profile p = MakeProfile("query", doc_name, options.view, query_text,
+                                 elapsed_ns, guard, tr);
+    if (result.ok()) {
+      p.plan_cache_hit = result->stats.plan_cache_hits > 0;
+      p.doc_epoch = result->doc_epoch;
+      p.canonical_query = result->canonical_query;
+      p.stats = result->stats;
+    }
+    if (want_profile) result->profile = std::make_shared<tel::Profile>(p);
+    if (slow) {
+      telemetry_->slow().Append(std::move(p), options.view, threshold_ns);
+    }
+  }
   if (tr != nullptr) {
     tr->SetAttr("status",
                 result.ok() ? "ok" : result.status().ToString());
-    telemetry_->traces().Finish(trace);
+    if (!external) telemetry_->traces().Finish(trace);
   }
   return result;
 }
@@ -747,8 +820,8 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
     return QueryBatchImpl(doc_name, items, guard, nullptr);
   }
   const auto t0 = std::chrono::steady_clock::now();
-  std::shared_ptr<tel::Trace> trace =
-      telemetry_->MaybeBeginTrace("query_batch");
+  bool external = false;
+  std::shared_ptr<tel::Trace> trace = PickTrace("query_batch", req, &external);
   tel::Trace* tr = trace.get();
   if (tr != nullptr) {
     tr->SetAttr("doc", doc_name);
@@ -758,15 +831,16 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
   Result<std::vector<QueryAnswer>> result =
       QueryBatchImpl(doc_name, items, guard, tr);
 
+  const uint64_t elapsed_ns = ElapsedNs(t0);
   tm_->batch_count->Add();
   tm_->batch_items->Add(items.size());
-  tm_->batch_latency_ns->Record(ElapsedNs(t0));
+  tm_->batch_latency_ns->Record(elapsed_ns);
+  // Batch-level stats are the MergeFrom fold of the per-item stats
+  // (identical under serial and parallel execution — asserted in the
+  // concurrency suite); only the fold touches the registry. Items that
+  // failed locally contribute nothing — no stats, no audit record.
+  EvalStats agg;
   if (result.ok()) {
-    // Batch-level stats are the MergeFrom fold of the per-item stats
-    // (identical under serial and parallel execution — asserted in the
-    // concurrency suite); only the fold touches the registry. Items that
-    // failed locally contribute nothing — no stats, no audit record.
-    EvalStats agg;
     for (size_t i = 0; i < result->size(); ++i) {
       QueryAnswer& a = (*result)[i];
       if (tr != nullptr) a.trace_id = tr->id();
@@ -789,10 +863,37 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatch(
       tr->SetAttr("guard", guard_kind);
     }
   }
+  // One batch-level profile (per-item breakdowns would need per-item
+  // traces); it rides on the FIRST item's answer when requested.
+  const uint64_t threshold_ns =
+      options_.slow_query_threshold_ms * 1000000ull;
+  const bool slow =
+      telemetry_->slow().enabled() && elapsed_ns >= threshold_ns;
+  const bool want_profile = req.profile && result.ok() && !result->empty();
+  if (slow || want_profile) {
+    tel::Profile p = MakeProfile("query_batch", doc_name, "",
+                                 std::to_string(items.size()) + " items",
+                                 elapsed_ns, guard, tr);
+    if (result.ok()) {
+      p.plan_cache_hit =
+          agg.plan_cache_misses == 0 && agg.plan_cache_hits > 0;
+      p.stats = agg;
+      for (const QueryAnswer& a : *result) {
+        if (a.status.ok()) {
+          p.doc_epoch = a.doc_epoch;
+          break;
+        }
+      }
+    }
+    if (want_profile) {
+      result->front().profile = std::make_shared<tel::Profile>(p);
+    }
+    if (slow) telemetry_->slow().Append(std::move(p), "", threshold_ns);
+  }
   if (tr != nullptr) {
     tr->SetAttr("status",
                 result.ok() ? "ok" : result.status().ToString());
-    telemetry_->traces().Finish(trace);
+    if (!external) telemetry_->traces().Finish(trace);
   }
   return result;
 }
@@ -913,17 +1014,19 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMulti(
     return QueryBatchMultiImpl(items, guard, nullptr);
   }
   const auto t0 = std::chrono::steady_clock::now();
+  bool external = false;
   std::shared_ptr<tel::Trace> trace =
-      telemetry_->MaybeBeginTrace("query_batch_multi");
+      PickTrace("query_batch_multi", req, &external);
   tel::Trace* tr = trace.get();
   if (tr != nullptr) tr->SetAttr("items", std::to_string(items.size()));
 
   Result<std::vector<QueryAnswer>> result =
       QueryBatchMultiImpl(items, guard, tr);
 
+  const uint64_t elapsed_ns = ElapsedNs(t0);
   tm_->batch_count->Add();
   tm_->batch_items->Add(items.size());
-  tm_->batch_latency_ns->Record(ElapsedNs(t0));
+  tm_->batch_latency_ns->Record(elapsed_ns);
   if (result.ok()) {
     EvalStats agg;
     for (size_t i = 0; i < result->size(); ++i) {
@@ -948,10 +1051,18 @@ Result<std::vector<QueryAnswer>> Smoqe::QueryBatchMulti(
       tr->SetAttr("guard", guard_kind);
     }
   }
+  const uint64_t threshold_ns =
+      options_.slow_query_threshold_ms * 1000000ull;
+  if (telemetry_->slow().enabled() && elapsed_ns >= threshold_ns) {
+    tel::Profile p = MakeProfile("query_batch_multi", "", "",
+                                 std::to_string(items.size()) + " items",
+                                 elapsed_ns, guard, tr);
+    telemetry_->slow().Append(std::move(p), "", threshold_ns);
+  }
   if (tr != nullptr) {
     tr->SetAttr("status",
                 result.ok() ? "ok" : result.status().ToString());
-    telemetry_->traces().Finish(trace);
+    if (!external) telemetry_->traces().Finish(trace);
   }
   return result;
 }
@@ -1333,7 +1444,8 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
     return UpdateImpl(doc_name, update_text, options, guard, nullptr);
   }
   const auto t0 = std::chrono::steady_clock::now();
-  std::shared_ptr<tel::Trace> trace = telemetry_->MaybeBeginTrace("update");
+  bool external = false;
+  std::shared_ptr<tel::Trace> trace = PickTrace("update", req, &external);
   tel::Trace* tr = trace.get();
   if (tr != nullptr) {
     tr->SetAttr("doc", doc_name);
@@ -1342,8 +1454,9 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
   }
   Result<UpdateResult> result =
       UpdateImpl(doc_name, update_text, options, guard, tr);
+  const uint64_t elapsed_ns = ElapsedNs(t0);
   tm_->update_count->Add(1);
-  tm_->update_latency_ns->Record(ElapsedNs(t0));
+  tm_->update_latency_ns->Record(elapsed_ns);
   if (result.ok()) {
     tm_->update_accepted->Add(1);
     tm_->update_nodes_inserted->Add(
@@ -1388,9 +1501,20 @@ Result<UpdateResult> Smoqe::Update(const std::string& doc_name,
       tr->SetAttr("guard", guard_kind);
     }
   }
+  const uint64_t threshold_ns =
+      options_.slow_query_threshold_ms * 1000000ull;
+  if (telemetry_->slow().enabled() && elapsed_ns >= threshold_ns) {
+    tel::Profile p = MakeProfile("update", doc_name, options.view,
+                                 update_text, elapsed_ns, guard, tr);
+    if (result.ok()) {
+      p.doc_epoch = result->stats.doc_epoch;
+      p.canonical_query = result->canonical;
+    }
+    telemetry_->slow().Append(std::move(p), options.view, threshold_ns);
+  }
   if (tr != nullptr) {
     tr->SetAttr("status", result.ok() ? "ok" : result.status().ToString());
-    telemetry_->traces().Finish(trace);
+    if (!external) telemetry_->traces().Finish(trace);
   }
   return result;
 }
@@ -1410,6 +1534,10 @@ std::string Smoqe::DumpMetrics(tel::DumpFormat format) const {
       .Set(static_cast<int64_t>(telemetry_->audit().dropped()));
   reg.GetGauge("trace.finished")
       .Set(static_cast<int64_t>(telemetry_->traces().finished_count()));
+  reg.GetGauge("slowlog.total")
+      .Set(static_cast<int64_t>(telemetry_->slow().total()));
+  reg.GetGauge("slowlog.dropped")
+      .Set(static_cast<int64_t>(telemetry_->slow().dropped()));
   {
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
     for (const std::string& name : catalog_.DocumentNames()) {
@@ -1420,6 +1548,11 @@ std::string Smoqe::DumpMetrics(tel::DumpFormat format) const {
     }
   }
   return reg.Render(format);
+}
+
+std::string Smoqe::DumpSlowQueries() const {
+  if (telemetry_ == nullptr) return "[]\n";
+  return telemetry_->slow().RenderJson();
 }
 
 std::vector<std::string> Smoqe::DocumentNames() const {

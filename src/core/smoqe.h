@@ -66,6 +66,12 @@ struct EngineOptions {
   /// fast-fail with RejectedBusy — before parsing, before taking any
   /// lock, before touching the catalog. 0 = unbounded (no gate).
   int max_pending_requests = 0;
+  /// Slow-query capture threshold (docs/DESIGN.md §11): a facade call
+  /// whose total latency reaches this many milliseconds has its profile
+  /// appended to the telemetry slow ring. 0 captures EVERY call (the
+  /// deterministic-CI setting); to disable capture entirely set
+  /// `telemetry.slow_log_capacity = 0` instead.
+  uint64_t slow_query_threshold_ms = 50;
 };
 
 /// Per-request resource governance (docs/DESIGN.md §9), accepted by
@@ -87,6 +93,19 @@ struct RequestOptions {
   /// outlive the call) and may Cancel() it from any thread; the request
   /// unwinds with Cancelled at its next guard check. Null = none.
   const CancelToken* cancel = nullptr;
+  /// Caller-chosen trace id, adopted verbatim so client and server logs
+  /// correlate (the wire trace-context path). 0 = engine mints ids and
+  /// the sampling knob applies; non-zero forces span recording.
+  uint64_t trace_id = 0;
+  /// Return a structured execution profile with the answer
+  /// (QueryAnswer::profile): per-stage timings, plan-cache outcome,
+  /// canonical query, EvalStats, guard ticks. Forces span recording.
+  bool profile = false;
+  /// Externally owned trace (smoqed's worker): spans land in *this*
+  /// trace and the facade does NOT finish it — the owner finishes after
+  /// the response flushes, so queue_wait and write_flush join the same
+  /// span tree. Overrides trace_id and sampling.
+  std::shared_ptr<tel::Trace> trace;
 };
 
 /// Per-query options.
@@ -126,6 +145,13 @@ struct QueryAnswer {
   /// Telemetry trace id of this call (0 when telemetry is off or the call
   /// was not sampled); look it up via `Smoqe::telemetry()->traces()`.
   uint64_t trace_id = 0;
+  /// Canonical printer rendering of the query that actually compiled
+  /// (set when RequestOptions::profile was requested; "" otherwise).
+  std::string canonical_query;
+  /// Structured execution profile, set only when RequestOptions::profile
+  /// was requested. For QueryBatch the single batch-level profile rides
+  /// on the FIRST item's answer (per-item breakdowns live in `stats`).
+  std::shared_ptr<tel::Profile> profile;
   /// Per-item status of batch calls. Query() never returns an answer
   /// with a non-OK status (the call's Result carries the error), but
   /// QueryBatch / QueryBatchMulti fail *per item*: a bad view, a parse
@@ -387,6 +413,10 @@ class Smoqe {
   std::string DumpMetrics(
       tel::DumpFormat format = tel::DumpFormat::kJson) const;
 
+  /// The slow-query ring as a JSON array (oldest first; see
+  /// tel::SlowQueryLog::RenderJson). "[]\n" when telemetry is off.
+  std::string DumpSlowQueries() const;
+
  private:
   /// A plan resolved for one query: the (possibly shared) compiled
   /// artifact plus whether it came from the cache.
@@ -458,7 +488,8 @@ class Smoqe {
   Result<QueryAnswer> QueryImpl(const std::string& doc_name,
                                 std::string_view query_text,
                                 const QueryOptions& options,
-                                const Guardrail* guard, tel::Trace* tr);
+                                const Guardrail* guard, tel::Trace* tr,
+                                bool want_canonical = false);
   Result<std::vector<QueryAnswer>> QueryBatchImpl(
       const std::string& doc_name, const std::vector<BatchQueryItem>& items,
       const Guardrail* guard, tel::Trace* tr);
@@ -472,6 +503,16 @@ class Smoqe {
 
   /// Folds one call's EvalStats aggregate into the eval.* counters.
   void FoldEvalStats(const EvalStats& stats);
+
+  /// Resolves the trace a facade call records into, per RequestOptions:
+  /// an external (server-owned) trace wins, else an explicit trace_id /
+  /// profile request forces recording under the caller's id (bypassing
+  /// sampling), else the sampling knob decides. `*external` reports
+  /// whether the facade must leave Finish to the owner. Requires
+  /// telemetry_ != nullptr.
+  std::shared_ptr<tel::Trace> PickTrace(const char* name,
+                                        const RequestOptions& req,
+                                        bool* external);
 
   /// RAII admission slot. `ok()` false means the gate was full and the
   /// call must fast-fail with RejectedBusy; nothing to release then.

@@ -229,6 +229,67 @@ Status Malformed(const char* what) {
   return Status::InvalidArgument(std::string("malformed ") + what + " body");
 }
 
+/// v2 request extension: one length-prefixed block after the v1 body,
+/// written only when the context is non-default — a default context
+/// encodes as the byte-identical v1 body, which is what keeps v1
+/// servers able to decode v2 clients that don't use tracing.
+void PutTraceContext(Writer& w, const TraceContext& t) {
+  if (!t.has()) return;
+  Writer ext;
+  ext.PutU64(t.trace_id);
+  ext.PutU8(t.flags);
+  w.PutStr(ext.bytes());
+}
+
+/// Reads the optional trace-context block. Absent (body already ended)
+/// is fine; a present block must be the *last* thing in the body and
+/// length-consistent (else false → malformed). Inside the block, fewer
+/// bytes than id+flags means "from a dialect we don't speak" and is
+/// ignored; extra bytes beyond flags are ignored too (room for future
+/// fields without another version bump).
+bool GetTraceContext(Reader& r, TraceContext* t) {
+  if (r.AtEnd()) return true;
+  std::string ext;
+  if (!r.GetStr(&ext) || !r.AtEnd()) return false;
+  Reader er(ext);
+  uint64_t id = 0;
+  uint8_t flags = 0;
+  if (er.GetU64(&id) && er.GetU8(&flags)) {
+    t->trace_id = id;
+    t->flags = flags;
+  }
+  return true;
+}
+
+/// v2 response extension, mirror rules of the request side.
+void PutTraceEcho(Writer& w, const TraceEcho& e) {
+  if (!e.present) return;
+  Writer ext;
+  ext.PutU64(e.trace_id);
+  ext.PutU64(e.server_ns);
+  ext.PutU8(e.has_profile);
+  if (e.has_profile != 0) ext.PutStr(e.profile_json);
+  w.PutStr(ext.bytes());
+}
+
+bool GetTraceEcho(Reader& r, TraceEcho* e) {
+  if (r.AtEnd()) return true;
+  std::string ext;
+  if (!r.GetStr(&ext) || !r.AtEnd()) return false;
+  Reader er(ext);
+  TraceEcho tmp;
+  if (!er.GetU64(&tmp.trace_id) || !er.GetU64(&tmp.server_ns) ||
+      !er.GetU8(&tmp.has_profile)) {
+    return true;  // short block from another dialect: ignore
+  }
+  if (tmp.has_profile != 0 && !er.GetStr(&tmp.profile_json)) {
+    tmp.has_profile = 0;  // truncated profile: keep the timing fields
+  }
+  tmp.present = true;
+  *e = std::move(tmp);
+  return true;
+}
+
 }  // namespace
 
 std::string Encode(const HelloRequest& m) {
@@ -278,6 +339,7 @@ std::string Encode(const QueryRequest& m) {
   w.PutU8(m.use_tax);
   w.PutU64(m.deadline_ms);
   w.PutU64(m.max_memory_bytes);
+  PutTraceContext(w, m.trace);
   return Frame(Opcode::kQuery, w.bytes());
 }
 
@@ -287,7 +349,8 @@ Result<QueryRequest> DecodeQueryRequest(std::string_view body) {
   uint8_t mode = 0;
   if (!r.GetU64(&m.id) || !r.GetStr(&m.doc) || !r.GetStr(&m.query) ||
       !r.GetU8(&mode) || !r.GetU8(&m.use_tax) || !r.GetU64(&m.deadline_ms) ||
-      !r.GetU64(&m.max_memory_bytes) || !r.AtEnd() || mode > 1) {
+      !r.GetU64(&m.max_memory_bytes) || !GetTraceContext(r, &m.trace) ||
+      mode > 1) {
     return Malformed("QUERY");
   }
   m.mode = static_cast<WireEvalMode>(mode);
@@ -302,6 +365,7 @@ std::string Encode(const QueryResponse& m) {
     w.PutU32(static_cast<uint32_t>(m.answers_xml.size()));
     for (const std::string& a : m.answers_xml) w.PutStr(a);
   }
+  PutTraceEcho(w, m.echo);
   return Frame(Opcode::kQueryResult, w.bytes());
 }
 
@@ -323,7 +387,7 @@ Result<QueryResponse> DecodeQueryResponse(std::string_view body) {
       m.answers_xml.push_back(std::move(a));
     }
   }
-  if (!r.AtEnd()) return Malformed("QUERY_RESULT");
+  if (!GetTraceEcho(r, &m.echo)) return Malformed("QUERY_RESULT");
   return m;
 }
 
@@ -339,6 +403,7 @@ std::string Encode(const QueryBatchRequest& m) {
     w.PutU8(static_cast<uint8_t>(it.mode));
     w.PutU8(it.use_tax);
   }
+  PutTraceContext(w, m.trace);
   return Frame(Opcode::kQueryBatch, w.bytes());
 }
 
@@ -363,7 +428,7 @@ Result<QueryBatchRequest> DecodeQueryBatchRequest(std::string_view body) {
     it.mode = static_cast<WireEvalMode>(mode);
     m.items.push_back(std::move(it));
   }
-  if (!r.AtEnd()) return Malformed("QUERY_BATCH");
+  if (!GetTraceContext(r, &m.trace)) return Malformed("QUERY_BATCH");
   return m;
 }
 
@@ -383,6 +448,7 @@ std::string Encode(const QueryBatchResponse& m) {
       for (const std::string& a : it.answers_xml) w.PutStr(a);
     }
   }
+  PutTraceEcho(w, m.echo);
   return Frame(Opcode::kQueryBatchResult, w.bytes());
 }
 
@@ -422,7 +488,7 @@ Result<QueryBatchResponse> DecodeQueryBatchResponse(std::string_view body) {
       m.items.push_back(std::move(it));
     }
   }
-  if (!r.AtEnd()) return Malformed("QUERY_BATCH_RESULT");
+  if (!GetTraceEcho(r, &m.echo)) return Malformed("QUERY_BATCH_RESULT");
   return m;
 }
 
@@ -434,6 +500,7 @@ std::string Encode(const UpdateRequest& m) {
   w.PutU8(m.dry_run);
   w.PutU64(m.deadline_ms);
   w.PutU64(m.max_memory_bytes);
+  PutTraceContext(w, m.trace);
   return Frame(Opcode::kUpdate, w.bytes());
 }
 
@@ -442,7 +509,7 @@ Result<UpdateRequest> DecodeUpdateRequest(std::string_view body) {
   Reader r(body);
   if (!r.GetU64(&m.id) || !r.GetStr(&m.doc) || !r.GetStr(&m.statement) ||
       !r.GetU8(&m.dry_run) || !r.GetU64(&m.deadline_ms) ||
-      !r.GetU64(&m.max_memory_bytes) || !r.AtEnd()) {
+      !r.GetU64(&m.max_memory_bytes) || !GetTraceContext(r, &m.trace)) {
     return Malformed("UPDATE");
   }
   return m;
@@ -457,6 +524,7 @@ std::string Encode(const UpdateResponse& m) {
     w.PutU64(m.nodes_inserted);
     w.PutU64(m.nodes_deleted);
   }
+  PutTraceEcho(w, m.echo);
   return Frame(Opcode::kUpdateResult, w.bytes());
 }
 
@@ -472,7 +540,7 @@ Result<UpdateResponse> DecodeUpdateResponse(std::string_view body) {
       return Malformed("UPDATE_RESULT");
     }
   }
-  if (!r.AtEnd()) return Malformed("UPDATE_RESULT");
+  if (!GetTraceEcho(r, &m.echo)) return Malformed("UPDATE_RESULT");
   return m;
 }
 
@@ -487,7 +555,7 @@ Result<StatRequest> DecodeStatRequest(std::string_view body) {
   StatRequest m;
   Reader r(body);
   uint8_t fmt = 0;
-  if (!r.GetU64(&m.id) || !r.GetU8(&fmt) || !r.AtEnd() || fmt > 1) {
+  if (!r.GetU64(&m.id) || !r.GetU8(&fmt) || !r.AtEnd() || fmt > 2) {
     return Malformed("STAT");
   }
   m.format = static_cast<StatFormat>(fmt);

@@ -33,8 +33,13 @@
 namespace smoqe::server {
 
 /// Protocol version exchanged in the handshake. Bumped on any frame
-/// layout change; the server rejects clients of a different version.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// layout change; the server accepts [kMinProtocolVersion,
+/// kProtocolVersion] and rejects anything else. v2 adds the optional
+/// trace-context request extension and the trace-echo response
+/// extension (docs/PROTOCOL.md "Version 2"); every v1 frame is also a
+/// valid v2 frame, so v1 clients keep working unchanged.
+inline constexpr uint32_t kProtocolVersion = 2;
+inline constexpr uint32_t kMinProtocolVersion = 1;
 
 /// Default bound on a *request* frame (what the server will buffer for
 /// one frame before declaring the stream hostile).
@@ -192,6 +197,37 @@ class FrameExtractor {
 /// Evaluation mode on the wire (mirrors core::EvalMode, stable values).
 enum class WireEvalMode : uint8_t { kDom = 0, kStax = 1 };
 
+/// Request trace-context flags (v2 extension).
+inline constexpr uint8_t kTraceFlagProfile = 0x01;  ///< PROFILE requested
+
+/// v2 request extension: a client-minted 64-bit trace id the server
+/// adopts for its own spans (so client and server logs correlate), plus
+/// flags. Encoded — only when `has()` — after the v1 body as one
+/// length-prefixed block `u32 ext_len | u64 trace_id | u8 flags`;
+/// decoders ignore unknown trailing bytes inside the block (forward
+/// compatibility) and treat an absent block as all-defaults.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint8_t flags = 0;
+
+  bool has() const { return trace_id != 0 || flags != 0; }
+  bool profile() const { return (flags & kTraceFlagProfile) != 0; }
+};
+
+/// v2 response extension, echoed — on success AND failure frames — iff
+/// the request carried a TraceContext: the adopted trace id, total
+/// server-side nanoseconds (frame arrival → response encode; the final
+/// socket flush is excluded, it lands in the server's own trace as
+/// `write_flush`), and an optional profile JSON when the request set
+/// kTraceFlagProfile and the operation produced one.
+struct TraceEcho {
+  bool present = false;  ///< not encoded; true when the block was on the wire
+  uint64_t trace_id = 0;
+  uint64_t server_ns = 0;
+  uint8_t has_profile = 0;
+  std::string profile_json;  ///< tel::ProfileRenderer::Json payload
+};
+
 /// HELLO — must be the first frame on a connection; binds the role.
 struct HelloRequest {
   uint64_t id = 0;
@@ -219,6 +255,8 @@ struct QueryRequest {
   /// Per-request guardrails, 0 = inherit the engine default.
   uint64_t deadline_ms = 0;
   uint64_t max_memory_bytes = 0;
+  /// v2: optional trace context (absent on the wire when !has()).
+  TraceContext trace;
 };
 
 struct QueryResponse {
@@ -227,6 +265,8 @@ struct QueryResponse {
   std::string error;  ///< set iff code != kOk
   uint64_t doc_epoch = 0;
   std::vector<std::string> answers_xml;
+  /// v2: echoed iff the request carried a trace context.
+  TraceEcho echo;
 };
 
 /// QUERY_BATCH — N queries of one session over one document in one call
@@ -243,6 +283,8 @@ struct QueryBatchRequest {
   uint64_t deadline_ms = 0;
   uint64_t max_memory_bytes = 0;
   std::vector<BatchItem> items;
+  /// v2: optional trace context (absent on the wire when !has()).
+  TraceContext trace;
 };
 
 /// Per-item outcome of a batch: item-local failures carry a code +
@@ -259,6 +301,8 @@ struct QueryBatchResponse {
   WireCode code = WireCode::kOk;
   std::string error;  ///< whole-call failure; items empty then
   std::vector<BatchItemResult> items;
+  /// v2: echoed iff the request carried a trace context.
+  TraceEcho echo;
 };
 
 /// UPDATE — one update statement through the session's bound view.
@@ -269,6 +313,10 @@ struct UpdateRequest {
   uint8_t dry_run = 0;
   uint64_t deadline_ms = 0;
   uint64_t max_memory_bytes = 0;
+  /// v2: optional trace context (absent on the wire when !has()).
+  /// kTraceFlagProfile only forces span recording — update responses
+  /// never carry a profile (echo.has_profile is always 0).
+  TraceContext trace;
 };
 
 struct UpdateResponse {
@@ -279,10 +327,13 @@ struct UpdateResponse {
   std::string canonical;
   uint64_t nodes_inserted = 0;
   uint64_t nodes_deleted = 0;
+  /// v2: echoed iff the request carried a trace context.
+  TraceEcho echo;
 };
 
-/// STAT — server + engine metrics dump (no role required).
-enum class StatFormat : uint8_t { kJson = 0, kPrometheus = 1 };
+/// STAT — server + engine metrics dump (no role required). v2 adds
+/// kSlow: the engine's slow-query ring as a JSON array.
+enum class StatFormat : uint8_t { kJson = 0, kPrometheus = 1, kSlow = 2 };
 
 struct StatRequest {
   uint64_t id = 0;

@@ -14,6 +14,9 @@
 #include <cstring>
 #include <utility>
 
+#include "src/telemetry/profile.h"
+#include "src/telemetry/telemetry.h"
+
 namespace smoqe::server {
 
 namespace {
@@ -31,6 +34,12 @@ Status Errno(const char* what) {
 bool SetNonBlocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+uint64_t NsSince(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
 }
 
 }  // namespace
@@ -56,6 +65,7 @@ Server::Metrics::Metrics(core::Smoqe* engine) {
   bytes_read = &reg.GetCounter("server.bytes_read");
   bytes_written = &reg.GetCounter("server.bytes_written");
   request_ns = &reg.GetHistogram("server.request_ns");
+  pipeline_depth = &reg.GetHistogram("server.pipeline_depth");
 }
 
 Server::Server(core::Smoqe* engine, ServerOptions options)
@@ -316,6 +326,16 @@ void Server::ProcessFrames(const std::shared_ptr<Connection>& conn) {
       case Opcode::kUpdate:
       case Opcode::kStat: {
         metrics_.Count(metrics_.requests);
+        if (conn->role_requests != nullptr) conn->role_requests->Add(1);
+        // Admission stamps: how deep this request queued behind the
+        // in-flight one (0 = dispatched immediately) and when it
+        // arrived — the eventual trace's queue_wait span.
+        const int depth = static_cast<int>(conn->pending.size()) +
+                          (conn->in_flight ? 1 : 0);
+        if (metrics_.pipeline_depth != nullptr) {
+          metrics_.pipeline_depth->Record(static_cast<uint64_t>(depth));
+        }
+        const auto now = std::chrono::steady_clock::now();
         if (conn->in_flight) {
           if (conn->pending.size() >=
               static_cast<size_t>(options_.max_pipeline)) {
@@ -327,13 +347,14 @@ void Server::ProcessFrames(const std::shared_ptr<Connection>& conn) {
                                 "connection pipeline full (max_pipeline)"));
             break;
           }
-          conn->pending.push_back(std::move(*frame));
+          conn->pending.push_back(
+              PendingRequest{std::move(*frame), now, depth});
           break;
         }
         conn->in_flight = true;
         {
           std::lock_guard<std::mutex> lock(work_mu_);
-          work_.push_back(WorkItem{conn, std::move(*frame)});
+          work_.push_back(WorkItem{conn, std::move(*frame), now, depth});
         }
         work_cv_.notify_one();
         break;
@@ -380,9 +401,11 @@ void Server::HandleHandshake(const std::shared_ptr<Connection>& conn,
     return;
   }
   resp.id = hello->id;
-  if (hello->version != kProtocolVersion) {
+  if (hello->version < kMinProtocolVersion ||
+      hello->version > kProtocolVersion) {
     resp.code = WireCode::kFailedPrecondition;
     resp.message = "protocol version mismatch: server speaks " +
+                   std::to_string(kMinProtocolVersion) + ".." +
                    std::to_string(kProtocolVersion) + ", client sent " +
                    std::to_string(hello->version);
   } else if (hello->role.empty() && !options_.allow_direct) {
@@ -396,8 +419,17 @@ void Server::HandleHandshake(const std::shared_ptr<Connection>& conn,
     } else {
       conn->session =
           std::make_unique<core::Session>(session.MoveValue());
+      conn->version = hello->version;
+      if (engine_->telemetry() != nullptr) {
+        const std::string role =
+            hello->role.empty() ? "direct" : hello->role;
+        conn->role_requests = &engine_->telemetry()->registry().GetCounter(
+            "server.requests_by_role." + role);
+      }
       resp.code = WireCode::kOk;
-      resp.message = "smoqed protocol " + std::to_string(kProtocolVersion) +
+      // Banner echoes the *negotiated* version: a v1 client hears v1
+      // back and knows no extensions will ride on its responses.
+      resp.message = "smoqed protocol " + std::to_string(hello->version) +
                      ", role '" + hello->role + "'";
     }
   }
@@ -469,26 +501,43 @@ void Server::DrainCompletions() {
     done.swap(done_);
   }
   for (const std::shared_ptr<Connection>& conn : done) {
-    std::vector<std::string> out;
+    std::vector<Outgoing> out;
     {
       std::lock_guard<std::mutex> lock(conn->out_mu);
       out.swap(conn->outbox);
     }
     conn->in_flight = false;
-    if (conn->fd < 0) continue;  // disconnected while executing
-    for (std::string& frame : out) SendBytes(conn, std::move(frame));
+    if (conn->fd < 0) {
+      // Disconnected while executing: nobody to flush to, but the
+      // traces still land in the recorder ring (no write_flush span).
+      for (Outgoing& o : out) FinishTrace(o.trace);
+      continue;
+    }
+    for (Outgoing& o : out) {
+      if (conn->fd < 0) {  // an earlier write in this batch failed
+        FinishTrace(o.trace);
+        continue;
+      }
+      const auto w0 = std::chrono::steady_clock::now();
+      SendBytes(conn, std::move(o.bytes));
+      if (o.trace != nullptr) {
+        o.trace->AddCompletedSpan("write_flush", NsSince(w0));
+        FinishTrace(o.trace);
+      }
+    }
     if (conn->fd < 0) continue;  // write failure closed it
     if (conn->close_after_flush) {
       if (conn->wbuf_off >= conn->wbuf.size()) CloseConnection(conn);
       continue;
     }
     if (!conn->pending.empty()) {
-      RawFrame next = std::move(conn->pending.front());
+      PendingRequest next = std::move(conn->pending.front());
       conn->pending.pop_front();
       conn->in_flight = true;
       {
         std::lock_guard<std::mutex> lock(work_mu_);
-        work_.push_back(WorkItem{conn, std::move(next)});
+        work_.push_back(WorkItem{conn, std::move(next.frame), next.enqueue,
+                                 next.pending_depth});
       }
       work_cv_.notify_one();
     }
@@ -527,11 +576,9 @@ void Server::WorkerMain() {
       work_.pop_front();
     }
     const auto t0 = std::chrono::steady_clock::now();
-    std::string response = ExecuteRequest(*item.conn, item.frame);
+    Outgoing response = ExecuteRequest(item);
     if (metrics_.request_ns != nullptr) {
-      const auto dt = std::chrono::steady_clock::now() - t0;
-      metrics_.request_ns->Record(static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+      metrics_.request_ns->Record(NsSince(t0));
     }
     {
       std::lock_guard<std::mutex> lock(item.conn->out_mu);
@@ -586,30 +633,68 @@ std::string Server::ErrorResponseFor(uint8_t opcode, uint64_t id,
   }
 }
 
-std::string Server::ExecuteRequest(Connection& conn, const RawFrame& frame) {
+std::shared_ptr<telemetry::Trace> Server::BeginWireTrace(
+    const char* op, const TraceContext& ctx, const Connection& conn,
+    const WorkItem& item) {
+  if (!ctx.has()) return nullptr;
+  telemetry::Telemetry* tel = engine_->telemetry();
+  if (tel == nullptr) return nullptr;
+  std::shared_ptr<telemetry::Trace> trace =
+      tel->traces().Begin(std::string("server.") + op, ctx.trace_id);
+  // The queue wait happened before the trace existed; back-date it so
+  // the span tree reads arrival → dispatch → facade stages.
+  trace->AddCompletedSpan("queue_wait", NsSince(item.enqueue));
+  trace->SetAttr("pipeline_depth", std::to_string(item.pending_depth));
+  const std::string& role = conn.session->role();
+  trace->SetAttr("role", role.empty() ? "direct" : role);
+  return trace;
+}
+
+void Server::FinishTrace(const std::shared_ptr<telemetry::Trace>& trace) {
+  if (trace == nullptr) return;
+  telemetry::Telemetry* tel = engine_->telemetry();
+  if (tel != nullptr) tel->traces().Finish(trace);
+}
+
+Server::Outgoing Server::ExecuteRequest(const WorkItem& item) {
   // A request can only reach a worker after the handshake bound the
   // session, so `conn.session` is set; the loop never rebinds it.
+  Connection& conn = *item.conn;
   core::Session& session = *conn.session;
+  const RawFrame& frame = item.frame;
+  Outgoing out;
   switch (static_cast<Opcode>(frame.opcode)) {
     case Opcode::kQuery: {
       auto req = DecodeQueryRequest(frame.body);
       if (!req.ok()) break;
-      return ExecuteQuery(session, *req);
+      // A v1 peer cannot have sent a trace context intentionally; any
+      // well-formed-looking trailing block on its frames is noise.
+      if (conn.version < 2) req->trace = TraceContext{};
+      out.trace = BeginWireTrace("query", req->trace, conn, item);
+      out.bytes = ExecuteQuery(session, *req, item, out.trace);
+      return out;
     }
     case Opcode::kQueryBatch: {
       auto req = DecodeQueryBatchRequest(frame.body);
       if (!req.ok()) break;
-      return ExecuteQueryBatch(session, *req);
+      if (conn.version < 2) req->trace = TraceContext{};
+      out.trace = BeginWireTrace("query_batch", req->trace, conn, item);
+      out.bytes = ExecuteQueryBatch(session, *req, item, out.trace);
+      return out;
     }
     case Opcode::kUpdate: {
       auto req = DecodeUpdateRequest(frame.body);
       if (!req.ok()) break;
-      return ExecuteUpdate(session, *req);
+      if (conn.version < 2) req->trace = TraceContext{};
+      out.trace = BeginWireTrace("update", req->trace, conn, item);
+      out.bytes = ExecuteUpdate(session, *req, item, out.trace);
+      return out;
     }
     case Opcode::kStat: {
       auto req = DecodeStatRequest(frame.body);
       if (!req.ok()) break;
-      return ExecuteStat(*req);
+      out.bytes = ExecuteStat(*req);
+      return out;
     }
     default:
       break;  // unreachable: the loop routes only known opcodes here
@@ -618,18 +703,26 @@ std::string Server::ExecuteRequest(Connection& conn, const RawFrame& frame) {
   // connection survives; the request itself is unanswerable.
   metrics_.Count(metrics_.protocol_errors);
   metrics_.Count(metrics_.responses_error);
-  return ErrorResponseFor(frame.opcode, PeekRequestId(frame.body),
-                          WireCode::kProtocolError, "malformed request body");
+  out.bytes =
+      ErrorResponseFor(frame.opcode, PeekRequestId(frame.body),
+                       WireCode::kProtocolError, "malformed request body");
+  return out;
 }
 
-std::string Server::ExecuteQuery(core::Session& session,
-                                 const QueryRequest& req) {
+std::string Server::ExecuteQuery(
+    core::Session& session, const QueryRequest& req, const WorkItem& item,
+    const std::shared_ptr<telemetry::Trace>& trace) {
   core::SessionQueryOptions opts;
   opts.mode = req.mode == WireEvalMode::kStax ? core::EvalMode::kStax
                                               : core::EvalMode::kDom;
   opts.use_tax = req.use_tax != 0;
-  auto r = session.Query(req.doc, req.query, opts, req.deadline_ms,
-                         req.max_memory_bytes);
+  core::SessionRequestOptions sreq;
+  sreq.deadline_ms = req.deadline_ms;
+  sreq.max_memory_bytes = req.max_memory_bytes;
+  sreq.trace_id = req.trace.trace_id;
+  sreq.profile = req.trace.profile();
+  sreq.trace = trace;
+  auto r = session.Query(req.doc, req.query, opts, sreq);
   QueryResponse resp;
   resp.id = req.id;
   if (!r.ok()) {
@@ -641,11 +734,25 @@ std::string Server::ExecuteQuery(core::Session& session,
     resp.answers_xml = std::move(r->answers_xml);
     metrics_.Count(metrics_.responses_ok);
   }
+  if (req.trace.has()) {
+    resp.echo.present = true;
+    resp.echo.trace_id = trace != nullptr ? trace->id() : req.trace.trace_id;
+    resp.echo.server_ns = NsSince(item.enqueue);
+    if (r.ok() && r->profile != nullptr) {
+      // Re-stamp arrival-relative so queue_wait fits under total_ns and
+      // the root-stage sum stays ≤ total_ns.
+      r->profile->trace_id = resp.echo.trace_id;
+      r->profile->total_ns = resp.echo.server_ns;
+      resp.echo.has_profile = 1;
+      resp.echo.profile_json = telemetry::ProfileRenderer::Json(*r->profile);
+    }
+  }
   return Encode(resp);
 }
 
-std::string Server::ExecuteQueryBatch(core::Session& session,
-                                      const QueryBatchRequest& req) {
+std::string Server::ExecuteQueryBatch(
+    core::Session& session, const QueryBatchRequest& req, const WorkItem& item,
+    const std::shared_ptr<telemetry::Trace>& trace) {
   std::vector<core::SessionBatchItem> items;
   items.reserve(req.items.size());
   for (const BatchItem& it : req.items) {
@@ -656,36 +763,60 @@ std::string Server::ExecuteQueryBatch(core::Session& session,
     s.options.use_tax = it.use_tax != 0;
     items.push_back(std::move(s));
   }
-  auto r = session.QueryBatch(req.doc, items, req.deadline_ms,
-                              req.max_memory_bytes);
+  core::SessionRequestOptions sreq;
+  sreq.deadline_ms = req.deadline_ms;
+  sreq.max_memory_bytes = req.max_memory_bytes;
+  sreq.trace_id = req.trace.trace_id;
+  sreq.profile = req.trace.profile();
+  sreq.trace = trace;
+  auto r = session.QueryBatch(req.doc, items, sreq);
   QueryBatchResponse resp;
   resp.id = req.id;
   if (!r.ok()) {
     resp.code = FromStatus(r.status().code());
     resp.error = r.status().message();
     metrics_.Count(metrics_.responses_error);
-    return Encode(resp);
-  }
-  resp.items.reserve(r->size());
-  for (core::QueryAnswer& a : *r) {
-    BatchItemResult item;
-    if (!a.status.ok()) {
-      item.code = FromStatus(a.status.code());
-      item.error = a.status.message();
-    } else {
-      item.doc_epoch = a.doc_epoch;
-      item.answers_xml = std::move(a.answers_xml);
+  } else {
+    resp.items.reserve(r->size());
+    for (core::QueryAnswer& a : *r) {
+      BatchItemResult item_out;
+      if (!a.status.ok()) {
+        item_out.code = FromStatus(a.status.code());
+        item_out.error = a.status.message();
+      } else {
+        item_out.doc_epoch = a.doc_epoch;
+        item_out.answers_xml = std::move(a.answers_xml);
+      }
+      resp.items.push_back(std::move(item_out));
     }
-    resp.items.push_back(std::move(item));
+    metrics_.Count(metrics_.responses_ok);
   }
-  metrics_.Count(metrics_.responses_ok);
+  if (req.trace.has()) {
+    resp.echo.present = true;
+    resp.echo.trace_id = trace != nullptr ? trace->id() : req.trace.trace_id;
+    resp.echo.server_ns = NsSince(item.enqueue);
+    // The facade attaches the batch profile to the first answer.
+    if (r.ok() && !r->empty() && r->front().profile != nullptr) {
+      telemetry::Profile& p = *r->front().profile;
+      p.trace_id = resp.echo.trace_id;
+      p.total_ns = resp.echo.server_ns;
+      resp.echo.has_profile = 1;
+      resp.echo.profile_json = telemetry::ProfileRenderer::Json(p);
+    }
+  }
   return Encode(resp);
 }
 
-std::string Server::ExecuteUpdate(core::Session& session,
-                                  const UpdateRequest& req) {
-  auto r = session.Update(req.doc, req.statement, req.dry_run != 0,
-                          req.deadline_ms, req.max_memory_bytes);
+std::string Server::ExecuteUpdate(
+    core::Session& session, const UpdateRequest& req, const WorkItem& item,
+    const std::shared_ptr<telemetry::Trace>& trace) {
+  core::SessionRequestOptions sreq;
+  sreq.deadline_ms = req.deadline_ms;
+  sreq.max_memory_bytes = req.max_memory_bytes;
+  sreq.trace_id = req.trace.trace_id;
+  sreq.profile = req.trace.profile();
+  sreq.trace = trace;
+  auto r = session.Update(req.doc, req.statement, req.dry_run != 0, sreq);
   UpdateResponse resp;
   resp.id = req.id;
   if (!r.ok()) {
@@ -699,15 +830,25 @@ std::string Server::ExecuteUpdate(core::Session& session,
     resp.nodes_deleted = r->stats.nodes_deleted;
     metrics_.Count(metrics_.responses_ok);
   }
+  if (req.trace.has()) {
+    // Updates never carry a profile back; the echo is id + timing only.
+    resp.echo.present = true;
+    resp.echo.trace_id = trace != nullptr ? trace->id() : req.trace.trace_id;
+    resp.echo.server_ns = NsSince(item.enqueue);
+  }
   return Encode(resp);
 }
 
 std::string Server::ExecuteStat(const StatRequest& req) {
   StatResponse resp;
   resp.id = req.id;
-  resp.payload = engine_->DumpMetrics(req.format == StatFormat::kPrometheus
-                                          ? telemetry::DumpFormat::kPrometheus
-                                          : telemetry::DumpFormat::kJson);
+  if (req.format == StatFormat::kSlow) {
+    resp.payload = engine_->DumpSlowQueries();
+  } else {
+    resp.payload = engine_->DumpMetrics(req.format == StatFormat::kPrometheus
+                                            ? telemetry::DumpFormat::kPrometheus
+                                            : telemetry::DumpFormat::kJson);
+  }
   metrics_.Count(metrics_.responses_ok);
   return Encode(resp);
 }

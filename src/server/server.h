@@ -24,6 +24,7 @@
 #define SMOQE_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -99,6 +100,24 @@ class Server {
   core::Smoqe* engine() const { return engine_; }
 
  private:
+  /// One encoded response plus the server-side trace riding with it
+  /// (null unless the request carried a v2 trace context and telemetry
+  /// is on). The loop thread stamps `write_flush` into the trace after
+  /// the socket write, then finishes it into the recorder ring.
+  struct Outgoing {
+    std::string bytes;
+    std::shared_ptr<telemetry::Trace> trace;
+  };
+
+  /// A request parked behind the connection's in-flight one, stamped
+  /// with its arrival time and queue depth so the eventual trace can
+  /// say how long it waited and behind how much.
+  struct PendingRequest {
+    RawFrame frame;
+    std::chrono::steady_clock::time_point enqueue;
+    int pending_depth = 0;
+  };
+
   /// Per-connection state. The event loop owns the fd and every field
   /// except `outbox`, which workers fill under `out_mu`; the Session's
   /// CancelToken is the one cross-thread control signal (atomic).
@@ -108,8 +127,15 @@ class Server {
     FrameExtractor frames;
     /// Bound at handshake; null until then.
     std::unique_ptr<core::Session> session;
+    /// Negotiated protocol version (set at handshake). Workers scrub
+    /// the trace extension off requests from v1 peers, which cannot
+    /// have sent one intentionally.
+    uint32_t version = kProtocolVersion;
+    /// `server.requests_by_role.<role>` counter, resolved once at
+    /// handshake ("" → "direct"); null when telemetry is off.
+    telemetry::Counter* role_requests = nullptr;
     /// Loop-confined: requests waiting behind the in-flight one.
-    std::deque<RawFrame> pending;
+    std::deque<PendingRequest> pending;
     bool in_flight = false;
     bool dead = false;       ///< loop saw EOF/error; fd closed
     bool close_after_flush = false;  ///< fatal protocol error sent
@@ -117,16 +143,19 @@ class Server {
     size_t wbuf_off = 0;
     /// Worker → loop handoff of encoded response frames.
     std::mutex out_mu;
-    std::vector<std::string> outbox;
+    std::vector<Outgoing> outbox;
 
     explicit Connection(size_t max_frame) : frames(max_frame) {}
     ~Connection();
   };
 
-  /// One unit of worker work: a connection and the request to run.
+  /// One unit of worker work: a connection, the request to run, and its
+  /// admission stamps (arrival time, queue depth at arrival).
   struct WorkItem {
     std::shared_ptr<Connection> conn;
     RawFrame frame;
+    std::chrono::steady_clock::time_point enqueue;
+    int pending_depth = 0;
   };
 
   /// server.* metrics, resolved once (null structs when telemetry off).
@@ -145,6 +174,7 @@ class Server {
     telemetry::Counter* bytes_read = nullptr;
     telemetry::Counter* bytes_written = nullptr;
     telemetry::Histogram* request_ns = nullptr;
+    telemetry::Histogram* pipeline_depth = nullptr;
     void Count(telemetry::Counter* c, uint64_t n = 1) {
       if (c != nullptr) c->Add(n);
     }
@@ -170,12 +200,28 @@ class Server {
 
   // --- workers ---
   void WorkerMain();
-  /// Decodes + executes one request, returns the encoded response frame.
-  std::string ExecuteRequest(Connection& conn, const RawFrame& frame);
-  std::string ExecuteQuery(core::Session& session, const QueryRequest& req);
+  /// Decodes + executes one request, returns the encoded response frame
+  /// plus the server-side trace (if the request carried a context).
+  Outgoing ExecuteRequest(const WorkItem& item);
+  /// Adopts the wire trace context as a server-side trace: queue_wait
+  /// span back-dated to the frame's arrival, pipeline depth and role as
+  /// attributes. Null when the context is absent or telemetry is off.
+  std::shared_ptr<telemetry::Trace> BeginWireTrace(const char* op,
+                                                   const TraceContext& ctx,
+                                                   const Connection& conn,
+                                                   const WorkItem& item);
+  /// Finishes `trace` into the recorder ring (null-safe both ways).
+  void FinishTrace(const std::shared_ptr<telemetry::Trace>& trace);
+  std::string ExecuteQuery(core::Session& session, const QueryRequest& req,
+                           const WorkItem& item,
+                           const std::shared_ptr<telemetry::Trace>& trace);
   std::string ExecuteQueryBatch(core::Session& session,
-                                const QueryBatchRequest& req);
-  std::string ExecuteUpdate(core::Session& session, const UpdateRequest& req);
+                                const QueryBatchRequest& req,
+                                const WorkItem& item,
+                                const std::shared_ptr<telemetry::Trace>& trace);
+  std::string ExecuteUpdate(core::Session& session, const UpdateRequest& req,
+                            const WorkItem& item,
+                            const std::shared_ptr<telemetry::Trace>& trace);
   std::string ExecuteStat(const StatRequest& req);
 
   /// A typed response frame carrying only (id, code, message) for the

@@ -1,0 +1,114 @@
+/// \file
+/// \brief Per-request profile model (docs/DESIGN.md §11): the structured
+/// answer to "where did this request's nanoseconds go". A `Profile` is
+/// assembled by the facade when a caller asks for one (`RequestOptions::
+/// profile`, or the wire PROFILE flag) and carries the rewritten query's
+/// canonical print, plan-cache hit/miss, per-stage span durations,
+/// `EvalStats` counters, the doc epoch, and guard ticks. `ProfileRenderer`
+/// prints it for humans (text) and machines (JSON; validated by
+/// `tools/check_metrics.py profile`).
+///
+/// `SlowQueryLog` is the bounded ring behind the slow-query surface: the
+/// facade appends the profile of every request whose elapsed time crossed
+/// `EngineOptions::slow_query_threshold_ms`, tagged with role/view and a
+/// monotone sequence number; `smoqe-stat --format slow` and the STAT
+/// sub-command drain it.
+
+#ifndef SMOQE_TELEMETRY_PROFILE_H_
+#define SMOQE_TELEMETRY_PROFILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/counters.h"
+
+namespace smoqe::telemetry {
+
+/// One pipeline stage's share of a request: a flattened copy of the
+/// trace's span list (`parent` indexes the enclosing stage, -1 = root).
+/// Summing the root stages never exceeds `Profile::total_ns` — nested
+/// stages double-count their parents by construction, roots do not.
+struct ProfileStage {
+  std::string name;
+  int32_t parent = -1;
+  uint64_t ns = 0;
+};
+
+/// Everything the engine knows about one finished request.
+struct Profile {
+  uint64_t trace_id = 0;        ///< wire trace id, or engine-minted
+  std::string op;               ///< "query" | "query_batch" | "update"
+  std::string doc;
+  std::string view;             ///< security view ("" = direct access)
+  std::string statement;        ///< query / update text as submitted
+  std::string canonical_query;  ///< normalized print after view rewrite
+                                ///< ("" when unavailable, e.g. batches)
+  bool plan_cache_hit = false;
+  uint64_t doc_epoch = 0;
+  uint64_t total_ns = 0;        ///< whole-request wall time (the server
+                                ///< re-stamps this to arrival-relative)
+  uint64_t guard_ticks = 0;     ///< Guardrail::Check calls this request
+  std::vector<ProfileStage> stages;
+  EvalStats stats;
+};
+
+/// Renders a Profile for humans and for `check_metrics.py profile`.
+class ProfileRenderer {
+ public:
+  /// Indented stage tree plus the counters, one attribute per line.
+  static std::string Text(const Profile& profile);
+  /// One JSON object; schema pinned by tools/check_metrics.py.
+  static std::string Json(const Profile& profile);
+};
+
+/// One slow-ring entry: the profile plus capture metadata.
+struct SlowQueryEntry {
+  uint64_t seq = 0;          ///< monotone, never reused; gaps = drops
+  int64_t unix_micros = 0;   ///< wall-clock capture time
+  std::string role;          ///< session role (= view; "" → "direct")
+  uint64_t threshold_ns = 0; ///< the threshold in force at capture
+  Profile profile;
+};
+
+/// \brief Bounded FIFO of over-threshold request profiles. Append is
+/// mutex-guarded — it fires at most once per request, and only for slow
+/// ones, so it is nowhere near the hot path. Eviction drops the oldest
+/// entry; `dropped()` and the monotone seq keep the loss visible.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 128);
+
+  /// Stamps seq + time and appends; returns the assigned seq.
+  /// No-op (returns 0) when the log was built with capacity 0.
+  uint64_t Append(Profile profile, std::string role, uint64_t threshold_ns);
+
+  /// Snapshot of retained entries, oldest first.
+  std::vector<SlowQueryEntry> Entries() const;
+
+  /// Total entries ever appended (including evicted ones).
+  uint64_t total() const { return next_seq_.load(std::memory_order_relaxed) - 1; }
+  /// Entries evicted by the capacity bound.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+
+  /// The whole ring as one JSON array (oldest first) — the payload of
+  /// `STAT format=slow` and `smoqe-stat --format slow`.
+  std::string RenderJson() const;
+
+ private:
+  const size_t capacity_;
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::deque<SlowQueryEntry> entries_;  // back = newest
+};
+
+}  // namespace smoqe::telemetry
+
+#endif  // SMOQE_TELEMETRY_PROFILE_H_

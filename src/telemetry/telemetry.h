@@ -19,6 +19,7 @@
 
 #include "src/telemetry/audit.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/profile.h"
 #include "src/telemetry/trace.h"
 
 namespace smoqe::telemetry {
@@ -28,6 +29,8 @@ struct TelemetryOptions {
   bool enabled = true;
   size_t trace_capacity = 256;   ///< finished traces retained
   size_t audit_capacity = 4096;  ///< audit records retained
+  size_t slow_log_capacity = 128;  ///< slow-query profiles retained
+                                   ///< (0 disables the slow ring)
   /// Record a trace for every Nth facade call (1 = all). Metrics and
   /// audit records are never sampled — only span recording is.
   uint64_t trace_sample_every = 1;
@@ -39,7 +42,8 @@ class Telemetry {
   explicit Telemetry(const TelemetryOptions& options = {})
       : options_(options),
         traces_(options.trace_capacity),
-        audit_(options.audit_capacity) {}
+        audit_(options.audit_capacity),
+        slow_(options.slow_log_capacity) {}
 
   MetricsRegistry& registry() { return registry_; }
   const MetricsRegistry& registry() const { return registry_; }
@@ -47,6 +51,8 @@ class Telemetry {
   const TraceRecorder& traces() const { return traces_; }
   AuditLog& audit() { return audit_; }
   const AuditLog& audit() const { return audit_; }
+  SlowQueryLog& slow() { return slow_; }
+  const SlowQueryLog& slow() const { return slow_; }
   const TelemetryOptions& options() const { return options_; }
 
   /// Starts a trace for a facade call, honoring the sampling knob; null
@@ -65,6 +71,7 @@ class Telemetry {
   MetricsRegistry registry_;
   TraceRecorder traces_;
   AuditLog audit_;
+  SlowQueryLog slow_;
   std::atomic<uint64_t> calls_{0};
 };
 

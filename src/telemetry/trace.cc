@@ -94,6 +94,19 @@ void Trace::EndSpan(int32_t index) {
   spans_[static_cast<size_t>(index)].end_ns = now;
 }
 
+int32_t Trace::AddCompletedSpan(std::string name, uint64_t duration_ns,
+                                int32_t parent) {
+  const uint64_t now = ElapsedNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord rec;
+  rec.name = std::move(name);
+  rec.parent = parent;
+  rec.start_ns = now >= duration_ns ? now - duration_ns : 0;
+  rec.end_ns = rec.start_ns + duration_ns;
+  spans_.push_back(std::move(rec));
+  return static_cast<int32_t>(spans_.size()) - 1;
+}
+
 void Trace::SetAttr(const std::string& key, std::string value) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [k, v] : attrs_) {
@@ -123,6 +136,11 @@ std::shared_ptr<Trace> TraceRecorder::Begin(std::string name) {
   return std::make_shared<Trace>(id, std::move(name));
 }
 
+std::shared_ptr<Trace> TraceRecorder::Begin(std::string name, uint64_t id) {
+  if (id == 0) return Begin(std::move(name));
+  return std::make_shared<Trace>(id, std::move(name));
+}
+
 void TraceRecorder::Finish(const std::shared_ptr<Trace>& trace) {
   if (trace == nullptr) return;
   trace->duration_ns_ = trace->ElapsedNs();
@@ -146,8 +164,10 @@ std::vector<std::shared_ptr<const Trace>> TraceRecorder::Recent(
 
 std::shared_ptr<const Trace> TraceRecorder::Find(uint64_t id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& t : ring_) {
-    if (t->id() == id) return t;
+  // Newest first: caller-chosen wire ids may repeat a minted id, and
+  // the caller wants the trace it just finished.
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if ((*it)->id() == id) return *it;
   }
   return nullptr;
 }

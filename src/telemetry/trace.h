@@ -49,6 +49,14 @@ class Trace {
   int32_t BeginSpan(std::string name, int32_t parent = -1);
   void EndSpan(int32_t index);
 
+  /// Appends an already-finished span of known duration, back-dated so
+  /// it ends "now" (start saturates at the trace's own start). This is
+  /// how work measured *outside* the trace's lifetime — the server's
+  /// queue wait before the trace existed, the write flush after the
+  /// facade returned — lands in the same parent-ordered span list.
+  int32_t AddCompletedSpan(std::string name, uint64_t duration_ns,
+                           int32_t parent = -1);
+
   void SetAttr(const std::string& key, std::string value);
 
   /// Total duration; stamped by TraceRecorder::Finish (0 until then).
@@ -107,6 +115,13 @@ class TraceRecorder {
   /// Starts a new trace (fresh id, clock running). The caller records
   /// spans into it and hands it back to Finish.
   std::shared_ptr<Trace> Begin(std::string name);
+
+  /// Starts a trace under a caller-chosen id (the wire trace-context
+  /// path: the client minted the id, the server adopts it so client and
+  /// server logs correlate). `id == 0` mints a fresh one. Caller-chosen
+  /// ids may collide with minted ones — Find returns the newest match,
+  /// which is the one the caller just made.
+  std::shared_ptr<Trace> Begin(std::string name, uint64_t id);
 
   /// Stamps the duration and appends to the ring (evicting the oldest
   /// trace when full).

@@ -253,5 +253,76 @@ TEST_F(ServerFuzzTest, TruncatedFramesAreJustDeadClients) {
   Probe("after truncation sweep");
 }
 
+// v2 trace-extension mutants: the optional trailing block is parse-or-
+// ignore by contract — a mutated extension may be adopted, ignored
+// (short block), or rejected as a malformed body, but the frame stays
+// well-framed, so the server owes exactly one QUERY_RESULT for every
+// mutant and the connection survives. Truncations of the extension
+// (length prefix fixed up) are the "present but short" case: ignored,
+// never fatal. Finally the pristine v2 frame must still adopt its id.
+TEST_F(ServerFuzzTest, TraceExtensionMutantsParseOrIgnore) {
+  QueryRequest base;
+  base.id = 9;
+  base.doc = "ward";
+  base.query = "//pname";
+  const std::string v1 = Encode(base);
+  base.trace.trace_id = 0x1122334455667788ull;
+  base.trace.flags = kTraceFlagProfile;
+  const std::string v2 = Encode(base);
+  ASSERT_GT(v2.size(), v1.size());
+  const size_t ext_off = v1.size();  // extension starts where v1 ended
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Dial(server_->port()));
+  ASSERT_TRUE(RawHandshake(conn, ""));
+
+  auto send_expect_answer = [&](const std::string& frame, uint64_t seed) {
+    if (!conn.Send(frame)) {
+      ASSERT_TRUE(conn.Dial(server_->port())) << "seed " << seed;
+      ASSERT_TRUE(RawHandshake(conn, "")) << "seed " << seed;
+      ASSERT_TRUE(conn.Send(frame)) << "seed " << seed;
+    }
+    RawFrame f;
+    ASSERT_EQ(conn.Recv(&f, 10'000), RawConn::RecvResult::kFrame)
+        << "seed " << seed
+        << ": server closed or hung on a trace-extension mutant";
+    ASSERT_EQ(f.opcode, static_cast<uint8_t>(Opcode::kQueryResult))
+        << "seed " << seed;
+    auto resp = DecodeQueryResponse(f.body);
+    ASSERT_TRUE(resp.ok()) << "seed " << seed;
+  };
+
+  // Byte mutants confined to the extension block (v1 body untouched).
+  constexpr uint64_t kMutants = 2000;
+  for (uint64_t seed = 0; seed < kMutants; ++seed) {
+    send_expect_answer(Mutate(v2, seed ^ 0xACEull, /*min_off=*/ext_off),
+                       seed);
+  }
+
+  // Every truncation of the extension, length prefix patched so the
+  // frame is still well-framed (cut == ext_off is exactly the v1 frame).
+  for (size_t cut = ext_off; cut <= v2.size(); ++cut) {
+    std::string frame = v2.substr(0, cut);
+    const uint32_t len = static_cast<uint32_t>(frame.size() - 4);
+    frame[0] = static_cast<char>(len & 0xFF);
+    frame[1] = static_cast<char>((len >> 8) & 0xFF);
+    frame[2] = static_cast<char>((len >> 16) & 0xFF);
+    frame[3] = static_cast<char>((len >> 24) & 0xFF);
+    send_expect_answer(frame, 1'000'000 + cut);
+  }
+
+  // The pristine v2 frame still round-trips its trace id + profile.
+  ASSERT_TRUE(conn.Send(v2));
+  RawFrame f;
+  ASSERT_EQ(conn.Recv(&f, 10'000), RawConn::RecvResult::kFrame);
+  auto resp = DecodeQueryResponse(f.body);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->code, WireCode::kOk) << resp->error;
+  EXPECT_TRUE(resp->echo.present);
+  EXPECT_EQ(resp->echo.trace_id, base.trace.trace_id);
+  EXPECT_EQ(resp->echo.has_profile, 1);
+  Probe("after trace-extension mutants");
+}
+
 }  // namespace
 }  // namespace smoqe::server

@@ -12,6 +12,13 @@ The `server` mode validates a STAT frame's JSON payload fetched from a
 live smoqed (the server smoke job): the server.* serving-layer metrics
 must be present and consistent with the traffic the smoke just sent:
     ./build/smoqe_cli stat --port $PORT | tools/check_metrics.py server
+
+The `profile` mode validates the PROFILE surface. It accepts either a
+single profile object (what `smoqe-cli query --profile` prints) or a
+slow-query-log array (what `smoqe-stat --format slow` or the STAT slow
+sub-command return):
+    ./build/smoqe_cli query ... --profile | tools/check_metrics.py profile
+    ./build/smoqe_stat --format slow     | tools/check_metrics.py profile
 """
 
 import json
@@ -219,12 +226,91 @@ def check_server(data):
           f"handshake_failures={c['server.handshake_failures']})")
 
 
+PROFILE_KEYS = [
+    "trace_id",
+    "op",
+    "doc",
+    "view",
+    "statement",
+    "canonical_query",
+    "plan_cache_hit",
+    "doc_epoch",
+    "total_ns",
+    "guard_ticks",
+    "stages",
+    "stats",
+]
+
+PROFILE_STAT_KEYS = [
+    "nodes_visited",
+    "answers",
+    "cans_entries",
+    "max_active_pairs",
+]
+
+
+def check_one_profile(p, where):
+    for key in PROFILE_KEYS:
+        if key not in p:
+            fail(f"{where}: profile missing '{key}'")
+    if p["op"] not in ("query", "query_batch", "update"):
+        fail(f"{where}: unknown op '{p['op']}'")
+    for key in PROFILE_STAT_KEYS:
+        if key not in p["stats"]:
+            fail(f"{where}: stats missing '{key}'")
+    root_ns = 0
+    for i, stage in enumerate(p["stages"]):
+        for key in ("name", "parent", "ns"):
+            if key not in stage:
+                fail(f"{where}: stage {i} missing '{key}'")
+        # Stages are append-ordered: a parent always precedes its child.
+        if not (stage["parent"] == -1 or 0 <= stage["parent"] < i):
+            fail(f"{where}: stage {i} parent {stage['parent']} out of range")
+        if stage["parent"] == -1:
+            root_ns += stage["ns"]
+    # Root stages partition (a subset of) the request's wall time; they
+    # can never sum past it. Child stages nest inside roots and are
+    # excluded, so overlap does not double-count. query_batch is exempt:
+    # its items run concurrently on the pool, so summed stage CPU time
+    # exceeding wall time is the parallelism working as intended.
+    if p["op"] != "query_batch" and root_ns > p["total_ns"]:
+        fail(f"{where}: root stages sum {root_ns} > total_ns "
+             f"{p['total_ns']}")
+
+
+def check_profile(data):
+    doc = json.loads(data)
+    if isinstance(doc, dict):
+        check_one_profile(doc, "profile")
+        print(f"check_metrics: profile OK (op={doc['op']}, "
+              f"trace_id={doc['trace_id']}, total_ns={doc['total_ns']}, "
+              f"{len(doc['stages'])} stages)")
+        return
+    if not isinstance(doc, list):
+        fail("profile input must be a profile object or a slow-log array")
+    prev_seq = -1
+    for i, entry in enumerate(doc):
+        for key in ("seq", "unix_micros", "role", "threshold_ns", "profile"):
+            if key not in entry:
+                fail(f"slow entry {i} missing '{key}'")
+        if entry["seq"] <= prev_seq:
+            fail(f"slow entry {i}: seq {entry['seq']} not strictly "
+                 f"increasing after {prev_seq}")
+        prev_seq = entry["seq"]
+        if entry["profile"]["total_ns"] < entry["threshold_ns"]:
+            fail(f"slow entry {i}: total_ns {entry['profile']['total_ns']} "
+                 f"below threshold {entry['threshold_ns']}")
+        check_one_profile(entry["profile"], f"slow entry {i}")
+    print(f"check_metrics: profile OK ({len(doc)} slow-log entries)")
+
+
 def main():
     modes = {
         "json": check_json,
         "prom": check_prom,
         "audit": check_audit,
         "server": check_server,
+        "profile": check_profile,
     }
     if len(sys.argv) != 2 or sys.argv[1] not in modes:
         print(__doc__, file=sys.stderr)

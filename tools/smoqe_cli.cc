@@ -1,9 +1,17 @@
 // smoqe-cli: command-line client for a running smoqed (docs/PROTOCOL.md).
 //
 //   smoqe-cli --port P [--host H] [--role R] query  DOC QUERY [--stax] [--tax]
+//                      [--profile] [--trace-id N]
 //   smoqe-cli --port P [--host H] [--role R] update DOC STATEMENT [--dry-run]
-//   smoqe-cli --port P [--host H]            stat   [--format json|prom]
+//                      [--trace-id N]
+//   smoqe-cli --port P [--host H]            stat   [--format json|prom|slow]
 //   common: [--deadline MS] [--max-memory BYTES] [--timeout MS]
+//
+// --profile asks the server for a structured execution profile (protocol
+// v2 trace extension) and prints it to stdout as ONE JSON object — the
+// answers themselves are suppressed so the output pipes straight into
+// tools/check_metrics.py --mode profile. --trace-id threads a caller-
+// minted correlation id into the server's trace recorder.
 //
 // Exit codes (asserted by the CI smoke job):
 //   0  server answered OK
@@ -32,9 +40,9 @@ int Usage() {
       stderr,
       "usage: smoqe-cli --port P [--host H] [--role R] [--timeout MS]\n"
       "                 [--deadline MS] [--max-memory BYTES] COMMAND ...\n"
-      "  query  DOC QUERY [--stax] [--tax]\n"
-      "  update DOC STATEMENT [--dry-run]\n"
-      "  stat   [--format json|prom]\n");
+      "  query  DOC QUERY [--stax] [--tax] [--profile] [--trace-id N]\n"
+      "  update DOC STATEMENT [--dry-run] [--trace-id N]\n"
+      "  stat   [--format json|prom|slow]\n");
   return 2;
 }
 
@@ -59,6 +67,8 @@ int main(int argc, char** argv) {
   std::string command;
   std::vector<std::string> positional;
   bool stax = false, tax = false, dry_run = false;
+  bool profile = false;
+  uint64_t trace_id = 0;
   std::string stat_format = "json";
 
   for (int i = 1; i < argc; ++i) {
@@ -81,6 +91,10 @@ int main(int argc, char** argv) {
       tax = true;
     } else if (std::strcmp(arg, "--dry-run") == 0) {
       dry_run = true;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      profile = true;
+    } else if (std::strcmp(arg, "--trace-id") == 0 && i + 1 < argc) {
+      trace_id = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(arg, "--format") == 0 && i + 1 < argc) {
       stat_format = argv[++i];
     } else if (arg[0] == '-') {
@@ -106,9 +120,23 @@ int main(int argc, char** argv) {
     req.use_tax = tax ? 1 : 0;
     req.deadline_ms = deadline_ms;
     req.max_memory_bytes = max_memory;
+    req.trace.trace_id = trace_id;
+    if (profile) req.trace.flags |= smoqe::server::kTraceFlagProfile;
     auto resp = client->Query(std::move(req));
     if (!resp.ok()) return Transport("query", resp.status());
     if (resp->code != WireCode::kOk) return AppError(resp->code, resp->error);
+    if (profile) {
+      if (resp->echo.has_profile == 0) {
+        std::fprintf(stderr,
+                     "smoqe-cli: server sent no profile (telemetry off?)\n");
+        return 1;
+      }
+      std::fprintf(stderr, "<!-- trace %llu, server %llu ns -->\n",
+                   static_cast<unsigned long long>(resp->echo.trace_id),
+                   static_cast<unsigned long long>(resp->echo.server_ns));
+      std::fputs(resp->echo.profile_json.c_str(), stdout);
+      return 0;
+    }
     std::fprintf(stdout, "<!-- epoch %llu, %zu answers -->\n",
                  static_cast<unsigned long long>(resp->doc_epoch),
                  resp->answers_xml.size());
@@ -126,6 +154,7 @@ int main(int argc, char** argv) {
     req.dry_run = dry_run ? 1 : 0;
     req.deadline_ms = deadline_ms;
     req.max_memory_bytes = max_memory;
+    req.trace.trace_id = trace_id;
     auto resp = client->Update(std::move(req));
     if (!resp.ok()) return Transport("update", resp.status());
     if (resp->code != WireCode::kOk) return AppError(resp->code, resp->error);
@@ -144,6 +173,8 @@ int main(int argc, char** argv) {
       format = StatFormat::kJson;
     } else if (stat_format == "prom") {
       format = StatFormat::kPrometheus;
+    } else if (stat_format == "slow") {
+      format = StatFormat::kSlow;
     } else {
       return Usage();
     }

@@ -1,0 +1,197 @@
+// smoqe-top: live introspection of a running smoqed (docs/PROTOCOL.md).
+//
+//   smoqe-top --port P [--host H] [--role R] [--interval-ms MS]
+//             [--iterations N] [--once]
+//
+// A refresh loop over the STAT opcode: each tick pulls the JSON metrics
+// dump plus the slow-query log and renders one screen — request rate
+// (computed from the counter delta between ticks), request latency
+// p50/p99, open connections, pipeline depths, guardrail trips, per-role
+// request counts, and the slow-query tail. --once prints a single
+// snapshot without clearing the screen (the scriptable mode); --iterations
+// bounds the loop for tests.
+//
+// Parsing is deliberately string-level: the dump format is one
+// "key": value per line (see MetricsRegistry::DumpJson), and a status
+// tool should not drag a JSON library into the build.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/client.h"
+
+namespace {
+
+using smoqe::server::Client;
+using smoqe::server::ClientOptions;
+using smoqe::server::StatFormat;
+using smoqe::server::WireCode;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: smoqe-top --port P [--host H] [--role R]\n"
+               "                 [--interval-ms MS] [--iterations N] "
+               "[--once]\n");
+  return 2;
+}
+
+/// Finds `"key": <number>` in the dump and returns the number, or `fall`
+/// when the key is absent (e.g. telemetry surface not present yet).
+double FindNumber(const std::string& json, const std::string& key,
+                  double fall = 0.0) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return fall;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+/// Finds field `f` inside the one-line histogram object of `hist`.
+double FindHist(const std::string& json, const std::string& hist,
+                const char* f) {
+  const std::string needle = "\"" + hist + "\": {";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return 0.0;
+  const size_t end = json.find('}', pos);
+  const std::string line = json.substr(pos, end - pos);
+  return FindNumber(line, f);
+}
+
+/// Collects every `server.requests_by_role.<role>` counter in the dump.
+std::vector<std::pair<std::string, uint64_t>> FindRoles(
+    const std::string& json) {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  const std::string prefix = "\"server.requests_by_role.";
+  size_t pos = 0;
+  while ((pos = json.find(prefix, pos)) != std::string::npos) {
+    const size_t name_start = pos + prefix.size();
+    const size_t name_end = json.find('"', name_start);
+    if (name_end == std::string::npos) break;
+    const std::string role = json.substr(name_start, name_end - name_start);
+    const size_t colon = json.find(": ", name_end);
+    uint64_t count = 0;
+    if (colon != std::string::npos) {
+      count = std::strtoull(json.c_str() + colon + 2, nullptr, 10);
+    }
+    out.emplace_back(role, count);
+    pos = name_end;
+  }
+  return out;
+}
+
+/// The slow dump is a JSON array of entries, each with one "total_ns".
+void SlowTail(const std::string& json, uint64_t* count, uint64_t* worst_ns) {
+  *count = 0;
+  *worst_ns = 0;
+  size_t pos = 0;
+  const std::string needle = "\"total_ns\": ";
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    ++*count;
+    const uint64_t ns =
+        std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+    if (ns > *worst_ns) *worst_ns = ns;
+    pos += needle.size();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientOptions options;
+  uint64_t interval_ms = 1000;
+  uint64_t iterations = 0;  // 0 = forever
+  bool once = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--host") == 0 && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (std::strcmp(arg, "--port") == 0 && i + 1 < argc) {
+      options.port =
+          static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(arg, "--role") == 0 && i + 1 < argc) {
+      options.role = argv[++i];
+    } else if (std::strcmp(arg, "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--iterations") == 0 && i + 1 < argc) {
+      iterations = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--once") == 0) {
+      once = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.port == 0) return Usage();
+  if (once) iterations = 1;
+
+  auto client = Client::Connect(options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "smoqe-top: connect: %s\n",
+                 client.status().ToString().c_str());
+    return 3;
+  }
+
+  double prev_requests = -1.0;
+  for (uint64_t tick = 0; iterations == 0 || tick < iterations; ++tick) {
+    auto stat = client->Stat(StatFormat::kJson);
+    if (!stat.ok() || stat->code != WireCode::kOk) {
+      std::fprintf(stderr, "smoqe-top: stat failed: %s\n",
+                   stat.ok() ? stat->error.c_str()
+                             : stat.status().ToString().c_str());
+      return 3;
+    }
+    auto slow = client->Stat(StatFormat::kSlow);
+    const std::string& m = stat->payload;
+
+    const double requests = FindNumber(m, "server.requests");
+    const double qps =
+        (prev_requests >= 0.0 && interval_ms > 0)
+            ? (requests - prev_requests) * 1000.0 / interval_ms
+            : 0.0;
+    prev_requests = requests;
+
+    const double conns = FindNumber(m, "server.connections_opened") -
+                         FindNumber(m, "server.connections_closed");
+    const double guard_trips = FindNumber(m, "guard.deadline_exceeded") +
+                               FindNumber(m, "guard.budget_exceeded") +
+                               FindNumber(m, "guard.cancelled") +
+                               FindNumber(m, "guard.admission_rejected") +
+                               FindNumber(m, "server.rejected_pipeline");
+    uint64_t slow_count = 0, slow_worst = 0;
+    if (slow.ok() && slow->code == WireCode::kOk) {
+      SlowTail(slow->payload, &slow_count, &slow_worst);
+    }
+
+    if (!once && tick > 0) std::fputs("\n", stdout);
+    std::fprintf(stdout,
+                 "smoqed %s:%u  tick %llu\n"
+                 "  requests %.0f (%.1f/s)  ok %.0f  err %.0f  conns %.0f\n"
+                 "  request_ns p50 %.0f  p99 %.0f  pipeline p50 %.1f  "
+                 "max %.0f\n"
+                 "  guard trips %.0f  slow queries %llu (worst %llu ns, "
+                 "dropped %.0f)\n",
+                 options.host.c_str(), options.port,
+                 static_cast<unsigned long long>(tick), requests, qps,
+                 FindNumber(m, "server.responses_ok"),
+                 FindNumber(m, "server.responses_error"), conns,
+                 FindHist(m, "server.request_ns", "p50"),
+                 FindHist(m, "server.request_ns", "p99"),
+                 FindHist(m, "server.pipeline_depth", "p50"),
+                 FindHist(m, "server.pipeline_depth", "max"), guard_trips,
+                 static_cast<unsigned long long>(slow_count),
+                 static_cast<unsigned long long>(slow_worst),
+                 FindNumber(m, "slowlog.dropped"));
+    for (const auto& [role, count] : FindRoles(m)) {
+      std::fprintf(stdout, "  role %-12s %llu requests\n", role.c_str(),
+                   static_cast<unsigned long long>(count));
+    }
+    std::fflush(stdout);
+    if (iterations != 0 && tick + 1 >= iterations) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
